@@ -1,0 +1,125 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (see DESIGN.md's experiment index) and runs Bechamel
+   microbenchmarks of the core primitives.
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- fig3 table1  # selected experiments
+     dune exec bench/main.exe -- --quick all  # fast smoke sweep
+     dune exec bench/main.exe -- --csv out/ fig8
+
+   Output tables mirror the paper's rows/series; CSVs are written when
+   --csv DIR is given. *)
+
+module Experiments = Workloads.Experiments
+module Table = Repro_util.Table
+
+let csv_dir = ref None
+let quick = ref false
+
+let write_csv name (t : Table.t) =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let path = Filename.concat dir (name ^ ".csv") in
+    let oc = open_out path in
+    output_string oc (Table.to_csv t);
+    close_out oc;
+    Format.printf "  (csv written to %s)@." path
+
+let run_experiment name =
+  match List.assoc_opt name Experiments.all with
+  | None -> Format.eprintf "unknown experiment %S@." name
+  | Some f ->
+    let t0 = Unix.gettimeofday () in
+    let outcome = f ~quick:!quick () in
+    List.iteri
+      (fun i table ->
+        Format.printf "%a" Table.print table;
+        write_csv (Printf.sprintf "%s-%d" name i) table)
+      outcome.Experiments.tables;
+    Format.printf "  [%s: %d data points, %.1fs]@." name
+      (List.length outcome.Experiments.results)
+      (Unix.gettimeofday () -. t0)
+
+(* ---------- Bechamel microbenchmarks of the primitives ---------- *)
+
+let microbench () =
+  let open Bechamel in
+  let open Toolkit in
+  (* A standing simulated machine; primitives run outside simulated
+     threads (untimed virtually — what we measure here is the real
+     cost of the simulator itself). *)
+  let sim, m =
+    let cfg =
+      Memsim.Config.make ~heap_words:(1 lsl 18) ~track_media:false Memsim.Config.optane_adr
+    in
+    let s = Memsim.Sim.create cfg in
+    (s, Memsim.Sim.machine s)
+  in
+  ignore sim;
+  let ptm = Pstm.Ptm.create ~max_threads:4 m in
+  let counter =
+    Pstm.Ptm.atomic ptm (fun tx ->
+        let a = Pstm.Ptm.alloc tx 1 in
+        Pstm.Ptm.write tx a 0;
+        a)
+  in
+  let rng = Repro_util.Rng.create 1 in
+  let zipf = Repro_util.Zipf.create 4096 in
+  let tests =
+    [
+      Test.make ~name:"sim-load" (Staged.stage (fun () -> m.Machine.load 4096));
+      Test.make ~name:"sim-store" (Staged.stage (fun () -> m.Machine.store 4096 1));
+      Test.make ~name:"sim-clwb" (Staged.stage (fun () -> m.Machine.clwb 4096));
+      Test.make ~name:"orec-cas" (Staged.stage (fun () -> m.Machine.meta_cas 70_000 0 0));
+      Test.make ~name:"ptm-tx-1-write"
+        (Staged.stage (fun () ->
+             Pstm.Ptm.atomic ptm (fun tx ->
+                 Pstm.Ptm.write tx counter (Pstm.Ptm.read tx counter + 1))));
+      Test.make ~name:"rng-next" (Staged.stage (fun () -> Repro_util.Rng.next rng));
+      Test.make ~name:"zipf-sample" (Staged.stage (fun () -> Repro_util.Zipf.sample zipf rng));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"prim" ~fmt:"%s/%s" tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~stabilize:true ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table =
+    Table.create ~title:"Microbenchmarks (real ns per call, Bechamel OLS)"
+      ~header:[ "primitive"; "ns/call" ]
+  in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let cell =
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> Table.cell_f est
+        | Some _ | None -> "-"
+      in
+      Table.add_row table [ name; cell ])
+    (List.sort compare rows);
+  Format.printf "%a" Table.print table;
+  write_csv "microbench" table
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest ->
+      quick := true;
+      parse acc rest
+    | "--csv" :: dir :: rest ->
+      csv_dir := Some dir;
+      parse acc rest
+    | arg :: rest -> parse (arg :: acc) rest
+  in
+  let selected = parse [] args in
+  let selected =
+    if selected = [] || selected = [ "all" ] then
+      List.map fst Experiments.all @ [ "microbench" ]
+    else selected
+  in
+  List.iter (fun name -> if name = "microbench" then microbench () else run_experiment name) selected

@@ -1,0 +1,185 @@
+(* Command-line front end for single experiments and custom runs.
+
+     ptm_bench list
+     ptm_bench run --workload tpcc-hash --model optane-adr --algorithm undo \
+                   --threads 8 --duration-ms 3
+     ptm_bench sweep --workload tatp --model pdram
+     ptm_bench experiment fig4 --quick --csv out/
+
+   [bench/main.exe] regenerates the full paper; this tool is for
+   poking at individual configurations. *)
+
+open Cmdliner
+
+let workloads () =
+  [
+    ("tatp", Workloads.Tatp.spec);
+    ("tpcc-hash", Workloads.Tpcc.spec Workloads.Tpcc.Hash);
+    ("tpcc-btree", Workloads.Tpcc.spec Workloads.Tpcc.Btree);
+    ("btree-insert", Workloads.Btree_bench.insert_only);
+    ("btree-mixed", Workloads.Btree_bench.mixed);
+    ("vacation-low", Workloads.Vacation.spec Workloads.Vacation.Low);
+    ("vacation-high", Workloads.Vacation.spec Workloads.Vacation.High);
+    ("memcached", Workloads.Memcached.spec ~items:2_000);
+    ("ycsb-a", Workloads.Ycsb.spec Workloads.Ycsb.A);
+    ("ycsb-b", Workloads.Ycsb.spec Workloads.Ycsb.B);
+    ("ycsb-c", Workloads.Ycsb.spec Workloads.Ycsb.C);
+    ("ycsb-d", Workloads.Ycsb.spec Workloads.Ycsb.D);
+    ("ycsb-e", Workloads.Ycsb.spec Workloads.Ycsb.E);
+    ("ycsb-f", Workloads.Ycsb.spec Workloads.Ycsb.F);
+  ]
+
+let workload_conv =
+  let parse s =
+    match List.assoc_opt s (workloads ()) with
+    | Some spec -> Ok spec
+    | None -> Error (`Msg (Printf.sprintf "unknown workload %S" s))
+  in
+  Arg.conv (parse, fun ppf s -> Format.fprintf ppf "%s" s.Workloads.Driver.name)
+
+let model_conv =
+  let parse s =
+    match Memsim.Config.model_of_name s with
+    | m -> Ok m
+    | exception Invalid_argument msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf m -> Format.fprintf ppf "%s" m.Memsim.Config.model_name)
+
+let algorithm_conv =
+  let parse = function
+    | "redo" -> Ok Pstm.Ptm.Redo
+    | "undo" -> Ok Pstm.Ptm.Undo
+    | "htm" -> Ok Pstm.Ptm.Htm
+    | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S (redo|undo|htm)" s))
+  in
+  Arg.conv (parse, fun ppf a -> Format.fprintf ppf "%s" (Pstm.Ptm.algorithm_name a))
+
+let workload_arg =
+  Arg.(
+    required
+    & opt (some workload_conv) None
+    & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload (see $(b,list)).")
+
+let model_arg =
+  Arg.(
+    value
+    & opt model_conv Memsim.Config.optane_adr
+    & info [ "m"; "model" ] ~docv:"MODEL"
+        ~doc:"Durability/placement model: dram-adr, dram-eadr, optane-adr, optane-adr-nofence, \
+              optane-eadr, pdram, pdram-lite, memory-mode.")
+
+let algorithm_arg =
+  Arg.(
+    value
+    & opt algorithm_conv Pstm.Ptm.Redo
+    & info [ "a"; "algorithm" ] ~docv:"ALG" ~doc:"Algorithm: redo, undo, or htm (eADR-class models only).")
+
+let threads_arg =
+  Arg.(value & opt int 8 & info [ "t"; "threads" ] ~docv:"N" ~doc:"Simulated threads.")
+
+let duration_arg =
+  Arg.(
+    value
+    & opt float 3.0
+    & info [ "d"; "duration-ms" ] ~docv:"MS" ~doc:"Virtual measurement window.")
+
+let print_result (r : Workloads.Driver.result) =
+  Format.printf "workload   : %s@." r.Workloads.Driver.workload;
+  Format.printf "model/alg  : %s / %s@." r.Workloads.Driver.model r.Workloads.Driver.algorithm;
+  Format.printf "threads    : %d@." r.Workloads.Driver.threads;
+  Format.printf "throughput : %.3f M tx/s@." (r.Workloads.Driver.txs_per_sec /. 1e6);
+  Format.printf "commits    : %d@." r.Workloads.Driver.commits;
+  Format.printf "aborts     : %d (%.2f commits/abort)@." r.Workloads.Driver.aborts
+    r.Workloads.Driver.commits_per_abort;
+  Format.printf "log size   : %d cache lines max@." r.Workloads.Driver.max_log_lines;
+  let h = r.Workloads.Driver.latency in
+  Format.printf "latency    : p50=%.0fns p95=%.0fns p99=%.0fns mean=%.0fns@."
+    (Repro_util.Histogram.percentile h 50.0)
+    (Repro_util.Histogram.percentile h 95.0)
+    (Repro_util.Histogram.percentile h 99.0)
+    (Repro_util.Histogram.mean h);
+  let s = r.Workloads.Driver.sim in
+  Format.printf "machine    : loads=%d stores=%d l3miss=%d clwb=%d sfence=%d@."
+    s.Memsim.Sim.Stats.loads s.Memsim.Sim.Stats.stores s.Memsim.Sim.Stats.l3_misses
+    s.Memsim.Sim.Stats.clwbs s.Memsim.Sim.Stats.sfences;
+  Format.printf "             fence-wait=%dns wpq-stall=%dns nvm-reads=%d@."
+    s.Memsim.Sim.Stats.fence_wait_ns s.Memsim.Sim.Stats.wpq_stall_ns s.Memsim.Sim.Stats.nvm_reads
+
+let run_cmd =
+  let run spec model algorithm threads duration_ms =
+    let duration_ns = int_of_float (duration_ms *. 1e6) in
+    print_result (Workloads.Driver.run ~duration_ns ~model ~algorithm ~threads spec)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one workload under one configuration.")
+    Term.(const run $ workload_arg $ model_arg $ algorithm_arg $ threads_arg $ duration_arg)
+
+let sweep_cmd =
+  let sweep spec model algorithm duration_ms =
+    let duration_ns = int_of_float (duration_ms *. 1e6) in
+    let t =
+      Repro_util.Table.create
+        ~title:
+          (Printf.sprintf "%s on %s (%s)" spec.Workloads.Driver.name
+             model.Memsim.Config.model_name
+             (Pstm.Ptm.algorithm_name algorithm))
+        ~header:[ "threads"; "M tx/s"; "commits/abort" ]
+    in
+    List.iter
+      (fun threads ->
+        let r = Workloads.Driver.run ~duration_ns ~model ~algorithm ~threads spec in
+        Repro_util.Table.add_row t
+          [
+            string_of_int threads;
+            Repro_util.Table.cell_f (r.Workloads.Driver.txs_per_sec /. 1e6);
+            (if r.Workloads.Driver.commits_per_abort = infinity then "-"
+             else Repro_util.Table.cell_f r.Workloads.Driver.commits_per_abort);
+          ])
+      Workloads.Experiments.threads_axis;
+    Format.printf "%a" Repro_util.Table.print t
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sweep the paper's thread axis for one configuration.")
+    Term.(const sweep $ workload_arg $ model_arg $ algorithm_arg $ duration_arg)
+
+let experiment_cmd =
+  let names = List.map fst Workloads.Experiments.all in
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum (List.map (fun n -> (n, n)) names))) None
+      & info [] ~docv:"EXPERIMENT")
+  in
+  let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Short measurement window.") in
+  let exp name quick =
+    let f = List.assoc name Workloads.Experiments.all in
+    let outcome = f ~quick () in
+    List.iter
+      (fun table -> Format.printf "%a" Repro_util.Table.print table)
+      outcome.Workloads.Experiments.tables
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate one of the paper's tables/figures (fig3 fig4 table1 ... fig8).")
+    Term.(const exp $ name_arg $ quick_arg)
+
+let list_cmd =
+  let list () =
+    Format.printf "workloads:@.";
+    List.iter (fun (n, _) -> Format.printf "  %s@." n) (workloads ());
+    Format.printf "models:@.";
+    List.iter
+      (fun m -> Format.printf "  %s@." m.Memsim.Config.model_name)
+      Memsim.Config.all_models;
+    Format.printf "experiments:@.";
+    List.iter (fun (n, _) -> Format.printf "  %s@." n) Workloads.Experiments.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List workloads, models and experiments.") Term.(const list $ const ())
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "ptm_bench" ~version:"1.0"
+      ~doc:"Persistent transactional memory on (simulated) Optane DC — experiment driver."
+  in
+  exit (Cmd.eval (Cmd.group ~default info [ run_cmd; sweep_cmd; experiment_cmd; list_cmd ]))

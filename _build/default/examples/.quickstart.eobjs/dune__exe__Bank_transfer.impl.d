@@ -1,0 +1,1 @@
+examples/bank_transfer.ml: Config Core List Machine Printf Ptm Rng Sim

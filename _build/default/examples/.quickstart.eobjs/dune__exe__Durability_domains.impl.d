@@ -1,0 +1,1 @@
+examples/durability_domains.ml: Config Core Driver Format List Ptm Sim Table Tatp

@@ -1,0 +1,1 @@
+examples/durability_domains.mli:

@@ -1,0 +1,1 @@
+examples/htm_acceleration.ml: Config Core Driver Format List Ptm Table Tatp

@@ -1,0 +1,1 @@
+examples/htm_acceleration.mli:

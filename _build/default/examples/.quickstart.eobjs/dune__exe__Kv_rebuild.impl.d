@@ -1,0 +1,1 @@
+examples/kv_rebuild.ml: Config Core List Machine Memcached Phashtable Printf Ptm Rng Sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bptree Config Core List Printf Ptm Rng Sim

@@ -1,0 +1,1 @@
+examples/two_lives.ml: Array Bptree Config Core Filename List Printf Ptm Sim Sys

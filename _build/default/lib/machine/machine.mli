@@ -1,0 +1,110 @@
+(** Abstract machine executing persistent-memory programs.
+
+    The PTM algorithms, persistent allocator and data structures are all
+    written against this interface.  Two backends implement it:
+
+    - {!Memsim.Sim} — the deterministic discrete-event simulated machine
+      (virtual clocks, cache model, bounded WPQ, durability domains);
+      used for all paper experiments.
+    - {!Machine.Native} — real memory and real OCaml domains; used to
+      stress-test the concurrency of the algorithms.
+
+    Addresses are word indices (one word = 8 simulated bytes) into a
+    flat persistent heap.  A cache line is {!Layout.words_per_line}
+    words; a page is {!Layout.words_per_page} words.
+
+    Two address spaces exist:
+    - the {e persistent heap} ([load]/[store]/[clwb]/[sfence]),
+      crash-survivable according to the backend's durability domain;
+    - the {e volatile metadata space} ([meta_*]), holding ownership
+      records and the global version clock — always lost on a crash,
+      and offering atomic compare-and-swap. *)
+
+exception Crashed
+(** Raised inside a simulated thread when the machine loses power.
+    Code between [atomic] boundaries must let it propagate: the whole
+    point of a crash is that no cleanup runs. *)
+
+type t = {
+  words : int;  (** persistent heap size in words *)
+  meta_words : int;  (** volatile metadata space size in words *)
+  needs_flush : bool;
+      (** whether the durability domain requires [clwb] for persistence
+          (true for ADR; false for eADR, PDRAM, PDRAM-Lite) *)
+  needs_fence : bool;
+      (** whether [sfence] ordering is required (false for eADR-family
+          domains and for the deliberately incorrect "no-fence" ADR
+          variant of Table III) *)
+  load : int -> int;  (** timed read of a heap word *)
+  store : int -> int -> unit;  (** timed write of a heap word *)
+  clwb : int -> unit;
+      (** write-back the cache line containing the given word towards
+          the memory controller; persistence is guaranteed only after a
+          subsequent [sfence] *)
+  sfence : unit -> unit;
+      (** drain: wait until all of this thread's outstanding write-backs
+          have reached the durability domain *)
+  meta_get : int -> int;
+  meta_set : int -> int -> unit;
+  meta_cas : int -> int -> int -> bool;
+      (** [meta_cas idx expected value] — atomic compare-and-swap *)
+  meta_fetch_add : int -> int -> int;
+      (** [meta_fetch_add idx delta] returns the previous value *)
+  tid : unit -> int;  (** small dense id of the calling thread *)
+  now_ns : unit -> float;  (** current (virtual or real) time *)
+  pause : int -> unit;  (** back-off for approximately [ns] *)
+  raw_read : int -> int;
+      (** untimed heap read — initialization, recovery and test oracles only *)
+  raw_write : int -> int -> unit;  (** untimed heap write — same restrictions *)
+  mark_log_range : int -> int -> unit;
+      (** [mark_log_range lo hi] declares words [lo, hi) as PTM-log
+          space; under PDRAM-Lite the backend maps these pages to
+          battery-backed DRAM *)
+  publish : int array -> int array -> int -> unit;
+      (** [publish addrs values n] stores the first [n] (address,
+          value) pairs as one indivisible event — the commit of a
+          hardware transaction, whose speculative lines become visible
+          (and, under eADR-class domains, durable) all at once.  A
+          power failure can land before or after a publish, never
+          inside it. *)
+}
+
+module Layout : sig
+  val bytes_per_word : int
+  val words_per_line : int
+  val words_per_page : int
+  val line_of_addr : int -> int
+  val page_of_addr : int -> int
+  val addr_of_line : int -> int
+end
+
+(** Agreed-upon slots in the volatile metadata space, so independent
+    components (PTM clock, allocator, orec table) never collide. *)
+module Meta_layout : sig
+  val clock_idx : int
+  (** the PTM's global version clock *)
+
+  val alloc_high_water_idx : int
+  (** the allocator's volatile high-water mirror *)
+
+  val orec_base : int
+  (** first index of the ownership-record table *)
+end
+
+module Native : sig
+  (** Native backend: real memory, real OCaml domains, wall-clock time.
+
+      There is no persistence here — [clwb] and [sfence] are ordering
+      no-ops — so this backend cannot run the crash experiments.  Its
+      purpose is to prove that the PTM algorithms are genuinely concurrent:
+      the stress tests run them on parallel domains with atomic ownership
+      records and check serializability of the results.
+
+      Thread ids are per-domain, assigned densely on first use from
+      domain-local storage. *)
+
+  val create : words:int -> meta_words:int -> t
+  (** Fresh native machine.  [needs_flush]/[needs_fence] are [false]
+      (flush instructions would be meaningless on the GC heap); algorithms
+      still exercise their flush call-sites, which become no-ops. *)
+end

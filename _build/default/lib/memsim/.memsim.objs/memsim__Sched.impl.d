@@ -1,0 +1,1 @@
+lib/memsim/sched.ml: Effect Machine Repro_util

@@ -1,0 +1,1 @@
+lib/memsim/sim.ml: Array Cache Config Fun List Machine Marshal Printf Repro_util Sched Server Trace

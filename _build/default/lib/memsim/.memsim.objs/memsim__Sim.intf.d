@@ -1,0 +1,1 @@
+lib/memsim/sim.mli: Config Machine Trace

@@ -1,0 +1,117 @@
+type t = {
+  sets : int;
+  ways : int;
+  tags : int array; (* sets*ways; -1 = invalid; else line number *)
+  dirty : bool array;
+  stamp : int array; (* LRU recency, global tick *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable writebacks : int;
+}
+
+type evicted = { line : int; dirty : bool }
+type access = Hit | Miss of evicted option
+
+let floor_pow2 n =
+  let rec go p = if p * 2 <= n then go (p * 2) else p in
+  if n <= 1 then 1 else go 1
+
+let create ?(line_bytes = 64) ~bytes ~ways () =
+  assert (ways > 0 && bytes >= line_bytes * ways);
+  let sets = floor_pow2 (bytes / (line_bytes * ways)) in
+  {
+    sets;
+    ways;
+    tags = Array.make (sets * ways) (-1);
+    dirty = Array.make (sets * ways) false;
+    stamp = Array.make (sets * ways) 0;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    writebacks = 0;
+  }
+
+let set_of t line = line land (t.sets - 1)
+
+(* Index of [line] within its set, or the victim way (invalid first,
+   else LRU) when absent. *)
+let find t line =
+  let base = set_of t line * t.ways in
+  let found = ref (-1) in
+  let victim = ref base in
+  let oldest = ref max_int in
+  for w = 0 to t.ways - 1 do
+    let i = base + w in
+    if t.tags.(i) = line then found := i
+    else if t.tags.(i) = -1 && !oldest > -1 then begin
+      (* Prefer an invalid way; mark preference with oldest = -1. *)
+      victim := i;
+      oldest := -1
+    end
+    else if !oldest >= 0 && t.stamp.(i) < !oldest then begin
+      victim := i;
+      oldest := t.stamp.(i)
+    end
+  done;
+  (!found, !victim)
+
+let access t ~line ~write =
+  t.tick <- t.tick + 1;
+  let found, victim = find t line in
+  if found >= 0 then begin
+    t.hits <- t.hits + 1;
+    t.stamp.(found) <- t.tick;
+    if write then t.dirty.(found) <- true;
+    Hit
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    let ev =
+      if t.tags.(victim) = -1 then None
+      else begin
+        let d = t.dirty.(victim) in
+        if d then t.writebacks <- t.writebacks + 1;
+        Some { line = t.tags.(victim); dirty = d }
+      end
+    in
+    t.tags.(victim) <- line;
+    t.dirty.(victim) <- write;
+    t.stamp.(victim) <- t.tick;
+    Miss ev
+  end
+
+let clean t ~line =
+  let found, _ = find t line in
+  if found >= 0 && t.dirty.(found) then begin
+    t.dirty.(found) <- false;
+    true
+  end
+  else false
+
+let resident_dirty t ~line =
+  let found, _ = find t line in
+  found >= 0 && t.dirty.(found)
+
+let dirty_lines (t : t) =
+  let acc = ref [] in
+  Array.iteri (fun i tag -> if tag >= 0 && t.dirty.(i) then acc := tag :: !acc) t.tags;
+  !acc
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.dirty 0 (Array.length t.dirty) false;
+  Array.fill t.stamp 0 (Array.length t.stamp) 0;
+  t.tick <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.writebacks <- 0
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.writebacks <- 0
+
+let hits t = t.hits
+let misses t = t.misses
+let writebacks t = t.writebacks

@@ -1,0 +1,41 @@
+(** Set-associative write-back cache model (the shared L3).
+
+    Tracks line residency and dirtiness only; data always lives in the
+    simulated heap (a line's content is, by construction, the current
+    heap value).  Replacement is LRU within a set. *)
+
+type t
+
+type evicted = { line : int; dirty : bool }
+
+type access = Hit | Miss of evicted option
+(** On a miss the requested line is installed; [Miss (Some e)] reports
+    the victim that had to leave. *)
+
+val create : ?line_bytes:int -> bytes:int -> ways:int -> unit -> t
+(** [bytes] total capacity; [ways] associativity.  The number of sets
+    is rounded down to a power of two (at least one). *)
+
+val access : t -> line:int -> write:bool -> access
+(** Look up [line]; install on miss; set the dirty bit when [write]. *)
+
+val clean : t -> line:int -> bool
+(** [clwb] behaviour: clear the line's dirty bit, keeping it resident
+    (clwb, unlike clflush, retains the line).  Returns whether it was
+    resident and dirty — i.e. whether a write-back is actually sent. *)
+
+val resident_dirty : t -> line:int -> bool
+
+val dirty_lines : t -> int list
+(** All resident dirty lines — what eADR-class domains flush on a
+    power failure. *)
+
+val reset : t -> unit
+
+val reset_stats : t -> unit
+(** Zero the hit/miss/write-back counters, keeping contents. *)
+
+val hits : t -> int
+val misses : t -> int
+val writebacks : t -> int
+(** Dirty evictions (write-backs caused by capacity, not by clwb). *)

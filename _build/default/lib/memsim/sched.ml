@@ -1,0 +1,140 @@
+exception Crashed = Machine.Crashed
+
+type _ Effect.t += Wait : int -> unit Effect.t
+
+type state =
+  | Not_started of (unit -> unit)
+  | Suspended of (unit, unit) Effect.Deep.continuation
+  | Running
+  | Finished
+
+type thread = { thread_id : int; mutable time : int; mutable state : state }
+
+type t = {
+  mutable threads : thread list; (* reverse spawn order *)
+  mutable count : int;
+  ready : thread Repro_util.Min_heap.t;
+  mutable current : thread option;
+  mutable crash_at : int option;
+  mutable crashed : bool;
+  mutable max_time : int;
+  mutable started : bool;
+}
+
+let create () =
+  {
+    threads = [];
+    count = 0;
+    ready = Repro_util.Min_heap.create ();
+    current = None;
+    crash_at = None;
+    crashed = false;
+    max_time = 0;
+    started = false;
+  }
+
+let spawn t f =
+  if t.started then invalid_arg "Sched.spawn: scheduler already running";
+  let th = { thread_id = t.count; time = 0; state = Not_started f } in
+  t.count <- t.count + 1;
+  t.threads <- th :: t.threads;
+  Repro_util.Min_heap.push t.ready ~key:0 th;
+  th.thread_id
+
+let now t = match t.current with Some th -> th.time | None -> t.max_time
+
+(* Machine operations may also run outside [run] (untimed setup and
+   recovery phases): time simply does not advance there, and thread id
+   defaults to 0. *)
+let tid t = match t.current with Some th -> th.thread_id | None -> 0
+
+let wait t ns =
+  assert (ns >= 0);
+  match t.current with None -> () | Some _ -> Effect.perform (Wait ns)
+
+let wait_until t target =
+  match t.current with
+  | None -> ()
+  | Some th -> if target > th.time then Effect.perform (Wait (target - th.time))
+
+let crashed t = t.crashed
+
+let time_limit t = t.crash_at
+
+let kill t th =
+  match th.state with
+  | Suspended k ->
+    th.state <- Finished;
+    t.current <- Some th;
+    (* The handler's exnc re-raises, so an uncaught Crashed surfaces
+       here; a thread that swallows it instead terminates via retc. *)
+    (try Effect.Deep.discontinue k Crashed with Crashed -> ());
+    t.current <- None
+  | Not_started _ | Running | Finished -> th.state <- Finished
+
+let run ?crash_at t =
+  if t.started then invalid_arg "Sched.run: scheduler already ran";
+  t.started <- true;
+  t.crash_at <- crash_at;
+  let handler =
+    {
+      Effect.Deep.retc =
+        (fun () ->
+          match t.current with
+          | None -> assert false
+          | Some th ->
+            th.state <- Finished;
+            t.max_time <- max t.max_time th.time);
+      exnc = (fun exn -> raise exn);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Wait ns ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                let th = match t.current with Some th -> th | None -> assert false in
+                th.time <- th.time + ns;
+                th.state <- Suspended k;
+                t.max_time <- max t.max_time th.time;
+                Repro_util.Min_heap.push t.ready ~key:th.time th)
+          | _ -> None);
+    }
+  in
+  let over_crash time = match t.crash_at with Some c -> time >= c | None -> false in
+  let continue_loop = ref true in
+  while !continue_loop do
+    match Repro_util.Min_heap.pop t.ready with
+    | None -> continue_loop := false
+    | Some (_, th) when th.state = Finished -> ()
+    | Some (time, th) ->
+      if over_crash time then begin
+        t.crashed <- true;
+        kill t th;
+        (* Power is gone: kill everything else too. *)
+        let rec drain () =
+          match Repro_util.Min_heap.pop t.ready with
+          | None -> ()
+          | Some (_, other) ->
+            kill t other;
+            drain ()
+        in
+        drain ();
+        continue_loop := false
+      end
+      else begin
+        t.current <- Some th;
+        (match th.state with
+        | Not_started f ->
+          th.state <- Running;
+          Effect.Deep.match_with f () handler
+        | Suspended k ->
+          th.state <- Running;
+          Effect.Deep.continue k ()
+        | Running | Finished -> assert false);
+        t.current <- None
+      end
+  done;
+  t.current <- None;
+  match t.crash_at with
+  | Some c when t.crashed -> t.max_time <- min t.max_time c
+  | Some _ | None -> ()

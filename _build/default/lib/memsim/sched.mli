@@ -1,0 +1,51 @@
+(** Deterministic discrete-event scheduler for simulated threads.
+
+    Each simulated thread is a direct-style OCaml computation that
+    performs a [Wait] effect whenever a modeled operation costs time.
+    The scheduler always resumes the thread with the smallest virtual
+    clock (FIFO among ties), so all shared-state mutations occur in
+    global virtual-time order and every run is a deterministic function
+    of the configuration and RNG seeds.
+
+    Power-failure injection: when a crash time is armed, any thread
+    whose next event would occur at or after that instant is
+    discontinued with the {!Crashed} exception instead of being
+    resumed.  Threads must let [Crashed] propagate (cleanup via
+    [Fun.protect] is fine). *)
+
+type t
+
+(** The crash exception is {!Machine.Crashed}, so that machine-agnostic
+    code can match it without depending on this library. *)
+
+val create : unit -> t
+
+val spawn : t -> (unit -> unit) -> int
+(** Register a thread; returns its dense id (0, 1, ...).  Must be
+    called before {!run}. *)
+
+val run : ?crash_at:int -> t -> unit
+(** Execute until every thread finishes, or until virtual time reaches
+    [crash_at], in which case all remaining threads are killed and
+    {!crashed} becomes true.  May be called once per scheduler. *)
+
+val wait : t -> int -> unit
+(** Advance the calling thread's virtual clock by [ns >= 0].  Must be
+    called from within a simulated thread. *)
+
+val wait_until : t -> int -> unit
+(** Advance the calling thread's clock to at least the given absolute
+    time. *)
+
+val now : t -> int
+(** Virtual clock of the calling thread; after [run] returns, the
+    maximum virtual time reached. *)
+
+val tid : t -> int
+(** Id of the calling thread. *)
+
+val crashed : t -> bool
+
+val time_limit : t -> int option
+(** The armed crash time, if any — lets long-running loops bail out
+    early instead of spinning to the horizon. *)

@@ -1,0 +1,66 @@
+type t = {
+  service_ns : int;
+  capacity : int;
+  mutable next_free : int;
+  inflight : int Queue.t; (* completion times, ascending; only for bounded servers *)
+  mutable requests : int;
+  mutable stall_ns : int;
+  mutable queue_ns : int;
+}
+
+let create ~service_ns ~capacity =
+  {
+    service_ns;
+    capacity;
+    next_free = 0;
+    inflight = Queue.create ();
+    requests = 0;
+    stall_ns = 0;
+    queue_ns = 0;
+  }
+
+let acquire_sync t ~now ~latency_ns =
+  t.requests <- t.requests + 1;
+  let start = max now t.next_free in
+  t.next_free <- start + t.service_ns;
+  t.queue_ns <- t.queue_ns + (start - now);
+  start + latency_ns
+
+type async = { ready : int; completion : int }
+
+let drop_completed t ~now =
+  let continue = ref true in
+  while !continue && not (Queue.is_empty t.inflight) do
+    if Queue.peek t.inflight <= now then ignore (Queue.pop t.inflight) else continue := false
+  done
+
+let enqueue_async t ~now =
+  t.requests <- t.requests + 1;
+  let ready = ref now in
+  if t.capacity > 0 then begin
+    drop_completed t ~now;
+    (* Completions are FIFO: while full, wait for the oldest in-flight
+       entry, which frees exactly one slot. *)
+    while Queue.length t.inflight >= t.capacity do
+      ready := max !ready (Queue.pop t.inflight)
+    done
+  end;
+  let start = max !ready t.next_free in
+  let completion = start + t.service_ns in
+  t.next_free <- completion;
+  if t.capacity > 0 then Queue.push completion t.inflight;
+  t.stall_ns <- t.stall_ns + (!ready - now);
+  { ready = !ready; completion }
+
+let reset t =
+  t.next_free <- 0;
+  Queue.clear t.inflight;
+  t.requests <- 0;
+  t.stall_ns <- 0;
+  t.queue_ns <- 0
+
+let inflight_at t ~now = Queue.fold (fun acc c -> if c > now then acc + 1 else acc) 0 t.inflight
+
+let requests t = t.requests
+let stall_ns t = t.stall_ns
+let queue_ns t = t.queue_ns

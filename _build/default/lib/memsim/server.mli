@@ -1,0 +1,41 @@
+(** Shared bandwidth server with bounded queueing.
+
+    Models a memory channel: each request occupies the server for a
+    fixed per-line service time, so aggregate throughput is bounded by
+    1/service and queueing delay emerges under contention.  The bounded
+    variant additionally models the Write Pending Queue: when
+    [capacity] requests are in flight, the issuing thread stalls until
+    a slot frees — the WPQ-saturation mechanism of the paper (§III-C). *)
+
+type t
+
+val create : service_ns:int -> capacity:int -> t
+(** [capacity <= 0] means unbounded. *)
+
+val acquire_sync : t -> now:int -> latency_ns:int -> int
+(** Synchronous request (a load): occupies the server for its service
+    time and returns the completion time the requester must wait for
+    ([>= now + latency_ns]; larger under queueing). *)
+
+type async = { ready : int; completion : int }
+
+val enqueue_async : t -> now:int -> async
+(** Asynchronous request (a write-back entering the WPQ).  [ready] is
+    when the issuing thread may proceed ([> now] only when the bounded
+    queue was full — backpressure); [completion] is when the line has
+    drained to media. *)
+
+val reset : t -> unit
+
+(** Counters for experiment reports. *)
+
+val requests : t -> int
+val stall_ns : t -> int
+(** Total backpressure stall time imposed on issuing threads. *)
+
+val queue_ns : t -> int
+(** Total queueing delay (start - arrival) across sync requests. *)
+
+val inflight_at : t -> now:int -> int
+(** Entries of a bounded server still draining at the given instant —
+    what a power failure would have to finish on reserve power. *)

@@ -1,0 +1,551 @@
+module Layout = Machine.Layout
+
+type counters = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable clwbs : int;
+  mutable sfences : int;
+  mutable fence_wait_ns : int;
+  mutable pdram_page_hits : int;
+  mutable pdram_page_misses : int;
+}
+
+type t = {
+  cfg : Config.t;
+  sched : Sched.t;
+  heap : int array;
+  media : int array option; (* persisted image; None when not tracked *)
+  l3 : Cache.t;
+  wpq_nvm : Server.t array; (* one per interleaved channel; line mod N *)
+  wpq_dram : Server.t;
+  rd_nvm : Server.t array;
+  rd_dram : Server.t;
+  page_cache : Repro_util.Lru.t option; (* PDRAM directory *)
+  mutable log_ranges : (int * int) list; (* [lo, hi) word ranges of PTM logs *)
+  mutable fence_target : int array; (* per-tid max completion of own WPQ entries *)
+  mutable trace : Trace.t option;
+  c : counters;
+}
+
+let create (cfg : Config.t) =
+  {
+    cfg;
+    sched = Sched.create ();
+    heap = Array.make cfg.heap_words 0;
+    media = (if cfg.track_media then Some (Array.make cfg.heap_words 0) else None);
+    l3 = Cache.create ~bytes:cfg.l3_bytes ~ways:cfg.l3_ways ();
+    wpq_nvm =
+      Array.init cfg.nvm_channels (fun _ ->
+          Server.create ~service_ns:cfg.lat.nvm_wpq_service_ns
+            ~capacity:(max 1 (cfg.wpq_capacity / cfg.nvm_channels)));
+    wpq_dram =
+      Server.create ~service_ns:cfg.lat.dram_wpq_service_ns ~capacity:cfg.dram_wpq_capacity;
+    rd_nvm =
+      Array.init cfg.nvm_channels (fun _ ->
+          Server.create ~service_ns:cfg.lat.nvm_read_service_ns ~capacity:0);
+    rd_dram = Server.create ~service_ns:cfg.lat.dram_read_service_ns ~capacity:0;
+    page_cache =
+      (if cfg.model.pdram_cache then
+         Some (Repro_util.Lru.create ~capacity:(max 1 (cfg.pdram_cache_bytes / 4096)))
+       else None);
+    log_ranges = [];
+    fence_target = Array.make 64 0;
+    trace = None;
+    c =
+      {
+        loads = 0;
+        stores = 0;
+        clwbs = 0;
+        sfences = 0;
+        fence_wait_ns = 0;
+        pdram_page_hits = 0;
+        pdram_page_misses = 0;
+      };
+  }
+
+let config t = t.cfg
+
+let enable_trace ?capacity t =
+  let tr = Trace.create ?capacity () in
+  t.trace <- Some tr;
+  tr
+
+let trace_event t kind =
+  match t.trace with
+  | None -> ()
+  | Some tr -> Trace.record tr ~at_ns:(Sched.now t.sched) ~tid:(Sched.tid t.sched) kind
+
+let in_log_range t addr = List.exists (fun (lo, hi) -> addr >= lo && addr < hi) t.log_ranges
+
+(* Media backing a word under the current placement model. *)
+let media_of t addr : Config.media =
+  match t.cfg.model.data_media with
+  | Config.Dram -> Config.Dram
+  | Config.Nvm -> if t.cfg.model.log_in_dram && in_log_range t addr then Config.Dram else Config.Nvm
+
+(* Persist one line's current heap content into the media image. *)
+let line_to_media t line =
+  match t.media with
+  | None -> ()
+  | Some media ->
+    let base = Layout.addr_of_line line in
+    let len = min Layout.words_per_line (t.cfg.heap_words - base) in
+    Array.blit t.heap base media base len
+
+(* Interleaving: consecutive cache lines rotate across channels. *)
+let nvm_wpq_of t line = t.wpq_nvm.(line mod Array.length t.wpq_nvm)
+let nvm_rd_of t line = t.rd_nvm.(line mod Array.length t.rd_nvm)
+
+let ensure_fence_slot t tid =
+  if tid >= Array.length t.fence_target then begin
+    let bigger = Array.make (2 * (tid + 1)) 0 in
+    Array.blit t.fence_target 0 bigger 0 (Array.length t.fence_target);
+    t.fence_target <- bigger
+  end
+
+(* PDRAM page-cache lookup for an NVM word.  Returns `Dram_hit when the
+   page is resident; on a miss, installs the page, charges fetch cost
+   and possible dirty-page write-back bandwidth. *)
+let pdram_access t ~now ~page ~write =
+  match t.page_cache with
+  | None -> `Not_pdram
+  | Some pc -> (
+    match Repro_util.Lru.touch pc page ~dirty:write with
+    | `Hit ->
+      t.c.pdram_page_hits <- t.c.pdram_page_hits + 1;
+      `Dram_hit
+    | `Miss evicted ->
+      t.c.pdram_page_misses <- t.c.pdram_page_misses + 1;
+      (* Dirty victim page drains to NVM: bulk WPQ occupancy, async. *)
+      (match evicted with
+      | Some { dirty = true; key = victim_page } ->
+        let lines = Layout.words_per_page / Layout.words_per_line in
+        let first_line = victim_page * lines in
+        for l = 0 to lines - 1 do
+          ignore (Server.enqueue_async (nvm_wpq_of t (first_line + l)) ~now)
+        done
+      | Some { dirty = false; _ } | None -> ());
+      `Dram_miss)
+
+(* Write-back of an evicted dirty line: content persists to media now
+   (it is in flight towards the controller); bandwidth charged on the
+   backing channel; issuing thread stalls only on WPQ backpressure. *)
+let writeback_line t ~now line =
+  line_to_media t line;
+  let addr = Layout.addr_of_line line in
+  match media_of t addr with
+  | Config.Dram ->
+    let a = Server.enqueue_async t.wpq_dram ~now in
+    a.Server.ready - now
+  | Config.Nvm ->
+    if t.cfg.model.pdram_cache then begin
+      (* Line lands in the DRAM page cache; page marked dirty. *)
+      let page = Layout.page_of_addr addr in
+      (match pdram_access t ~now ~page ~write:true with
+      | `Dram_hit | `Not_pdram -> ()
+      | `Dram_miss -> ());
+      let a = Server.enqueue_async t.wpq_dram ~now in
+      a.Server.ready - now
+    end
+    else begin
+      let a = Server.enqueue_async (nvm_wpq_of t line) ~now in
+      a.Server.ready - now
+    end
+
+(* Memory access latency below the L3 for a miss on [addr]. *)
+let miss_latency t ~now ~addr ~write =
+  let lat = t.cfg.lat in
+  match media_of t addr with
+  | Config.Dram ->
+    let done_at = Server.acquire_sync t.rd_dram ~now ~latency_ns:lat.dram_load_ns in
+    ignore write;
+    done_at - now
+  | Config.Nvm -> (
+    let page = Layout.page_of_addr addr in
+    match pdram_access t ~now ~page ~write with
+    | `Dram_hit ->
+      let done_at = Server.acquire_sync t.rd_dram ~now ~latency_ns:lat.dram_load_ns in
+      done_at - now
+    | `Dram_miss ->
+      let done_at =
+        Server.acquire_sync
+          (nvm_rd_of t (Layout.line_of_addr addr))
+          ~now
+          ~latency_ns:(lat.nvm_load_ns + lat.page_fetch_ns)
+      in
+      done_at - now
+    | `Not_pdram ->
+      let done_at =
+        Server.acquire_sync (nvm_rd_of t (Layout.line_of_addr addr)) ~now
+          ~latency_ns:lat.nvm_load_ns
+      in
+      done_at - now)
+
+let access t ~addr ~write =
+  if addr < 0 || addr >= t.cfg.heap_words then
+    invalid_arg (Printf.sprintf "Sim: heap address %d out of bounds" addr);
+  let now = Sched.now t.sched in
+  let line = Layout.line_of_addr addr in
+  let cost =
+    match Cache.access t.l3 ~line ~write with
+    | Cache.Hit -> t.cfg.lat.cache_hit_ns
+    | Cache.Miss evicted ->
+      let stall =
+        match evicted with
+        | Some { Cache.line = victim; dirty = true } -> writeback_line t ~now victim
+        | Some { Cache.dirty = false; _ } | None -> 0
+      in
+      stall + miss_latency t ~now:(now + stall) ~addr ~write
+  in
+  Sched.wait t.sched cost
+
+let load t addr =
+  t.c.loads <- t.c.loads + 1;
+  trace_event t (Trace.Load addr);
+  access t ~addr ~write:false;
+  t.heap.(addr)
+
+let store t addr v =
+  t.c.stores <- t.c.stores + 1;
+  trace_event t (Trace.Store addr);
+  (* Architectural value changes at issue; latency paid after. *)
+  t.heap.(addr) <- v;
+  access t ~addr ~write:true
+
+let clwb t addr =
+  t.c.clwbs <- t.c.clwbs + 1;
+  trace_event t (Trace.Clwb addr);
+  let now = Sched.now t.sched in
+  let tid = Sched.tid t.sched in
+  ensure_fence_slot t tid;
+  let line = Layout.line_of_addr addr in
+  let stall =
+    if Cache.clean t.l3 ~line then begin
+      line_to_media t line;
+      let server =
+        match media_of t addr with
+        | Config.Dram -> t.wpq_dram
+        | Config.Nvm -> if t.cfg.model.pdram_cache then t.wpq_dram else nvm_wpq_of t line
+      in
+      let a = Server.enqueue_async server ~now in
+      t.fence_target.(tid) <- max t.fence_target.(tid) a.Server.completion;
+      a.Server.ready - now
+    end
+    else 0
+  in
+  Sched.wait t.sched (stall + t.cfg.lat.clwb_ns)
+
+let sfence t =
+  t.c.sfences <- t.c.sfences + 1;
+  trace_event t Trace.Sfence;
+  let now = Sched.now t.sched in
+  let tid = Sched.tid t.sched in
+  ensure_fence_slot t tid;
+  let target = t.fence_target.(tid) in
+  if target > now then t.c.fence_wait_ns <- t.c.fence_wait_ns + (target - now);
+  Sched.wait_until t.sched target;
+  Sched.wait t.sched t.cfg.lat.sfence_ns
+
+let spawn t f = Sched.spawn t.sched f
+
+let run ?crash_at t =
+  Sched.run ?crash_at t.sched;
+  if Sched.crashed t.sched then
+    match t.trace with
+    | None -> ()
+    | Some tr -> Trace.record tr ~at_ns:(Sched.now t.sched) ~tid:0 Trace.Crash
+
+let now t = Sched.now t.sched
+
+let crashed t = Sched.crashed t.sched
+
+(* Forget all timing state accumulated by an untimed setup phase —
+   queue depths, fence targets and counters — while keeping memory
+   contents and cache residency (a warm start).  Must be called before
+   the first [spawn]/[run], never during one. *)
+let reset_timing t =
+  Array.iter Server.reset t.wpq_nvm;
+  Server.reset t.wpq_dram;
+  Array.iter Server.reset t.rd_nvm;
+  Server.reset t.rd_dram;
+  Array.fill t.fence_target 0 (Array.length t.fence_target) 0;
+  Cache.reset_stats t.l3;
+  t.c.loads <- 0;
+  t.c.stores <- 0;
+  t.c.clwbs <- 0;
+  t.c.sfences <- 0;
+  t.c.fence_wait_ns <- 0;
+  t.c.pdram_page_hits <- 0;
+  t.c.pdram_page_misses <- 0
+
+let persist_all t =
+  match t.media with None -> () | Some media -> Array.blit t.heap 0 media 0 t.cfg.heap_words
+
+(* Apply the durability domain's survival rule after a power failure
+   (or a clean shutdown, which is strictly weaker than eADR flush). *)
+let surviving_media t =
+  match t.media with
+  | None -> invalid_arg "Sim.reboot: track_media is off"
+  | Some media ->
+    let image = Array.copy media in
+    (* Whether heap words persist at all (battery-backed DRAM log pages
+       count as persistent; the DRAM-ramdisk baseline does not). *)
+    let persistent =
+      match t.cfg.model.data_media with Config.Nvm -> true | Config.Dram -> false
+    in
+    (match t.cfg.model.persistence with
+    | Config.Adr _ ->
+      () (* only the media image: WPQ content was applied eagerly *)
+    | Config.Eadr ->
+      (* Reserve power flushes resident dirty lines. *)
+      List.iter
+        (fun line ->
+          let base = Layout.addr_of_line line in
+          if base < t.cfg.heap_words && persistent then begin
+            let len = min Layout.words_per_line (t.cfg.heap_words - base) in
+            Array.blit t.heap base image base len
+          end)
+        (Cache.dirty_lines t.l3));
+    (* Full PDRAM: the battery-backed DRAM cache covers everything.
+       Memory Mode has the same cache but no battery — and worse, its
+       encryption key is lost on reboot, so nothing survives. *)
+    if t.cfg.model.pdram_cache then begin
+      if t.cfg.model.battery then Array.blit t.heap 0 image 0 t.cfg.heap_words
+      else Array.fill image 0 t.cfg.heap_words 0
+    end;
+    (* Non-persistent DRAM data: contents reset on reboot. *)
+    if t.cfg.model.data_media = Config.Dram then Array.fill image 0 t.cfg.heap_words 0;
+    image
+
+let image_magic = 0x50444D47 (* "PDMG" *)
+
+let save_image t path =
+  let image = surviving_media t in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_binary_int oc image_magic;
+      output_binary_int oc (Array.length image);
+      (* Marshal the payload; the header guards against size/format
+         mismatches across runs. *)
+      Marshal.to_channel oc image [])
+
+let load_image cfg path =
+  let ic = open_in_bin path in
+  let image =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        if input_binary_int ic <> image_magic then failwith "Sim.load_image: bad magic";
+        let words = input_binary_int ic in
+        if words <> cfg.Config.heap_words then
+          failwith
+            (Printf.sprintf "Sim.load_image: image has %d words, config expects %d" words
+               cfg.Config.heap_words);
+        (Marshal.from_channel ic : int array))
+  in
+  let fresh = create cfg in
+  Array.blit image 0 fresh.heap 0 (Array.length image);
+  (match fresh.media with
+  | Some media -> Array.blit image 0 media 0 (Array.length image)
+  | None -> ());
+  fresh
+
+let reboot t =
+  let image = surviving_media t in
+  let fresh = create t.cfg in
+  Array.blit image 0 fresh.heap 0 t.cfg.heap_words;
+  (match fresh.media with
+  | Some media -> Array.blit image 0 media 0 t.cfg.heap_words
+  | None -> ());
+  fresh.log_ranges <- t.log_ranges;
+  fresh
+
+(* HTM commit: one indivisible event.  Values land in the heap and
+   their lines become (dirty) cache-resident, exactly as a committing
+   Intel TSX transaction turns speculative L1 lines into ordinary dirty
+   lines.  Timing: a flat commit cost plus a small per-line charge;
+   capacity evictions bill the usual write-back paths. *)
+let publish t addrs values n =
+  trace_event t (Trace.Publish n);
+  let now = Sched.now t.sched in
+  let lines = ref 0 in
+  for i = 0 to n - 1 do
+    let addr = addrs.(i) in
+    t.heap.(addr) <- values.(i);
+    t.c.stores <- t.c.stores + 1;
+    let line = Layout.line_of_addr addr in
+    match Cache.access t.l3 ~line ~write:true with
+    | Cache.Hit -> ()
+    | Cache.Miss evicted ->
+      incr lines;
+      (match evicted with
+      | Some { Cache.line = victim; dirty = true } -> ignore (writeback_line t ~now victim)
+      | Some { Cache.dirty = false; _ } | None -> ())
+  done;
+  Sched.wait t.sched (30 + (2 * n) + (10 * !lines))
+
+(* Volatile metadata space: plain arrays — the DES interleaves at
+   operation granularity, so plain reads/CASes are atomic. *)
+let make_meta t =
+  let meta = Array.make t.cfg.meta_words 0 in
+  let lat = t.cfg.lat in
+  let get i =
+    Sched.wait t.sched lat.meta_read_ns;
+    meta.(i)
+  in
+  let set i v =
+    Sched.wait t.sched lat.meta_write_ns;
+    meta.(i) <- v
+  in
+  let cas i expected v =
+    Sched.wait t.sched lat.meta_write_ns;
+    if meta.(i) = expected then begin
+      meta.(i) <- v;
+      true
+    end
+    else false
+  in
+  let fetch_add i delta =
+    Sched.wait t.sched lat.meta_write_ns;
+    let old = meta.(i) in
+    meta.(i) <- old + delta;
+    old
+  in
+  (get, set, cas, fetch_add)
+
+let machine t : Machine.t =
+  let meta_get, meta_set, meta_cas, meta_fetch_add = make_meta t in
+  let needs_flush, needs_fence =
+    match t.cfg.model.persistence with
+    | Config.Adr { fences } -> (true, fences)
+    | Config.Eadr -> (false, false)
+  in
+  {
+    Machine.words = t.cfg.heap_words;
+    meta_words = t.cfg.meta_words;
+    needs_flush;
+    needs_fence;
+    load = (fun addr -> load t addr);
+    store = (fun addr v -> store t addr v);
+    clwb = (fun addr -> clwb t addr);
+    sfence = (fun () -> sfence t);
+    meta_get;
+    meta_set;
+    meta_cas;
+    meta_fetch_add;
+    tid = (fun () -> Sched.tid t.sched);
+    now_ns = (fun () -> float_of_int (Sched.now t.sched));
+    pause = (fun ns -> Sched.wait t.sched ns);
+    raw_read = (fun addr -> t.heap.(addr));
+    raw_write = (fun addr v -> t.heap.(addr) <- v);
+    mark_log_range = (fun lo hi -> t.log_ranges <- (lo, hi) :: t.log_ranges);
+    publish = (fun addrs values n -> publish t addrs values n);
+  }
+
+module Debt = struct
+  type sim = t
+
+  type t = {
+    wpq_lines : int;
+    dirty_l3_lines : int;
+    dirty_dram_pages : int;
+    armed_log_lines : int;
+  }
+
+  let sample (sim : sim) =
+    let now = Sched.now sim.sched in
+    let persistent = sim.cfg.model.data_media = Config.Nvm in
+    let dirty_l3_lines = if persistent then List.length (Cache.dirty_lines sim.l3) else 0 in
+    let dirty_dram_pages =
+      match sim.page_cache with
+      | Some pc when sim.cfg.model.battery -> List.length (Repro_util.Lru.dirty_keys pc)
+      | Some _ | None -> 0
+    in
+    let armed_log_lines =
+      if sim.cfg.model.log_in_dram then
+        (* Battery-backed log pages: on failure, armed entries must be
+           written to NVM.  Count lines up to each active log's
+           sentinel. *)
+        List.fold_left
+          (fun acc (lo, hi) ->
+            let lines = ref 0 in
+            let pos = ref lo in
+            while !pos < hi && sim.heap.(!pos) <> 0 do
+              incr lines;
+              pos := !pos + Layout.words_per_line
+            done;
+            acc + !lines)
+          0 sim.log_ranges
+      else 0
+    in
+    {
+      wpq_lines =
+        Array.fold_left (fun acc s -> acc + Server.inflight_at s ~now) 0 sim.wpq_nvm;
+      dirty_l3_lines;
+      dirty_dram_pages;
+      armed_log_lines;
+    }
+
+  (* Per-line energy estimates (nJ): an Optane line write is the
+     dominant term; a DRAM page flush is 64 line reads + 64 NVM line
+     writes.  Values follow published per-bit access-energy estimates
+     for 3D-XPoint-class memory (order-of-magnitude accounting; the
+     *relative* demands of the domains are the result). *)
+  let nvm_line_write_nj = 56.0
+  let dram_line_read_nj = 6.5
+  let lines_per_page = Layout.words_per_page / Layout.words_per_line
+
+  let reserve_energy_nj (sim : sim) t =
+    let wpq = float_of_int t.wpq_lines *. nvm_line_write_nj in
+    match sim.cfg.model.persistence with
+    | Config.Adr _ -> wpq
+    | Config.Eadr ->
+      let l3 = float_of_int t.dirty_l3_lines *. (nvm_line_write_nj +. dram_line_read_nj) in
+      let pages =
+        float_of_int (t.dirty_dram_pages * lines_per_page)
+        *. (nvm_line_write_nj +. dram_line_read_nj)
+      in
+      let logs = float_of_int t.armed_log_lines *. (nvm_line_write_nj +. dram_line_read_nj) in
+      wpq +. l3 +. pages +. logs
+end
+
+module Stats = struct
+  type sim = t
+
+  type t = {
+    loads : int;
+    stores : int;
+    l3_hits : int;
+    l3_misses : int;
+    writebacks : int;
+    clwbs : int;
+    sfences : int;
+    fence_wait_ns : int;
+    wpq_stall_ns : int;
+    nvm_reads : int;
+    dram_reads : int;
+    pdram_page_hits : int;
+    pdram_page_misses : int;
+  }
+
+  let get (sim : sim) =
+    {
+      loads = sim.c.loads;
+      stores = sim.c.stores;
+      l3_hits = Cache.hits sim.l3;
+      l3_misses = Cache.misses sim.l3;
+      writebacks = Cache.writebacks sim.l3;
+      clwbs = sim.c.clwbs;
+      sfences = sim.c.sfences;
+      fence_wait_ns = sim.c.fence_wait_ns;
+      wpq_stall_ns =
+        Array.fold_left (fun acc s -> acc + Server.stall_ns s) 0 sim.wpq_nvm
+        + Server.stall_ns sim.wpq_dram;
+      nvm_reads = Array.fold_left (fun acc s -> acc + Server.requests s) 0 sim.rd_nvm;
+      dram_reads = Server.requests sim.rd_dram;
+      pdram_page_hits = sim.c.pdram_page_hits;
+      pdram_page_misses = sim.c.pdram_page_misses;
+    }
+end

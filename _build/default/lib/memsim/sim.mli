@@ -1,0 +1,121 @@
+(** The simulated Optane DC machine.
+
+    Combines the DES scheduler, the L3 cache model, the memory
+    controller (bounded WPQ + read/write channels for DRAM and NVM),
+    the PDRAM page-cache directory and the durability-domain rules into
+    a {!Machine.t} that PTM code runs against.
+
+    Persistence model (per cache line):
+    - a store dirties the line in the L3;
+    - [clwb] sends the line's current content to the WPQ (the media
+      image is updated there and then, because ADR guarantees the WPQ
+      drains even on power failure) and charges the issuing thread the
+      clwb latency, plus a stall if the bounded WPQ is full;
+    - [sfence] makes the thread wait until its own outstanding WPQ
+      entries have drained;
+    - a dirty line evicted by capacity also transits the WPQ — this is
+      the write-back traffic that saturates eADR at scale (§III-C);
+    - on a power failure, ADR keeps only the media image; eADR-family
+      domains additionally flush resident dirty lines; PDRAM persists
+      the entire heap (its DRAM page cache is battery-backed).
+
+    A [Sim.t] runs one workload: spawn threads, [run], read stats, and
+    — for crash experiments — [reboot] into a fresh machine whose heap
+    is the surviving media image. *)
+
+type t
+
+val create : Config.t -> t
+
+val config : t -> Config.t
+
+val machine : t -> Machine.t
+(** The {!Machine.t} facade.  Timed operations must only be called from
+    simulated threads (between [spawn] and the end of [run]). *)
+
+val enable_trace : ?capacity:int -> t -> Trace.t
+(** Start recording machine events into a fresh ring buffer (see
+    {!Trace}); returns it for inspection.  Call before [run]. *)
+
+val spawn : t -> (unit -> unit) -> int
+
+val run : ?crash_at:int -> t -> unit
+
+val now : t -> int
+(** Virtual time: current thread's clock during [run], final time after. *)
+
+val crashed : t -> bool
+
+val reboot : t -> t
+(** Post-crash (or post-run) machine: fresh scheduler, caches, queues
+    and volatile metadata; heap initialized from the surviving media
+    image according to the durability domain.  Requires
+    [track_media = true]. *)
+
+val reset_timing : t -> unit
+(** Forget timing state accumulated by an untimed setup phase (memory
+    controller queues, fence targets, all counters) while keeping
+    memory contents and cache residency.  Call between population and
+    the measured phase; never while threads are running. *)
+
+val persist_all : t -> unit
+(** Declare the current heap contents durable (media := heap) — used
+    after untimed initialization, before the measured/crashed phase. *)
+
+val save_image : t -> string -> unit
+(** Write the surviving media image (per the durability domain, as
+    {!reboot} would compute it) to a file — the simulated DIMMs become
+    actually durable across host processes.  Requires
+    [track_media = true]. *)
+
+val load_image : Config.t -> string -> t
+(** Fresh machine whose heap and media are initialized from a file
+    written by {!save_image}.
+    @raise Failure on a malformed or mis-sized image. *)
+
+(** Reserve-power accounting (the paper's §V future work: "we do not
+    have a formula or model for estimating reserve power requirements
+    for a workload").  The debt is everything a power failure would
+    have to finish writing on reserve energy. *)
+module Debt : sig
+  type sim := t
+
+  type t = {
+    wpq_lines : int;  (** lines in flight in the bounded NVM WPQ *)
+    dirty_l3_lines : int;  (** persistent-page lines dirty in the L3 *)
+    dirty_dram_pages : int;  (** dirty pages in the PDRAM directory *)
+    armed_log_lines : int;  (** active per-thread log lines (PDRAM-Lite) *)
+  }
+
+  val sample : sim -> t
+  (** Instantaneous debt (callable from a monitor thread mid-run). *)
+
+  val reserve_energy_nj : sim -> t -> float
+  (** Energy to retire the debt under this machine's durability
+      domain, using per-line NVM-write and DRAM-read costs documented
+      in DESIGN.md.  ADR pays only for the WPQ; eADR adds the L3 flush;
+      PDRAM adds the DRAM page cache; PDRAM-Lite adds the armed logs. *)
+end
+
+(** Machine-wide counters for reports. *)
+module Stats : sig
+  type sim := t
+
+  type t = {
+    loads : int;
+    stores : int;
+    l3_hits : int;
+    l3_misses : int;
+    writebacks : int;  (** capacity write-backs (dirty evictions) *)
+    clwbs : int;
+    sfences : int;
+    fence_wait_ns : int;  (** total drain wait imposed by sfence *)
+    wpq_stall_ns : int;  (** total backpressure from the bounded NVM WPQ *)
+    nvm_reads : int;
+    dram_reads : int;
+    pdram_page_hits : int;
+    pdram_page_misses : int;
+  }
+
+  val get : sim -> t
+end

@@ -1,0 +1,48 @@
+type kind = Load of int | Store of int | Clwb of int | Sfence | Publish of int | Crash
+
+type event = { at_ns : int; tid : int; kind : kind }
+
+type t = {
+  ring : event array;
+  mutable next : int; (* total recorded; ring slot = next mod capacity *)
+}
+
+let dummy = { at_ns = 0; tid = 0; kind = Sfence }
+
+let create ?(capacity = 4096) () =
+  assert (capacity > 0);
+  { ring = Array.make capacity dummy; next = 0 }
+
+let record t ~at_ns ~tid kind =
+  t.ring.(t.next mod Array.length t.ring) <- { at_ns; tid; kind };
+  t.next <- t.next + 1
+
+let recorded t = t.next
+
+let tail t =
+  let cap = Array.length t.ring in
+  let n = min t.next cap in
+  let first = t.next - n in
+  List.init n (fun i -> t.ring.((first + i) mod cap))
+
+let find t p =
+  let rec go = function
+    | [] -> None
+    | e :: rest -> ( match go rest with Some hit -> Some hit | None -> if p e then Some e else None)
+  in
+  go (tail t)
+
+let pp_kind ppf = function
+  | Load addr -> Format.fprintf ppf "load   %d" addr
+  | Store addr -> Format.fprintf ppf "store  %d" addr
+  | Clwb addr -> Format.fprintf ppf "clwb   %d" addr
+  | Sfence -> Format.fprintf ppf "sfence"
+  | Publish n -> Format.fprintf ppf "publish %d words" n
+  | Crash -> Format.fprintf ppf "CRASH"
+
+let pp_event ppf e = Format.fprintf ppf "%10dns t%-2d %a" e.at_ns e.tid pp_kind e.kind
+
+let dump ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) (tail t)
+
+let clear t = t.next <- 0

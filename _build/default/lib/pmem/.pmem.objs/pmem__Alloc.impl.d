@@ -1,0 +1,1 @@
+lib/pmem/alloc.ml: Array List Machine Printf Region

@@ -1,0 +1,1 @@
+lib/pmem/check.ml: Format List Machine Printf Region

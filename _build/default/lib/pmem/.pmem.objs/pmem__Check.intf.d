@@ -1,0 +1,1 @@
+lib/pmem/check.mli: Format Region

@@ -1,0 +1,1 @@
+lib/pmem/region.ml: Machine

@@ -1,0 +1,1 @@
+lib/pmem/region.mli: Machine

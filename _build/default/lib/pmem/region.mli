@@ -1,0 +1,53 @@
+(** Persistent region: the equivalent of a DAX-mapped pool file.
+
+    Lays out the machine's persistent heap as
+
+    {v
+    [ header | roots | per-thread PTM log area | data area ]
+    v}
+
+    and records enough in the header to re-attach after a crash.  The
+    log area is page-aligned and registered with the machine through
+    [mark_log_range], so the PDRAM-Lite backend can map it to
+    battery-backed DRAM.
+
+    Root slots are named persistent pointers (like [pmemobj_root]):
+    applications store the address of their top-level structure in a
+    root slot so recovery can find it again. *)
+
+type t
+
+val create :
+  ?roots:int -> ?log_words_per_thread:int -> ?max_threads:int -> Machine.t -> t
+(** Format a fresh region on the machine (destroys existing content).
+    Defaults: 16 root slots, 8192 log words per thread, 32 threads.
+    Header and layout are written and flushed durably. *)
+
+val attach : Machine.t -> t
+(** Re-open an existing region after a reboot; validates the header
+    magic and re-registers the log range.
+    @raise Failure if the header is not a valid region. *)
+
+val machine : t -> Machine.t
+val roots : t -> int
+val max_threads : t -> int
+
+val root_get : t -> int -> int
+(** [root_get t i] reads root slot [i] (untimed; 0 when never set). *)
+
+val root_set : t -> int -> int -> unit
+(** Durable root update: store, flush, fence (timed). *)
+
+val log_base : t -> tid:int -> int
+(** Base address of thread [tid]'s log area. *)
+
+val log_words_per_thread : t -> int
+
+val data_start : t -> int
+val data_end : t -> int
+
+(**/**)
+
+val high_water_addr : int
+(** Header word holding the allocator's persistent high-water mark;
+    owned by {!Alloc}. *)

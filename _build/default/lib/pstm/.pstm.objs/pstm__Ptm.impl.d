@@ -1,0 +1,1 @@
+lib/pstm/ptm.ml: Array Hashtbl List Machine Pmem Repro_util

@@ -1,0 +1,1 @@
+lib/pstm/ptm.mli: Machine Pmem

@@ -1,0 +1,767 @@
+module Layout = Machine.Layout
+module Meta = Machine.Meta_layout
+
+type algorithm = Redo | Undo | Htm
+
+let algorithm_name = function Redo -> "redo" | Undo -> "undo" | Htm -> "htm"
+
+type flush_timing = At_commit | Incremental
+
+exception Log_overflow
+
+(* Conflict signal; never escapes [atomic]. *)
+exception Conflict
+
+(* Diagnostics: invoked on every conflict with the site and the heap
+   address (or orec index, site-dependent) involved. *)
+let conflict_hook : (string -> int -> unit) option ref = ref None
+
+let set_conflict_hook f = conflict_hook := f
+
+let conflict site addr =
+  (match !conflict_hook with Some f -> f site addr | None -> ());
+  raise Conflict
+
+(* Log status words (per-thread, first word of the log area).
+   Entries are (addr, value) pairs starting at log_base+2, terminated
+   by a zero addr sentinel, so recovery never needs a separate count. *)
+let status_idle = 0
+let status_redo_committed = 1
+let status_undo_active = 2
+
+type thread_stats = {
+  mutable commits : int;
+  mutable aborts : int;
+  mutable read_only_commits : int;
+  mutable max_write_set : int;
+  mutable max_log_lines : int;
+}
+
+type tx = {
+  ptm : t;
+  tid : int;
+  rng : Repro_util.Rng.t;
+  mutable depth : int;
+  mutable rv : int;
+  mutable attempts : int;
+  (* Redo: write-set index (volatile, the "DRAM half" of the split log):
+     addr -> entry index.  Undo: addr -> 0 marker of already-logged words. *)
+  wmap : (int, int) Hashtbl.t;
+  vaddrs : Repro_util.Int_vec.t; (* redo: addr per entry *)
+  vvals : Repro_util.Int_vec.t; (* redo: volatile copy of the latest value *)
+  uvec : Repro_util.Int_vec.t; (* undo: (addr, old) pairs in append order *)
+  reads : Repro_util.Int_vec.t; (* (oidx, observed version) pairs *)
+  acquired : Repro_util.Int_vec.t; (* oidxs I hold locked *)
+  amap : (int, int) Hashtbl.t; (* oidx -> version before I locked it *)
+  flushed : (int, unit) Hashtbl.t; (* line dedup for bulk flushes *)
+  mutable commit_hooks : (unit -> unit) list;
+  mutable abort_hooks : (unit -> unit) list;
+  mutable undo_status_written : bool;
+  mutable log_flushed_upto : int; (* Incremental policy: first unflushed line *)
+  mutable mode : algorithm; (* effective algorithm for this attempt (HTM falls back) *)
+  wlines : (int, unit) Hashtbl.t; (* HTM: distinct written lines (capacity model) *)
+}
+
+and t = {
+  m : Machine.t;
+  reg : Pmem.Region.t;
+  allocator : Pmem.Alloc.t;
+  alg : algorithm;
+  flush_timing : flush_timing;
+  orec_mask : int;
+  log_capacity : int; (* max entries per transaction *)
+  txs : tx option array;
+  stats : thread_stats array;
+}
+
+(* ---------- orecs and the global clock ---------- *)
+
+let orec_of t addr =
+  let h = addr * 0x2545F4914F6CDD1D in
+  let h = h lxor (h lsr 29) in
+  h land t.orec_mask
+
+let orec_get t oidx = t.m.Machine.meta_get (Meta.orec_base + oidx)
+let orec_set t oidx v = t.m.Machine.meta_set (Meta.orec_base + oidx) v
+let orec_cas t oidx expected v = t.m.Machine.meta_cas (Meta.orec_base + oidx) expected v
+
+let clock_read t = t.m.Machine.meta_get Meta.clock_idx
+let clock_next t = t.m.Machine.meta_fetch_add Meta.clock_idx 1 + 1
+
+let locked v = v land 1 = 1
+let version_of v = v asr 1
+let lock_word tid = (tid lsl 1) lor 1
+let version_word ts = ts lsl 1
+let locked_by v tid = v = lock_word tid
+
+(* ---------- flush/fence helpers (durability-domain aware) ---------- *)
+
+let flush t addr = if t.m.Machine.needs_flush then t.m.Machine.clwb addr
+let fence t = if t.m.Machine.needs_fence then t.m.Machine.sfence ()
+
+(* Flush every line in [lo, hi] (inclusive word addresses). *)
+let flush_range t lo hi =
+  if t.m.Machine.needs_flush then begin
+    let line = ref (Layout.line_of_addr lo) in
+    let last = Layout.line_of_addr hi in
+    while !line <= last do
+      t.m.Machine.clwb (Layout.addr_of_line !line);
+      incr line
+    done
+  end
+
+(* ---------- construction ---------- *)
+
+let fresh_tx t tid =
+  {
+    ptm = t;
+    tid;
+    rng = Repro_util.Rng.create (0x5EED + tid);
+    depth = 0;
+    rv = 0;
+    attempts = 0;
+    wmap = Hashtbl.create 64;
+    vaddrs = Repro_util.Int_vec.create ();
+    vvals = Repro_util.Int_vec.create ();
+    uvec = Repro_util.Int_vec.create ();
+    reads = Repro_util.Int_vec.create ~capacity:64 ();
+    acquired = Repro_util.Int_vec.create ();
+    amap = Hashtbl.create 16;
+    flushed = Hashtbl.create 64;
+    commit_hooks = [];
+    abort_hooks = [];
+    undo_status_written = false;
+    log_flushed_upto = 0;
+    mode = t.alg;
+    wlines = Hashtbl.create 64;
+  }
+
+let fresh_stats () =
+  { commits = 0; aborts = 0; read_only_commits = 0; max_write_set = 0; max_log_lines = 0 }
+
+let build ~algorithm ~orec_bits ~flush_timing m reg allocator =
+  (* HTM is incompatible with explicit flushes: clwb of a speculative
+     line aborts the hardware transaction (the paper's §II point about
+     TSX under ADR).  Only eADR-class domains may run it. *)
+  if algorithm = Htm && m.Machine.needs_flush then
+    invalid_arg "Ptm: the HTM algorithm requires an eADR-class durability domain";
+  let nthreads = Pmem.Region.max_threads reg in
+  let orec_count = 1 lsl orec_bits in
+  if Meta.orec_base + orec_count > m.Machine.meta_words then
+    invalid_arg "Ptm: orec table does not fit in the metadata space";
+  {
+    m;
+    reg;
+    allocator;
+    alg = algorithm;
+    flush_timing;
+    orec_mask = orec_count - 1;
+    log_capacity = (Pmem.Region.log_words_per_thread reg - 3) / 2;
+    txs = Array.make nthreads None;
+    stats = Array.init nthreads (fun _ -> fresh_stats ());
+  }
+
+let create ?(algorithm = Redo) ?(orec_bits = 20) ?(flush_timing = At_commit) ?(max_threads = 32)
+    ?(log_words_per_thread = 8192) m =
+  if algorithm = Htm && m.Machine.needs_flush then
+    invalid_arg "Ptm: the HTM algorithm requires an eADR-class durability domain";
+  let reg = Pmem.Region.create ~max_threads ~log_words_per_thread m in
+  let allocator = Pmem.Alloc.create reg in
+  (* Log status words must start out durably idle. *)
+  for tid = 0 to max_threads - 1 do
+    m.Machine.raw_write (Pmem.Region.log_base reg ~tid) status_idle
+  done;
+  build ~algorithm ~orec_bits ~flush_timing m reg allocator
+
+(* ---------- crash recovery ---------- *)
+
+let recover_logs m reg =
+  let raw = m.Machine.raw_read and write = m.Machine.raw_write in
+  for tid = 0 to Pmem.Region.max_threads reg - 1 do
+    let base = Pmem.Region.log_base reg ~tid in
+    let status = raw base in
+    if status = status_redo_committed then begin
+      (* Replay committed-but-possibly-not-written-back values. *)
+      let pos = ref (base + 2) in
+      while raw !pos <> 0 do
+        write (raw !pos) (raw (!pos + 1));
+        pos := !pos + 2
+      done
+    end
+    else if status = status_undo_active then begin
+      (* Roll the in-flight transaction back, newest entry first. *)
+      let entries = ref [] in
+      let pos = ref (base + 2) in
+      while raw !pos <> 0 do
+        entries := (raw !pos, raw (!pos + 1)) :: !entries;
+        pos := !pos + 2
+      done;
+      List.iter (fun (addr, old) -> write addr old) !entries
+    end;
+    write base status_idle
+  done
+
+let recover ?(algorithm = Redo) ?(orec_bits = 20) ?(flush_timing = At_commit) m =
+  let reg = Pmem.Region.attach m in
+  recover_logs m reg;
+  let allocator = Pmem.Alloc.recover reg in
+  build ~algorithm ~orec_bits ~flush_timing m reg allocator
+
+let region t = t.reg
+let machine t = t.m
+let algorithm t = t.alg
+let allocator t = t.allocator
+
+let root_get t i = Pmem.Region.root_get t.reg i
+let root_set t i v = Pmem.Region.root_set t.reg i v
+
+(* ---------- shared transaction machinery ---------- *)
+
+let tx_for t =
+  let tid = t.m.Machine.tid () in
+  match t.txs.(tid) with
+  | Some tx -> tx
+  | None ->
+    let tx = fresh_tx t tid in
+    t.txs.(tid) <- Some tx;
+    tx
+
+let log_base tx = Pmem.Region.log_base tx.ptm.reg ~tid:tx.tid
+
+let reset_tx tx =
+  Hashtbl.reset tx.wmap;
+  Repro_util.Int_vec.clear tx.vaddrs;
+  Repro_util.Int_vec.clear tx.vvals;
+  Repro_util.Int_vec.clear tx.uvec;
+  Repro_util.Int_vec.clear tx.reads;
+  Repro_util.Int_vec.clear tx.acquired;
+  Hashtbl.reset tx.amap;
+  Hashtbl.reset tx.flushed;
+  tx.commit_hooks <- [];
+  tx.abort_hooks <- [];
+  tx.undo_status_written <- false;
+  tx.log_flushed_upto <- Layout.line_of_addr (log_base tx + 2);
+  Hashtbl.reset tx.wlines
+
+(* Release every orec I hold, restoring pre-lock versions. *)
+let release_acquired_to_previous tx =
+  Repro_util.Int_vec.iter
+    (fun oidx -> orec_set tx.ptm oidx (Hashtbl.find tx.amap oidx))
+    tx.acquired
+
+let release_acquired_to tx version_word_value =
+  Repro_util.Int_vec.iter (fun oidx -> orec_set tx.ptm oidx version_word_value) tx.acquired
+
+(* Read-set validation at commit: every orec still shows the version we
+   read, or is locked by us and showed that version before locking. *)
+let validate_reads tx =
+  let t = tx.ptm in
+  let n = Repro_util.Int_vec.length tx.reads in
+  let rec go i =
+    if i >= n then true
+    else begin
+      let oidx = Repro_util.Int_vec.get tx.reads i in
+      let seen = Repro_util.Int_vec.get tx.reads (i + 1) in
+      let cur = orec_get t oidx in
+      if cur = seen then go (i + 2)
+      else if locked_by cur tx.tid then
+        match Hashtbl.find_opt tx.amap oidx with
+        | Some prev when prev = seen -> go (i + 2)
+        | Some _ | None -> false
+      else false
+    end
+  in
+  go 0
+
+(* Timestamp extension (one of the optimizations the paper's PTMs
+   enable): when a version newer than [rv] is met, revalidate the read
+   set against the current clock and, if it still holds, slide [rv]
+   forward instead of aborting.  Cuts false aborts of long-running
+   transactions dramatically. *)
+let extend tx =
+  let now_v = clock_read tx.ptm in
+  if validate_reads tx then begin
+    tx.rv <- now_v;
+    true
+  end
+  else false
+
+(* Bounded politeness: give a committing writer a moment to release
+   its orec before declaring a conflict (readers of a commit-locked
+   orec would otherwise always abort, which is brutal under ADR's long
+   flush-laden commits). *)
+let wait_unlocked tx oidx =
+  let t = tx.ptm in
+  let rec go tries v =
+    if not (locked v) then v
+    else if tries = 0 then v
+    else begin
+      t.m.Machine.pause 150;
+      go (tries - 1) (orec_get t oidx)
+    end
+  in
+  go 6 (orec_get t oidx)
+
+(* TL2-style read of a location not in my write set. *)
+let read_shared tx addr =
+  let t = tx.ptm in
+  let oidx = orec_of t addr in
+  let v1 = orec_get t oidx in
+  let v1 = if locked v1 && not (locked_by v1 tx.tid) then wait_unlocked tx oidx else v1 in
+  if locked v1 then begin
+    if locked_by v1 tx.tid then t.m.Machine.load addr
+    else conflict "read-locked" addr
+  end
+  else begin
+    if version_of v1 > tx.rv && not (extend tx) then conflict "read-stale" addr;
+    let value = t.m.Machine.load addr in
+    let v2 = orec_get t oidx in
+    if v2 <> v1 then conflict "read-race" addr;
+    Repro_util.Int_vec.push tx.reads oidx;
+    Repro_util.Int_vec.push tx.reads v1;
+    value
+  end
+
+(* Flush the data lines of a write set, deduplicated. *)
+let flush_written_lines tx iter_addrs =
+  let t = tx.ptm in
+  if t.m.Machine.needs_flush then begin
+    Hashtbl.reset tx.flushed;
+    iter_addrs (fun addr ->
+        let line = Layout.line_of_addr addr in
+        if not (Hashtbl.mem tx.flushed line) then begin
+          Hashtbl.add tx.flushed line ();
+          t.m.Machine.clwb addr
+        end)
+  end
+
+let write_status tx status =
+  let t = tx.ptm in
+  let base = log_base tx in
+  t.m.Machine.store base status;
+  flush t base;
+  fence t
+
+(* ---------- redo (orec-lazy) ---------- *)
+
+let redo_read tx addr =
+  match Hashtbl.find_opt tx.wmap addr with
+  | Some idx ->
+    (* Read-own-write: the index lives in DRAM, the value in the
+       persistent log — model the log lookup as a real load. *)
+    ignore (tx.ptm.m.Machine.load (log_base tx + 2 + (2 * idx) + 1));
+    Repro_util.Int_vec.get tx.vvals idx
+  | None -> read_shared tx addr
+
+let redo_write tx addr value =
+  assert (addr > 0);
+  let t = tx.ptm in
+  match Hashtbl.find_opt tx.wmap addr with
+  | Some idx ->
+    (* Update the log entry in place (hash-table log, §I). *)
+    Repro_util.Int_vec.set tx.vvals idx value;
+    t.m.Machine.store (log_base tx + 2 + (2 * idx) + 1) value
+  | None ->
+    let idx = Repro_util.Int_vec.length tx.vaddrs in
+    if idx >= t.log_capacity then raise Log_overflow;
+    Hashtbl.add tx.wmap addr idx;
+    Repro_util.Int_vec.push tx.vaddrs addr;
+    Repro_util.Int_vec.push tx.vvals value;
+    let pos = log_base tx + 2 + (2 * idx) in
+    t.m.Machine.store pos addr;
+    t.m.Machine.store (pos + 1) value;
+    t.m.Machine.store (pos + 2) 0 (* sentinel *);
+    if t.flush_timing = Incremental && t.m.Machine.needs_flush then begin
+      (* Flush lines the log head has moved past. *)
+      let head_line = Layout.line_of_addr (pos + 1) in
+      while tx.log_flushed_upto < head_line do
+        t.m.Machine.clwb (Layout.addr_of_line tx.log_flushed_upto);
+        tx.log_flushed_upto <- tx.log_flushed_upto + 1
+      done
+    end
+
+let redo_try_commit tx =
+  let t = tx.ptm in
+  let n = Repro_util.Int_vec.length tx.vaddrs in
+  let s = t.stats.(tx.tid) in
+  if n = 0 then begin
+    s.commits <- s.commits + 1;
+    s.read_only_commits <- s.read_only_commits + 1;
+    true
+  end
+  else begin
+    match
+      (* Commit-time acquisition of every orec covering the write set. *)
+      Repro_util.Int_vec.iter
+        (fun addr ->
+          let oidx = orec_of t addr in
+          if not (Hashtbl.mem tx.amap oidx) then begin
+            let v = orec_get t oidx in
+            if locked v then conflict "acquire-locked" addr;
+            if version_of v > tx.rv && not (extend tx) then conflict "acquire-stale" addr;
+            if not (orec_cas t oidx v (lock_word tx.tid)) then conflict "acquire-cas" addr;
+            Hashtbl.add tx.amap oidx v;
+            Repro_util.Int_vec.push tx.acquired oidx
+          end)
+        tx.vaddrs
+    with
+    | () ->
+      let wv = clock_next t in
+      if (wv > tx.rv + 1 || Repro_util.Int_vec.length tx.reads > 0)
+         && not (validate_reads tx)
+      then begin
+        (match !conflict_hook with Some f -> f "commit-validate" 0 | None -> ());
+        release_acquired_to_previous tx;
+        false
+      end
+      else begin
+        let base = log_base tx in
+        (* 1. Persist the redo log (entries before status). *)
+        if t.m.Machine.needs_flush then begin
+          (match t.flush_timing with
+          | At_commit -> flush_range t (base + 2) (base + 2 + (2 * n))
+          | Incremental ->
+            (* Only the tail lines are still unflushed. *)
+            let last = Layout.line_of_addr (base + 2 + (2 * n)) in
+            let line = ref tx.log_flushed_upto in
+            while !line <= last do
+              t.m.Machine.clwb (Layout.addr_of_line !line);
+              incr line
+            done);
+          fence t
+        end;
+        (* 2. Durable commit point. *)
+        write_status tx status_redo_committed;
+        (* 3. Write back to home locations. *)
+        for i = 0 to n - 1 do
+          t.m.Machine.store (Repro_util.Int_vec.get tx.vaddrs i) (Repro_util.Int_vec.get tx.vvals i)
+        done;
+        flush_written_lines tx (fun f -> Repro_util.Int_vec.iter f tx.vaddrs);
+        fence t;
+        (* 4. Make the writes visible, then retire the log. *)
+        release_acquired_to tx (version_word wv);
+        write_status tx status_idle;
+        s.commits <- s.commits + 1;
+        s.max_write_set <- max s.max_write_set n;
+        s.max_log_lines <- max s.max_log_lines (((2 * n) + 1 + 7) / 8);
+        true
+      end
+    | exception Conflict ->
+      release_acquired_to_previous tx;
+      false
+  end
+
+(* ---------- undo (orec-eager) ---------- *)
+
+let undo_read tx addr =
+  let t = tx.ptm in
+  let oidx = orec_of t addr in
+  let v = orec_get t oidx in
+  if locked_by v tx.tid then t.m.Machine.load addr else read_shared tx addr
+
+let undo_write tx addr value =
+  assert (addr > 0);
+  let t = tx.ptm in
+  let oidx = orec_of t addr in
+  let v = orec_get t oidx in
+  if not (locked_by v tx.tid) then begin
+    if locked v then conflict "write-locked" addr;
+    if version_of v > tx.rv && not (extend tx) then conflict "write-stale" addr;
+    if not (orec_cas t oidx v (lock_word tx.tid)) then conflict "write-cas" addr;
+    Hashtbl.add tx.amap oidx v;
+    Repro_util.Int_vec.push tx.acquired oidx
+  end;
+  if not (Hashtbl.mem tx.wmap addr) then begin
+    (* First write to this word: persist (addr, old) before updating in
+       place — the per-write flush + fence that makes undo O(W). *)
+    if not tx.undo_status_written then begin
+      (* Disarm the stale first entry left over from the previous
+         transaction BEFORE raising the status: otherwise a crash in
+         between makes recovery roll back with the old transaction's
+         entries, undoing committed work. *)
+      let first = log_base tx + 2 in
+      t.m.Machine.store first 0;
+      flush t first;
+      fence t;
+      write_status tx status_undo_active;
+      tx.undo_status_written <- true
+    end;
+    let idx = Repro_util.Int_vec.length tx.uvec / 2 in
+    if idx >= t.log_capacity then raise Log_overflow;
+    let old = t.m.Machine.load addr in
+    Hashtbl.add tx.wmap addr 0;
+    Repro_util.Int_vec.push tx.uvec addr;
+    Repro_util.Int_vec.push tx.uvec old;
+    let pos = log_base tx + 2 + (2 * idx) in
+    (* Arm the entry last: until [addr] lands, recovery's scan stops at
+       the zero slot, so a crash amid these stores can never roll back
+       with a stale [old] (the address slot may hold garbage reused
+       from an earlier transaction). *)
+    t.m.Machine.store (pos + 1) old;
+    t.m.Machine.store (pos + 2) 0 (* sentinel *);
+    t.m.Machine.store pos addr;
+    flush_range t pos (pos + 2);
+    fence t
+  end;
+  t.m.Machine.store addr value
+
+let undo_rollback tx =
+  let t = tx.ptm in
+  Repro_util.Int_vec.iter_rev_pairs (fun addr old -> t.m.Machine.store addr old) tx.uvec;
+  if Repro_util.Int_vec.length tx.uvec > 0 then begin
+    flush_written_lines tx (fun f ->
+        Repro_util.Int_vec.iter_rev_pairs (fun addr _ -> f addr) tx.uvec);
+    fence t;
+    write_status tx status_idle
+  end;
+  release_acquired_to_previous tx
+
+let undo_try_commit tx =
+  let t = tx.ptm in
+  let s = t.stats.(tx.tid) in
+  let n = Repro_util.Int_vec.length tx.uvec / 2 in
+  if n = 0 then begin
+    s.commits <- s.commits + 1;
+    s.read_only_commits <- s.read_only_commits + 1;
+    true
+  end
+  else begin
+    let wv = clock_next t in
+    ignore wv;
+    if not (validate_reads tx) then begin
+      (match !conflict_hook with Some f -> f "commit-validate" 0 | None -> ());
+      undo_rollback tx;
+      false
+    end
+    else begin
+      (* Data durable before the commit point (the status clear). *)
+      flush_written_lines tx (fun f ->
+          Repro_util.Int_vec.iter_rev_pairs (fun addr _ -> f addr) tx.uvec);
+      fence t;
+      write_status tx status_idle;
+      release_acquired_to tx (version_word wv);
+      s.commits <- s.commits + 1;
+      s.max_write_set <- max s.max_write_set n;
+      s.max_log_lines <- max s.max_log_lines (((2 * n) + 1 + 7) / 8);
+      true
+    end
+  end
+
+(* ---------- HTM ("orec-htm", the paper's §V future-work mode) ----------
+
+   Emulates a TSX-style hardware transaction under an eADR-class
+   domain: writes stay speculative (volatile buffer, no persistent
+   log); the commit publishes every written word as one indivisible
+   machine event, at which point the lines are both visible and inside
+   the durability domain.  Capacity is bounded like a real L1-resident
+   write set; exceeding it (or repeated conflicts) falls back to the
+   redo STM path for that attempt. *)
+
+let htm_write_line_cap = 128
+let htm_read_cap = 1024
+let htm_fallback_attempts = 4
+
+let htm_read tx addr =
+  match Hashtbl.find_opt tx.wmap addr with
+  | Some idx -> Repro_util.Int_vec.get tx.vvals idx
+  | None ->
+    if Repro_util.Int_vec.length tx.reads >= 2 * htm_read_cap then conflict "htm-read-cap" addr;
+    read_shared tx addr
+
+let htm_write tx addr value =
+  assert (addr > 0);
+  match Hashtbl.find_opt tx.wmap addr with
+  | Some idx -> Repro_util.Int_vec.set tx.vvals idx value
+  | None ->
+    let line = Layout.line_of_addr addr in
+    if not (Hashtbl.mem tx.wlines line) then begin
+      if Hashtbl.length tx.wlines >= htm_write_line_cap then conflict "htm-write-cap" addr;
+      Hashtbl.add tx.wlines line ()
+    end;
+    let idx = Repro_util.Int_vec.length tx.vaddrs in
+    Hashtbl.add tx.wmap addr idx;
+    Repro_util.Int_vec.push tx.vaddrs addr;
+    Repro_util.Int_vec.push tx.vvals value
+
+let htm_try_commit tx =
+  let t = tx.ptm in
+  let s = t.stats.(tx.tid) in
+  let n = Repro_util.Int_vec.length tx.vaddrs in
+  if n = 0 then begin
+    s.commits <- s.commits + 1;
+    s.read_only_commits <- s.read_only_commits + 1;
+    true
+  end
+  else begin
+    match
+      Repro_util.Int_vec.iter
+        (fun addr ->
+          let oidx = orec_of t addr in
+          if not (Hashtbl.mem tx.amap oidx) then begin
+            let v = orec_get t oidx in
+            if locked v then raise Conflict;
+            if version_of v > tx.rv && not (extend tx) then raise Conflict;
+            if not (orec_cas t oidx v (lock_word tx.tid)) then raise Conflict;
+            Hashtbl.add tx.amap oidx v;
+            Repro_util.Int_vec.push tx.acquired oidx
+          end)
+        tx.vaddrs
+    with
+    | () ->
+      let wv = clock_next t in
+      if (wv > tx.rv + 1 || Repro_util.Int_vec.length tx.reads > 0)
+         && not (validate_reads tx)
+      then begin
+        release_acquired_to_previous tx;
+        false
+      end
+      else begin
+        (* The indivisible hardware commit. *)
+        let addrs = Array.make n 0 and values = Array.make n 0 in
+        for i = 0 to n - 1 do
+          addrs.(i) <- Repro_util.Int_vec.get tx.vaddrs i;
+          values.(i) <- Repro_util.Int_vec.get tx.vvals i
+        done;
+        t.m.Machine.publish addrs values n;
+        release_acquired_to tx (version_word wv);
+        s.commits <- s.commits + 1;
+        s.max_write_set <- max s.max_write_set n;
+        true
+      end
+    | exception Conflict ->
+      release_acquired_to_previous tx;
+      false
+  end
+
+(* ---------- public transactional API ---------- *)
+
+let read tx addr =
+  match tx.mode with
+  | Redo -> redo_read tx addr
+  | Undo -> undo_read tx addr
+  | Htm -> htm_read tx addr
+
+let write tx addr value =
+  match tx.mode with
+  | Redo -> redo_write tx addr value
+  | Undo -> undo_write tx addr value
+  | Htm -> htm_write tx addr value
+
+let on_commit tx hook = tx.commit_hooks <- hook :: tx.commit_hooks
+
+let on_abort tx hook = tx.abort_hooks <- hook :: tx.abort_hooks
+
+let tx_ops tx =
+  {
+    Pmem.Alloc.txr = (fun addr -> read tx addr);
+    txw = (fun addr v -> write tx addr v);
+    on_commit = (fun hook -> on_commit tx hook);
+    on_abort = (fun hook -> on_abort tx hook);
+  }
+
+let alloc tx words = Pmem.Alloc.alloc tx.ptm.allocator (tx_ops tx) ~words
+
+let free tx payload = Pmem.Alloc.free tx.ptm.allocator (tx_ops tx) payload
+
+let abort_and_retry _tx = raise Conflict
+
+let backoff tx =
+  let cap = min (1 lsl (6 + min tx.attempts 8)) 32768 in
+  tx.ptm.m.Machine.pause (64 + Repro_util.Rng.int tx.rng cap)
+
+(* Abort cleanup for a conflict discovered mid-execution (Conflict
+   raised from read/write) or a user exception. *)
+let abort_cleanup tx =
+  (match tx.mode with
+  | Redo | Htm -> release_acquired_to_previous tx (* only locked during commit *)
+  | Undo -> undo_rollback tx);
+  List.iter (fun hook -> hook ()) tx.abort_hooks;
+  tx.ptm.stats.(tx.tid).aborts <- tx.ptm.stats.(tx.tid).aborts + 1
+
+let atomic t f =
+  let tx = tx_for t in
+  if tx.depth > 0 then f tx
+  else begin
+    tx.depth <- 1;
+    tx.attempts <- 0;
+    let finish value =
+      tx.depth <- 0;
+      let hooks = List.rev tx.commit_hooks in
+      tx.commit_hooks <- [];
+      List.iter (fun hook -> hook ()) hooks;
+      value
+    in
+    let rec attempt () =
+      reset_tx tx;
+      (* HTM gives up after a few hardware attempts and falls back to
+         the (flush-free, under eADR) redo STM path. *)
+      tx.mode <-
+        (match t.alg with
+        | Htm when tx.attempts >= htm_fallback_attempts -> Redo
+        | a -> a);
+      tx.rv <- clock_read t;
+      match f tx with
+      | value ->
+        let committed =
+          match tx.mode with
+          | Redo -> redo_try_commit tx
+          | Undo -> undo_try_commit tx
+          | Htm -> htm_try_commit tx
+        in
+        if committed then finish value
+        else begin
+          (* Commit-time conflict: orecs already released by try_commit. *)
+          List.iter (fun hook -> hook ()) tx.abort_hooks;
+          t.stats.(tx.tid).aborts <- t.stats.(tx.tid).aborts + 1;
+          tx.attempts <- tx.attempts + 1;
+          backoff tx;
+          attempt ()
+        end
+      | exception Conflict ->
+        abort_cleanup tx;
+        tx.attempts <- tx.attempts + 1;
+        backoff tx;
+        attempt ()
+      | exception Machine.Crashed ->
+        (* Power failure: no cleanup — that is the point. *)
+        raise Machine.Crashed
+      | exception e ->
+        abort_cleanup tx;
+        tx.depth <- 0;
+        raise e
+    in
+    attempt ()
+  end
+
+(* ---------- statistics ---------- *)
+
+module Stats = struct
+  type ptm = t
+
+  type t = {
+    commits : int;
+    aborts : int;
+    read_only_commits : int;
+    max_write_set : int;
+    max_log_lines : int;
+  }
+
+  let get (p : ptm) =
+    Array.fold_left
+      (fun acc (s : thread_stats) ->
+        {
+          commits = acc.commits + s.commits;
+          aborts = acc.aborts + s.aborts;
+          read_only_commits = acc.read_only_commits + s.read_only_commits;
+          max_write_set = max acc.max_write_set s.max_write_set;
+          max_log_lines = max acc.max_log_lines s.max_log_lines;
+        })
+      { commits = 0; aborts = 0; read_only_commits = 0; max_write_set = 0; max_log_lines = 0 }
+      p.stats
+
+  let reset (p : ptm) =
+    Array.iteri (fun i _ -> p.stats.(i) <- fresh_stats ()) p.stats
+
+  let commits_per_abort t =
+    if t.aborts = 0 then infinity else float_of_int t.commits /. float_of_int t.aborts
+end

@@ -1,0 +1,148 @@
+(** Persistent transactional memory: the paper's core subject.
+
+    Two algorithms from the LLVM PTM suite the paper benchmarks
+    (Zardoshti et al., PACT'19), both built on a table of versioned
+    ownership records (orecs) and a TL2-style global version clock:
+
+    - {!Redo} ("orec-lazy"): writes are buffered in a per-thread
+      persistent redo log (volatile index, persistent payload — the
+      split-log tuning of §III-A); orecs are acquired at commit time;
+      the durable commit point is the flushed log-status word, after
+      which values are written back in place.  O(1) fences per
+      transaction.
+
+    - {!Undo} ("orec-eager"): orecs are acquired at first write; the
+      old value is appended to a persistent undo log and {e fenced}
+      before each in-place store, giving O(W) fences — the cost the
+      paper blames for undo logging losing to redo logging.
+
+    Durability-domain instrumentation is taken from the machine:
+    [needs_flush]/[needs_fence] decide which [clwb]/[sfence] are
+    issued, so the same code runs under ADR, the incorrect
+    no-fence-ADR of Table III, eADR, PDRAM and PDRAM-Lite.
+
+    Transactions provide failure atomicity and durable linearizability:
+    once [atomic] returns, the transaction's effects survive a crash;
+    if a crash interrupts it, {!recover} rolls it back (undo) or
+    replays it (redo committed-but-not-written-back). *)
+
+type algorithm =
+  | Redo
+  | Undo
+  | Htm
+      (** Extension (the paper's §V future work): a TSX-style hardware
+          transaction under an eADR-class durability domain.  No
+          logging, no flushes; the commit publishes the write set as
+          one indivisible event, so its lines become visible and
+          durable together.  Capacity- or conflict-troubled
+          transactions fall back to the redo STM path.  Rejected at
+          {!create} time under flush-requiring (ADR) domains, where
+          clwb would abort the hardware transaction. *)
+
+val algorithm_name : algorithm -> string
+
+type flush_timing =
+  | At_commit  (** flush all redo-log lines in a tight pre-commit loop *)
+  | Incremental  (** flush each log line as it fills (§III-B ablation) *)
+
+type t
+(** A PTM runtime bound to one machine: region, allocator, orec table,
+    clock, per-thread logs and statistics. *)
+
+type tx
+(** An executing transaction; only valid inside the callback of
+    {!atomic}. *)
+
+exception Log_overflow
+(** A transaction wrote more distinct words than the per-thread
+    persistent log can hold. *)
+
+val create :
+  ?algorithm:algorithm ->
+  ?orec_bits:int ->
+  ?flush_timing:flush_timing ->
+  ?max_threads:int ->
+  ?log_words_per_thread:int ->
+  Machine.t ->
+  t
+(** Format a fresh region on [machine] and initialize the runtime.
+    Defaults: [Redo], 2^20 orecs, [At_commit], 32 threads, 8192-word
+    logs. *)
+
+val recover :
+  ?algorithm:algorithm -> ?orec_bits:int -> ?flush_timing:flush_timing -> Machine.t -> t
+(** Attach to an existing region after a reboot and run crash
+    recovery: replay committed redo logs, roll back in-flight undo
+    logs, clear log statuses and rebuild the allocator's free lists.
+    Idempotent (a crash during recovery is handled by recovering
+    again). *)
+
+val region : t -> Pmem.Region.t
+val machine : t -> Machine.t
+val algorithm : t -> algorithm
+
+val allocator : t -> Pmem.Alloc.t
+(** The runtime's allocator (for capacity/live-block oracles). *)
+
+(** {1 Transactions} *)
+
+val atomic : t -> (tx -> 'a) -> 'a
+(** [atomic t f] runs [f] as a transaction, retrying on conflicts with
+    randomized exponential backoff.  An exception raised by [f] aborts
+    the transaction and is re-raised.  Nesting is flattened: an inner
+    [atomic] on the same runtime joins the outer transaction. *)
+
+val read : tx -> int -> int
+(** Transactional read of a heap word. *)
+
+val write : tx -> int -> int -> unit
+(** Transactional write of a heap word. *)
+
+val alloc : tx -> int -> int
+(** Transactionally allocate a block of the given word count; rolled
+    back if the transaction aborts. *)
+
+val free : tx -> int -> unit
+(** Transactionally free a block; space is recycled only after
+    commit. *)
+
+val on_commit : tx -> (unit -> unit) -> unit
+(** Register a volatile callback to run after the durable commit
+    point. *)
+
+val abort_and_retry : tx -> 'a
+(** Explicitly abort the current attempt and retry from the start
+    (usable for optimistic waiting). *)
+
+(** {1 Non-transactional durable accesses} *)
+
+val root_get : t -> int -> int
+val root_set : t -> int -> int -> unit
+
+(** {1 Statistics} *)
+
+module Stats : sig
+  type ptm := t
+
+  type t = {
+    commits : int;
+    aborts : int;
+    read_only_commits : int;
+    max_write_set : int;  (** largest write set (distinct words) seen *)
+    max_log_lines : int;  (** largest persistent log footprint, in cache lines *)
+  }
+
+  val get : ptm -> t
+  val reset : ptm -> unit
+
+  val commits_per_abort : t -> float
+  (** The paper's Tables I/II metric; [infinity] when no aborts. *)
+end
+
+(** {1 Diagnostics} *)
+
+val set_conflict_hook : (string -> int -> unit) option -> unit
+(** Install a callback invoked on every conflict with the site name
+    ("read-stale", "acquire-locked", "commit-validate", ...) and the
+    heap address involved (0 for whole-read-set validation failures).
+    For contention debugging; [None] disables. *)

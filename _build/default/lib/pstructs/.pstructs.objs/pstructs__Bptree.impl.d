@@ -1,0 +1,1 @@
+lib/pstructs/bptree.ml: List Machine Printf Pstm

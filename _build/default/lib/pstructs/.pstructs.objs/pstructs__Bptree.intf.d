@@ -1,0 +1,1 @@
+lib/pstructs/bptree.mli: Pstm

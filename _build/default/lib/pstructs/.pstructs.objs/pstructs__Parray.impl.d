@@ -1,0 +1,1 @@
+lib/pstructs/parray.ml: List Machine Pmem Printf Pstm

@@ -1,0 +1,1 @@
+lib/pstructs/parray.mli: Pstm

@@ -1,0 +1,1 @@
+lib/pstructs/pblob.ml: Bytes Char Machine Pmem Pstm String

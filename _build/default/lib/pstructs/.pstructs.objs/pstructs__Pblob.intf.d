@@ -1,0 +1,1 @@
+lib/pstructs/pblob.mli: Pstm

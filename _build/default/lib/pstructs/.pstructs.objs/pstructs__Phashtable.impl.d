@@ -1,0 +1,1 @@
+lib/pstructs/phashtable.ml: Array Machine Pstm

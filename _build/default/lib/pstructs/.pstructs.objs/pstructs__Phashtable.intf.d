@@ -1,0 +1,1 @@
+lib/pstructs/phashtable.mli: Pstm

@@ -1,0 +1,1 @@
+lib/pstructs/plist.mli: Pstm

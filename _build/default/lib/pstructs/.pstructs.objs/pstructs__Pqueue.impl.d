@@ -1,0 +1,1 @@
+lib/pstructs/pqueue.ml: List Machine Pstm

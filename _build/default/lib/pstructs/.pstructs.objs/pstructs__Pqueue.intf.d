@@ -1,0 +1,1 @@
+lib/pstructs/pqueue.mli: Pstm

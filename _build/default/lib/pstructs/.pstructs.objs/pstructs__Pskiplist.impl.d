@@ -1,0 +1,1 @@
+lib/pstructs/pskiplist.ml: Array List Machine Printf Pstm Repro_util

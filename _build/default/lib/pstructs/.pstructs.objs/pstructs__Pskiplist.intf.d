@@ -1,0 +1,1 @@
+lib/pstructs/pskiplist.mli: Pstm

@@ -1,0 +1,53 @@
+module Ptm = Pstm.Ptm
+
+(* Descriptor: [length; chunk_0; chunk_1; ...] with fixed 256-element
+   chunks, so the directory itself stays within one block. *)
+
+let chunk_elems = 256
+let max_chunks = Pmem.Alloc.max_object_words - 1
+let max_length = chunk_elems * max_chunks
+
+type t = { desc : int; len : int }
+
+let create tx ~init len =
+  if len <= 0 || len > max_length then invalid_arg "Parray.create: bad length";
+  let chunks = (len + chunk_elems - 1) / chunk_elems in
+  let desc = Ptm.alloc tx (1 + chunks) in
+  Ptm.write tx desc len;
+  for c = 0 to chunks - 1 do
+    let chunk = Ptm.alloc tx chunk_elems in
+    let limit = min chunk_elems (len - (c * chunk_elems)) in
+    for i = 0 to limit - 1 do
+      Ptm.write tx (chunk + i) init
+    done;
+    Ptm.write tx (desc + 1 + c) chunk
+  done;
+  { desc; len }
+
+let attach ptm desc = { desc; len = (Ptm.machine ptm).Machine.raw_read desc }
+
+let descriptor t = t.desc
+
+let length t = t.len
+
+let element_addr tx t i =
+  if i < 0 || i >= t.len then invalid_arg (Printf.sprintf "Parray: index %d out of bounds" i);
+  let chunk = Ptm.read tx (t.desc + 1 + (i / chunk_elems)) in
+  chunk + (i mod chunk_elems)
+
+let get tx t i = Ptm.read tx (element_addr tx t i)
+
+let set tx t i v = Ptm.write tx (element_addr tx t i) v
+
+let fold tx t f acc =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc (get tx t i)
+  done;
+  !acc
+
+let to_list_raw ptm t =
+  let raw = (Ptm.machine ptm).Machine.raw_read in
+  List.init t.len (fun i ->
+      let chunk = raw (t.desc + 1 + (i / chunk_elems)) in
+      raw (chunk + (i mod chunk_elems)))

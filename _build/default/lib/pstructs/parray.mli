@@ -1,0 +1,33 @@
+(** Persistent fixed-length array over the PTM API.
+
+    The pattern every workload hand-rolls (accounts, districts, stock
+    rows), packaged: a length header plus bounds-checked transactional
+    element access.  Arrays longer than one allocator block are backed
+    by a two-level chunk directory, transparent to the caller. *)
+
+type t
+
+val max_length : int
+
+val create : Pstm.Ptm.tx -> init:int -> int -> t
+(** [create tx ~init len] allocates and fills a [len]-element array.
+    The enclosing transaction logs one entry per element, so the PTM's
+    per-thread log must hold at least [len + len/256 + 2] entries;
+    split very large initializations across transactions. *)
+
+val attach : Pstm.Ptm.t -> int -> t
+val descriptor : t -> int
+
+val length : t -> int
+
+val get : Pstm.Ptm.tx -> t -> int -> int
+(** @raise Invalid_argument on out-of-bounds. *)
+
+val set : Pstm.Ptm.tx -> t -> int -> int -> unit
+(** @raise Invalid_argument on out-of-bounds. *)
+
+val fold : Pstm.Ptm.tx -> t -> ('a -> int -> 'a) -> 'a -> 'a
+(** Fold over elements in index order, transactionally. *)
+
+val to_list_raw : Pstm.Ptm.t -> t -> int list
+(** Untimed oracle. *)

@@ -1,0 +1,30 @@
+(** Persistent chained hash table over the PTM API (the DudeTM TPCC
+    hash index and the memcached item index).
+
+    Two-level bucket directory (a directory block of up to 512 segment
+    pointers, each segment holding 512 bucket heads), so tables up to
+    262144 buckets fit the allocator's block-size limit.  Buckets are
+    singly-linked chains of [key; value; next] nodes.  The bucket count
+    is fixed at creation (no online rehashing). Keys must be positive. *)
+
+type t
+
+val create : Pstm.Ptm.t -> buckets:int -> t
+(** Rounded up to a multiple of 512, capped at 262144. *)
+
+val attach : Pstm.Ptm.t -> int -> t
+val descriptor : t -> int
+
+val buckets : t -> int
+
+val put : Pstm.Ptm.tx -> t -> key:int -> value:int -> bool
+(** Upsert; [true] when the key was new. *)
+
+val get : Pstm.Ptm.tx -> t -> int -> int option
+
+val remove : Pstm.Ptm.tx -> t -> int -> bool
+
+(** {1 Untimed oracles for tests} *)
+
+val to_alist : t -> (int * int) list
+val chain_lengths : t -> int array

@@ -1,0 +1,70 @@
+module Ptm = Pstm.Ptm
+
+(* Descriptor: one word, the head pointer.  Node: [key; value; next]. *)
+
+type t = { ptm : Ptm.t; desc : int }
+
+let create ptm =
+  let desc =
+    Ptm.atomic ptm (fun tx ->
+        let d = Ptm.alloc tx 1 in
+        Ptm.write tx d 0;
+        d)
+  in
+  { ptm; desc }
+
+let attach ptm desc = { ptm; desc }
+let descriptor t = t.desc
+
+(* Find the link word pointing at the first node with key >= [key]. *)
+let find_slot tx t key =
+  let rec go link =
+    let node = Ptm.read tx link in
+    if node = 0 then link
+    else if Ptm.read tx node >= key then link
+    else go (node + 2)
+  in
+  go t.desc
+
+let insert tx t ~key ~value =
+  assert (key > 0);
+  let link = find_slot tx t key in
+  let node = Ptm.read tx link in
+  if node <> 0 && Ptm.read tx node = key then begin
+    Ptm.write tx (node + 1) value;
+    false
+  end
+  else begin
+    let fresh = Ptm.alloc tx 3 in
+    Ptm.write tx fresh key;
+    Ptm.write tx (fresh + 1) value;
+    Ptm.write tx (fresh + 2) node;
+    Ptm.write tx link fresh;
+    true
+  end
+
+let find tx t key =
+  let link = find_slot tx t key in
+  let node = Ptm.read tx link in
+  if node <> 0 && Ptm.read tx node = key then Some (Ptm.read tx (node + 1)) else None
+
+let remove tx t key =
+  let link = find_slot tx t key in
+  let node = Ptm.read tx link in
+  if node <> 0 && Ptm.read tx node = key then begin
+    Ptm.write tx link (Ptm.read tx (node + 2));
+    Ptm.free tx node;
+    true
+  end
+  else false
+
+let length tx t =
+  let rec go node acc = if node = 0 then acc else go (Ptm.read tx (node + 2)) (acc + 1) in
+  go (Ptm.read tx t.desc) 0
+
+let to_alist t =
+  let raw = (Ptm.machine t.ptm).Machine.raw_read in
+  let rec go node acc =
+    if node = 0 then List.rev acc else go (raw (node + 2)) ((raw node, raw (node + 1)) :: acc)
+  in
+  go (raw t.desc) []

@@ -1,0 +1,23 @@
+(** Persistent sorted linked-list map over the PTM API.
+
+    The classic STM microbenchmark structure: O(n) operations with a
+    long read chain, useful for stressing read-set validation.  Keys
+    must be positive. *)
+
+type t
+
+val create : Pstm.Ptm.t -> t
+val attach : Pstm.Ptm.t -> int -> t
+val descriptor : t -> int
+
+val insert : Pstm.Ptm.tx -> t -> key:int -> value:int -> bool
+(** Upsert; [true] when new. *)
+
+val find : Pstm.Ptm.tx -> t -> int -> int option
+val remove : Pstm.Ptm.tx -> t -> int -> bool
+val length : Pstm.Ptm.tx -> t -> int
+
+(** {1 Untimed oracle} *)
+
+val to_alist : t -> (int * int) list
+(** Sorted pairs by raw walk. *)

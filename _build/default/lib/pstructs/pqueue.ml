@@ -1,0 +1,45 @@
+module Ptm = Pstm.Ptm
+
+(* Descriptor: [head; tail].  Node: [value; next]. *)
+
+type t = { ptm : Ptm.t; desc : int }
+
+let create ptm =
+  let desc =
+    Ptm.atomic ptm (fun tx ->
+        let d = Ptm.alloc tx 2 in
+        Ptm.write tx d 0;
+        Ptm.write tx (d + 1) 0;
+        d)
+  in
+  { ptm; desc }
+
+let attach ptm desc = { ptm; desc }
+let descriptor t = t.desc
+
+let enqueue tx t value =
+  let node = Ptm.alloc tx 2 in
+  Ptm.write tx node value;
+  Ptm.write tx (node + 1) 0;
+  let tail = Ptm.read tx (t.desc + 1) in
+  if tail = 0 then Ptm.write tx t.desc node else Ptm.write tx (tail + 1) node;
+  Ptm.write tx (t.desc + 1) node
+
+let dequeue tx t =
+  let head = Ptm.read tx t.desc in
+  if head = 0 then None
+  else begin
+    let value = Ptm.read tx head in
+    let next = Ptm.read tx (head + 1) in
+    Ptm.write tx t.desc next;
+    if next = 0 then Ptm.write tx (t.desc + 1) 0;
+    Ptm.free tx head;
+    Some value
+  end
+
+let is_empty tx t = Ptm.read tx t.desc = 0
+
+let to_list t =
+  let raw = (Ptm.machine t.ptm).Machine.raw_read in
+  let rec go node acc = if node = 0 then List.rev acc else go (raw (node + 1)) (raw node :: acc) in
+  go (raw t.desc) []

@@ -1,0 +1,20 @@
+(** Persistent FIFO queue over the PTM API.
+
+    Singly-linked, with head/tail pointers in a two-word descriptor.
+    Transactional enqueue/dequeue compose with other structures (the
+    TPC-C new-order list uses it). *)
+
+type t
+
+val create : Pstm.Ptm.t -> t
+val attach : Pstm.Ptm.t -> int -> t
+val descriptor : t -> int
+
+val enqueue : Pstm.Ptm.tx -> t -> int -> unit
+val dequeue : Pstm.Ptm.tx -> t -> int option
+val is_empty : Pstm.Ptm.tx -> t -> bool
+
+(** {1 Untimed oracle} *)
+
+val to_list : t -> int list
+(** Front to back. *)

@@ -1,0 +1,163 @@
+module Ptm = Pstm.Ptm
+
+(* Descriptor: [level_hint; head_tower...] where the head tower holds
+   max_level forward pointers.  Node: [key; value; level; next_0 ..
+   next_{level-1}] (3 + level words). *)
+
+let max_level = 12
+
+let d_head = 1 (* offset of the head tower within the descriptor *)
+
+type t = { ptm : Ptm.t; desc : int; rng : Repro_util.Rng.t }
+
+let create ptm =
+  let desc =
+    Ptm.atomic ptm (fun tx ->
+        let d = Ptm.alloc tx (1 + max_level) in
+        Ptm.write tx d 1;
+        for l = 0 to max_level - 1 do
+          Ptm.write tx (d + d_head + l) 0
+        done;
+        d)
+  in
+  { ptm; desc; rng = Repro_util.Rng.create 0x5C1B }
+
+let attach ptm desc = { ptm; desc; rng = Repro_util.Rng.create 0x5C1B }
+
+let descriptor t = t.desc
+
+let node_key tx n = Ptm.read tx n
+let node_value_addr n = n + 1
+let node_level tx n = Ptm.read tx (n + 2)
+let node_next_addr n l = n + 3 + l
+
+let random_level t =
+  let rec go l = if l < max_level && Repro_util.Rng.bool t.rng then go (l + 1) else l in
+  go 1
+
+(* For each level, the address of the forward-pointer word after which
+   [key] would sit.  preds.(l) is a heap address whose content is the
+   first node at level l with key >= [key] (or 0). *)
+let find_preds tx t key preds =
+  let level_at l cursor =
+    (* advance along level l starting from forward-pointer addr [cursor] *)
+    let rec go cursor =
+      let next = Ptm.read tx cursor in
+      if next <> 0 && node_key tx next < key then go (node_next_addr next l) else cursor
+    in
+    go cursor
+  in
+  let cursor = ref (t.desc + d_head + (max_level - 1)) in
+  for l = max_level - 1 downto 0 do
+    (* Drop from the tower above: same node, one level down. *)
+    let start =
+      if l = max_level - 1 then !cursor
+      else begin
+        (* !cursor is addr of next_(l+1) of some node (or head); the
+           corresponding level-l pointer is one word before for nodes,
+           or the head slot. *)
+        let above = !cursor in
+        if above >= t.desc + d_head && above < t.desc + d_head + max_level then
+          t.desc + d_head + l
+        else above - 1
+      end
+    in
+    let p = level_at l start in
+    preds.(l) <- p;
+    cursor := p
+  done
+
+let find tx t key =
+  let preds = Array.make max_level 0 in
+  find_preds tx t key preds;
+  let next = Ptm.read tx preds.(0) in
+  if next <> 0 && node_key tx next = key then Some (Ptm.read tx (node_value_addr next))
+  else None
+
+let insert tx t ~key ~value =
+  assert (key > 0);
+  let preds = Array.make max_level 0 in
+  find_preds tx t key preds;
+  let next = Ptm.read tx preds.(0) in
+  if next <> 0 && node_key tx next = key then begin
+    Ptm.write tx (node_value_addr next) value;
+    false
+  end
+  else begin
+    let level = random_level t in
+    let n = Ptm.alloc tx (3 + level) in
+    Ptm.write tx n key;
+    Ptm.write tx (node_value_addr n) value;
+    Ptm.write tx (n + 2) level;
+    for l = 0 to level - 1 do
+      Ptm.write tx (node_next_addr n l) (Ptm.read tx preds.(l));
+      Ptm.write tx preds.(l) n
+    done;
+    true
+  end
+
+let remove tx t key =
+  let preds = Array.make max_level 0 in
+  find_preds tx t key preds;
+  let victim = Ptm.read tx preds.(0) in
+  if victim = 0 || node_key tx victim <> key then false
+  else begin
+    let level = node_level tx victim in
+    for l = 0 to level - 1 do
+      (* preds.(l) may not point at the victim at upper levels if the
+         victim's tower is shorter than others passing by; only unlink
+         where it does. *)
+      if Ptm.read tx preds.(l) = victim then
+        Ptm.write tx preds.(l) (Ptm.read tx (node_next_addr victim l))
+    done;
+    Ptm.free tx victim;
+    true
+  end
+
+let fold_range tx t ~lo ~hi f acc =
+  assert (lo <= hi);
+  let preds = Array.make max_level 0 in
+  find_preds tx t lo preds;
+  let rec go node acc =
+    if node = 0 then acc
+    else begin
+      let k = node_key tx node in
+      if k > hi then acc
+      else go (Ptm.read tx (node_next_addr node 0)) (f acc k (Ptm.read tx (node_value_addr node)))
+    end
+  in
+  go (Ptm.read tx preds.(0)) acc
+
+(* ---------- untimed oracles ---------- *)
+
+let to_alist t =
+  let raw = (Ptm.machine t.ptm).Machine.raw_read in
+  let rec go node acc =
+    if node = 0 then List.rev acc
+    else go (raw (node + 3)) ((raw node, raw (node + 1)) :: acc)
+  in
+  go (raw (t.desc + d_head)) []
+
+let check_invariants t =
+  let raw = (Ptm.machine t.ptm).Machine.raw_read in
+  let fail fmt = Printf.ksprintf failwith fmt in
+  (* Level-0 keys strictly ascending. *)
+  let level0 = List.map fst (to_alist t) in
+  let rec ascending = function
+    | a :: (b :: _ as rest) -> if a >= b then fail "level 0 not sorted" else ascending rest
+    | _ -> ()
+  in
+  ascending level0;
+  (* Every upper level is a sorted subsequence of level 0. *)
+  for l = 1 to max_level - 1 do
+    let rec walk node acc =
+      if node = 0 then List.rev acc
+      else begin
+        if raw (node + 2) <= l then fail "node on level above its height";
+        walk (raw (node + 3 + l)) (raw node :: acc)
+      end
+    in
+    let keys = walk (raw (t.desc + d_head + l)) [] in
+    ascending keys;
+    List.iter (fun k -> if not (List.mem k level0) then fail "upper-level key missing below") keys
+  done

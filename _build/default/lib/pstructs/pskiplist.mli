@@ -1,0 +1,37 @@
+(** Persistent skiplist map over the PTM API.
+
+    An ordered index with probabilistic balancing — the structure used
+    by several persistent-memory key/value stores (and a popular
+    subject of hand-crafted NVM data-structure papers the introduction
+    cites).  Expected O(log n) search with no rebalancing writes,
+    which keeps transactions' write sets small compared to a B+Tree
+    split chain.
+
+    Tower heights are drawn from a deterministic per-structure RNG
+    (p = 1/2, up to {!max_level} levels), so runs are reproducible.
+    Keys must be positive. *)
+
+type t
+
+val max_level : int
+
+val create : Pstm.Ptm.t -> t
+val attach : Pstm.Ptm.t -> int -> t
+val descriptor : t -> int
+
+val insert : Pstm.Ptm.tx -> t -> key:int -> value:int -> bool
+(** Upsert; [true] when the key was new. *)
+
+val find : Pstm.Ptm.tx -> t -> int -> int option
+val remove : Pstm.Ptm.tx -> t -> int -> bool
+
+val fold_range : Pstm.Ptm.tx -> t -> lo:int -> hi:int -> ('a -> int -> int -> 'a) -> 'a -> 'a
+(** Ascending fold over [lo <= key <= hi] along level 0. *)
+
+(** {1 Untimed oracles for tests} *)
+
+val to_alist : t -> (int * int) list
+
+val check_invariants : t -> unit
+(** Every level sorted; every tower member of level 0; raises
+    [Failure] on violation. *)

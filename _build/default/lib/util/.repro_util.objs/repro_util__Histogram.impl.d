@@ -1,0 +1,1 @@
+lib/util/histogram.ml: Array Float

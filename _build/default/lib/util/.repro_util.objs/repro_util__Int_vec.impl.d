@@ -1,0 +1,1 @@
+lib/util/int_vec.ml: Array

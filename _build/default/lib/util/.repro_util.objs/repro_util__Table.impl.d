@@ -1,0 +1,1 @@
+lib/util/table.ml: Array Float Format List Printf String

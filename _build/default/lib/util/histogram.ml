@@ -1,0 +1,78 @@
+(* Buckets: for each power of two [2^e, 2^(e+1)), 16 linear
+   sub-buckets.  Index = e*16 + sub. *)
+
+let sub_bits = 4
+let sub_count = 1 lsl sub_bits
+let exponents = 62
+let total = exponents * sub_count
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable sum : float;
+  mutable max_value : int;
+}
+
+let create () = { counts = Array.make total 0; n = 0; sum = 0.0; max_value = 0 }
+
+let index_of value =
+  let value = max 1 value in
+  (* position of the highest set bit *)
+  let rec msb v acc = if v <= 1 then acc else msb (v lsr 1) (acc + 1) in
+  let e = msb value 0 in
+  let sub = if e >= sub_bits then (value lsr (e - sub_bits)) land (sub_count - 1) else 0 in
+  min (total - 1) ((e * sub_count) + sub)
+
+(* Representative (midpoint) value of a bucket. *)
+let value_of index =
+  let e = index / sub_count and sub = index mod sub_count in
+  if e < sub_bits then float_of_int (1 lsl e)
+  else begin
+    let base = 1 lsl e in
+    let step = base / sub_count in
+    float_of_int (base + (sub * step) + (step / 2))
+  end
+
+let record t value =
+  let value = max 1 value in
+  t.counts.(index_of value) <- t.counts.(index_of value) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. float_of_int value;
+  if value > t.max_value then t.max_value <- value
+
+let count t = t.n
+
+let percentile t p =
+  if t.n = 0 then nan
+  else begin
+    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int t.n)) in
+    let rank = max 1 (min t.n rank) in
+    let acc = ref 0 in
+    let result = ref nan in
+    (try
+       for i = 0 to total - 1 do
+         acc := !acc + t.counts.(i);
+         if !acc >= rank then begin
+           result := value_of i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let mean t = if t.n = 0 then nan else t.sum /. float_of_int t.n
+
+let max_value t = t.max_value
+
+let merge_into ~src ~dst =
+  Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+  dst.n <- dst.n + src.n;
+  dst.sum <- dst.sum +. src.sum;
+  if src.max_value > dst.max_value then dst.max_value <- src.max_value
+
+let clear t =
+  Array.fill t.counts 0 total 0;
+  t.n <- 0;
+  t.sum <- 0.0;
+  t.max_value <- 0

@@ -1,0 +1,28 @@
+(** Log-scale latency histogram (HdrHistogram-style, power-of-two
+    buckets with linear sub-buckets).
+
+    Constant memory, O(1) record, value error bounded by 1/16 of the
+    value — plenty for reporting p50/p95/p99 transaction latencies. *)
+
+type t
+
+val create : unit -> t
+(** Covers values from 1 to 2^62. *)
+
+val record : t -> int -> unit
+(** Record a non-negative sample (0 is clamped to 1). *)
+
+val count : t -> int
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [\[0,100\]]; [nan] when empty.  Returns
+    the representative value of the bucket containing the rank. *)
+
+val mean : t -> float
+
+val max_value : t -> int
+
+val merge_into : src:t -> dst:t -> unit
+(** Add [src]'s counts into [dst] (per-thread histograms to a global). *)
+
+val clear : t -> unit

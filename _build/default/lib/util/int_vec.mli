@@ -1,0 +1,21 @@
+(** Growable integer vector (amortized O(1) push, no boxing).
+
+    The STM's read/write sets are rebuilt on every transaction; this
+    avoids allocating fresh lists on the hot path. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val push : t -> int -> unit
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val clear : t -> unit
+(** O(1); keeps capacity. *)
+
+val iter : (int -> unit) -> t -> unit
+val iter_rev_pairs : (int -> int -> unit) -> t -> unit
+(** Iterate elements two at a time, last pair first: used to roll back
+    (addr, value) undo entries in reverse order.  Length must be even. *)
+
+val exists : (int -> bool) -> t -> bool

@@ -1,0 +1,69 @@
+type node = {
+  key : int;
+  mutable dirty : bool;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  cap : int;
+  table : (int, node) Hashtbl.t;
+  mutable head : node option; (* most recently used *)
+  mutable tail : node option; (* least recently used *)
+}
+
+type eviction = { key : int; dirty : bool }
+
+let create ~capacity =
+  assert (capacity > 0);
+  { cap = capacity; table = Hashtbl.create (2 * capacity); head = None; tail = None }
+
+let capacity t = t.cap
+
+let size t = Hashtbl.length t.table
+
+let mem t key = Hashtbl.mem t.table key
+
+let unlink t node =
+  (match node.prev with Some p -> p.next <- node.next | None -> t.head <- node.next);
+  (match node.next with Some n -> n.prev <- node.prev | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let touch t key ~dirty =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+    node.dirty <- node.dirty || dirty;
+    unlink t node;
+    push_front t node;
+    `Hit
+  | None ->
+    let evicted =
+      if Hashtbl.length t.table < t.cap then None
+      else begin
+        match t.tail with
+        | None -> None
+        | Some lru ->
+          unlink t lru;
+          Hashtbl.remove t.table lru.key;
+          Some { key = lru.key; dirty = lru.dirty }
+      end
+    in
+    let node = { key; dirty; prev = None; next = None } in
+    Hashtbl.add t.table key node;
+    push_front t node;
+    `Miss evicted
+
+let dirty_keys t =
+  Hashtbl.fold (fun key (node : node) acc -> if node.dirty then key :: acc else acc) t.table []
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None

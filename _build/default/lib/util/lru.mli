@@ -1,0 +1,30 @@
+(** Fixed-capacity LRU directory over integer keys.
+
+    Models page-granularity caches (the Memory-Mode / PDRAM directory of
+    the memory controller).  Each resident key carries a dirty bit.
+    O(1) lookup and update via a hash table plus an intrusive
+    doubly-linked recency list. *)
+
+type t
+
+type eviction = { key : int; dirty : bool }
+
+val create : capacity:int -> t
+(** [capacity] must be positive. *)
+
+val capacity : t -> int
+
+val size : t -> int
+
+val mem : t -> int -> bool
+
+val touch : t -> int -> dirty:bool -> [ `Hit | `Miss of eviction option ]
+(** [touch t key ~dirty] looks up [key]; on hit it is moved to
+    most-recently-used position and its dirty bit is OR-ed with [dirty].
+    On miss, [key] is installed (evicting the LRU entry if full) and the
+    eviction, if any, is returned with its dirty state. *)
+
+val dirty_keys : t -> int list
+(** All resident keys currently marked dirty (order unspecified). *)
+
+val clear : t -> unit

@@ -1,0 +1,80 @@
+type 'a entry = { key : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+(* [a] precedes [b] in heap order. *)
+let before a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow t entry =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let ndata = Array.make ncap entry in
+    Array.blit t.data 0 ndata 0 t.size;
+    t.data <- ndata
+  end
+
+let push t ~key value =
+  let entry = { key; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  let d = t.data in
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  d.(!i) <- entry;
+  (* Sift up. *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before d.(!i) d.(parent) then begin
+      let tmp = d.(parent) in
+      d.(parent) <- d.(!i);
+      d.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let d = t.data in
+    let top = d.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      d.(0) <- d.(t.size);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.size && before d.(l) d.(!smallest) then smallest := l;
+        if r < t.size && before d.(r) d.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = d.(!smallest) in
+          d.(!smallest) <- d.(!i);
+          d.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.key, top.value)
+  end
+
+let peek_key t = if t.size = 0 then None else Some t.data.(0).key
+
+let clear t =
+  t.size <- 0;
+  t.next_seq <- 0

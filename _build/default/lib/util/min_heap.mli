@@ -1,0 +1,25 @@
+(** Array-based binary min-heap with integer keys.
+
+    Used as the event queue of the discrete-event scheduler: pop the
+    runnable with the smallest virtual time.  Ties are broken by
+    insertion order (FIFO), which keeps simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:int -> 'a -> unit
+(** O(log n) insertion. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the (key, value) pair with the smallest key, FIFO
+    among equal keys.  [None] when empty. *)
+
+val peek_key : 'a t -> int option
+(** Smallest key without removing it. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,55 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+(* splitmix64 finalizer *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_i64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let next g = Int64.to_int (Int64.shift_right_logical (next_i64 g) 1) land max_int
+
+let split g = { state = next_i64 g }
+
+let int g bound =
+  assert (bound > 0);
+  (* Rejection sampling to avoid modulo bias on pathological bounds. *)
+  let rec go () =
+    let r = next g in
+    let v = r mod bound in
+    if r - v > max_int - bound + 1 then go () else v
+  in
+  go ()
+
+let int_in g lo hi =
+  assert (hi >= lo);
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_i64 g) 11) in
+  r /. 9007199254740992.0 *. bound (* 2^53 *)
+
+let bool g = Int64.logand (next_i64 g) 1L = 1L
+
+let chance g p = float g 1.0 < p
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick g a =
+  assert (Array.length a > 0);
+  a.(int g (Array.length a))

@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the reproduction flows through this module so that
+    every experiment is replayable from a single seed.  The generator is
+    splitmix64 (Steele et al., OOPSLA 2014): tiny state, good statistical
+    quality, and O(1) [split] for deriving independent per-thread streams. *)
+
+type t
+(** Mutable generator state.  Not thread-safe; use {!split} to derive one
+    generator per simulated or native thread. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Equal seeds give equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy with identical future output. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    statistically independent of the remainder of [g]'s stream. *)
+
+val next : t -> int
+(** Next raw 63-bit non-negative value. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance g p] is [true] with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

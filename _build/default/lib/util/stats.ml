@@ -1,0 +1,57 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then nan else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then sorted.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+    end
+  end
+
+let geomean xs =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else begin
+    let logsum = Array.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+    exp (logsum /. float_of_int n)
+  end
+
+type counter = {
+  mutable count : int;
+  mutable total : float;
+  mutable minimum : float;
+  mutable maximum : float;
+}
+
+let counter () = { count = 0; total = 0.0; minimum = infinity; maximum = neg_infinity }
+
+let add c x =
+  c.count <- c.count + 1;
+  c.total <- c.total +. x;
+  if x < c.minimum then c.minimum <- x;
+  if x > c.maximum then c.maximum <- x
+
+let count c = c.count
+let total c = c.total
+let minimum c = c.minimum
+let maximum c = c.maximum
+let average c = if c.count = 0 then nan else c.total /. float_of_int c.count

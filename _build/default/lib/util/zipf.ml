@@ -1,0 +1,26 @@
+type t = { n : int; cdf : float array }
+
+let create ?(theta = 0.99) n =
+  assert (n > 0);
+  let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) theta) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (weights.(i) /. total);
+    cdf.(i) <- !acc
+  done;
+  cdf.(n - 1) <- 1.0;
+  { n; cdf }
+
+let n t = t.n
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  (* Smallest index whose cdf >= u. *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo

@@ -1,0 +1,18 @@
+(** Zipfian key-distribution sampler.
+
+    Used by the memcached and TATP workloads to model skewed access
+    patterns.  Sampling is O(log n) by binary search over the
+    precomputed CDF; construction is O(n). *)
+
+type t
+
+val create : ?theta:float -> int -> t
+(** [create ~theta n] prepares a sampler over ranks [\[0, n)] with skew
+    exponent [theta] (default [0.99], the YCSB convention).
+    [theta = 0.] degenerates to the uniform distribution. *)
+
+val n : t -> int
+(** Population size. *)
+
+val sample : t -> Rng.t -> int
+(** Draw a rank in [\[0, n)]; rank 0 is the most popular. *)

@@ -1,0 +1,1 @@
+lib/workloads/btree_bench.ml: Driver Pstm Pstructs Repro_util

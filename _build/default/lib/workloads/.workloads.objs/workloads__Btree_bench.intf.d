@@ -1,0 +1,1 @@
+lib/workloads/btree_bench.mli: Driver

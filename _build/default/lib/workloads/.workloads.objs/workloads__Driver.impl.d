@@ -1,0 +1,1 @@
+lib/workloads/driver.ml: Machine Memsim Pstm Repro_util

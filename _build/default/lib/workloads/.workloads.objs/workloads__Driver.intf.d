@@ -1,0 +1,1 @@
+lib/workloads/driver.mli: Memsim Pstm Repro_util

@@ -1,0 +1,1 @@
+lib/workloads/experiments.ml: Btree_bench Driver List Memcached Memsim Pmem Printf Pstm Pstructs Repro_util Tatp Tpcc Unix Vacation Ycsb

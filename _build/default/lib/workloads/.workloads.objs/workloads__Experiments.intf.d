@@ -1,0 +1,1 @@
+lib/workloads/experiments.mli: Driver Repro_util

@@ -1,0 +1,1 @@
+lib/workloads/memcached.ml: Driver Printf Pstm Pstructs Repro_util

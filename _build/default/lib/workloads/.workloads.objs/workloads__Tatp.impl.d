@@ -1,0 +1,1 @@
+lib/workloads/tatp.ml: Driver Pstm Pstructs Repro_util

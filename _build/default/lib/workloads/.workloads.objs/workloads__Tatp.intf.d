@@ -1,0 +1,1 @@
+lib/workloads/tatp.mli: Driver

@@ -1,0 +1,1 @@
+lib/workloads/tpcc.ml: Array Driver Pstm Pstructs Repro_util

@@ -1,0 +1,1 @@
+lib/workloads/vacation.ml: Array Driver Machine Pstm Pstructs Repro_util

@@ -1,0 +1,1 @@
+lib/workloads/vacation.mli: Driver

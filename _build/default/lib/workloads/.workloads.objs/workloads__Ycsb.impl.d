@@ -1,0 +1,1 @@
+lib/workloads/ycsb.ml: Driver Pstm Pstructs Repro_util

@@ -1,0 +1,1 @@
+lib/workloads/ycsb.mli: Driver

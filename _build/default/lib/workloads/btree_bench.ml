@@ -1,0 +1,66 @@
+module Ptm = Pstm.Ptm
+module Bptree = Pstructs.Bptree
+
+let key_range_bits = 17
+
+let tree_root_slot = 0
+
+let attach_tree ptm = Bptree.attach ptm (Ptm.root_get ptm tree_root_slot)
+
+let create_tree ptm =
+  let t = Bptree.create ptm in
+  Ptm.root_set ptm tree_root_slot (Bptree.descriptor t)
+
+(* Bijective scramble on [0, 2^bits): unique inputs give unique,
+   pseudo-random keys — the insert-only stream never repeats a key. *)
+let scramble bits seq =
+  let mask = (1 lsl bits) - 1 in
+  let x = (seq * 0x9E3779B1) land mask in
+  let x = x lxor (x lsr 7) in
+  let x = (x * 0x85EBCA77) land mask in
+  x lxor (x lsr 11)
+
+let insert_only =
+  {
+    Driver.name = "btree-insert";
+    heap_words = 1 lsl 22;
+    setup = create_tree;
+    make_op =
+      (fun ptm ~tid ~rng ->
+        ignore rng;
+        let t = attach_tree ptm in
+        let counter = ref 0 in
+        fun () ->
+          (* Disjoint streams: thread t owns sequence numbers = t mod 32. *)
+          let seq = (!counter * 32) + tid in
+          incr counter;
+          let key = 1 + scramble 26 seq in
+          Ptm.atomic ptm (fun tx -> ignore (Bptree.insert tx t ~key ~value:seq)));
+  }
+
+let mixed =
+  let range = 1 lsl key_range_bits in
+  {
+    Driver.name = "btree-mixed";
+    heap_words = 1 lsl 21;
+    setup =
+      (fun ptm ->
+        create_tree ptm;
+        let t = attach_tree ptm in
+        let rng = Repro_util.Rng.create 0xB7EE in
+        (* Pre-fill half the key range, randomly chosen. *)
+        for _ = 1 to range / 2 do
+          let key = 1 + Repro_util.Rng.int rng range in
+          Ptm.atomic ptm (fun tx -> ignore (Bptree.insert tx t ~key ~value:key))
+        done);
+    make_op =
+      (fun ptm ~tid ~rng ->
+        ignore tid;
+        let t = attach_tree ptm in
+        fun () ->
+          let key = 1 + Repro_util.Rng.int rng range in
+          match Repro_util.Rng.int rng 3 with
+          | 0 -> Ptm.atomic ptm (fun tx -> ignore (Bptree.insert tx t ~key ~value:key))
+          | 1 -> Ptm.atomic ptm (fun tx -> ignore (Bptree.lookup tx t key))
+          | _ -> Ptm.atomic ptm (fun tx -> ignore (Bptree.remove tx t key)));
+  }

@@ -1,0 +1,14 @@
+(** The two DudeTM B+Tree microbenchmarks (Fig 3, panels a and b).
+
+    - {!insert_only}: unique keys into an initially empty tree — the
+      paper's 2M-insertion workload, run for a fixed virtual span with
+      each thread inserting a disjoint pseudo-random key stream.
+    - {!mixed}: an equal mix of inserts, lookups and removes over a
+      fixed key range, on a tree pre-filled to half the range. *)
+
+val insert_only : Driver.spec
+
+val mixed : Driver.spec
+
+val key_range_bits : int
+(** Key range of the mixed workload (the paper's 2^21, scaled). *)

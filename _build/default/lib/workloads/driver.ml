@@ -1,0 +1,95 @@
+type spec = {
+  name : string;
+  heap_words : int;
+  setup : Pstm.Ptm.t -> unit;
+  make_op : Pstm.Ptm.t -> tid:int -> rng:Repro_util.Rng.t -> (unit -> unit);
+}
+
+type result = {
+  workload : string;
+  model : string;
+  algorithm : string;
+  threads : int;
+  elapsed_ns : int;
+  commits : int;
+  aborts : int;
+  txs_per_sec : float;
+  commits_per_abort : float;
+  max_log_lines : int;
+  latency : Repro_util.Histogram.t;  (** per-operation latency, virtual ns *)
+  sim : Memsim.Sim.Stats.t;
+}
+
+let run ?(duration_ns = 3_000_000) ?(flush_timing = Pstm.Ptm.At_commit) ?(seed = 0xBE5C)
+    ?pdram_cache_bytes ?(orec_bits = 20) ?monitor ?lat ?nvm_channels ~model ~algorithm ~threads
+    spec =
+  let cfg =
+    Memsim.Config.make ?lat ?nvm_channels ?pdram_cache_bytes ~heap_words:spec.heap_words
+      ~track_media:false model
+  in
+  let sim = Memsim.Sim.create cfg in
+  let m = Memsim.Sim.machine sim in
+  let ptm =
+    Pstm.Ptm.create ~algorithm ~flush_timing ~orec_bits ~max_threads:(max (threads + 1) 32) m
+  in
+  spec.setup ptm;
+  Memsim.Sim.reset_timing sim;
+  Pstm.Ptm.Stats.reset ptm;
+  let root_rng = Repro_util.Rng.create seed in
+  let latency = Repro_util.Histogram.create () in
+  for tid = 0 to threads - 1 do
+    let rng = Repro_util.Rng.split root_rng in
+    ignore
+      (Memsim.Sim.spawn sim (fun () ->
+           let op = spec.make_op ptm ~tid ~rng in
+           let rec loop () =
+             let start = int_of_float (m.Machine.now_ns ()) in
+             if start < duration_ns then begin
+               op ();
+               Repro_util.Histogram.record latency
+                 (int_of_float (m.Machine.now_ns ()) - start);
+               loop ()
+             end
+           in
+           loop ()))
+  done;
+  (* Optional sampling thread (spawned last, so workers keep the dense
+     thread ids the workloads key home warehouses etc. off): invoked
+     every [interval] of virtual time, e.g. to record persistence debt
+     for the energy model. *)
+  (match monitor with
+  | None -> ()
+  | Some (interval_ns, sample) ->
+    ignore
+      (Memsim.Sim.spawn sim (fun () ->
+           while int_of_float (m.Machine.now_ns ()) < duration_ns do
+             m.Machine.pause interval_ns;
+             sample sim
+           done)));
+  Memsim.Sim.run sim;
+  let elapsed_ns = max (Memsim.Sim.now sim) 1 in
+  let stats = Pstm.Ptm.Stats.get ptm in
+  {
+    workload = spec.name;
+    model = model.Memsim.Config.model_name;
+    algorithm = Pstm.Ptm.algorithm_name algorithm;
+    threads;
+    elapsed_ns;
+    commits = stats.Pstm.Ptm.Stats.commits;
+    aborts = stats.Pstm.Ptm.Stats.aborts;
+    txs_per_sec = float_of_int stats.Pstm.Ptm.Stats.commits /. (float_of_int elapsed_ns *. 1e-9);
+    commits_per_abort = Pstm.Ptm.Stats.commits_per_abort stats;
+    max_log_lines = stats.Pstm.Ptm.Stats.max_log_lines;
+    latency;
+    sim = Memsim.Sim.Stats.get sim;
+  }
+
+let throughput_row r =
+  [
+    r.workload;
+    r.model;
+    r.algorithm;
+    string_of_int r.threads;
+    Repro_util.Table.cell_f (r.txs_per_sec /. 1e6);
+    (if r.commits_per_abort = infinity then "-" else Repro_util.Table.cell_f r.commits_per_abort);
+  ]

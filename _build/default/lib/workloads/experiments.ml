@@ -1,0 +1,528 @@
+module Table = Repro_util.Table
+module Config = Memsim.Config
+module Ptm = Pstm.Ptm
+
+type outcome = { tables : Table.t list; results : Driver.result list }
+
+let threads_axis = [ 1; 2; 4; 8; 16; 32 ]
+
+let duration quick = if quick then 500_000 else 3_000_000
+
+(* The eight Fig 3/4 series: placement x durability x logging. *)
+let fig3_series =
+  [
+    ("DRAM_ADR_R", Config.dram_adr, Ptm.Redo);
+    ("DRAM_ADR_U", Config.dram_adr, Ptm.Undo);
+    ("DRAM_eADR_R", Config.dram_eadr, Ptm.Redo);
+    ("DRAM_eADR_U", Config.dram_eadr, Ptm.Undo);
+    ("Optane_ADR_R", Config.optane_adr, Ptm.Redo);
+    ("Optane_ADR_U", Config.optane_adr, Ptm.Undo);
+    ("Optane_eADR_R", Config.optane_eadr, Ptm.Redo);
+    ("Optane_eADR_U", Config.optane_eadr, Ptm.Undo);
+  ]
+
+(* The five Fig 6/7 series (durability models; redo unless noted). *)
+let fig6_series =
+  [
+    ("DRAM", Config.dram_eadr, Ptm.Redo);
+    ("eADR", Config.optane_eadr, Ptm.Redo);
+    ("PDRAM_R", Config.pdram, Ptm.Redo);
+    ("PDRAM_U", Config.pdram, Ptm.Undo);
+    ("PDRAM-Lite", Config.pdram_lite, Ptm.Redo);
+  ]
+
+let main_panels () =
+  [
+    Btree_bench.insert_only;
+    Btree_bench.mixed;
+    Tpcc.spec Tpcc.Btree;
+    Tpcc.spec Tpcc.Hash;
+    Vacation.spec Vacation.Low;
+    Vacation.spec Vacation.High;
+  ]
+
+(* One throughput-vs-threads table per workload panel. *)
+let sweep ~quick ~title ~series specs =
+  let dur = duration quick in
+  let all_results = ref [] in
+  let tables =
+    List.map
+      (fun spec ->
+        let t =
+          Table.create
+            ~title:(Printf.sprintf "%s — %s (M tx/s by thread count)" title spec.Driver.name)
+            ~header:("series" :: List.map string_of_int threads_axis)
+        in
+        List.iter
+          (fun (label, model, algorithm) ->
+            let cells =
+              List.map
+                (fun threads ->
+                  let r = Driver.run ~duration_ns:dur ~model ~algorithm ~threads spec in
+                  all_results := r :: !all_results;
+                  Table.cell_f (r.Driver.txs_per_sec /. 1e6))
+                threads_axis
+            in
+            Table.add_row t (label :: cells))
+          series;
+        t)
+      specs
+  in
+  { tables; results = List.rev !all_results }
+
+let fig3 ?(quick = false) () = sweep ~quick ~title:"Fig 3" ~series:fig3_series (main_panels ())
+
+let fig4 ?(quick = false) () = sweep ~quick ~title:"Fig 4" ~series:fig3_series [ Tatp.spec ]
+
+(* Tables I/II: commits-per-abort for TPCC (hash), one row per
+   placement/durability pair, one column per thread count >= 2. *)
+let ratio_table ~quick ~title algorithm =
+  let dur = duration quick in
+  let rows =
+    [
+      ("DRAM_ADR", Config.dram_adr);
+      ("DRAM_eADR", Config.dram_eadr);
+      ("Optane_ADR", Config.optane_adr);
+      ("Optane_eADR", Config.optane_eadr);
+    ]
+  in
+  let threads = List.filter (fun n -> n > 1) threads_axis in
+  let t =
+    Table.create
+      ~title:(Printf.sprintf "%s — commits per abort, TPCC (hash), %s" title
+                (Ptm.algorithm_name algorithm))
+      ~header:("config" :: List.map string_of_int threads)
+  in
+  let all_results = ref [] in
+  List.iter
+    (fun (label, model) ->
+      let cells =
+        List.map
+          (fun n ->
+            let r =
+              Driver.run ~duration_ns:dur ~model ~algorithm ~threads:n (Tpcc.spec Tpcc.Hash)
+            in
+            all_results := r :: !all_results;
+            if r.Driver.commits_per_abort = infinity then "-"
+            else Table.cell_f r.Driver.commits_per_abort)
+          threads
+      in
+      Table.add_row t (label :: cells))
+    rows;
+  { tables = [ t ]; results = List.rev !all_results }
+
+let table1 ?(quick = false) () = ratio_table ~quick ~title:"Table I" Ptm.Redo
+
+let table2 ?(quick = false) () = ratio_table ~quick ~title:"Table II" Ptm.Undo
+
+(* Table III: throughput gain of the (incorrect) flush-without-fence
+   variant over correct ADR.  Measured at 4 threads: past the write
+   bandwidth saturation point (~4 threads on Optane) both variants are
+   WPQ-throughput-bound and the fence gain disappears — the paper's
+   machine shows its gains below saturation. *)
+let table3 ?(quick = false) () =
+  let dur = duration quick in
+  let specs =
+    [ Tpcc.spec Tpcc.Hash; Tatp.spec; Vacation.spec Vacation.Low; Vacation.spec Vacation.High ]
+  in
+  let t =
+    Table.create ~title:"Table III — speedup from removing fences (ADR, 4 threads)"
+      ~header:("logging" :: List.map (fun s -> s.Driver.name) specs)
+  in
+  let all_results = ref [] in
+  List.iter
+    (fun algorithm ->
+      let cells =
+        List.map
+          (fun spec ->
+            let base =
+              Driver.run ~duration_ns:dur ~model:Config.optane_adr ~algorithm ~threads:4 spec
+            in
+            let nofence =
+              Driver.run ~duration_ns:dur ~model:Config.optane_adr_nofence ~algorithm ~threads:4
+                spec
+            in
+            all_results := nofence :: base :: !all_results;
+            let pct = 100.0 *. ((nofence.Driver.txs_per_sec /. base.Driver.txs_per_sec) -. 1.0) in
+            Printf.sprintf "%+.0f%%" pct)
+          specs
+      in
+      Table.add_row t (Ptm.algorithm_name algorithm :: cells))
+    [ Ptm.Undo; Ptm.Redo ];
+  { tables = [ t ]; results = List.rev !all_results }
+
+let fig6 ?(quick = false) () = sweep ~quick ~title:"Fig 6" ~series:fig6_series (main_panels ())
+
+let fig7 ?(quick = false) () = sweep ~quick ~title:"Fig 7" ~series:fig6_series [ Tatp.spec ]
+
+(* Fig 8: memcached, one worker, sweeping the working set across the
+   L3 (32 KB) and the PDRAM DRAM-cache (96 MB) boundaries.  Sizes are
+   the paper's GB values scaled by 2^10 to MB. *)
+let fig8_sizes =
+  [
+    ("32KB", 32 * 1024);
+    ("32MB", 32 * 1024 * 1024);
+    ("96MB", 96 * 1024 * 1024);
+    ("160MB", 160 * 1024 * 1024);
+    ("224MB", 224 * 1024 * 1024);
+    ("288MB", 288 * 1024 * 1024);
+    ("320MB", 320 * 1024 * 1024);
+  ]
+
+let fig8_series =
+  [
+    ("DRAM_R", Config.dram_eadr, Ptm.Redo);
+    ("ADR_R", Config.optane_adr, Ptm.Redo);
+    ("ADR_U", Config.optane_adr, Ptm.Undo);
+    ("eADR_R", Config.optane_eadr, Ptm.Redo);
+    ("eADR_U", Config.optane_eadr, Ptm.Undo);
+    ("PDRAM", Config.pdram, Ptm.Redo);
+    ("PDRAM-Lite", Config.pdram_lite, Ptm.Redo);
+  ]
+
+let fig8 ?(quick = false) () =
+  let dur = duration quick in
+  let sizes = if quick then [ List.nth fig8_sizes 0; List.nth fig8_sizes 1 ] else fig8_sizes in
+  let dram_capacity = 96 * 1024 * 1024 in
+  let t =
+    Table.create ~title:"Fig 8 — memcached, 1 worker (k req/s by working set)"
+      ~header:("series" :: List.map fst sizes)
+  in
+  let all_results = ref [] in
+  List.iter
+    (fun (label, model, algorithm) ->
+      let cells =
+        List.map
+          (fun (_, bytes) ->
+            (* The paper cannot run the DRAM baseline beyond DRAM. *)
+            if model.Config.data_media = Config.Dram && bytes > dram_capacity then "n/a"
+            else begin
+              let spec = Memcached.spec ~items:(Memcached.items_for_bytes bytes) in
+              let r = Driver.run ~duration_ns:dur ~model ~algorithm ~threads:1 spec in
+              all_results := r :: !all_results;
+              Table.cell_f (r.Driver.txs_per_sec /. 1e3)
+            end)
+          sizes
+      in
+      Table.add_row t (label :: cells))
+    fig8_series;
+  { tables = [ t ]; results = List.rev !all_results }
+
+(* §IV-B: the compactness of redo logs that motivates PDRAM-Lite. *)
+let log_footprint ?(quick = false) () =
+  let dur = duration quick in
+  let t =
+    Table.create ~title:"Redo-log footprint (max cache lines per transaction)"
+      ~header:[ "workload"; "max lines"; "paper" ]
+  in
+  let all_results = ref [] in
+  List.iter
+    (fun (spec, paper) ->
+      let r =
+        Driver.run ~duration_ns:dur ~model:Config.optane_eadr ~algorithm:Ptm.Redo ~threads:8 spec
+      in
+      all_results := r :: !all_results;
+      Table.add_row t [ spec.Driver.name; string_of_int r.Driver.max_log_lines; paper ])
+    [
+      (Vacation.spec Vacation.Low, "37 (\"never more than 37 contiguous lines\")");
+      (Tpcc.spec Tpcc.Hash, "36 (\"at most 36 cache lines\")");
+      (Tatp.spec, "(small)");
+    ];
+  { tables = [ t ]; results = List.rev !all_results }
+
+(* §III-B: incremental vs commit-time flushing of the redo log. *)
+let flush_timing_ablation ?(quick = false) () =
+  let dur = duration quick in
+  let t =
+    Table.create ~title:"Ablation — clwb timing of the redo log (ADR, M tx/s)"
+      ~header:[ "workload"; "threads"; "at-commit"; "incremental"; "delta" ]
+  in
+  let all_results = ref [] in
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun threads ->
+          let a =
+            Driver.run ~duration_ns:dur ~flush_timing:Ptm.At_commit ~model:Config.optane_adr
+              ~algorithm:Ptm.Redo ~threads spec
+          in
+          let b =
+            Driver.run ~duration_ns:dur ~flush_timing:Ptm.Incremental ~model:Config.optane_adr
+              ~algorithm:Ptm.Redo ~threads spec
+          in
+          all_results := b :: a :: !all_results;
+          Table.add_row t
+            [
+              spec.Driver.name;
+              string_of_int threads;
+              Table.cell_f (a.Driver.txs_per_sec /. 1e6);
+              Table.cell_f (b.Driver.txs_per_sec /. 1e6);
+              Printf.sprintf "%+.1f%%"
+                (100.0 *. ((b.Driver.txs_per_sec /. a.Driver.txs_per_sec) -. 1.0));
+            ])
+        [ 1; 8 ])
+    [ Tpcc.spec Tpcc.Hash; Tatp.spec ];
+  { tables = [ t ]; results = List.rev !all_results }
+
+(* Design-choice ablation: orec-table size vs false conflicts. *)
+let orec_ablation ?(quick = false) () =
+  let dur = duration quick in
+  let t =
+    Table.create ~title:"Ablation — ownership-record table size (TPCC hash, redo, 16 threads)"
+      ~header:[ "orec bits"; "M tx/s"; "commits/abort" ]
+  in
+  let all_results = ref [] in
+  List.iter
+    (fun bits ->
+      let r =
+        Driver.run ~duration_ns:dur ~orec_bits:bits ~model:Config.optane_eadr ~algorithm:Ptm.Redo
+          ~threads:16 (Tpcc.spec Tpcc.Hash)
+      in
+      all_results := r :: !all_results;
+      Table.add_row t
+        [
+          string_of_int bits;
+          Table.cell_f (r.Driver.txs_per_sec /. 1e6);
+          (if r.Driver.commits_per_abort = infinity then "-"
+           else Table.cell_f r.Driver.commits_per_abort);
+        ])
+    [ 10; 12; 14; 16; 18; 20 ];
+  { tables = [ t ]; results = List.rev !all_results }
+
+(* ---------- extensions beyond the paper's evaluation ---------- *)
+
+(* §V future work: "is HTM a viable strategy for accelerating PTM?  It
+   might work with eADR and PDRAM."  Compare the TSX-style mode against
+   the software paths under the flush-free domains. *)
+let htm ?(quick = false) () =
+  let dur = duration quick in
+  let series =
+    [
+      ("eADR_redo", Config.optane_eadr, Ptm.Redo);
+      ("eADR_undo", Config.optane_eadr, Ptm.Undo);
+      ("eADR_htm", Config.optane_eadr, Ptm.Htm);
+      ("PDRAM_redo", Config.pdram, Ptm.Redo);
+      ("PDRAM_htm", Config.pdram, Ptm.Htm);
+    ]
+  in
+  sweep ~quick:(dur < 3_000_000) ~title:"Extension — HTM under eADR/PDRAM" ~series
+    [ Tpcc.spec Tpcc.Hash; Btree_bench.insert_only; Tatp.spec ]
+
+(* §IV-C's cost argument: PDRAM's mechanics are Memory Mode's; how much
+   performance does persistence cost relative to the non-persistent
+   cache, and where do both sit against eADR? *)
+let memory_mode ?(quick = false) () =
+  let series =
+    [
+      ("MemoryMode", Config.memory_mode, Ptm.Redo);
+      ("PDRAM", Config.pdram, Ptm.Redo);
+      ("eADR", Config.optane_eadr, Ptm.Redo);
+      ("DRAM", Config.dram_eadr, Ptm.Redo);
+    ]
+  in
+  sweep ~quick ~title:"Extension — PDRAM vs Memory Mode" ~series [ Tatp.spec; Tpcc.spec Tpcc.Hash ]
+
+(* §V future work: reserve-power requirements per durability domain.
+   A monitor thread samples the persistence debt every 5 us; the table
+   reports the worst case and the derived reserve energy. *)
+let reserve_energy ?(quick = false) () =
+  let dur = duration quick in
+  let t =
+    Repro_util.Table.create
+      ~title:"Extension — reserve-power requirements (TPCC hash, redo, 8 threads)"
+      ~header:
+        [ "model"; "max WPQ lines"; "max dirty L3"; "max dirty pages"; "max log lines";
+          "reserve energy (uJ)" ]
+  in
+  let all_results = ref [] in
+  List.iter
+    (fun model ->
+      let max_debt = ref { Memsim.Sim.Debt.wpq_lines = 0; dirty_l3_lines = 0;
+                           dirty_dram_pages = 0; armed_log_lines = 0 } in
+      let max_energy = ref 0.0 in
+      let sample sim =
+        let d = Memsim.Sim.Debt.sample sim in
+        let e = Memsim.Sim.Debt.reserve_energy_nj sim d in
+        if e > !max_energy then begin
+          max_energy := e;
+          max_debt := d
+        end
+      in
+      let algorithm = if model.Config.persistence = Config.Eadr then Ptm.Redo else Ptm.Redo in
+      let r =
+        Driver.run ~duration_ns:dur ~monitor:(5_000, sample) ~model ~algorithm ~threads:8
+          (Tpcc.spec Tpcc.Hash)
+      in
+      all_results := r :: !all_results;
+      let d = !max_debt in
+      Repro_util.Table.add_row t
+        [
+          model.Config.model_name;
+          string_of_int d.Memsim.Sim.Debt.wpq_lines;
+          string_of_int d.Memsim.Sim.Debt.dirty_l3_lines;
+          string_of_int d.Memsim.Sim.Debt.dirty_dram_pages;
+          string_of_int d.Memsim.Sim.Debt.armed_log_lines;
+          Repro_util.Table.cell_f (!max_energy /. 1e3);
+        ])
+    [ Config.optane_adr; Config.optane_eadr; Config.pdram_lite; Config.pdram ];
+  { tables = [ t ]; results = List.rev !all_results }
+
+(* Extension: DIMM interleaving (§III-A: "the Optane memory was split
+   across 12 DIMMs, and interleaving was enabled.  This is the
+   recommended configuration for maximizing throughput").  Channels
+   carry per-DIMM service times; aggregate bandwidth grows with the
+   channel count. *)
+let dimm_interleave ?(quick = false) () =
+  let dur = duration quick in
+  let t =
+    Table.create ~title:"Extension — DIMM interleaving (TPCC hash, redo, ADR, M tx/s)"
+      ~header:("channels" :: List.map string_of_int [ 1; 8; 16; 32 ])
+  in
+  let all_results = ref [] in
+  let base = Config.default_latency in
+  List.iter
+    (fun channels ->
+      (* Per-DIMM service = 6x the aggregate default (the default
+         calibration folds ~6 interleaved DIMMs into one channel). *)
+      let lat =
+        {
+          base with
+          Config.nvm_wpq_service_ns = base.Config.nvm_wpq_service_ns * 6;
+          nvm_read_service_ns = base.Config.nvm_read_service_ns * 6;
+        }
+      in
+      let cells =
+        List.map
+          (fun threads ->
+            let r =
+              Driver.run ~duration_ns:dur ~lat ~nvm_channels:channels
+                ~model:Config.optane_adr ~algorithm:Ptm.Redo ~threads (Tpcc.spec Tpcc.Hash)
+            in
+            all_results := r :: !all_results;
+            Table.cell_f (r.Driver.txs_per_sec /. 1e6))
+          [ 1; 8; 16; 32 ]
+      in
+      Table.add_row t (string_of_int channels :: cells))
+    [ 1; 2; 3; 6; 12 ];
+  { tables = [ t ]; results = List.rev !all_results }
+
+(* Extension: transaction latency distributions (the paper reports
+   only throughput; tail latency is where fences actually hurt). *)
+let latency ?(quick = false) () =
+  let dur = duration quick in
+  let t =
+    Table.create ~title:"Extension — transaction latency, 8 threads (virtual ns)"
+      ~header:[ "workload"; "model"; "p50"; "p95"; "p99"; "mean" ]
+  in
+  let all_results = ref [] in
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun model ->
+          let r = Driver.run ~duration_ns:dur ~model ~algorithm:Ptm.Redo ~threads:8 spec in
+          all_results := r :: !all_results;
+          let h = r.Driver.latency in
+          Table.add_row t
+            [
+              spec.Driver.name;
+              model.Config.model_name;
+              Table.cell_f (Repro_util.Histogram.percentile h 50.0);
+              Table.cell_f (Repro_util.Histogram.percentile h 95.0);
+              Table.cell_f (Repro_util.Histogram.percentile h 99.0);
+              Table.cell_f (Repro_util.Histogram.mean h);
+            ])
+        [ Config.dram_eadr; Config.optane_adr; Config.optane_eadr; Config.pdram ])
+    [ Tatp.spec; Tpcc.spec Tpcc.Hash ];
+  { tables = [ t ]; results = List.rev !all_results }
+
+(* Extension: the YCSB core mixes across the durability models. *)
+let ycsb ?(quick = false) () =
+  let dur = duration quick in
+  let mixes = [ Ycsb.A; Ycsb.B; Ycsb.C; Ycsb.D; Ycsb.E; Ycsb.F ] in
+  let series =
+    [
+      ("ADR_R", Config.optane_adr, Ptm.Redo);
+      ("ADR_U", Config.optane_adr, Ptm.Undo);
+      ("eADR_R", Config.optane_eadr, Ptm.Redo);
+      ("PDRAM_R", Config.pdram, Ptm.Redo);
+    ]
+  in
+  let t =
+    Table.create ~title:"Extension — YCSB mixes, 8 threads (M tx/s)"
+      ~header:("series" :: List.map (fun m -> "ycsb-" ^ Ycsb.mix_name m) mixes)
+  in
+  let all_results = ref [] in
+  List.iter
+    (fun (label, model, algorithm) ->
+      let cells =
+        List.map
+          (fun mix ->
+            let r = Driver.run ~duration_ns:dur ~model ~algorithm ~threads:8 (Ycsb.spec mix) in
+            all_results := r :: !all_results;
+            Table.cell_f (r.Driver.txs_per_sec /. 1e6))
+          mixes
+      in
+      Table.add_row t (label :: cells))
+    series;
+  { tables = [ t ]; results = List.rev !all_results }
+
+(* Extension: recovery cost.  Crash a run mid-flight and measure the
+   real time Ptm.recover takes as the heap gets fuller. *)
+let recovery_time ?(quick = false) () =
+  let t =
+    Repro_util.Table.create ~title:"Extension — recovery time after a crash (redo, B+Tree)"
+      ~header:[ "pre-crash inserts"; "live blocks"; "recovery (real ms)" ]
+  in
+  let sizes = if quick then [ 1_000; 4_000 ] else [ 1_000; 10_000; 50_000; 200_000 ] in
+  List.iter
+    (fun inserts ->
+      let heap_words = max (1 lsl 20) (16 * inserts) in
+      let cfg = Memsim.Config.make ~heap_words Config.optane_adr in
+      let sim = Memsim.Sim.create cfg in
+      let m = Memsim.Sim.machine sim in
+      let ptm = Ptm.create m in
+      let tree = Pstructs.Bptree.create ptm in
+      Ptm.root_set ptm 0 (Pstructs.Bptree.descriptor tree);
+      for i = 1 to inserts do
+        Ptm.atomic ptm (fun tx -> ignore (Pstructs.Bptree.insert tx tree ~key:i ~value:i))
+      done;
+      Memsim.Sim.persist_all sim;
+      (* A short burst of work, then the plug is pulled. *)
+      ignore
+        (Memsim.Sim.spawn sim (fun () ->
+             for i = 1 to 10_000 do
+               Ptm.atomic ptm (fun tx ->
+                   ignore (Pstructs.Bptree.insert tx tree ~key:(inserts + i) ~value:i))
+             done));
+      Memsim.Sim.run ~crash_at:100_000 sim;
+      let sim' = Memsim.Sim.reboot sim in
+      let t0 = Unix.gettimeofday () in
+      let ptm' = Ptm.recover (Memsim.Sim.machine sim') in
+      let elapsed_ms = 1e3 *. (Unix.gettimeofday () -. t0) in
+      let live = List.length (Pmem.Alloc.live_blocks (Ptm.allocator ptm')) in
+      Repro_util.Table.add_row t
+        [ string_of_int inserts; string_of_int live; Repro_util.Table.cell_f elapsed_ms ])
+    sizes;
+  { tables = [ t ]; results = [] }
+
+let all =
+  [
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("table1", table1);
+    ("table2", table2);
+    ("table3", table3);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("logsize", log_footprint);
+    ("flush-timing", flush_timing_ablation);
+    ("orec-size", orec_ablation);
+    ("htm", htm);
+    ("ycsb", ycsb);
+    ("latency", latency);
+    ("dimm-interleave", dimm_interleave);
+    ("memory-mode", memory_mode);
+    ("reserve-energy", reserve_energy);
+    ("recovery-time", recovery_time);
+  ]

@@ -1,0 +1,83 @@
+(** One entry point per table/figure of the paper's evaluation.
+
+    Each function sweeps the corresponding workloads, durability models
+    and thread counts, and returns printable tables whose rows mirror
+    what the paper reports.  [quick] shrinks the virtual measurement
+    window (for smoke runs); results remain deterministic either way.
+
+    The experiment index lives in DESIGN.md; shape expectations and
+    measured outcomes in EXPERIMENTS.md. *)
+
+type outcome = {
+  tables : Repro_util.Table.t list;
+  results : Driver.result list;  (** every underlying data point *)
+}
+
+val threads_axis : int list
+(** The paper's thread sweep: 1, 2, 4, 8, 16, 32. *)
+
+val fig3 : ?quick:bool -> unit -> outcome
+(** Throughput vs threads for the six B+Tree/TPCC/Vacation panels,
+    DRAM vs Optane x ADR vs eADR x undo vs redo. *)
+
+val fig4 : ?quick:bool -> unit -> outcome
+(** Same comparison for TATP. *)
+
+val table1 : ?quick:bool -> unit -> outcome
+(** Commits-per-abort, TPCC (hash) with redo logging. *)
+
+val table2 : ?quick:bool -> unit -> outcome
+(** Commits-per-abort, TPCC (hash) with undo logging. *)
+
+val table3 : ?quick:bool -> unit -> outcome
+(** Speedup from removing fences from ADR write instrumentation. *)
+
+val fig6 : ?quick:bool -> unit -> outcome
+(** Durability-model comparison (DRAM, eADR, PDRAM-R/U, PDRAM-Lite)
+    for the six main panels. *)
+
+val fig7 : ?quick:bool -> unit -> outcome
+(** Durability-model comparison for TATP. *)
+
+val fig8 : ?quick:bool -> unit -> outcome
+(** Memcached throughput vs working-set size, one worker thread. *)
+
+val log_footprint : ?quick:bool -> unit -> outcome
+(** §IV-B: largest persistent redo-log footprint (cache lines) per
+    workload — the paper reports 37 lines for Vacation, 36 for TPCC. *)
+
+val flush_timing_ablation : ?quick:bool -> unit -> outcome
+(** §III-B: incremental vs commit-time clwb of the redo log (the paper
+    found no noticeable difference). *)
+
+val orec_ablation : ?quick:bool -> unit -> outcome
+(** Extra ablation called out in DESIGN.md: sensitivity to the
+    ownership-record table size (false-conflict rate). *)
+
+(** {1 Extensions beyond the paper's evaluation (DESIGN.md §3b)} *)
+
+val htm : ?quick:bool -> unit -> outcome
+(** §V future work: TSX-style hardware transactions vs the software
+    paths under eADR and PDRAM. *)
+
+val ycsb : ?quick:bool -> unit -> outcome
+(** The YCSB core mixes A–F across durability models. *)
+
+val latency : ?quick:bool -> unit -> outcome
+(** p50/p95/p99 transaction latency per workload and model. *)
+
+val dimm_interleave : ?quick:bool -> unit -> outcome
+(** Throughput vs the number of interleaved Optane channels. *)
+
+val memory_mode : ?quick:bool -> unit -> outcome
+(** PDRAM vs (non-persistent) Memory Mode vs eADR vs DRAM. *)
+
+val reserve_energy : ?quick:bool -> unit -> outcome
+(** §V future work: sampled persistence debt and the reserve energy
+    each durability domain would need on a power failure. *)
+
+val recovery_time : ?quick:bool -> unit -> outcome
+(** Wall-clock cost of [Ptm.recover] as the heap gets fuller. *)
+
+val all : (string * (?quick:bool -> unit -> outcome)) list
+(** Every experiment, keyed by its CLI name. *)

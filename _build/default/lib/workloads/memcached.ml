@@ -1,0 +1,91 @@
+module Ptm = Pstm.Ptm
+module H = Pstructs.Phashtable
+
+let key_words = 16 (* 128-byte keys *)
+let value_words = 128 (* 1-KB values *)
+
+(* key block (16+1 hdr) + value block (128+1) + descriptor (2+1) +
+   index node (3+1). *)
+let item_overhead_words = key_words + 1 + value_words + 1 + 3 + 3 + 1
+
+let items_for_bytes bytes = max 8 (bytes / 8 / item_overhead_words)
+
+let index_slot = 0
+
+let setup ~items ptm =
+  let h = H.create ptm ~buckets:(2 * items) in
+  Ptm.root_set ptm index_slot (H.descriptor h);
+  for id = 1 to items do
+    Ptm.atomic ptm (fun tx ->
+        let keyb = Ptm.alloc tx key_words in
+        for i = 0 to key_words - 1 do
+          Ptm.write tx (keyb + i) id
+        done;
+        let valb = Ptm.alloc tx value_words in
+        for i = 0 to value_words - 1 do
+          Ptm.write tx (valb + i) (id lxor i)
+        done;
+        let item = Ptm.alloc tx 2 in
+        Ptm.write tx item keyb;
+        Ptm.write tx (item + 1) valb;
+        ignore (H.put tx h ~key:id ~value:item))
+  done
+
+(* GET: index probe, full key comparison, full value read. *)
+let get tx h id =
+  match H.get tx h id with
+  | None -> false
+  | Some item ->
+    let keyb = Ptm.read tx item in
+    let matches = ref true in
+    for i = 0 to key_words - 1 do
+      if Ptm.read tx (keyb + i) <> id then matches := false
+    done;
+    if !matches then begin
+      let valb = Ptm.read tx (item + 1) in
+      let acc = ref 0 in
+      for i = 0 to value_words - 1 do
+        acc := !acc lxor Ptm.read tx (valb + i)
+      done;
+      ignore !acc
+    end;
+    !matches
+
+(* SET: index probe, full value overwrite. *)
+let set tx h id nonce =
+  match H.get tx h id with
+  | None -> false
+  | Some item ->
+    let valb = Ptm.read tx (item + 1) in
+    for i = 0 to value_words - 1 do
+      Ptm.write tx (valb + i) (nonce lxor i)
+    done;
+    true
+
+let make_op ~items ptm ~tid ~rng =
+  ignore tid;
+  let h = H.attach ptm (Ptm.root_get ptm index_slot) in
+  fun () ->
+    let id = 1 + Repro_util.Rng.int rng items in
+    if Repro_util.Rng.bool rng then Ptm.atomic ptm (fun tx -> ignore (get tx h id))
+    else begin
+      let nonce = Repro_util.Rng.next rng land 0xFFFF in
+      Ptm.atomic ptm (fun tx -> ignore (set tx h id nonce))
+    end
+
+let spec ~items =
+  let heap_words =
+    (* Population + index segments + allocator slack. *)
+    let data = items * item_overhead_words in
+    let buckets = 4 * items in
+    let words = (3 * (data + buckets) / 2) + (1 lsl 18) in
+    (* Round up to a power of two for predictable layouts. *)
+    let rec pow2 n = if n >= words then n else pow2 (2 * n) in
+    pow2 (1 lsl 18)
+  in
+  {
+    Driver.name = Printf.sprintf "memcached-%d" items;
+    heap_words;
+    setup = setup ~items;
+    make_op = make_op ~items;
+  }

@@ -1,0 +1,62 @@
+module Ptm = Pstm.Ptm
+module H = Pstructs.Phashtable
+
+let subscribers = 20_000
+
+(* Subscriber record: 8 words — [s_id; bit_1; data_a; vlr_location;
+   and 4 further fields].  Call-forwarding rows live in a second hash
+   table keyed by s_id*4 + sf_type, value = packed (start, end, number). *)
+
+let sub_index_slot = 0
+let cf_index_slot = 1
+
+let setup ptm =
+  let sub = H.create ptm ~buckets:(2 * subscribers) in
+  let cf = H.create ptm ~buckets:subscribers in
+  Ptm.root_set ptm sub_index_slot (H.descriptor sub);
+  Ptm.root_set ptm cf_index_slot (H.descriptor cf);
+  for s_id = 1 to subscribers do
+    Ptm.atomic ptm (fun tx ->
+        let rec_addr = Ptm.alloc tx 8 in
+        Ptm.write tx rec_addr s_id;
+        for f = 1 to 7 do
+          Ptm.write tx (rec_addr + f) (s_id + f)
+        done;
+        ignore (H.put tx sub ~key:s_id ~value:rec_addr))
+  done
+
+let make_op ptm ~tid ~rng =
+  ignore tid;
+  let sub = H.attach ptm (Ptm.root_get ptm sub_index_slot) in
+  let cf = H.attach ptm (Ptm.root_get ptm cf_index_slot) in
+  fun () ->
+    let s_id = 1 + Repro_util.Rng.int rng subscribers in
+    let dice = Repro_util.Rng.int rng 100 in
+    if dice < 35 then
+      (* UPDATE_SUBSCRIBER_DATA: bit_1 and data_a *)
+      Ptm.atomic ptm (fun tx ->
+          match H.get tx sub s_id with
+          | Some r ->
+            Ptm.write tx (r + 1) (Repro_util.Rng.int rng 2);
+            Ptm.write tx (r + 2) (Repro_util.Rng.int rng 256)
+          | None -> ())
+    else if dice < 70 then
+      (* UPDATE_LOCATION: vlr_location *)
+      Ptm.atomic ptm (fun tx ->
+          match H.get tx sub s_id with
+          | Some r -> Ptm.write tx (r + 3) (Repro_util.Rng.next rng land 0xFFFF)
+          | None -> ())
+    else if dice < 85 then begin
+      (* INSERT_CALL_FORWARDING *)
+      let sf_type = Repro_util.Rng.int rng 4 in
+      let packed = (Repro_util.Rng.int rng 24 lsl 8) lor Repro_util.Rng.int rng 24 in
+      Ptm.atomic ptm (fun tx ->
+          ignore (H.put tx cf ~key:((s_id * 4) + sf_type + 1) ~value:packed))
+    end
+    else begin
+      (* DELETE_CALL_FORWARDING *)
+      let sf_type = Repro_util.Rng.int rng 4 in
+      Ptm.atomic ptm (fun tx -> ignore (H.remove tx cf ((s_id * 4) + sf_type + 1)))
+    end
+
+let spec = { Driver.name = "tatp"; heap_words = 1 lsl 20; setup; make_op }

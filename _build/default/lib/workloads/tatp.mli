@@ -1,0 +1,18 @@
+(** The write-only TATP telecom benchmark from DudeTM (Fig 4 / Fig 7).
+
+    Scaled population: 20 000 subscribers (the standard 100 000 scaled
+    to the simulated machine).  Transaction mix (the write
+    transactions of TATP, as in DudeTM's write-only configuration):
+
+    - 35% UPDATE_SUBSCRIBER_DATA — 2 field writes
+    - 35% UPDATE_LOCATION — 1 field write
+    - 15% INSERT_CALL_FORWARDING
+    - 15% DELETE_CALL_FORWARDING
+
+    Every transaction performs only a handful of writes — the workload
+    where the paper found undo logging competitive, because the O(W)
+    fence cost hardly bites at W ≈ 1–3. *)
+
+val subscribers : int
+
+val spec : Driver.spec

@@ -1,0 +1,124 @@
+module Ptm = Pstm.Ptm
+module Bptree = Pstructs.Bptree
+module H = Pstructs.Phashtable
+
+type index = Btree | Hash
+
+let warehouses = 32
+let districts_per_warehouse = 10
+let items = 1_000
+
+(* Region roots. *)
+let index_slot = 0
+let district_slot = 1 (* contiguous array of 8-word district records *)
+let stock_slot = 2 (* contiguous blocks of 4-word stock records, one per warehouse *)
+
+let district_words = 8
+let stock_words = 4
+
+(* Index keys: orders get (district_no * 2^34) + (o_id * 2^4); order
+   lines add the 1-based line number in the low bits, keeping keys
+   unique and clustered per district (ascending per district, like real
+   TPC-C order ids). *)
+let order_key ~dno ~o_id = (dno lsl 34) lor (o_id lsl 4)
+let order_line_key ~dno ~o_id ~line = order_key ~dno ~o_id lor line
+
+type ops = {
+  insert : Ptm.tx -> key:int -> value:int -> bool;
+}
+
+let attach_index kind ptm =
+  let desc = Ptm.root_get ptm index_slot in
+  match kind with
+  | Btree ->
+    let t = Bptree.attach ptm desc in
+    { insert = (fun tx ~key ~value -> Bptree.insert tx t ~key ~value) }
+  | Hash ->
+    let h = H.attach ptm desc in
+    { insert = (fun tx ~key ~value -> H.put tx h ~key ~value) }
+
+let setup kind ptm =
+  (match kind with
+  | Btree ->
+    let t = Bptree.create ptm in
+    Ptm.root_set ptm index_slot (Bptree.descriptor t)
+  | Hash ->
+    let h = H.create ptm ~buckets:(1 lsl 15) in
+    Ptm.root_set ptm index_slot (H.descriptor h));
+  let ndistricts = warehouses * districts_per_warehouse in
+  Ptm.atomic ptm (fun tx ->
+      let d = Ptm.alloc tx (ndistricts * district_words) in
+      for i = 0 to ndistricts - 1 do
+        Ptm.write tx (d + (i * district_words)) 1 (* next_o_id *)
+      done;
+      Ptm.root_set ptm district_slot d);
+  (* Stock: one block per warehouse (w*items*4 words exceeds the block
+     limit, so allocate per warehouse slice of <=512 words chunks). *)
+  let per_chunk = 512 / stock_words in
+  let chunks = (warehouses * items + per_chunk - 1) / per_chunk in
+  let dir =
+    Ptm.atomic ptm (fun tx ->
+        let dir = Ptm.alloc tx chunks in
+        Ptm.root_set ptm stock_slot dir;
+        dir)
+  in
+  for c = 0 to chunks - 1 do
+    Ptm.atomic ptm (fun tx ->
+        let chunk = Ptm.alloc tx 512 in
+        for i = 0 to per_chunk - 1 do
+          Ptm.write tx (chunk + (i * stock_words)) 10_000 (* quantity *)
+        done;
+        Ptm.write tx (dir + c) chunk)
+  done
+
+let stock_addr ptm tx ~w ~item =
+  let per_chunk = 512 / stock_words in
+  let idx = (w * items) + item in
+  let dir = Ptm.root_get ptm stock_slot in
+  let chunk = Ptm.read tx (dir + (idx / per_chunk)) in
+  chunk + (idx mod per_chunk * stock_words)
+
+let make_op kind ptm ~tid ~rng =
+  let index = attach_index kind ptm in
+  let districts = Ptm.root_get ptm district_slot in
+  (* TPC-C terminals are bound to a home warehouse; 10% of orders go
+     to a remote one (the standard remote-payment/new-order skew). *)
+  let home = tid mod warehouses in
+  fun () ->
+    let w =
+      if Repro_util.Rng.chance rng 0.1 then Repro_util.Rng.int rng warehouses else home
+    in
+    let d = Repro_util.Rng.int rng districts_per_warehouse in
+    let dno = (w * districts_per_warehouse) + d in
+    let n_lines = 5 + Repro_util.Rng.int rng 11 in
+    let line_items = Array.init n_lines (fun _ -> Repro_util.Rng.int rng items) in
+    Ptm.atomic ptm (fun tx ->
+        let daddr = districts + (dno * district_words) in
+        let o_id = Ptm.read tx daddr in
+        Ptm.write tx daddr (o_id + 1);
+        (* Order row. *)
+        let orow = Ptm.alloc tx 6 in
+        Ptm.write tx orow o_id;
+        Ptm.write tx (orow + 1) dno;
+        Ptm.write tx (orow + 2) n_lines;
+        ignore (index.insert tx ~key:(order_key ~dno ~o_id) ~value:orow);
+        (* Order lines + stock updates. *)
+        Array.iteri
+          (fun l item ->
+            let saddr = stock_addr ptm tx ~w ~item in
+            let qty = Ptm.read tx saddr in
+            Ptm.write tx saddr (if qty > 10 then qty - 1 else qty + 91);
+            let ol = Ptm.alloc tx 4 in
+            Ptm.write tx ol item;
+            Ptm.write tx (ol + 1) o_id;
+            Ptm.write tx (ol + 2) (1 + Repro_util.Rng.int rng 10);
+            ignore (index.insert tx ~key:(order_line_key ~dno ~o_id ~line:(l + 1)) ~value:ol))
+          line_items)
+
+let spec kind =
+  {
+    Driver.name = (match kind with Btree -> "tpcc-btree" | Hash -> "tpcc-hash");
+    heap_words = 1 lsl 22;
+    setup = setup kind;
+    make_op = make_op kind;
+  }

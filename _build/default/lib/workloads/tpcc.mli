@@ -1,0 +1,21 @@
+(** Write-only TPC-C new-order from DudeTM (Fig 3, panels c and d).
+
+    Scaled population: 32 warehouses x 10 districts, 1 000 items with
+    per-warehouse stock.  Each transaction is a new-order:
+
+    - read-increment the district's next_o_id (the hot word that drives
+      the commit/abort ratios of Tables I and II),
+    - insert an order row into the order index,
+    - for 5–15 random items: decrement stock quantity and insert an
+      order-line row into the index.
+
+    Two index configurations, as in the paper: a B+Tree and a hash
+    table. *)
+
+type index = Btree | Hash
+
+val spec : index -> Driver.spec
+
+val warehouses : int
+val districts_per_warehouse : int
+val items : int

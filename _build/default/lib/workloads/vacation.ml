@@ -1,0 +1,157 @@
+module Ptm = Pstm.Ptm
+module Bptree = Pstructs.Bptree
+
+type contention = Low | High
+
+type params = {
+  relations : int; (* rows per relation *)
+  queries_per_tx : int;
+  user_pct : int; (* percentage of reservation txs *)
+  inter_tx_work_ns : int;
+}
+
+let params = function
+  | Low -> { relations = 16_384; queries_per_tx = 2; user_pct = 98; inter_tx_work_ns = 1_500 }
+  | High -> { relations = 1_024; queries_per_tx = 4; user_pct = 90; inter_tx_work_ns = 1_500 }
+
+(* Resource row: [total; used; price].  Customer row: [bookings].
+   Reservation row: 8 words (customer, relation, resource id, price,
+   and padding fields), indexed by (customer << 22 | rel << 20 | id) in
+   a reservations B+Tree — this is what gives Vacation its sizeable
+   redo logs (the paper measured up to 37 cache lines). *)
+let resource_words = 3
+let reservation_words = 8
+let n_relations = 3 (* cars, flights, rooms *)
+
+(* Region roots: 0..2 = relations, 3 = customers, 4 = reservations. *)
+let customer_slot = 3
+let reservation_slot = 4
+
+let reservation_key ~customer ~rel ~id = (customer lsl 22) lor (rel lsl 20) lor id
+
+let setup p ptm =
+  let rng = Repro_util.Rng.create 0xACA in
+  for rel = 0 to n_relations - 1 do
+    let t = Bptree.create ptm in
+    Ptm.root_set ptm rel (Bptree.descriptor t);
+    for id = 1 to p.relations do
+      Ptm.atomic ptm (fun tx ->
+          let row = Ptm.alloc tx resource_words in
+          Ptm.write tx row (5 + Repro_util.Rng.int rng 5) (* total *);
+          Ptm.write tx (row + 1) 0 (* used *);
+          Ptm.write tx (row + 2) (50 + Repro_util.Rng.int rng 450) (* price *);
+          ignore (Bptree.insert tx t ~key:id ~value:row))
+    done
+  done;
+  let cust = Bptree.create ptm in
+  Ptm.root_set ptm customer_slot (Bptree.descriptor cust);
+  for id = 1 to p.relations do
+    Ptm.atomic ptm (fun tx ->
+        let row = Ptm.alloc tx 1 in
+        Ptm.write tx row 0;
+        ignore (Bptree.insert tx cust ~key:id ~value:row))
+  done;
+  let res = Bptree.create ptm in
+  Ptm.root_set ptm reservation_slot (Bptree.descriptor res)
+
+let make_op p ptm ~tid ~rng =
+  ignore tid;
+  let m = Ptm.machine ptm in
+  let rels = Array.init n_relations (fun i -> Bptree.attach ptm (Ptm.root_get ptm i)) in
+  let cust = Bptree.attach ptm (Ptm.root_get ptm customer_slot) in
+  let reservations = Bptree.attach ptm (Ptm.root_get ptm reservation_slot) in
+  let reservation () =
+    let customer = 1 + Repro_util.Rng.int rng p.relations in
+    (* Choose candidate (relation, id) pairs up front so retries are
+       deterministic within the transaction body. *)
+    let picks =
+      Array.init p.queries_per_tx (fun _ ->
+          (Repro_util.Rng.int rng n_relations, 1 + Repro_util.Rng.int rng p.relations))
+    in
+    Ptm.atomic ptm (fun tx ->
+        (* Find the cheapest available pick. *)
+        let best = ref None in
+        Array.iter
+          (fun (rel, id) ->
+            match Bptree.lookup tx rels.(rel) id with
+            | None -> ()
+            | Some row ->
+              let total = Ptm.read tx row and used = Ptm.read tx (row + 1) in
+              let price = Ptm.read tx (row + 2) in
+              if used < total then
+                match !best with
+                | Some (_, best_price, _, _) when best_price <= price -> ()
+                | Some _ | None -> best := Some (row, price, rel, id))
+          picks;
+        match !best with
+        | None -> ()
+        | Some (row, price, rel, id) ->
+          Ptm.write tx (row + 1) (Ptm.read tx (row + 1) + 1);
+          (match Bptree.lookup tx cust customer with
+          | Some c -> Ptm.write tx c (Ptm.read tx c + 1)
+          | None -> ());
+          (* Materialize the reservation row and index it. *)
+          let r = Ptm.alloc tx reservation_words in
+          Ptm.write tx r customer;
+          Ptm.write tx (r + 1) rel;
+          Ptm.write tx (r + 2) id;
+          Ptm.write tx (r + 3) price;
+          for f = 4 to reservation_words - 1 do
+            Ptm.write tx (r + f) (customer + f)
+          done;
+          ignore
+            (Bptree.insert tx reservations ~key:(reservation_key ~customer ~rel ~id) ~value:r))
+  in
+  let delete_customer () =
+    let customer = 1 + Repro_util.Rng.int rng p.relations in
+    let rel = Repro_util.Rng.int rng n_relations in
+    let id = 1 + Repro_util.Rng.int rng p.relations in
+    Ptm.atomic ptm (fun tx ->
+        match Bptree.lookup tx cust customer with
+        | Some c when Ptm.read tx c > 0 ->
+          Ptm.write tx c (Ptm.read tx c - 1);
+          (match Bptree.lookup tx rels.(rel) id with
+          | Some row when Ptm.read tx (row + 1) > 0 ->
+            Ptm.write tx (row + 1) (Ptm.read tx (row + 1) - 1)
+          | Some _ | None -> ());
+          (* Retire the matching reservation row, if any. *)
+          let key = reservation_key ~customer ~rel ~id in
+          (match Bptree.lookup tx reservations key with
+          | Some r ->
+            ignore (Bptree.remove tx reservations key);
+            Ptm.free tx r
+          | None -> ())
+        | Some _ | None -> ())
+  in
+  let update_tables () =
+    let rel = Repro_util.Rng.int rng n_relations in
+    let id = 1 + Repro_util.Rng.int rng p.relations in
+    let grow = Repro_util.Rng.bool rng in
+    Ptm.atomic ptm (fun tx ->
+        match Bptree.lookup tx rels.(rel) id with
+        | Some row ->
+          if grow then Ptm.write tx row (Ptm.read tx row + 1)
+          else begin
+            let total = Ptm.read tx row and used = Ptm.read tx (row + 1) in
+            if total > used then Ptm.write tx row (total - 1)
+          end;
+          Ptm.write tx (row + 2) (50 + Repro_util.Rng.int rng 450)
+        | None -> ())
+  in
+  fun () ->
+    (* STAMP vacation does real work between transactions. *)
+    m.Machine.pause p.inter_tx_work_ns;
+    let dice = Repro_util.Rng.int rng 100 in
+    if dice < p.user_pct then reservation ()
+    else if dice < p.user_pct + (100 - p.user_pct) / 2 then delete_customer ()
+    else update_tables ()
+
+let spec contention =
+  let p = params contention in
+  {
+    Driver.name =
+      (match contention with Low -> "vacation-low" | High -> "vacation-high");
+    heap_words = 1 lsl 21;
+    setup = setup p;
+    make_op = make_op p;
+  }

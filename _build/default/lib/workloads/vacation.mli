@@ -1,0 +1,24 @@
+(** The STAMP Vacation travel-reservation benchmark, as packaged in
+    Whisper (Fig 3, panels e and f).
+
+    Three resource relations (cars, flights, rooms) held in B+Trees,
+    plus a customer table.  Transaction mix (STAMP parameters):
+
+    - reservations: query [queries_per_tx] random resources across the
+      relations, book the cheapest available one for a random customer;
+    - delete-customer: release a customer's reservations;
+    - update-tables: an "administrator" adds/retires resources.
+
+    Contention levels follow STAMP:
+    - low  (-n2 -q90 -u98 -r16384 scaled): large relations, few queried
+      rows, almost all user transactions;
+    - high (-n4 -q60 -u90 -r1024 scaled): small relations, more queried
+      rows, more administrative writes.
+
+    Vacation is the workload with real inter-transaction work; the
+    driver thunk models it with a fixed virtual pause between
+    transactions, which is why eADR gains are muted here (§III-C). *)
+
+type contention = Low | High
+
+val spec : contention -> Driver.spec

@@ -1,0 +1,125 @@
+module Ptm = Pstm.Ptm
+module H = Pstructs.Phashtable
+module Bptree = Pstructs.Bptree
+
+type mix = A | B | C | D | E | F
+
+let mix_name = function A -> "a" | B -> "b" | C -> "c" | D -> "d" | E -> "e" | F -> "f"
+
+let records = 8_192
+let field_words = 13 (* ~100 bytes *)
+let fields = 10
+let record_words = fields * field_words (* 130 words ~ 1 KB *)
+
+let hash_slot = 0
+let tree_slot = 1
+let next_key_slot = 2 (* persistent insert cursor for D/E *)
+
+let setup ptm =
+  let h = H.create ptm ~buckets:(2 * records) in
+  let t = Bptree.create ptm in
+  Ptm.root_set ptm hash_slot (H.descriptor h);
+  Ptm.root_set ptm tree_slot (Bptree.descriptor t);
+  for key = 1 to records do
+    Ptm.atomic ptm (fun tx ->
+        let blob = Ptm.alloc tx record_words in
+        for i = 0 to record_words - 1 do
+          Ptm.write tx (blob + i) (key + i)
+        done;
+        ignore (H.put tx h ~key ~value:blob);
+        ignore (Bptree.insert tx t ~key ~value:blob))
+  done;
+  Ptm.atomic ptm (fun tx ->
+      let c = Ptm.alloc tx 1 in
+      Ptm.write tx c (records + 1);
+      Ptm.root_set ptm next_key_slot c)
+
+let read_record tx blob =
+  let acc = ref 0 in
+  for i = 0 to record_words - 1 do
+    acc := !acc lxor Ptm.read tx (blob + i)
+  done;
+  !acc
+
+let update_field tx blob rng =
+  let f = Repro_util.Rng.int rng fields in
+  for i = 0 to field_words - 1 do
+    Ptm.write tx (blob + (f * field_words) + i) (Repro_util.Rng.next rng land 0xFFFF)
+  done
+
+let insert_record tx h t cursor rng =
+  ignore rng;
+  let key = Ptm.read tx cursor in
+  Ptm.write tx cursor (key + 1);
+  let blob = Ptm.alloc tx record_words in
+  for i = 0 to record_words - 1 do
+    Ptm.write tx (blob + i) (key + i)
+  done;
+  ignore (H.put tx h ~key ~value:blob);
+  ignore (Bptree.insert tx t ~key ~value:blob)
+
+let make_op mix ptm ~tid ~rng =
+  ignore tid;
+  let h = H.attach ptm (Ptm.root_get ptm hash_slot) in
+  let t = Bptree.attach ptm (Ptm.root_get ptm tree_slot) in
+  let cursor = Ptm.root_get ptm next_key_slot in
+  let zipf = Repro_util.Zipf.create records in
+  let pick () = 1 + Repro_util.Zipf.sample zipf rng in
+  let read key =
+    Ptm.atomic ptm (fun tx ->
+        match H.get tx h key with Some blob -> ignore (read_record tx blob) | None -> ())
+  in
+  let update key =
+    Ptm.atomic ptm (fun tx ->
+        match H.get tx h key with Some blob -> update_field tx blob rng | None -> ())
+  in
+  let read_modify_write key =
+    Ptm.atomic ptm (fun tx ->
+        match H.get tx h key with
+        | Some blob ->
+          ignore (read_record tx blob);
+          update_field tx blob rng
+        | None -> ())
+  in
+  let insert () = Ptm.atomic ptm (fun tx -> insert_record tx h t cursor rng) in
+  let read_latest () =
+    Ptm.atomic ptm (fun tx ->
+        let newest = Ptm.read tx cursor - 1 in
+        (* Skew towards the most recent keys. *)
+        let back = Repro_util.Zipf.sample zipf rng in
+        let key = max 1 (newest - back) in
+        match H.get tx h key with Some blob -> ignore (read_record tx blob) | None -> ())
+  in
+  let scan () =
+    let len = 1 + Repro_util.Rng.int rng 100 in
+    let lo = pick () in
+    Ptm.atomic ptm (fun tx ->
+        (* Read the first field of up to [len] consecutive records. *)
+        let count = ref 0 in
+        ignore
+          (Bptree.fold_range tx t ~lo ~hi:(lo + (4 * len)) (fun () _k blob ->
+               if !count < len then begin
+                 incr count;
+                 for i = 0 to field_words - 1 do
+                   ignore (Ptm.read tx (blob + i))
+                 done
+               end)
+             ()))
+  in
+  fun () ->
+    let dice = Repro_util.Rng.int rng 100 in
+    match mix with
+    | A -> if dice < 50 then read (pick ()) else update (pick ())
+    | B -> if dice < 95 then read (pick ()) else update (pick ())
+    | C -> read (pick ())
+    | D -> if dice < 95 then read_latest () else insert ()
+    | E -> if dice < 95 then scan () else insert ()
+    | F -> if dice < 50 then read (pick ()) else read_modify_write (pick ())
+
+let spec mix =
+  {
+    Driver.name = "ycsb-" ^ mix_name mix;
+    heap_words = 1 lsl 22;
+    setup;
+    make_op = make_op mix;
+  }

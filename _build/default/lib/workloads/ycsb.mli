@@ -1,0 +1,26 @@
+(** YCSB core workloads over the persistent store (extension).
+
+    The standard cloud-serving benchmark mixes, with Zipfian key
+    selection (theta = 0.99), 1-KB records (ten 100-byte fields,
+    modeled as a 128-word blob), run over either the hash index
+    (workloads A–D, F) or the B+Tree (workload E, which scans):
+
+    - A: 50% read / 50% update
+    - B: 95% read / 5% update
+    - C: 100% read
+    - D: 95% read-latest / 5% insert
+    - E: 95% short range scan (uniform length 1–100) / 5% insert
+    - F: 50% read / 50% read-modify-write
+
+    Not part of the paper's evaluation; included because YCSB is the
+    de-facto workload for persistent KV stores and exercises the
+    ordered index in ways TPC-C does not. *)
+
+type mix = A | B | C | D | E | F
+
+val mix_name : mix -> string
+
+val records : int
+(** Initial population (8 192 records). *)
+
+val spec : mix -> Driver.spec

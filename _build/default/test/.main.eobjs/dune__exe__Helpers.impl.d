@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Memsim Pstm QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Helpers List Repro_util String Workloads

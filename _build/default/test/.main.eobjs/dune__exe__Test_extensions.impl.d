@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Helpers Machine Memsim Printf Pstm Ptm Workloads

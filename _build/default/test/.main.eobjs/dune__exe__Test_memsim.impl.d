@@ -1,0 +1,1 @@
+test/test_memsim.ml: Alcotest Cache Config Fun Helpers List Machine Memsim Printf Repro_util Sched Server Sim Trace

@@ -1,0 +1,1 @@
+test/test_native.ml: Alcotest Atomic Domain Helpers List Machine Pstm Pstructs Repro_util

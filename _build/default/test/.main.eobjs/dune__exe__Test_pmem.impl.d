@@ -1,0 +1,1 @@
+test/test_pmem.ml: Alcotest Alloc Check Hashtbl Helpers List Machine Memsim Pmem Pstm QCheck2 Region Repro_util

@@ -1,0 +1,1 @@
+test/test_pstm.ml: Alcotest Array Helpers List Machine Memsim Printf Pstm Ptm QCheck2 Repro_util

@@ -1,0 +1,1 @@
+test/test_pstm2.ml: Alcotest Helpers List Machine Memsim Printf Pstm Ptm

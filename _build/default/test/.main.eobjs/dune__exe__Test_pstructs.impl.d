@@ -1,0 +1,1 @@
+test/test_pstructs.ml: Alcotest Array Bptree Hashtbl Helpers Int List Map Memsim Phashtable Plist Pqueue Printf Pstm Pstructs QCheck2 Repro_util

@@ -1,0 +1,1 @@
+test/test_pstructs2.ml: Alcotest Bptree Char Filename Fun Helpers Int List Map Memsim Parray Pblob Pqueue Pskiplist Pstm Pstructs QCheck2 Queue Repro_util String Sys

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Helpers Histogram Int_vec List Lru Min_heap Printf QCheck2 Repro_util Rng Stats Table Zipf

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Btree_bench Driver Experiments Helpers List Machine Memcached Memsim Printf Pstm Pstructs Repro_util Tatp Tpcc Vacation Workloads Ycsb

@@ -1,0 +1,27 @@
+(* Shared fixtures for the test suites. *)
+
+let sim_machine ?(model = Memsim.Config.optane_adr) ?(heap_words = 1 lsl 16) ?lat () =
+  let cfg = Memsim.Config.make ?lat ~heap_words model in
+  let sim = Memsim.Sim.create cfg in
+  (sim, Memsim.Sim.machine sim)
+
+(* Run [threads] simulated workers [f tid] to completion. *)
+let run_workers ?crash_at sim threads f =
+  for tid = 0 to threads - 1 do
+    ignore (Memsim.Sim.spawn sim (fun () -> f tid))
+  done;
+  Memsim.Sim.run ?crash_at sim
+
+(* Reboot a crashed (or finished) sim and recover the PTM on it. *)
+let reboot_and_recover ?algorithm sim =
+  let sim' = Memsim.Sim.reboot sim in
+  let m' = Memsim.Sim.machine sim' in
+  let ptm' = Pstm.Ptm.recover ?algorithm m' in
+  (sim', m', ptm')
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* qcheck bridge: register a property as an alcotest case. *)
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)

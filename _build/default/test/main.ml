@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "optane_ptm_repro"
+    [
+      ("util", Test_util.suite);
+      ("memsim", Test_memsim.suite);
+      ("pmem", Test_pmem.suite);
+      ("pstm", Test_pstm.suite);
+      ("pstm2", Test_pstm2.suite);
+      ("pstructs", Test_pstructs.suite);
+      ("pstructs2", Test_pstructs2.suite);
+      ("workloads", Test_workloads.suite);
+      ("native", Test_native.suite);
+      ("extensions", Test_extensions.suite);
+      ("experiments", Test_experiments.suite);
+    ]

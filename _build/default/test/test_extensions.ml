@@ -1,0 +1,202 @@
+(* Extensions beyond the paper's evaluation: HTM mode, Memory Mode,
+   and the reserve-power model. *)
+
+open Pstm
+module Sim = Memsim.Sim
+module Config = Memsim.Config
+
+let fixture ?(model = Config.optane_eadr) ?(algorithm = Ptm.Htm) () =
+  let sim, m = Helpers.sim_machine ~model ~heap_words:(1 lsl 16) () in
+  let ptm = Ptm.create ~algorithm ~max_threads:8 ~log_words_per_thread:1024 m in
+  (sim, m, ptm)
+
+(* ---------- HTM ---------- *)
+
+let test_htm_rejected_under_adr () =
+  let _sim, m = Helpers.sim_machine ~model:Config.optane_adr () in
+  Alcotest.check_raises "ADR + HTM is invalid"
+    (Invalid_argument "Ptm: the HTM algorithm requires an eADR-class durability domain")
+    (fun () -> ignore (Ptm.create ~algorithm:Ptm.Htm m))
+
+let test_htm_basic_semantics () =
+  let _, _, ptm = fixture () in
+  let addr =
+    Ptm.atomic ptm (fun tx ->
+        let a = Ptm.alloc tx 4 in
+        Ptm.write tx a 7;
+        Ptm.write tx (a + 1) 8;
+        Helpers.check_int "read own write" 7 (Ptm.read tx a);
+        a)
+  in
+  Ptm.atomic ptm (fun tx ->
+      Helpers.check_int "committed" 7 (Ptm.read tx addr);
+      Helpers.check_int "second word" 8 (Ptm.read tx (addr + 1)))
+
+let test_htm_parallel_counter () =
+  let sim, _, ptm = fixture () in
+  let addr =
+    Ptm.atomic ptm (fun tx ->
+        let a = Ptm.alloc tx 1 in
+        Ptm.write tx a 0;
+        a)
+  in
+  Helpers.run_workers sim 4 (fun _ ->
+      for _ = 1 to 100 do
+        Ptm.atomic ptm (fun tx -> Ptm.write tx addr (Ptm.read tx addr + 1))
+      done);
+  Ptm.atomic ptm (fun tx -> Helpers.check_int "no lost updates" 400 (Ptm.read tx addr))
+
+let test_htm_capacity_falls_back () =
+  (* A transaction larger than the HTM write capacity must still
+     commit, through the STM fallback path. *)
+  let _, _, ptm = fixture () in
+  let base = Ptm.atomic ptm (fun tx -> Ptm.alloc tx 512) in
+  Ptm.Stats.reset ptm;
+  Ptm.atomic ptm (fun tx ->
+      (* 512 words over 64+ lines > the 128-line cap is not reachable
+         with one block; touch two blocks' worth of lines. *)
+      for i = 0 to 511 do
+        Ptm.write tx (base + i) i
+      done);
+  let s = Ptm.Stats.get ptm in
+  Helpers.check_int "committed exactly once" 1 s.Ptm.Stats.commits;
+  Ptm.atomic ptm (fun tx -> Helpers.check_int "data landed" 99 (Ptm.read tx (base + 99)))
+
+let test_htm_crash_atomicity () =
+  (* Uncommitted HTM state must vanish on a crash; committed state must
+     survive (eADR publishes into the durability domain atomically). *)
+  let sim, _, ptm = fixture () in
+  let words = 4 in
+  let base =
+    Ptm.atomic ptm (fun tx ->
+        let a = Ptm.alloc tx words in
+        for i = 0 to words - 1 do
+          Ptm.write tx (a + i) 0
+        done;
+        a)
+  in
+  Ptm.root_set ptm 0 base;
+  Sim.persist_all sim;
+  Helpers.run_workers sim 3 ~crash_at:150_000 (fun _ ->
+      for _ = 1 to 10_000 do
+        Ptm.atomic ptm (fun tx ->
+            for i = 0 to words - 1 do
+              Ptm.write tx (base + i) (Ptm.read tx (base + i) + 1)
+            done)
+      done);
+  let sim' = Sim.reboot sim in
+  let m' = Sim.machine sim' in
+  ignore (Ptm.recover ~algorithm:Ptm.Htm m');
+  let v0 = m'.Machine.raw_read base in
+  for i = 1 to words - 1 do
+    Helpers.check_int "HTM atomicity across crash" v0 (m'.Machine.raw_read (base + i))
+  done
+
+let test_htm_no_flushes_issued () =
+  let sim, _, ptm = fixture () in
+  let addr = Ptm.atomic ptm (fun tx -> Ptm.alloc tx 1) in
+  Memsim.Sim.reset_timing sim;
+  ignore
+    (Sim.spawn sim (fun () ->
+         for _ = 1 to 50 do
+           Ptm.atomic ptm (fun tx -> Ptm.write tx addr (Ptm.read tx addr + 1))
+         done));
+  Sim.run sim;
+  let s = Sim.Stats.get sim in
+  Helpers.check_int "no clwb under HTM" 0 s.Sim.Stats.clwbs;
+  Helpers.check_int "no sfence under HTM" 0 s.Sim.Stats.sfences
+
+(* ---------- Memory Mode ---------- *)
+
+let test_memory_mode_loses_everything () =
+  let sim, m = Helpers.sim_machine ~model:Config.memory_mode () in
+  ignore
+    (Sim.spawn sim (fun () ->
+         m.Machine.store 100 7;
+         for _ = 1 to 50 do
+           m.Machine.pause 1000
+         done));
+  Sim.run ~crash_at:10_000 sim;
+  let sim' = Sim.reboot sim in
+  Helpers.check_int "memory mode resets on reboot" 0 ((Sim.machine sim').Machine.raw_read 100)
+
+let test_memory_mode_fast_like_pdram () =
+  let time model =
+    let sim, m = Helpers.sim_machine ~model () in
+    ignore
+      (Sim.spawn sim (fun () ->
+           for i = 0 to 999 do
+             m.Machine.store (i * 8) i
+           done));
+    Sim.run sim;
+    Sim.now sim
+  in
+  Helpers.check_int "identical runtime behaviour" (time Config.pdram) (time Config.memory_mode)
+
+(* ---------- reserve-power model ---------- *)
+
+let test_debt_sampling () =
+  let sim, m = Helpers.sim_machine ~model:Config.optane_eadr () in
+  ignore
+    (Sim.spawn sim (fun () ->
+         for i = 0 to 63 do
+           m.Machine.store (i * 8) 1
+         done));
+  Sim.run sim;
+  let d = Sim.Debt.sample sim in
+  Helpers.check_bool "dirty lines observed" true (d.Sim.Debt.dirty_l3_lines > 0);
+  let e = Sim.Debt.reserve_energy_nj sim d in
+  Helpers.check_bool "positive reserve energy" true (e > 0.0)
+
+let test_debt_adr_counts_only_wpq () =
+  let sim, m = Helpers.sim_machine ~model:Config.optane_adr () in
+  ignore
+    (Sim.spawn sim (fun () ->
+         for i = 0 to 63 do
+           m.Machine.store (i * 8) 1
+         done
+         (* dirty lines, nothing flushed: ADR would lose them, so they
+            are not part of the reserve-power requirement *)));
+  Sim.run sim;
+  let d = Sim.Debt.sample sim in
+  let e = Sim.Debt.reserve_energy_nj sim d in
+  Helpers.check_bool "ADR reserve covers only the WPQ" true
+    (e <= float_of_int d.Sim.Debt.wpq_lines *. 100.0)
+
+let test_energy_ordering_across_domains () =
+  (* The paper's power argument: ADR < eADR <= PDRAM reserve needs. *)
+  let max_energy model =
+    let worst = ref 0.0 in
+    let sample sim =
+      let d = Sim.Debt.sample sim in
+      worst := max !worst (Sim.Debt.reserve_energy_nj sim d)
+    in
+    ignore
+      (Workloads.Driver.run ~duration_ns:300_000 ~monitor:(5_000, sample) ~model
+         ~algorithm:Ptm.Redo ~threads:4 Workloads.Tatp.spec);
+    !worst
+  in
+  let adr = max_energy Config.optane_adr in
+  let eadr = max_energy Config.optane_eadr in
+  let pdram = max_energy Config.pdram in
+  Helpers.check_bool
+    (Printf.sprintf "adr(%.0f) < eadr(%.0f)" adr eadr)
+    true (adr < eadr);
+  Helpers.check_bool
+    (Printf.sprintf "eadr(%.0f) < pdram(%.0f)" eadr pdram)
+    true (eadr < pdram)
+
+let suite =
+  [
+    Alcotest.test_case "htm: rejected under ADR" `Quick test_htm_rejected_under_adr;
+    Alcotest.test_case "htm: semantics" `Quick test_htm_basic_semantics;
+    Alcotest.test_case "htm: parallel counter" `Quick test_htm_parallel_counter;
+    Alcotest.test_case "htm: capacity fallback" `Quick test_htm_capacity_falls_back;
+    Alcotest.test_case "htm: crash atomicity" `Quick test_htm_crash_atomicity;
+    Alcotest.test_case "htm: flush-free" `Quick test_htm_no_flushes_issued;
+    Alcotest.test_case "memory mode: volatile" `Quick test_memory_mode_loses_everything;
+    Alcotest.test_case "memory mode: PDRAM speed" `Quick test_memory_mode_fast_like_pdram;
+    Alcotest.test_case "energy: debt sampling" `Quick test_debt_sampling;
+    Alcotest.test_case "energy: ADR = WPQ only" `Quick test_debt_adr_counts_only_wpq;
+    Alcotest.test_case "energy: domain ordering" `Quick test_energy_ordering_across_domains;
+  ]

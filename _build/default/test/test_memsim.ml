@@ -1,0 +1,499 @@
+open Memsim
+
+(* ---------- scheduler ---------- *)
+
+let test_sched_virtual_time_order () =
+  let s = Sched.create () in
+  let trace = ref [] in
+  ignore
+    (Sched.spawn s (fun () ->
+         Sched.wait s 10;
+         trace := (`A, Sched.now s) :: !trace;
+         Sched.wait s 20;
+         trace := (`A, Sched.now s) :: !trace));
+  ignore
+    (Sched.spawn s (fun () ->
+         Sched.wait s 15;
+         trace := (`B, Sched.now s) :: !trace;
+         Sched.wait s 25;
+         trace := (`B, Sched.now s) :: !trace));
+  Sched.run s;
+  let times = List.rev_map snd !trace in
+  Alcotest.(check (list int)) "events in time order" [ 10; 15; 30; 40 ] times
+
+let test_sched_fifo_ties () =
+  let s = Sched.create () in
+  let order = ref [] in
+  for i = 0 to 4 do
+    ignore
+      (Sched.spawn s (fun () ->
+           Sched.wait s 5;
+           order := i :: !order))
+  done;
+  Sched.run s;
+  Alcotest.(check (list int)) "spawn order at equal times" [ 0; 1; 2; 3; 4 ] (List.rev !order)
+
+let test_sched_crash_kills () =
+  let s = Sched.create () in
+  let completed = ref 0 in
+  let cleaned = ref 0 in
+  for _ = 0 to 2 do
+    ignore
+      (Sched.spawn s (fun () ->
+           Fun.protect
+             ~finally:(fun () -> incr cleaned)
+             (fun () ->
+               for _ = 1 to 100 do
+                 Sched.wait s 10
+               done;
+               incr completed)))
+  done;
+  Sched.run ~crash_at:500 s;
+  Helpers.check_bool "crashed" true (Sched.crashed s);
+  Helpers.check_int "no thread completed" 0 !completed;
+  Helpers.check_int "protect cleanup ran in every thread" 3 !cleaned
+
+let test_sched_wait_outside_thread_noop () =
+  let s = Sched.create () in
+  Sched.wait s 1000;
+  Helpers.check_int "time does not advance outside threads" 0 (Sched.now s)
+
+let test_sched_crash_time_bound () =
+  let s = Sched.create () in
+  ignore
+    (Sched.spawn s (fun () ->
+         for _ = 1 to 1000 do
+           Sched.wait s 7
+         done));
+  Sched.run ~crash_at:100 s;
+  Helpers.check_bool "final time within crash bound" true (Sched.now s <= 100)
+
+(* ---------- bandwidth server ---------- *)
+
+let test_server_sync_queueing () =
+  let srv = Server.create ~service_ns:10 ~capacity:0 in
+  let c1 = Server.acquire_sync srv ~now:0 ~latency_ns:100 in
+  let c2 = Server.acquire_sync srv ~now:0 ~latency_ns:100 in
+  let c3 = Server.acquire_sync srv ~now:0 ~latency_ns:100 in
+  Helpers.check_int "first unqueued" 100 c1;
+  Helpers.check_int "second queued by one service" 110 c2;
+  Helpers.check_int "third queued by two services" 120 c3
+
+let test_server_sync_idle_resets () =
+  let srv = Server.create ~service_ns:10 ~capacity:0 in
+  ignore (Server.acquire_sync srv ~now:0 ~latency_ns:100);
+  let c = Server.acquire_sync srv ~now:1000 ~latency_ns:100 in
+  Helpers.check_int "no queueing after idle gap" 1100 c
+
+let test_server_async_backpressure () =
+  let srv = Server.create ~service_ns:10 ~capacity:2 in
+  let a1 = Server.enqueue_async srv ~now:0 in
+  let a2 = Server.enqueue_async srv ~now:0 in
+  let a3 = Server.enqueue_async srv ~now:0 in
+  Helpers.check_int "a1 immediate" 0 a1.Server.ready;
+  Helpers.check_int "a2 immediate" 0 a2.Server.ready;
+  Helpers.check_bool "a3 stalls until a1 drains" true (a3.Server.ready >= a1.Server.completion);
+  Helpers.check_bool "stall accounted" true (Server.stall_ns srv > 0)
+
+let test_server_async_throughput_bound () =
+  let srv = Server.create ~service_ns:10 ~capacity:4 in
+  let last = ref 0 in
+  for _ = 1 to 100 do
+    let a = Server.enqueue_async srv ~now:0 in
+    last := a.Server.completion
+  done;
+  Helpers.check_int "100 entries at 10ns service" 1000 !last
+
+(* ---------- cache model ---------- *)
+
+let test_cache_hit_after_install () =
+  let c = Cache.create ~bytes:1024 ~ways:2 () in
+  (match Cache.access c ~line:1 ~write:false with
+  | Cache.Miss None -> ()
+  | Cache.Miss (Some _) | Cache.Hit -> Alcotest.fail "expected cold miss");
+  match Cache.access c ~line:1 ~write:false with
+  | Cache.Hit -> ()
+  | Cache.Miss _ -> Alcotest.fail "expected hit"
+
+let test_cache_dirty_eviction () =
+  (* 2-way, line 64B: sets = 1024/128 = 8.  Lines 0, 8, 16 collide in set 0. *)
+  let c = Cache.create ~bytes:1024 ~ways:2 () in
+  ignore (Cache.access c ~line:0 ~write:true);
+  ignore (Cache.access c ~line:8 ~write:false);
+  match Cache.access c ~line:16 ~write:false with
+  | Cache.Miss (Some { Cache.line = 0; dirty = true }) -> ()
+  | Cache.Miss _ | Cache.Hit -> Alcotest.fail "expected dirty eviction of line 0"
+
+let test_cache_lru_within_set () =
+  let c = Cache.create ~bytes:1024 ~ways:2 () in
+  ignore (Cache.access c ~line:0 ~write:false);
+  ignore (Cache.access c ~line:8 ~write:false);
+  ignore (Cache.access c ~line:0 ~write:false);
+  (* 8 is now LRU *)
+  (match Cache.access c ~line:16 ~write:false with
+  | Cache.Miss (Some { Cache.line = 8; _ }) -> ()
+  | Cache.Miss _ | Cache.Hit -> Alcotest.fail "expected eviction of line 8");
+  match Cache.access c ~line:0 ~write:false with
+  | Cache.Hit -> ()
+  | Cache.Miss _ -> Alcotest.fail "line 0 should have been retained"
+
+let test_cache_clwb_keeps_line () =
+  let c = Cache.create ~bytes:1024 ~ways:2 () in
+  ignore (Cache.access c ~line:3 ~write:true);
+  Helpers.check_bool "dirty before clwb" true (Cache.resident_dirty c ~line:3);
+  Helpers.check_bool "clwb reports dirty" true (Cache.clean c ~line:3);
+  Helpers.check_bool "clean after clwb" false (Cache.resident_dirty c ~line:3);
+  (match Cache.access c ~line:3 ~write:false with
+  | Cache.Hit -> ()
+  | Cache.Miss _ -> Alcotest.fail "clwb must retain the line");
+  Helpers.check_bool "second clwb is a no-op" false (Cache.clean c ~line:3)
+
+let test_cache_dirty_lines_listing () =
+  let c = Cache.create ~bytes:1024 ~ways:2 () in
+  ignore (Cache.access c ~line:1 ~write:true);
+  ignore (Cache.access c ~line:2 ~write:false);
+  ignore (Cache.access c ~line:3 ~write:true);
+  let dirty = List.sort compare (Cache.dirty_lines c) in
+  Alcotest.(check (list int)) "dirty lines" [ 1; 3 ] dirty
+
+(* ---------- the simulated machine ---------- *)
+
+let test_sim_load_store_roundtrip () =
+  let sim, m = Helpers.sim_machine () in
+  ignore
+    (Sim.spawn sim (fun () ->
+         m.Machine.store 100 42;
+         Helpers.check_int "read back" 42 (m.Machine.load 100)));
+  Sim.run sim;
+  Helpers.check_int "raw read agrees" 42 (m.Machine.raw_read 100)
+
+let test_sim_nvm_slower_than_dram () =
+  let run model =
+    let sim, m = Helpers.sim_machine ~model () in
+    ignore
+      (Sim.spawn sim (fun () ->
+           (* Strided cold loads: all L3 misses. *)
+           for i = 0 to 255 do
+             ignore (m.Machine.load (i * 64))
+           done));
+    Sim.run sim;
+    Sim.now sim
+  in
+  let dram = run Config.dram_eadr and nvm = run Config.optane_eadr in
+  Helpers.check_bool
+    (Printf.sprintf "optane misses ~3x dram (dram=%d nvm=%d)" dram nvm)
+    true
+    (float_of_int nvm > 2.0 *. float_of_int dram)
+
+let test_sim_clwb_fence_cost () =
+  (* ADR with flushes+fences must be slower than the same program under
+     eADR (no flushes) — the core Fig 3/4 mechanism. *)
+  let run model =
+    let sim, m = Helpers.sim_machine ~model () in
+    ignore
+      (Sim.spawn sim (fun () ->
+           for i = 0 to 199 do
+             m.Machine.store i (i * 3);
+             if m.Machine.needs_flush then begin
+               m.Machine.clwb i;
+               if m.Machine.needs_fence then m.Machine.sfence ()
+             end
+           done));
+    Sim.run sim;
+    Sim.now sim
+  in
+  let adr = run Config.optane_adr and eadr = run Config.optane_eadr in
+  Helpers.check_bool (Printf.sprintf "adr=%d > eadr=%d" adr eadr) true (adr > eadr)
+
+let test_sim_nofence_between_adr_and_eadr () =
+  let run model =
+    let sim, m = Helpers.sim_machine ~model () in
+    ignore
+      (Sim.spawn sim (fun () ->
+           for i = 0 to 199 do
+             m.Machine.store i i;
+             if m.Machine.needs_flush then m.Machine.clwb i;
+             if m.Machine.needs_fence then m.Machine.sfence ()
+           done));
+    Sim.run sim;
+    Sim.now sim
+  in
+  let adr = run Config.optane_adr in
+  let nofence = run Config.optane_adr_nofence in
+  let eadr = run Config.optane_eadr in
+  Helpers.check_bool "nofence cheaper than adr" true (nofence < adr);
+  Helpers.check_bool "nofence dearer than eadr" true (nofence > eadr)
+
+let test_sim_crash_adr_loses_unflushed () =
+  let sim, m = Helpers.sim_machine ~model:Config.optane_adr () in
+  ignore
+    (Sim.spawn sim (fun () ->
+         m.Machine.store 100 7;
+         m.Machine.clwb 100;
+         m.Machine.sfence ();
+         m.Machine.store 200 9;
+         (* store 200 never flushed; keep running until the crash *)
+         for _ = 1 to 1000 do
+           m.Machine.pause 100
+         done));
+  Sim.run ~crash_at:50_000 sim;
+  let sim' = Sim.reboot sim in
+  let m' = Sim.machine sim' in
+  Helpers.check_int "flushed store survives" 7 (m'.Machine.raw_read 100);
+  Helpers.check_int "unflushed store lost" 0 (m'.Machine.raw_read 200)
+
+let test_sim_crash_eadr_keeps_cached () =
+  let sim, m = Helpers.sim_machine ~model:Config.optane_eadr () in
+  ignore
+    (Sim.spawn sim (fun () ->
+         m.Machine.store 100 7;
+         m.Machine.store 200 9;
+         for _ = 1 to 100 do
+           m.Machine.pause 100
+         done));
+  Sim.run ~crash_at:500 sim;
+  Helpers.check_bool "crashed" true (Sim.crashed sim);
+  let sim' = Sim.reboot sim in
+  let m' = Sim.machine sim' in
+  Helpers.check_int "cached store survives under eADR" 7 (m'.Machine.raw_read 100);
+  Helpers.check_int "second store too" 9 (m'.Machine.raw_read 200)
+
+let test_sim_crash_dram_loses_everything () =
+  let sim, m = Helpers.sim_machine ~model:Config.dram_eadr () in
+  ignore
+    (Sim.spawn sim (fun () ->
+         m.Machine.store 100 7;
+         for _ = 1 to 100 do
+           m.Machine.pause 100
+         done));
+  Sim.run ~crash_at:500 sim;
+  let sim' = Sim.reboot sim in
+  let m' = Sim.machine sim' in
+  Helpers.check_int "DRAM ramdisk does not survive" 0 (m'.Machine.raw_read 100)
+
+let test_sim_pdram_persists_everything () =
+  let sim, m = Helpers.sim_machine ~model:Config.pdram () in
+  ignore
+    (Sim.spawn sim (fun () ->
+         for i = 0 to 63 do
+           m.Machine.store (i * 8) (i + 1)
+         done;
+         for _ = 1 to 200 do
+           m.Machine.pause 10_000
+         done));
+  Sim.run ~crash_at:500_000 sim;
+  let sim' = Sim.reboot sim in
+  let m' = Sim.machine sim' in
+  let ok = ref true in
+  for i = 0 to 63 do
+    if m'.Machine.raw_read (i * 8) <> i + 1 then ok := false
+  done;
+  Helpers.check_bool "all stores survive under PDRAM" true !ok
+
+let test_sim_persist_all_then_adr_crash () =
+  let sim, m = Helpers.sim_machine ~model:Config.optane_adr () in
+  m.Machine.raw_write 300 123;
+  Sim.persist_all sim;
+  ignore (Sim.spawn sim (fun () -> m.Machine.pause 10_000));
+  Sim.run ~crash_at:100 sim;
+  let sim' = Sim.reboot sim in
+  Helpers.check_int "initialized data survives" 123 ((Sim.machine sim').Machine.raw_read 300)
+
+let test_sim_stats_populated () =
+  let sim, m = Helpers.sim_machine () in
+  ignore
+    (Sim.spawn sim (fun () ->
+         for i = 0 to 99 do
+           m.Machine.store i i;
+           m.Machine.clwb i
+         done;
+         m.Machine.sfence ()));
+  Sim.run sim;
+  let st = Sim.Stats.get sim in
+  Helpers.check_int "stores counted" 100 st.Sim.Stats.stores;
+  Helpers.check_int "clwbs counted" 100 st.Sim.Stats.clwbs;
+  Helpers.check_int "fences counted" 1 st.Sim.Stats.sfences;
+  Helpers.check_bool "some L3 misses" true (st.Sim.Stats.l3_misses > 0)
+
+let test_sim_deterministic () =
+  let run () =
+    let sim, m = Helpers.sim_machine () in
+    let rng = Repro_util.Rng.create 9 in
+    for t = 0 to 3 do
+      let rng = Repro_util.Rng.split rng in
+      ignore
+        (Sim.spawn sim (fun () ->
+             for _ = 1 to 500 do
+               let a = Repro_util.Rng.int rng 4096 in
+               if Repro_util.Rng.bool rng then ignore (m.Machine.load a)
+               else m.Machine.store a t
+             done))
+    done;
+    Sim.run sim;
+    Sim.now sim
+  in
+  Helpers.check_int "same virtual time across runs" (run ()) (run ())
+
+(* Exact-latency pins: lock the timing model down to the nanosecond so
+   calibration changes are deliberate, not accidental. *)
+let test_sim_exact_adr_sequence () =
+  (* store(miss) ; clwb ; sfence — the canonical ADR persist sequence. *)
+  let sim, m = Helpers.sim_machine ~model:Config.optane_adr () in
+  let lat = Config.default_latency in
+  ignore
+    (Sim.spawn sim (fun () ->
+         m.Machine.store 4096 1;
+         m.Machine.clwb 4096;
+         m.Machine.sfence ()));
+  Sim.run sim;
+  (* miss (252) ; clwb issues at 252, entry completes 252+62=314, clwb
+     itself costs 90 -> 342; sfence target 314 already past -> +15. *)
+  let expected = lat.Config.nvm_load_ns + lat.Config.clwb_ns + lat.Config.sfence_ns in
+  Helpers.check_int "ADR persist sequence" expected (Sim.now sim)
+
+let test_sim_exact_fence_wait () =
+  (* A fence issued immediately after a burst of flushes must wait for
+     the WPQ to drain: completion of the 4th entry = 252+4*62. *)
+  let sim, m = Helpers.sim_machine ~model:Config.optane_adr () in
+  let lat = Config.default_latency in
+  ignore
+    (Sim.spawn sim (fun () ->
+         (* Four dirty lines, one miss each. *)
+         for i = 0 to 3 do
+           m.Machine.store (4096 + (i * 8)) 1
+         done;
+         for i = 0 to 3 do
+           m.Machine.clwb (4096 + (i * 8))
+         done;
+         m.Machine.sfence ()));
+  Sim.run sim;
+  let t_after_stores = 4 * lat.Config.nvm_load_ns in
+  let t_after_clwbs = t_after_stores + (4 * lat.Config.clwb_ns) in
+  (* Entries enqueue back-to-back starting at the first clwb issue. *)
+  let last_completion = t_after_stores + (4 * lat.Config.nvm_wpq_service_ns) in
+  let expected = max t_after_clwbs last_completion + lat.Config.sfence_ns in
+  Helpers.check_int "fence drains the queue" expected (Sim.now sim)
+
+let test_sim_exact_cache_hit () =
+  let sim, m = Helpers.sim_machine ~model:Config.optane_adr () in
+  let lat = Config.default_latency in
+  ignore
+    (Sim.spawn sim (fun () ->
+         ignore (m.Machine.load 4096);
+         ignore (m.Machine.load 4097)));
+  Sim.run sim;
+  Helpers.check_int "miss then same-line hit"
+    (lat.Config.nvm_load_ns + lat.Config.cache_hit_ns)
+    (Sim.now sim)
+
+let test_config_model_lookup () =
+  List.iter
+    (fun m ->
+      Helpers.check_bool
+        (m.Config.model_name ^ " roundtrips")
+        true
+        (Config.model_of_name m.Config.model_name == m))
+    Config.all_models;
+  Alcotest.check_raises "unknown model"
+    (Invalid_argument "Config.model_of_name: unknown model \"floppy\"") (fun () ->
+      ignore (Config.model_of_name "floppy"))
+
+let test_sched_wait_until () =
+  let s = Sched.create () in
+  let seen = ref 0 in
+  ignore
+    (Sched.spawn s (fun () ->
+         Sched.wait_until s 500;
+         seen := Sched.now s;
+         (* waiting for the past is free *)
+         Sched.wait_until s 100;
+         Helpers.check_int "no time travel" 500 (Sched.now s)));
+  Sched.run s;
+  Helpers.check_int "woke at target" 500 !seen
+
+let test_trace_records_events () =
+  let sim, m = Helpers.sim_machine () in
+  let tr = Sim.enable_trace ~capacity:16 sim in
+  ignore
+    (Sim.spawn sim (fun () ->
+         m.Machine.store 100 1;
+         m.Machine.clwb 100;
+         m.Machine.sfence ();
+         ignore (m.Machine.load 100)));
+  Sim.run sim;
+  Helpers.check_int "four events" 4 (Trace.recorded tr);
+  let kinds = List.map (fun e -> e.Trace.kind) (Trace.tail tr) in
+  Alcotest.(check bool) "order preserved" true
+    (kinds = [ Trace.Store 100; Trace.Clwb 100; Trace.Sfence; Trace.Load 100 ]);
+  let timestamps = List.map (fun e -> e.Trace.at_ns) (Trace.tail tr) in
+  Helpers.check_bool "timestamps nondecreasing" true
+    (List.sort compare timestamps = timestamps)
+
+let test_trace_ring_bounded () =
+  let sim, m = Helpers.sim_machine () in
+  let tr = Sim.enable_trace ~capacity:8 sim in
+  ignore
+    (Sim.spawn sim (fun () ->
+         for i = 1 to 100 do
+           m.Machine.store i i
+         done));
+  Sim.run sim;
+  Helpers.check_int "all recorded" 100 (Trace.recorded tr);
+  let tail = Trace.tail tr in
+  Helpers.check_int "tail bounded" 8 (List.length tail);
+  (match List.rev tail with
+  | { Trace.kind = Trace.Store 100; _ } :: _ -> ()
+  | _ -> Alcotest.fail "latest event retained");
+  match Trace.find tr (fun e -> e.Trace.kind = Trace.Store 97) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "recent event findable"
+
+let test_trace_marks_crash () =
+  let sim, m = Helpers.sim_machine () in
+  let tr = Sim.enable_trace sim in
+  ignore
+    (Sim.spawn sim (fun () ->
+         for _ = 1 to 1000 do
+           m.Machine.pause 100
+         done));
+  Sim.run ~crash_at:5_000 sim;
+  match Trace.find tr (fun e -> e.Trace.kind = Trace.Crash) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "crash event recorded"
+
+let suite =
+  [
+    Alcotest.test_case "sched: virtual-time order" `Quick test_sched_virtual_time_order;
+    Alcotest.test_case "sched: FIFO ties" `Quick test_sched_fifo_ties;
+    Alcotest.test_case "sched: crash kills threads" `Quick test_sched_crash_kills;
+    Alcotest.test_case "sched: ops outside threads" `Quick test_sched_wait_outside_thread_noop;
+    Alcotest.test_case "sched: crash bounds time" `Quick test_sched_crash_time_bound;
+    Alcotest.test_case "server: sync queueing" `Quick test_server_sync_queueing;
+    Alcotest.test_case "server: idle reset" `Quick test_server_sync_idle_resets;
+    Alcotest.test_case "server: WPQ backpressure" `Quick test_server_async_backpressure;
+    Alcotest.test_case "server: throughput bound" `Quick test_server_async_throughput_bound;
+    Alcotest.test_case "cache: hit after install" `Quick test_cache_hit_after_install;
+    Alcotest.test_case "cache: dirty eviction" `Quick test_cache_dirty_eviction;
+    Alcotest.test_case "cache: LRU within set" `Quick test_cache_lru_within_set;
+    Alcotest.test_case "cache: clwb retains line" `Quick test_cache_clwb_keeps_line;
+    Alcotest.test_case "cache: dirty listing" `Quick test_cache_dirty_lines_listing;
+    Alcotest.test_case "sim: load/store roundtrip" `Quick test_sim_load_store_roundtrip;
+    Alcotest.test_case "sim: NVM ~3x DRAM" `Quick test_sim_nvm_slower_than_dram;
+    Alcotest.test_case "sim: ADR dearer than eADR" `Quick test_sim_clwb_fence_cost;
+    Alcotest.test_case "sim: nofence in between" `Quick test_sim_nofence_between_adr_and_eadr;
+    Alcotest.test_case "sim: ADR crash semantics" `Quick test_sim_crash_adr_loses_unflushed;
+    Alcotest.test_case "sim: eADR crash semantics" `Quick test_sim_crash_eadr_keeps_cached;
+    Alcotest.test_case "sim: DRAM crash semantics" `Quick test_sim_crash_dram_loses_everything;
+    Alcotest.test_case "sim: PDRAM crash semantics" `Quick test_sim_pdram_persists_everything;
+    Alcotest.test_case "sim: persist_all baseline" `Quick test_sim_persist_all_then_adr_crash;
+    Alcotest.test_case "sim: stats populated" `Quick test_sim_stats_populated;
+    Alcotest.test_case "sim: determinism" `Quick test_sim_deterministic;
+    Alcotest.test_case "sim: exact ADR sequence" `Quick test_sim_exact_adr_sequence;
+    Alcotest.test_case "sim: exact fence wait" `Quick test_sim_exact_fence_wait;
+    Alcotest.test_case "sim: exact cache hit" `Quick test_sim_exact_cache_hit;
+    Alcotest.test_case "config: model lookup" `Quick test_config_model_lookup;
+    Alcotest.test_case "sched: wait_until" `Quick test_sched_wait_until;
+    Alcotest.test_case "trace: records events" `Quick test_trace_records_events;
+    Alcotest.test_case "trace: ring bounded" `Quick test_trace_ring_bounded;
+    Alcotest.test_case "trace: crash marker" `Quick test_trace_marks_crash;
+  ]

@@ -1,0 +1,181 @@
+(* Second PTM suite: flush-timing variants, optimistic retry,
+   recovery edge cases. *)
+
+open Pstm
+module Sim = Memsim.Sim
+module Config = Memsim.Config
+
+let fixture ?(model = Config.optane_adr) ?(algorithm = Ptm.Redo) ?flush_timing () =
+  let sim, m = Helpers.sim_machine ~model ~heap_words:(1 lsl 16) () in
+  let ptm = Ptm.create ?flush_timing ~algorithm ~max_threads:8 ~log_words_per_thread:1024 m in
+  (sim, m, ptm)
+
+let test_incremental_flush_semantics () =
+  (* Same results as At_commit, only the clwb schedule differs. *)
+  let run flush_timing =
+    let _, _, ptm = fixture ~flush_timing () in
+    let a = Ptm.atomic ptm (fun tx -> Ptm.alloc tx 16) in
+    for i = 0 to 15 do
+      Ptm.atomic ptm (fun tx -> Ptm.write tx (a + i) (i * i))
+    done;
+    Ptm.atomic ptm (fun tx -> List.init 16 (fun i -> Ptm.read tx (a + i)))
+  in
+  Alcotest.(check (list int))
+    "identical values" (run Ptm.At_commit) (run Ptm.Incremental)
+
+let test_incremental_flush_crash_consistency () =
+  (* The §III-B claim is performance-only: crash atomicity must hold
+     under the incremental schedule too. *)
+  let sim, _, ptm = fixture ~flush_timing:Ptm.Incremental () in
+  let words = 4 in
+  let base =
+    Ptm.atomic ptm (fun tx ->
+        let a = Ptm.alloc tx words in
+        for i = 0 to words - 1 do
+          Ptm.write tx (a + i) 0
+        done;
+        a)
+  in
+  Ptm.root_set ptm 0 base;
+  Sim.persist_all sim;
+  Helpers.run_workers sim 4 ~crash_at:150_000 (fun _ ->
+      for _ = 1 to 10_000 do
+        Ptm.atomic ptm (fun tx ->
+            for i = 0 to words - 1 do
+              Ptm.write tx (base + i) (Ptm.read tx (base + i) + 1)
+            done)
+      done);
+  let sim' = Sim.reboot sim in
+  let m' = Sim.machine sim' in
+  ignore (Ptm.recover ~flush_timing:Ptm.Incremental m');
+  let v0 = m'.Machine.raw_read base in
+  for i = 1 to words - 1 do
+    Helpers.check_int "incremental-flush atomicity" v0 (m'.Machine.raw_read (base + i))
+  done
+
+let test_abort_and_retry_waits_for_flag () =
+  (* Optimistic waiting: retry until another thread flips the flag. *)
+  let sim, _, ptm = fixture () in
+  let flag =
+    Ptm.atomic ptm (fun tx ->
+        let a = Ptm.alloc tx 1 in
+        Ptm.write tx a 0;
+        a)
+  in
+  let observed = ref (-1) in
+  ignore
+    (Sim.spawn sim (fun () ->
+         Ptm.atomic ptm (fun tx ->
+             let v = Ptm.read tx flag in
+             if v = 0 then Ptm.abort_and_retry tx;
+             observed := v)));
+  ignore
+    (Sim.spawn sim (fun () ->
+         (Ptm.machine ptm).Machine.pause 5_000;
+         Ptm.atomic ptm (fun tx -> Ptm.write tx flag 42)));
+  Sim.run sim;
+  Helpers.check_int "waiter saw the flag" 42 !observed
+
+let test_read_only_snapshot_consistency () =
+  (* A reader scanning many words while writers mutate them must see a
+     consistent snapshot (all slots equal within one transaction). *)
+  let sim, _, ptm = fixture () in
+  let words = 8 in
+  let base =
+    Ptm.atomic ptm (fun tx ->
+        let a = Ptm.alloc tx words in
+        for i = 0 to words - 1 do
+          Ptm.write tx (a + i) 0
+        done;
+        a)
+  in
+  let violations = ref 0 in
+  for tid = 0 to 3 do
+    ignore
+      (Sim.spawn sim (fun () ->
+           if tid < 2 then
+             for _ = 1 to 200 do
+               Ptm.atomic ptm (fun tx ->
+                   for i = 0 to words - 1 do
+                     Ptm.write tx (base + i) (Ptm.read tx (base + i) + 1)
+                   done)
+             done
+           else
+             for _ = 1 to 200 do
+               let snapshot =
+                 Ptm.atomic ptm (fun tx -> List.init words (fun i -> Ptm.read tx (base + i)))
+               in
+               match snapshot with
+               | first :: rest -> if List.exists (fun v -> v <> first) rest then incr violations
+               | [] -> ()
+             done))
+  done;
+  Sim.run sim;
+  Helpers.check_int "no torn snapshots" 0 !violations
+
+let test_recover_empty_region () =
+  (* Recovery of a freshly formatted region (no transactions ever) is a
+     no-op, not an error. *)
+  let sim, m, _ptm = fixture () in
+  Sim.persist_all sim;
+  let sim' = Sim.reboot sim in
+  ignore m;
+  let ptm' = Ptm.recover (Sim.machine sim') in
+  Ptm.atomic ptm' (fun tx ->
+      let a = Ptm.alloc tx 1 in
+      Ptm.write tx a 9;
+      Helpers.check_int "fresh region usable" 9 (Ptm.read tx a))
+
+let test_stats_reset () =
+  let _, _, ptm = fixture () in
+  let a = Ptm.atomic ptm (fun tx -> Ptm.alloc tx 1) in
+  Ptm.atomic ptm (fun tx -> Ptm.write tx a 1);
+  Ptm.Stats.reset ptm;
+  let s = Ptm.Stats.get ptm in
+  Helpers.check_int "commits zeroed" 0 s.Ptm.Stats.commits;
+  Helpers.check_int "aborts zeroed" 0 s.Ptm.Stats.aborts
+
+let test_write_set_stat_counts_distinct_words () =
+  let _, _, ptm = fixture () in
+  let a = Ptm.atomic ptm (fun tx -> Ptm.alloc tx 8) in
+  Ptm.Stats.reset ptm;
+  Ptm.atomic ptm (fun tx ->
+      for i = 0 to 7 do
+        Ptm.write tx (a + i) i;
+        Ptm.write tx (a + i) (i + 1) (* overwrite: still one entry *)
+      done);
+  let s = Ptm.Stats.get ptm in
+  Helpers.check_int "distinct words only" 8 s.Ptm.Stats.max_write_set
+
+let test_huge_value_roundtrip () =
+  (* Full 63-bit values flow through logs, write-back and recovery. *)
+  let sim, _, ptm = fixture () in
+  let weird = [ max_int; min_int + 1; 0x5A5A5A5A5A5A5A5; 1 lsl 62 ] in
+  let base =
+    Ptm.atomic ptm (fun tx ->
+        let a = Ptm.alloc tx 4 in
+        List.iteri (fun i v -> Ptm.write tx (a + i) v) weird;
+        a)
+  in
+  Ptm.root_set ptm 0 base;
+  Sim.persist_all sim;
+  ignore (Sim.spawn sim (fun () -> (Ptm.machine ptm).Machine.pause 1000));
+  Sim.run sim;
+  let sim' = Sim.reboot sim in
+  let m' = Sim.machine sim' in
+  ignore (Ptm.recover m');
+  List.iteri
+    (fun i v -> Helpers.check_int (Printf.sprintf "word %d" i) v (m'.Machine.raw_read (base + i)))
+    weird
+
+let suite =
+  [
+    Alcotest.test_case "incremental flush: semantics" `Quick test_incremental_flush_semantics;
+    Alcotest.test_case "incremental flush: crash" `Quick test_incremental_flush_crash_consistency;
+    Alcotest.test_case "abort_and_retry waits" `Quick test_abort_and_retry_waits_for_flag;
+    Alcotest.test_case "read-only snapshots" `Quick test_read_only_snapshot_consistency;
+    Alcotest.test_case "recover empty region" `Quick test_recover_empty_region;
+    Alcotest.test_case "stats reset" `Quick test_stats_reset;
+    Alcotest.test_case "write-set dedup stat" `Quick test_write_set_stat_counts_distinct_words;
+    Alcotest.test_case "extreme values" `Quick test_huge_value_roundtrip;
+  ]

@@ -1,0 +1,246 @@
+open Repro_util
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Helpers.check_int "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_split_independent () =
+  let g = Rng.create 7 in
+  let a = Rng.split g and b = Rng.split g in
+  let xs = List.init 32 (fun _ -> Rng.next a) in
+  let ys = List.init 32 (fun _ -> Rng.next b) in
+  Helpers.check_bool "streams differ" true (xs <> ys)
+
+let test_rng_bounds () =
+  let g = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Rng.int g 17 in
+    Helpers.check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_in () =
+  let g = Rng.create 2 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in g 5 9 in
+    Helpers.check_bool "inclusive range" true (v >= 5 && v <= 9)
+  done
+
+let test_rng_chance_extremes () =
+  let g = Rng.create 3 in
+  for _ = 1 to 100 do
+    Helpers.check_bool "p=1 always true" true (Rng.chance g 1.0);
+    Helpers.check_bool "p=0 always false" false (Rng.chance g 0.0)
+  done
+
+let test_rng_shuffle_permutes () =
+  let g = Rng.create 4 in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 100 Fun.id) sorted
+
+let test_zipf_range () =
+  let z = Zipf.create 1000 in
+  let g = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Zipf.sample z g in
+    Helpers.check_bool "rank in range" true (v >= 0 && v < 1000)
+  done
+
+let test_zipf_skew () =
+  let z = Zipf.create ~theta:0.99 1000 in
+  let g = Rng.create 6 in
+  let hits = Array.make 1000 0 in
+  for _ = 1 to 20_000 do
+    let v = Zipf.sample z g in
+    hits.(v) <- hits.(v) + 1
+  done;
+  Helpers.check_bool "rank 0 much hotter than rank 500" true (hits.(0) > 10 * (hits.(500) + 1))
+
+let test_zipf_uniform_theta0 () =
+  let z = Zipf.create ~theta:0.0 4 in
+  let g = Rng.create 7 in
+  let hits = Array.make 4 0 in
+  for _ = 1 to 40_000 do
+    hits.(Zipf.sample z g) <- hits.(Zipf.sample z g) + 1
+  done;
+  Array.iter
+    (fun h -> Helpers.check_bool "roughly uniform" true (h > 8_000 && h < 12_000))
+    hits
+
+let test_stats_mean_stddev () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.mean xs);
+  Alcotest.(check (float 1e-6)) "stddev" 2.13809 (Stats.stddev xs)
+
+let test_stats_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.percentile xs 100.0)
+
+let test_stats_counter () =
+  let c = Stats.counter () in
+  List.iter (Stats.add c) [ 3.0; 1.0; 2.0 ];
+  Helpers.check_int "count" 3 (Stats.count c);
+  Alcotest.(check (float 1e-9)) "total" 6.0 (Stats.total c);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.minimum c);
+  Alcotest.(check (float 1e-9)) "max" 3.0 (Stats.maximum c);
+  Alcotest.(check (float 1e-9)) "avg" 2.0 (Stats.average c)
+
+let test_min_heap_orders () =
+  let h = Min_heap.create () in
+  List.iter (fun k -> Min_heap.push h ~key:k k) [ 5; 1; 4; 1; 3 ];
+  let out = List.init 5 (fun _ -> match Min_heap.pop h with Some (k, _) -> k | None -> -1) in
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 3; 4; 5 ] out
+
+let test_min_heap_fifo_ties () =
+  let h = Min_heap.create () in
+  Min_heap.push h ~key:1 "a";
+  Min_heap.push h ~key:1 "b";
+  Min_heap.push h ~key:1 "c";
+  let order = List.init 3 (fun _ -> match Min_heap.pop h with Some (_, v) -> v | None -> "") in
+  Alcotest.(check (list string)) "FIFO among equal keys" [ "a"; "b"; "c" ] order
+
+let prop_min_heap_sorts =
+  Helpers.qtest "min_heap sorts any list" QCheck2.Gen.(list small_int) (fun xs ->
+      let h = Min_heap.create () in
+      List.iter (fun x -> Min_heap.push h ~key:x x) xs;
+      let rec drain acc =
+        match Min_heap.pop h with Some (k, _) -> drain (k :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare xs)
+
+let test_lru_eviction_order () =
+  let lru = Lru.create ~capacity:2 in
+  ignore (Lru.touch lru 1 ~dirty:false);
+  ignore (Lru.touch lru 2 ~dirty:false);
+  ignore (Lru.touch lru 1 ~dirty:false);
+  (* LRU is now 2 *)
+  (match Lru.touch lru 3 ~dirty:false with
+  | `Miss (Some { Lru.key; _ }) -> Helpers.check_int "evicts LRU" 2 key
+  | `Miss None | `Hit -> Alcotest.fail "expected eviction of key 2");
+  Helpers.check_bool "1 still resident" true (Lru.mem lru 1)
+
+let test_lru_dirty_tracking () =
+  let lru = Lru.create ~capacity:4 in
+  ignore (Lru.touch lru 1 ~dirty:true);
+  ignore (Lru.touch lru 2 ~dirty:false);
+  ignore (Lru.touch lru 2 ~dirty:true);
+  ignore (Lru.touch lru 3 ~dirty:false);
+  let dirty = List.sort compare (Lru.dirty_keys lru) in
+  Alcotest.(check (list int)) "dirty keys" [ 1; 2 ] dirty
+
+let test_lru_dirty_eviction_reported () =
+  let lru = Lru.create ~capacity:1 in
+  ignore (Lru.touch lru 9 ~dirty:true);
+  match Lru.touch lru 8 ~dirty:false with
+  | `Miss (Some { Lru.key; dirty }) ->
+    Helpers.check_int "victim" 9 key;
+    Helpers.check_bool "victim dirty" true dirty
+  | `Miss None | `Hit -> Alcotest.fail "expected dirty eviction"
+
+let prop_lru_capacity_respected =
+  Helpers.qtest "lru never exceeds capacity" QCheck2.Gen.(list (int_bound 50)) (fun keys ->
+      let lru = Lru.create ~capacity:8 in
+      List.iter (fun k -> ignore (Lru.touch lru k ~dirty:false)) keys;
+      Lru.size lru <= 8)
+
+let test_int_vec_push_get () =
+  let v = Int_vec.create ~capacity:1 () in
+  for i = 0 to 99 do
+    Int_vec.push v (i * i)
+  done;
+  Helpers.check_int "length" 100 (Int_vec.length v);
+  Helpers.check_int "get 7" 49 (Int_vec.get v 7);
+  Int_vec.clear v;
+  Helpers.check_int "cleared" 0 (Int_vec.length v)
+
+let test_int_vec_rev_pairs () =
+  let v = Int_vec.create () in
+  List.iter (Int_vec.push v) [ 1; 10; 2; 20; 3; 30 ];
+  let seen = ref [] in
+  Int_vec.iter_rev_pairs (fun a b -> seen := (a, b) :: !seen) v;
+  Alcotest.(check (list (pair int int)))
+    "reverse pair order" [ (1, 10); (2, 20); (3, 30) ] !seen
+
+let test_histogram_percentiles () =
+  let h = Histogram.create () in
+  for v = 1 to 1000 do
+    Histogram.record h v
+  done;
+  Helpers.check_int "count" 1000 (Histogram.count h);
+  let p50 = Histogram.percentile h 50.0 in
+  Helpers.check_bool "p50 near 500" true (p50 > 450.0 && p50 < 550.0);
+  let p99 = Histogram.percentile h 99.0 in
+  Helpers.check_bool "p99 near 990" true (p99 > 930.0 && p99 <= 1024.0);
+  Helpers.check_int "max" 1000 (Histogram.max_value h);
+  Alcotest.(check (float 1.0)) "mean" 500.5 (Histogram.mean h)
+
+let test_histogram_bounded_error () =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 1; 17; 123_456; 9_999_999 ];
+  (* Every recorded value's bucket representative is within 1/16. *)
+  List.iter
+    (fun v ->
+      let h1 = Histogram.create () in
+      Histogram.record h1 v;
+      let rep = Histogram.percentile h1 50.0 in
+      Helpers.check_bool
+        (Printf.sprintf "value %d within bucket error (rep %.0f)" v rep)
+        true
+        (Float.abs (rep -. float_of_int v) /. float_of_int v < 0.08))
+    [ 17; 123_456; 9_999_999 ]
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.record a 10;
+  Histogram.record b 1000;
+  Histogram.merge_into ~src:a ~dst:b;
+  Helpers.check_int "merged count" 2 (Histogram.count b);
+  Helpers.check_int "merged max" 1000 (Histogram.max_value b)
+
+let test_histogram_empty () =
+  let h = Histogram.create () in
+  Helpers.check_bool "empty percentile nan" true (Float.is_nan (Histogram.percentile h 50.0));
+  Helpers.check_bool "empty mean nan" true (Float.is_nan (Histogram.mean h))
+
+let test_table_render_and_csv () =
+  let t = Table.create ~title:"demo" ~header:[ "a"; "b" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "3" ];
+  let csv = Table.to_csv t in
+  Alcotest.(check string) "csv" "a,b\n1,2\n3,\n" csv
+
+let suite =
+  [
+    Alcotest.test_case "rng: determinism" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng: split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng: int bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng: int_in bounds" `Quick test_rng_int_in;
+    Alcotest.test_case "rng: chance extremes" `Quick test_rng_chance_extremes;
+    Alcotest.test_case "rng: shuffle permutes" `Quick test_rng_shuffle_permutes;
+    Alcotest.test_case "zipf: sample range" `Quick test_zipf_range;
+    Alcotest.test_case "zipf: skew" `Quick test_zipf_skew;
+    Alcotest.test_case "zipf: theta=0 uniform" `Quick test_zipf_uniform_theta0;
+    Alcotest.test_case "stats: mean/stddev" `Quick test_stats_mean_stddev;
+    Alcotest.test_case "stats: percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats: counter" `Quick test_stats_counter;
+    Alcotest.test_case "min_heap: ordering" `Quick test_min_heap_orders;
+    Alcotest.test_case "min_heap: FIFO ties" `Quick test_min_heap_fifo_ties;
+    prop_min_heap_sorts;
+    Alcotest.test_case "lru: eviction order" `Quick test_lru_eviction_order;
+    Alcotest.test_case "lru: dirty tracking" `Quick test_lru_dirty_tracking;
+    Alcotest.test_case "lru: dirty eviction" `Quick test_lru_dirty_eviction_reported;
+    prop_lru_capacity_respected;
+    Alcotest.test_case "int_vec: push/get/clear" `Quick test_int_vec_push_get;
+    Alcotest.test_case "int_vec: rev pairs" `Quick test_int_vec_rev_pairs;
+    Alcotest.test_case "histogram: percentiles" `Quick test_histogram_percentiles;
+    Alcotest.test_case "histogram: bounded error" `Quick test_histogram_bounded_error;
+    Alcotest.test_case "histogram: merge" `Quick test_histogram_merge;
+    Alcotest.test_case "histogram: empty" `Quick test_histogram_empty;
+    Alcotest.test_case "table: render/csv" `Quick test_table_render_and_csv;
+  ]

@@ -1,0 +1,226 @@
+open Workloads
+module Ptm = Pstm.Ptm
+module Config = Memsim.Config
+
+let quick_run ?(model = Config.optane_adr) ?(algorithm = Ptm.Redo) ?(threads = 2)
+    ?(duration_ns = 150_000) spec =
+  Driver.run ~duration_ns ~model ~algorithm ~threads spec
+
+let all_specs () =
+  [
+    Tatp.spec;
+    Tpcc.spec Tpcc.Hash;
+    Tpcc.spec Tpcc.Btree;
+    Btree_bench.insert_only;
+    Btree_bench.mixed;
+    Vacation.spec Vacation.Low;
+    Vacation.spec Vacation.High;
+    Memcached.spec ~items:64;
+  ]
+
+let test_every_workload_commits () =
+  List.iter
+    (fun spec ->
+      let r = quick_run spec in
+      Helpers.check_bool (spec.Driver.name ^ " commits") true (r.Driver.commits > 0);
+      Helpers.check_bool
+        (spec.Driver.name ^ " positive throughput")
+        true (r.Driver.txs_per_sec > 0.0))
+    (all_specs ())
+
+let test_every_workload_all_models () =
+  (* Every (workload, model, algorithm) combination must run. *)
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun model ->
+          List.iter
+            (fun algorithm ->
+              let r = quick_run ~model ~algorithm ~duration_ns:60_000 spec in
+              Helpers.check_bool
+                (Printf.sprintf "%s/%s/%s runs" spec.Driver.name model.Config.model_name
+                   (Ptm.algorithm_name algorithm))
+                true (r.Driver.commits > 0))
+            [ Ptm.Redo; Ptm.Undo ])
+        [ Config.dram_adr; Config.optane_adr; Config.optane_eadr; Config.pdram;
+          Config.pdram_lite ])
+    [ Tatp.spec; Tpcc.spec Tpcc.Hash ]
+
+let test_driver_deterministic () =
+  let once () =
+    let r = quick_run ~threads:4 (Tpcc.spec Tpcc.Hash) in
+    (r.Driver.commits, r.Driver.aborts, r.Driver.elapsed_ns)
+  in
+  Alcotest.(check (triple int int int)) "identical runs" (once ()) (once ())
+
+let test_driver_seed_changes_run () =
+  let with_seed seed =
+    (Driver.run ~duration_ns:150_000 ~seed ~model:Config.optane_adr ~algorithm:Ptm.Redo
+       ~threads:2 Tatp.spec)
+      .Driver.commits
+  in
+  Helpers.check_bool "different seeds differ" true (with_seed 1 <> with_seed 2 || with_seed 3 <> with_seed 4)
+
+let test_threads_increase_throughput () =
+  let tput threads =
+    (quick_run ~model:Config.dram_eadr ~threads ~duration_ns:300_000 Tatp.spec).Driver.txs_per_sec
+  in
+  Helpers.check_bool "4 threads beat 1" true (tput 4 > 1.5 *. tput 1)
+
+(* Manual replica of the driver so oracles can inspect the heap. *)
+let run_with_oracle spec ~threads ~duration_ns oracle =
+  let cfg =
+    Memsim.Config.make ~heap_words:spec.Driver.heap_words ~track_media:false Config.optane_adr
+  in
+  let sim = Memsim.Sim.create cfg in
+  let m = Memsim.Sim.machine sim in
+  let ptm = Ptm.create ~max_threads:32 m in
+  spec.Driver.setup ptm;
+  Memsim.Sim.reset_timing sim;
+  Ptm.Stats.reset ptm;
+  let rng0 = Repro_util.Rng.create 99 in
+  for tid = 0 to threads - 1 do
+    let rng = Repro_util.Rng.split rng0 in
+    ignore
+      (Memsim.Sim.spawn sim (fun () ->
+           let op = spec.Driver.make_op ptm ~tid ~rng in
+           while int_of_float (m.Machine.now_ns ()) < duration_ns do
+             op ()
+           done))
+  done;
+  Memsim.Sim.run sim;
+  oracle ptm m
+
+let test_tpcc_district_oracle () =
+  (* Every committed new-order bumps exactly one district counter: the
+     sum of (next_o_id - 1) equals the number of commits. *)
+  run_with_oracle (Tpcc.spec Tpcc.Hash) ~threads:4 ~duration_ns:200_000 (fun ptm m ->
+      let districts = Ptm.root_get ptm 1 in
+      let total = ref 0 in
+      for dno = 0 to (Tpcc.warehouses * Tpcc.districts_per_warehouse) - 1 do
+        total := !total + (m.Machine.raw_read (districts + (dno * 8)) - 1)
+      done;
+      let commits = (Ptm.Stats.get ptm).Ptm.Stats.commits in
+      Helpers.check_int "orders equal commits" commits !total)
+
+let test_vacation_resource_invariant () =
+  run_with_oracle (Vacation.spec Vacation.High) ~threads:4 ~duration_ns:200_000 (fun ptm _m ->
+      (* used must stay within [0, total] for every resource row. *)
+      for rel = 0 to 2 do
+        let t = Pstructs.Bptree.attach ptm (Ptm.root_get ptm rel) in
+        List.iter
+          (fun (_, row) ->
+            let m = Ptm.machine ptm in
+            let total = m.Machine.raw_read row in
+            let used = m.Machine.raw_read (row + 1) in
+            Helpers.check_bool "0 <= used" true (used >= 0);
+            Helpers.check_bool "used <= total" true (used <= total))
+          (Pstructs.Bptree.to_alist t)
+      done)
+
+let test_btree_insert_only_unique_keys () =
+  run_with_oracle Btree_bench.insert_only ~threads:4 ~duration_ns:150_000 (fun ptm _ ->
+      let t = Pstructs.Bptree.attach ptm (Ptm.root_get ptm 0) in
+      Pstructs.Bptree.check_invariants t;
+      let keys = List.map fst (Pstructs.Bptree.to_alist t) in
+      Helpers.check_int "no duplicate keys inserted" (List.length keys)
+        (List.length (List.sort_uniq compare keys));
+      (* insert-only transactions never update in place *)
+      let commits = (Ptm.Stats.get ptm).Ptm.Stats.commits in
+      Helpers.check_int "every commit inserted a fresh key" commits (List.length keys))
+
+let test_memcached_values_not_torn () =
+  run_with_oracle (Memcached.spec ~items:32) ~threads:4 ~duration_ns:200_000 (fun ptm m ->
+      let h = Pstructs.Phashtable.attach ptm (Ptm.root_get ptm 0) in
+      List.iter
+        (fun (id, item) ->
+          let valb = m.Machine.raw_read (item + 1) in
+          (* A value is either the setup pattern (id lxor i) or some
+             nonce pattern (nonce lxor i); either way consecutive words
+             xor to consistent deltas. *)
+          let base = m.Machine.raw_read valb in
+          let ok = ref true in
+          for i = 0 to Memcached.value_words - 1 do
+            if m.Machine.raw_read (valb + i) lxor i <> base then ok := false
+          done;
+          Helpers.check_bool (Printf.sprintf "value %d untorn" id) true !ok)
+        (Pstructs.Phashtable.to_alist h))
+
+let test_memcached_sizing () =
+  let small = Memcached.items_for_bytes (32 * 1024) in
+  let large = Memcached.items_for_bytes (32 * 1024 * 1024) in
+  Helpers.check_bool "sizing monotonic" true (large > 100 * small);
+  Helpers.check_bool "at least a handful of items" true (small >= 8)
+
+let test_tatp_subscriber_count () =
+  let cfg = Memsim.Config.make ~heap_words:(1 lsl 20) ~track_media:false Config.optane_adr in
+  let sim = Memsim.Sim.create cfg in
+  let m = Memsim.Sim.machine sim in
+  ignore sim;
+  let ptm = Ptm.create ~max_threads:32 m in
+  Tatp.spec.Driver.setup ptm;
+  let h = Pstructs.Phashtable.attach ptm (Ptm.root_get ptm 0) in
+  Helpers.check_int "population" Tatp.subscribers
+    (List.length (Pstructs.Phashtable.to_alist h))
+
+let test_ycsb_mixes_run () =
+  List.iter
+    (fun mix ->
+      let r = quick_run ~duration_ns:120_000 (Ycsb.spec mix) in
+      Helpers.check_bool ("ycsb-" ^ Ycsb.mix_name mix ^ " commits") true (r.Driver.commits > 0))
+    [ Ycsb.A; Ycsb.B; Ycsb.C; Ycsb.D; Ycsb.E; Ycsb.F ]
+
+let test_ycsb_c_read_only () =
+  (* Workload C is 100% reads: no aborts, no stores to record blobs. *)
+  let r = quick_run ~threads:4 ~duration_ns:200_000 (Ycsb.spec Ycsb.C) in
+  Helpers.check_int "read-only mix never aborts" 0 r.Driver.aborts;
+  Helpers.check_int "every commit is read-only" r.Driver.commits
+    ((quick_run ~threads:4 ~duration_ns:200_000 (Ycsb.spec Ycsb.C)).Driver.commits)
+
+let test_ycsb_d_inserts_grow_store () =
+  run_with_oracle (Ycsb.spec Ycsb.D) ~threads:2 ~duration_ns:300_000 (fun ptm m ->
+      let cursor = Ptm.root_get ptm 2 in
+      Helpers.check_bool "inserts advanced the cursor" true
+        (m.Machine.raw_read cursor > Ycsb.records + 1))
+
+let test_experiment_registry_complete () =
+  let names = List.map fst Experiments.all in
+  List.iter
+    (fun required ->
+      Helpers.check_bool (required ^ " registered") true (List.mem required names))
+    [ "fig3"; "fig4"; "table1"; "table2"; "table3"; "fig6"; "fig7"; "fig8" ]
+
+let test_experiment_shapes () =
+  (* A micro version of the headline claims, as a regression guard:
+     redo >= undo (TPCC), eADR > ADR, DRAM > Optane. *)
+  let tput ~model ~algorithm =
+    (Driver.run ~duration_ns:400_000 ~model ~algorithm ~threads:4 (Tpcc.spec Tpcc.Hash))
+      .Driver.txs_per_sec
+  in
+  let dram_r = tput ~model:Config.dram_eadr ~algorithm:Ptm.Redo in
+  let optane_adr_r = tput ~model:Config.optane_adr ~algorithm:Ptm.Redo in
+  let optane_adr_u = tput ~model:Config.optane_adr ~algorithm:Ptm.Undo in
+  let optane_eadr_r = tput ~model:Config.optane_eadr ~algorithm:Ptm.Redo in
+  Helpers.check_bool "redo beats undo under ADR" true (optane_adr_r > optane_adr_u);
+  Helpers.check_bool "eADR beats ADR" true (optane_eadr_r > optane_adr_r);
+  Helpers.check_bool "DRAM beats Optane" true (dram_r > optane_eadr_r)
+
+let suite =
+  [
+    Alcotest.test_case "all workloads commit" `Quick test_every_workload_commits;
+    Alcotest.test_case "all model/alg combos run" `Slow test_every_workload_all_models;
+    Alcotest.test_case "driver determinism" `Quick test_driver_deterministic;
+    Alcotest.test_case "seed sensitivity" `Quick test_driver_seed_changes_run;
+    Alcotest.test_case "threads scale" `Quick test_threads_increase_throughput;
+    Alcotest.test_case "tpcc district oracle" `Quick test_tpcc_district_oracle;
+    Alcotest.test_case "vacation invariant" `Quick test_vacation_resource_invariant;
+    Alcotest.test_case "btree insert-only uniqueness" `Quick test_btree_insert_only_unique_keys;
+    Alcotest.test_case "memcached values untorn" `Quick test_memcached_values_not_torn;
+    Alcotest.test_case "memcached sizing" `Quick test_memcached_sizing;
+    Alcotest.test_case "tatp population" `Quick test_tatp_subscriber_count;
+    Alcotest.test_case "ycsb mixes run" `Quick test_ycsb_mixes_run;
+    Alcotest.test_case "ycsb C read-only" `Quick test_ycsb_c_read_only;
+    Alcotest.test_case "ycsb D inserts" `Quick test_ycsb_d_inserts_grow_store;
+    Alcotest.test_case "experiment registry" `Quick test_experiment_registry_complete;
+    Alcotest.test_case "headline shapes" `Slow test_experiment_shapes;
+  ]
