@@ -7,7 +7,9 @@
     - {!Region}, {!Alloc} — persistent region and recoverable allocator
     - {!Ptm} — the persistent STM (redo "orec-lazy" / undo "orec-eager")
     - {!Bptree}, {!Phashtable}, {!Plist}, {!Pqueue} — persistent structures
-    - {!Driver} and the paper's workloads — experiment harness *)
+    - {!Driver} and the paper's workloads — experiment harness
+    - {!Crashtest} — crash-point exploration / durable-linearizability
+      oracle over all of the above *)
 
 module Rng = Repro_util.Rng
 module Zipf = Repro_util.Zipf
@@ -35,6 +37,7 @@ module Memcached = Workloads.Memcached
 module Btree_bench = Workloads.Btree_bench
 module Ycsb = Workloads.Ycsb
 module Experiments = Workloads.Experiments
+module Crashtest = Crashtest
 
 (* Convenience constructors used by the examples. *)
 

@@ -1,0 +1,1 @@
+lib/crashtest/engine.mli: Format Memsim Pstm

@@ -1,0 +1,1 @@
+lib/crashtest/scenarios.ml: Array Engine Format Hashtbl List Pmem Printf Pstm Pstructs Repro_util String Workloads

@@ -1,0 +1,1 @@
+lib/crashtest/scenarios.mli: Engine Workloads

@@ -1,0 +1,344 @@
+module Config = Memsim.Config
+module Sim = Memsim.Sim
+module Trace = Memsim.Trace
+module Ptm = Pstm.Ptm
+module Rng = Repro_util.Rng
+
+type instance = {
+  worker : tid:int -> Ptm.t -> unit;
+  validate : crashed:bool -> Sim.t -> Ptm.t -> (unit, string) result;
+}
+
+type scenario = {
+  name : string;
+  threads : int;
+  heap_words : int;
+  log_words_per_thread : int;
+  prepare : Ptm.t -> unit;
+  fresh : seed:int -> instance;
+}
+
+type failure = { crash_at : int; min_crash_at : int; reason : string; replay : string }
+
+type report = {
+  scenario : string;
+  model : string;
+  algorithm : string;
+  seed : int;
+  final_time : int;
+  candidates : int;
+  tested : int;
+  failures : failure list;
+}
+
+let ok r = r.failures = []
+
+let pp_report ppf r =
+  Format.fprintf ppf "crashtest %s/%s/%s seed=%d: %d/%d points (T=%dns)" r.scenario r.model
+    r.algorithm r.seed r.tested r.candidates r.final_time;
+  match r.failures with
+  | [] -> Format.fprintf ppf " all pass"
+  | fs ->
+    List.iter
+      (fun f ->
+        Format.fprintf ppf "@.  FAIL at %dns (min %dns): %s@.  replay: %s" f.crash_at
+          f.min_crash_at f.reason f.replay)
+      fs
+
+(* ---------- env knobs ---------- *)
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( try int_of_string (String.trim s) with _ -> default)
+  | None -> default
+
+let exhaustive_from_env () =
+  match Sys.getenv_opt "CRASHTEST_EXHAUSTIVE" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+(* ---------- one execution ---------- *)
+
+let make_config ~nvm_channels scenario model =
+  Config.make ~nvm_channels ~heap_words:scenario.heap_words ~track_media:true model
+
+(* Format the region once, run the population phase, and persist the
+   result to an image file so every crash-point probe reloads identical
+   initial state instead of re-running [prepare]. *)
+let prepare_image cfg scenario ~algorithm =
+  let sim = Sim.create cfg in
+  let ptm =
+    Ptm.create ~algorithm ~max_threads:scenario.threads
+      ~log_words_per_thread:scenario.log_words_per_thread (Sim.machine sim)
+  in
+  scenario.prepare ptm;
+  Sim.persist_all sim;
+  let path = Filename.temp_file "crashtest" ".img" in
+  Sim.save_image sim path;
+  path
+
+(* Run the scenario's workload from the prepared image, optionally
+   crashing, and validate.  Returns the verdict, the final virtual time
+   and the trace (when requested). *)
+let run_from_image ?(trace_capacity = 0) cfg scenario ~algorithm ~seed ~image ?crash_at () =
+  let sim = Sim.load_image cfg image in
+  let ptm = Ptm.recover ~algorithm (Sim.machine sim) in
+  let tr =
+    if trace_capacity > 0 then Some (Sim.enable_trace ~capacity:trace_capacity sim) else None
+  in
+  let inst = scenario.fresh ~seed in
+  for tid = 0 to scenario.threads - 1 do
+    ignore (Sim.spawn sim (fun () -> inst.worker ~tid ptm))
+  done;
+  Sim.run ?crash_at sim;
+  let final = Sim.now sim in
+  let verdict =
+    if not (Sim.crashed sim) then inst.validate ~crashed:false sim ptm
+    else begin
+      let sim2 = Sim.reboot sim in
+      let m2 = Sim.machine sim2 in
+      (* Pre-recovery integrity: a crash must never corrupt region
+         metadata, only leave in-flight logs / leaked arenas behind. *)
+      let pre = Pmem.Check.run (Pmem.Region.attach m2) in
+      if not (Pmem.Check.is_clean pre) then
+        Error
+          (Format.asprintf "pre-recovery corruption:@ %a" Pmem.Check.pp pre)
+      else begin
+        let ptm2 = Ptm.recover ~algorithm m2 in
+        let post = Pmem.Check.run (Ptm.region ptm2) in
+        if not (Pmem.Check.is_clean post) then
+          Error (Format.asprintf "post-recovery corruption:@ %a" Pmem.Check.pp post)
+        else inst.validate ~crashed:true sim2 ptm2
+      end
+    end
+  in
+  (verdict, final, tr)
+
+(* ---------- exploration ---------- *)
+
+let replay_command scenario_name model_name alg seed crash_at =
+  Printf.sprintf "CRASHTEST_REPLAY='%s:%s:%s:%d:%d' dune build @crashtest" scenario_name
+    model_name (Ptm.algorithm_name alg) seed crash_at
+
+(* Greedy shrink: repeatedly probe a few instants below the current
+   minimum; stop when none of them fails or the budget runs out.
+   Failure is not monotone in time, so this finds a small — not
+   necessarily the global-minimum — failing instant. *)
+let shrink ~probe ~budget t0 =
+  let best = ref t0 in
+  let spent = ref 0 in
+  let improved = ref true in
+  while !improved && !spent < budget do
+    improved := false;
+    let cur = !best in
+    let tries =
+      List.sort_uniq compare [ cur / 4; cur / 2; 3 * cur / 4; cur - 1 ]
+      |> List.filter (fun c -> c > 0 && c < cur)
+    in
+    try
+      List.iter
+        (fun c ->
+          if !spent >= budget then raise Exit;
+          incr spent;
+          match probe c with
+          | Error _ ->
+            best := c;
+            improved := true;
+            raise Exit
+          | Ok () -> ())
+        tries
+    with Exit -> ()
+  done;
+  !best
+
+let explore ?points ?seed ?exhaustive ?(shrink_budget = 24) ?(nvm_channels = 4) ~model
+    ~algorithm scenario =
+  let exhaustive =
+    match exhaustive with Some b -> b | None -> exhaustive_from_env ()
+  in
+  let points = match points with Some p -> p | None -> getenv_int "CRASHTEST_POINTS" 64 in
+  let seed = match seed with Some s -> s | None -> getenv_int "CRASHTEST_SEED" 1 in
+  let cfg = make_config ~nvm_channels scenario model in
+  let image = prepare_image cfg scenario ~algorithm in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove image with Sys_error _ -> ())
+    (fun () ->
+      (* Crash-free reference run, traced: yields the final time and
+         the interesting instants, and sanity-checks the oracle. *)
+      let verdict, final_time, tr =
+        run_from_image ~trace_capacity:(1 lsl 17) cfg scenario ~algorithm ~seed ~image ()
+      in
+      (match verdict with
+      | Ok () -> ()
+      | Error e ->
+        failwith
+          (Printf.sprintf "crashtest %s/%s: reference run violates the model (harness bug): %s"
+             scenario.name model.Config.model_name e));
+      let candidates =
+        let traced = match tr with Some tr -> Trace.crash_points tr | None -> [] in
+        let grid = List.init 64 (fun i -> (i + 1) * final_time / 65) in
+        List.sort_uniq compare (traced @ grid)
+        |> List.filter (fun t -> t > 0 && t <= final_time)
+      in
+      let chosen =
+        if exhaustive || List.length candidates <= points then candidates
+        else begin
+          let arr = Array.of_list candidates in
+          let rng = Rng.create (seed lxor 0x5ca1ab1e) in
+          Rng.shuffle rng arr;
+          Array.to_list (Array.sub arr 0 points) |> List.sort compare
+        end
+      in
+      let probe t =
+        let v, _, _ = run_from_image cfg scenario ~algorithm ~seed ~image ~crash_at:t () in
+        v
+      in
+      let tested = ref 0 in
+      let failure = ref None in
+      (try
+         List.iter
+           (fun t ->
+             incr tested;
+             match probe t with
+             | Ok () -> ()
+             | Error reason ->
+               let min_t = shrink ~probe ~budget:shrink_budget t in
+               let reason =
+                 match probe min_t with Error r -> r | Ok () -> reason
+               in
+               failure :=
+                 Some
+                   {
+                     crash_at = t;
+                     min_crash_at = min_t;
+                     reason;
+                     replay =
+                       replay_command scenario.name model.Config.model_name algorithm seed
+                         min_t;
+                   };
+               raise Exit)
+           chosen
+       with Exit -> ());
+      {
+        scenario = scenario.name;
+        model = model.Config.model_name;
+        algorithm = Ptm.algorithm_name algorithm;
+        seed;
+        final_time;
+        candidates = List.length candidates;
+        tested = !tested;
+        failures = (match !failure with None -> [] | Some f -> [ f ]);
+      })
+
+let run_point ?(nvm_channels = 4) ~model ~algorithm ~seed ~crash_at scenario =
+  let cfg = make_config ~nvm_channels scenario model in
+  let image = prepare_image cfg scenario ~algorithm in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove image with Sys_error _ -> ())
+    (fun () ->
+      let v, _, _ = run_from_image cfg scenario ~algorithm ~seed ~image ~crash_at () in
+      v)
+
+(* ---------- crash-during-recovery ---------- *)
+
+let heap_snapshot m words = Array.init words (fun i -> m.Machine.raw_read i)
+
+let recovery_convergence ?(nvm_channels = 4) ?budgets ~model ~algorithm ~seed ~crash_at
+    scenario =
+  let cfg = make_config ~nvm_channels scenario model in
+  let image = prepare_image cfg scenario ~algorithm in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove image with Sys_error _ -> ())
+    (fun () ->
+      let sim = Sim.load_image cfg image in
+      let ptm = Ptm.recover ~algorithm (Sim.machine sim) in
+      let inst = scenario.fresh ~seed in
+      for tid = 0 to scenario.threads - 1 do
+        ignore (Sim.spawn sim (fun () -> inst.worker ~tid ptm))
+      done;
+      Sim.run ~crash_at sim;
+      if not (Sim.crashed sim) then Ok ()
+      else begin
+        (* Reference: uninterrupted recovery — count its persistent
+           writes and keep the resulting heap image. *)
+        let sim_a = Sim.reboot sim in
+        let m_a = Sim.machine sim_a in
+        let writes = ref 0 in
+        let counting =
+          {
+            m_a with
+            Machine.raw_write =
+              (fun addr v ->
+                incr writes;
+                m_a.Machine.raw_write addr v);
+          }
+        in
+        ignore (Ptm.recover ~algorithm counting : Ptm.t);
+        let heap_a = heap_snapshot m_a cfg.Config.heap_words in
+        let total = !writes in
+        let budgets =
+          match budgets with
+          | Some b -> List.filter (fun k -> k >= 0 && k < total) b
+          | None ->
+            if total = 0 then []
+            else begin
+              let rng = Rng.create (seed lxor 0x0c0ffee) in
+              List.init (min 8 total) (fun _ -> Rng.int rng total) |> List.sort_uniq compare
+            end
+        in
+        let check_budget k =
+          (* A fresh reboot of the same crash, recovery interrupted
+             after [k] persistent writes, then recovered for real. *)
+          let sim_b = Sim.reboot sim in
+          let m_b = Sim.machine sim_b in
+          let left = ref k in
+          let wrapped =
+            {
+              m_b with
+              Machine.raw_write =
+                (fun addr v ->
+                  if !left = 0 then raise Machine.Crashed;
+                  decr left;
+                  m_b.Machine.raw_write addr v);
+            }
+          in
+          (match Ptm.recover ~algorithm wrapped with
+          | (_ : Ptm.t) -> ()
+          | exception Machine.Crashed -> ());
+          let ptm_b = Ptm.recover ~algorithm m_b in
+          let heap_b = heap_snapshot m_b cfg.Config.heap_words in
+          if heap_b <> heap_a then
+            Error
+              (Printf.sprintf
+                 "recovery not idempotent: heap diverges after a crash %d/%d writes into \
+                  recovery (crash_at=%d seed=%d)"
+                 k total crash_at seed)
+          else
+            match inst.validate ~crashed:true sim_b ptm_b with
+            | Ok () -> Ok ()
+            | Error e ->
+              Error
+                (Printf.sprintf "model violated after re-recovery (budget %d/%d): %s" k total
+                   e)
+        in
+        List.fold_left
+          (fun acc k -> match acc with Error _ -> acc | Ok () -> check_budget k)
+          (Ok ()) budgets
+      end)
+
+(* ---------- replay parsing ---------- *)
+
+let parse_replay spec =
+  match String.split_on_char ':' (String.trim spec) with
+  | [ scen; model; alg; seed; crash_at ] -> (
+    let alg =
+      match String.lowercase_ascii alg with
+      | "redo" -> Some Ptm.Redo
+      | "undo" -> Some Ptm.Undo
+      | "htm" -> Some Ptm.Htm
+      | _ -> None
+    in
+    match (alg, int_of_string_opt seed, int_of_string_opt crash_at) with
+    | Some alg, Some seed, Some crash_at -> Some (scen, model, alg, seed, crash_at)
+    | _ -> None)
+  | _ -> None

@@ -1,0 +1,129 @@
+(** Crash-point exploration: systematic durable-linearizability
+    checking.
+
+    The engine turns the simulator's determinism into a correctness
+    oracle.  For a given (scenario, durability model, PTM algorithm,
+    seed) it
+
+    + runs the workload once to completion, recording the final virtual
+      time and an event trace;
+    + enumerates candidate crash instants from the trace (just before
+      and just after every store, clwb, sfence and publish — the only
+      places persistent state can change) plus a uniform grid;
+    + for each chosen instant re-runs the {e identical} workload with
+      [Sim.run ~crash_at], then [Sim.reboot]s, checks region integrity
+      with {!Pmem.Check.run} both before and after {!Pstm.Ptm.recover},
+      and validates the recovered state against the scenario's
+      application-level model (shadow state + invariants);
+    + on a failure, automatically shrinks to a smaller failing crash
+      time and reports a one-command replay line.
+
+    Sampling is driven by a seeded RNG, so every run — including which
+    crash points were probed — is reproducible from the printed seed.
+
+    Environment knobs (read by {!explore} when the corresponding
+    argument is omitted):
+    - [CRASHTEST_EXHAUSTIVE=1] — probe {e every} candidate instant
+      instead of a sample;
+    - [CRASHTEST_POINTS=n] — sample size per cell (default 64);
+    - [CRASHTEST_SEED=n] — base RNG seed (default 1). *)
+
+(** One run of a scenario: volatile shadow state (what the workload
+    believes committed) plus the validator that checks it against the
+    recovered persistent state. *)
+type instance = {
+  worker : tid:int -> Pstm.Ptm.t -> unit;
+      (** body of simulated thread [tid]; runs transactions and records
+          durable commits via [on_commit] hooks into the instance's
+          shadow state *)
+  validate : crashed:bool -> Memsim.Sim.t -> Pstm.Ptm.t -> (unit, string) result;
+      (** called untimed on the recovered (or cleanly finished) machine;
+          checks every invariant the scenario promises *)
+}
+
+type scenario = {
+  name : string;
+  threads : int;
+  heap_words : int;
+  log_words_per_thread : int;
+  prepare : Pstm.Ptm.t -> unit;
+      (** untimed population phase, run once on a fresh region; must
+          store any addresses the workers need in region roots *)
+  fresh : seed:int -> instance;
+      (** new instance with empty shadow state; equal seeds must yield
+          identical workloads (the engine re-runs the same instance
+          descriptor once per crash point) *)
+}
+
+type failure = {
+  crash_at : int;  (** the sampled instant that first failed *)
+  min_crash_at : int;  (** smallest failing instant found by shrinking *)
+  reason : string;
+  replay : string;  (** one shell command reproducing [min_crash_at] *)
+}
+
+type report = {
+  scenario : string;
+  model : string;
+  algorithm : string;
+  seed : int;
+  final_time : int;  (** virtual ns of the crash-free reference run *)
+  candidates : int;  (** distinct candidate crash instants enumerated *)
+  tested : int;  (** instants actually probed *)
+  failures : failure list;  (** empty when the oracle found no violation *)
+}
+
+val ok : report -> bool
+(** No failures. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val explore :
+  ?points:int ->
+  ?seed:int ->
+  ?exhaustive:bool ->
+  ?shrink_budget:int ->
+  ?nvm_channels:int ->
+  model:Memsim.Config.model ->
+  algorithm:Pstm.Ptm.algorithm ->
+  scenario ->
+  report
+(** Run the full exploration for one matrix cell.  Interleaved
+    [nvm_channels] default to 4 so WPQ completions can reorder relative
+    to issue order — the hazard window missing fences open.
+    @raise Failure if the crash-free reference run already violates the
+    scenario's model (harness bug, not a crash-consistency bug). *)
+
+val run_point :
+  ?nvm_channels:int ->
+  model:Memsim.Config.model ->
+  algorithm:Pstm.Ptm.algorithm ->
+  seed:int ->
+  crash_at:int ->
+  scenario ->
+  (unit, string) result
+(** Probe a single crash instant — the replay path for a failure
+    printed by {!explore}. *)
+
+val recovery_convergence :
+  ?nvm_channels:int ->
+  ?budgets:int list ->
+  model:Memsim.Config.model ->
+  algorithm:Pstm.Ptm.algorithm ->
+  seed:int ->
+  crash_at:int ->
+  scenario ->
+  (unit, string) result
+(** Recover-idempotence oracle: crash the workload at [crash_at], then
+    inject a {e second} crash inside recovery itself — after [k]
+    persistent writes, for each sampled budget [k] (default: up to 8
+    seeded samples of the reference recovery's write count) — recover
+    again, and require the final heap image to be word-for-word
+    identical to an uninterrupted recovery's, and the scenario model to
+    validate.  [Ok ()] when the workload ran to completion before
+    [crash_at]. *)
+
+val parse_replay : string -> (string * string * Pstm.Ptm.algorithm * int * int) option
+(** Parse a ["scenario:model:algorithm:seed:crash_at"] replay spec (the
+    payload of the [CRASHTEST_REPLAY] variable) into
+    [(scenario_name, model_name, algorithm, seed, crash_at)]. *)

@@ -1,0 +1,329 @@
+module Ptm = Pstm.Ptm
+module Rng = Repro_util.Rng
+
+(* Roots used by every scenario: slot 0 holds the scenario's top-level
+   persistent address. *)
+let root_slot = 0
+
+(* ---------- bank: money conservation + per-thread sequence cells ---------- *)
+
+let bank ?(accounts = 32) ?(threads = 4) ?(ops = 10) () =
+  let initial = 100 in
+  let prepare ptm =
+    let base =
+      Ptm.atomic ptm (fun tx ->
+          let b = Ptm.alloc tx (accounts + threads) in
+          for i = 0 to accounts - 1 do
+            Ptm.write tx (b + i) initial
+          done;
+          for j = 0 to threads - 1 do
+            Ptm.write tx (b + accounts + j) 0
+          done;
+          b)
+    in
+    Ptm.root_set ptm root_slot base
+  in
+  let fresh ~seed =
+    let committed = Array.make threads 0 in
+    let attempted = Array.make threads 0 in
+    let worker ~tid ptm =
+      let rng = Rng.create (seed + (7919 * tid)) in
+      let base = Ptm.root_get ptm root_slot in
+      for op = 1 to ops do
+        let src = Rng.int rng accounts in
+        let dst = Rng.int rng accounts in
+        let amount = 1 + Rng.int rng 5 in
+        attempted.(tid) <- op;
+        Ptm.atomic ptm (fun tx ->
+            let s = Ptm.read tx (base + src) in
+            let d = Ptm.read tx (base + dst) in
+            Ptm.write tx (base + src) (s - amount);
+            Ptm.write tx (base + dst) (d + amount);
+            (* The sequence cell makes lost/partial transactions visible
+               even when the transfer itself happens to conserve money. *)
+            Ptm.write tx (base + accounts + tid) op;
+            Ptm.on_commit tx (fun () -> committed.(tid) <- op))
+      done
+    in
+    let validate ~crashed:_ _sim ptm =
+      let base = Ptm.root_get ptm root_slot in
+      let sum =
+        Ptm.atomic ptm (fun tx ->
+            let s = ref 0 in
+            for i = 0 to accounts - 1 do
+              s := !s + Ptm.read tx (base + i)
+            done;
+            !s)
+      in
+      if sum <> accounts * initial then
+        Error (Printf.sprintf "bank: balance sum %d, expected %d" sum (accounts * initial))
+      else begin
+        let bad = ref None in
+        for j = 0 to threads - 1 do
+          if !bad = None then begin
+            let cell = Ptm.atomic ptm (fun tx -> Ptm.read tx (base + accounts + j)) in
+            if cell < committed.(j) then
+              bad :=
+                Some
+                  (Printf.sprintf "bank: thread %d lost committed op %d (cell holds %d)" j
+                     committed.(j) cell)
+            else if cell > attempted.(j) then
+              bad :=
+                Some
+                  (Printf.sprintf "bank: thread %d cell %d beyond last attempted op %d" j cell
+                     attempted.(j))
+          end
+        done;
+        match !bad with None -> Ok () | Some e -> Error e
+      end
+    in
+    { Engine.worker; validate }
+  in
+  {
+    Engine.name = "bank";
+    threads;
+    heap_words = 1 lsl 16;
+    log_words_per_thread = 512;
+    prepare;
+    fresh;
+  }
+
+(* ---------- counters: whole-write-set atomicity ---------- *)
+
+let counters ?(slots = 8) ?(threads = 4) ?(ops = 8) () =
+  let prepare ptm =
+    let base =
+      Ptm.atomic ptm (fun tx ->
+          let b = Ptm.alloc tx slots in
+          for i = 0 to slots - 1 do
+            Ptm.write tx (b + i) 0
+          done;
+          b)
+    in
+    Ptm.root_set ptm root_slot base
+  in
+  let fresh ~seed:_ =
+    let committed = ref 0 in
+    let worker ~tid:_ ptm =
+      let base = Ptm.root_get ptm root_slot in
+      for _ = 1 to ops do
+        Ptm.atomic ptm (fun tx ->
+            let v = Ptm.read tx (base + 0) + 1 in
+            for i = 0 to slots - 1 do
+              Ptm.write tx (base + i) v
+            done;
+            Ptm.on_commit tx (fun () -> committed := max !committed v))
+      done
+    in
+    let validate ~crashed:_ _sim ptm =
+      let base = Ptm.root_get ptm root_slot in
+      let values =
+        Ptm.atomic ptm (fun tx -> List.init slots (fun i -> Ptm.read tx (base + i)))
+      in
+      let v0 = List.hd values in
+      if List.exists (fun v -> v <> v0) values then
+        Error
+          (Printf.sprintf "counters: slots diverge after recovery: [%s]"
+             (String.concat "; " (List.map string_of_int values)))
+      else if v0 < !committed then
+        Error (Printf.sprintf "counters: committed value %d lost (slots hold %d)" !committed v0)
+      else if v0 > threads * ops then
+        Error (Printf.sprintf "counters: value %d exceeds %d attempts" v0 (threads * ops))
+      else Ok ()
+    in
+    { Engine.worker; validate }
+  in
+  {
+    Engine.name = "counters";
+    threads;
+    heap_words = 1 lsl 16;
+    log_words_per_thread = 512;
+    prepare;
+    fresh;
+  }
+
+(* ---------- btree: structural invariants + key-set bounds ---------- *)
+
+let btree ?(threads = 4) ?(ops = 8) () =
+  let value_of key = (key * 3) + 1 in
+  let prepare ptm =
+    let t = Pstructs.Bptree.create ptm in
+    Ptm.root_set ptm root_slot (Pstructs.Bptree.descriptor t)
+  in
+  let fresh ~seed:_ =
+    let committed : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+    let attempted : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+    let worker ~tid ptm =
+      let t = Pstructs.Bptree.attach ptm (Ptm.root_get ptm root_slot) in
+      for i = 1 to ops do
+        let key = ((tid + 1) * 1000) + i in
+        Hashtbl.replace attempted key ();
+        Ptm.atomic ptm (fun tx ->
+            ignore (Pstructs.Bptree.insert tx t ~key ~value:(value_of key) : bool);
+            Ptm.on_commit tx (fun () -> Hashtbl.replace committed key ()))
+      done
+    in
+    let validate ~crashed:_ _sim ptm =
+      let t = Pstructs.Bptree.attach ptm (Ptm.root_get ptm root_slot) in
+      match Pstructs.Bptree.check_invariants t with
+      | exception Failure e -> Error ("btree: structural violation: " ^ e)
+      | () ->
+        let alist = Pstructs.Bptree.to_alist t in
+        let present : (int, int) Hashtbl.t = Hashtbl.create 64 in
+        List.iter (fun (k, v) -> Hashtbl.replace present k v) alist;
+        let bad = ref None in
+        Hashtbl.iter
+          (fun key () ->
+            if !bad = None then
+              match Hashtbl.find_opt present key with
+              | None -> bad := Some (Printf.sprintf "btree: committed key %d missing" key)
+              | Some v when v <> value_of key ->
+                bad := Some (Printf.sprintf "btree: key %d has value %d, expected %d" key v
+                               (value_of key))
+              | Some _ -> ())
+          committed;
+        List.iter
+          (fun (k, _) ->
+            if !bad = None && not (Hashtbl.mem attempted k) then
+              bad := Some (Printf.sprintf "btree: phantom key %d was never inserted" k))
+          alist;
+        (match !bad with None -> Ok () | Some e -> Error e)
+    in
+    { Engine.worker; validate }
+  in
+  {
+    Engine.name = "btree";
+    threads;
+    heap_words = 1 lsl 17;
+    log_words_per_thread = 2048;
+    prepare;
+    fresh;
+  }
+
+(* ---------- alloc churn: allocator live-block accounting ---------- *)
+
+let alloc_churn ?(threads = 4) ?(ops = 10) () =
+  let payload_sig addr j = (addr * 31) + j + 1000 in
+  let prepare ptm =
+    (* Nothing beyond the formatted region; a one-word marker block
+       keeps root 0 pointing at valid data. *)
+    let marker =
+      Ptm.atomic ptm (fun tx ->
+          let a = Ptm.alloc tx 1 in
+          Ptm.write tx a 0x5eed;
+          a)
+    in
+    Ptm.root_set ptm root_slot marker
+  in
+  let fresh ~seed =
+    (* addr -> words for blocks whose allocation durably committed (as
+       far as the shadow knows); [inflight_free] marks the one free per
+       thread that may have committed without its hook running. *)
+    let committed_live : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    let inflight_free = Array.make threads None in
+    let owned = Array.make threads [] in
+    let worker ~tid ptm =
+      let rng = Rng.create (seed + (104729 * tid)) in
+      for _ = 1 to ops do
+        let do_free = owned.(tid) <> [] && Rng.chance rng 0.3 in
+        if do_free then begin
+          match owned.(tid) with
+          | [] -> ()
+          | addr :: rest ->
+            inflight_free.(tid) <- Some addr;
+            Ptm.atomic ptm (fun tx ->
+                Ptm.free tx addr;
+                Ptm.on_commit tx (fun () -> Hashtbl.remove committed_live addr));
+            owned.(tid) <- rest;
+            inflight_free.(tid) <- None
+        end
+        else begin
+          let words = 2 + Rng.int rng 6 in
+          let addr =
+            Ptm.atomic ptm (fun tx ->
+                let a = Ptm.alloc tx words in
+                for j = 0 to words - 1 do
+                  Ptm.write tx (a + j) (payload_sig a j)
+                done;
+                Ptm.on_commit tx (fun () -> Hashtbl.replace committed_live a words);
+                a)
+          in
+          owned.(tid) <- addr :: owned.(tid)
+        end
+      done
+    in
+    let validate ~crashed:_ _sim ptm =
+      let maybe_freed addr = Array.exists (fun o -> o = Some addr) inflight_free in
+      let bad = ref None in
+      Hashtbl.iter
+        (fun addr words ->
+          if !bad = None && not (maybe_freed addr) then
+            for j = 0 to words - 1 do
+              let v = Ptm.atomic ptm (fun tx -> Ptm.read tx (addr + j)) in
+              if !bad = None && v <> payload_sig addr j then
+                bad :=
+                  Some
+                    (Printf.sprintf "alloc: committed block %d word %d holds %d, expected %d"
+                       addr j v (payload_sig addr j))
+            done)
+        committed_live;
+      match !bad with
+      | Some e -> Error e
+      | None ->
+        let rep = Pmem.Check.run (Ptm.region ptm) in
+        let shadow = Hashtbl.length committed_live in
+        (* One in-flight operation per thread can commit durably without
+           its shadow hook running, so allow that much slack. *)
+        if rep.Pmem.Check.live_blocks < shadow - threads then
+          Error
+            (Printf.sprintf "alloc: checker sees %d live blocks, shadow has %d committed"
+               rep.Pmem.Check.live_blocks shadow)
+        else Ok ()
+    in
+    { Engine.worker; validate }
+  in
+  {
+    Engine.name = "alloc";
+    threads;
+    heap_words = 1 lsl 16;
+    log_words_per_thread = 512;
+    prepare;
+    fresh;
+  }
+
+(* ---------- adapter over the paper's workloads ---------- *)
+
+let of_spec ?(threads = 2) ?(ops = 50) (spec : Workloads.Driver.spec) =
+  let prepare ptm = spec.Workloads.Driver.setup ptm in
+  let fresh ~seed =
+    let worker ~tid ptm =
+      let rng = Rng.create (seed lxor (31 * (tid + 1))) in
+      let op = spec.Workloads.Driver.make_op ptm ~tid ~rng in
+      for _ = 1 to ops do
+        op ()
+      done
+    in
+    (* Structural oracle only: the workload's own state model stays
+       opaque, but region metadata and recovery must stay clean. *)
+    let validate ~crashed:_ _sim ptm =
+      let rep = Pmem.Check.run (Ptm.region ptm) in
+      if Pmem.Check.is_clean rep then Ok ()
+      else Error (Format.asprintf "workload %s: %a" spec.Workloads.Driver.name Pmem.Check.pp rep)
+    in
+    { Engine.worker; validate }
+  in
+  {
+    Engine.name = "wl-" ^ spec.Workloads.Driver.name;
+    threads;
+    heap_words = spec.Workloads.Driver.heap_words;
+    log_words_per_thread = 4096;
+    prepare;
+    fresh;
+  }
+
+let all () = [ bank (); counters (); btree (); alloc_churn () ]
+
+let find name =
+  match List.find_opt (fun s -> s.Engine.name = name) (all ()) with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Scenarios.find: unknown scenario %S" name)

@@ -1,0 +1,40 @@
+(** Ready-made crash-test scenarios with application-level oracles.
+
+    Each scenario pairs a small concurrent workload with the strongest
+    invariants we can state about its recovered state:
+
+    - {!bank}: money conservation plus per-thread operation-sequence
+      cells — a committed transfer that vanishes, or an in-flight one
+      that half-appears, is caught;
+    - {!counters}: every transaction rewrites all slots, so recovered
+      slots must be equal (atomicity) and at least the last durably
+      committed value (durability);
+    - {!btree}: B+Tree structural invariants plus key-set bounds — the
+      recovered key set contains every durably committed insert and
+      nothing that was never attempted;
+    - {!alloc_churn}: allocator accounting — committed-live payloads
+      keep their signatures, and {!Pmem.Check} agrees with the shadow
+      directory up to one in-flight operation per thread;
+    - {!of_spec}: wraps any {!Workloads.Driver.spec} with a structural
+      (region-integrity only) oracle, so the paper's full workloads can
+      ride the @crashtest sweep.
+
+    All scenarios derive their randomness from the instance seed, so a
+    (scenario, seed) pair fully determines the workload. *)
+
+val bank : ?accounts:int -> ?threads:int -> ?ops:int -> unit -> Engine.scenario
+
+val counters : ?slots:int -> ?threads:int -> ?ops:int -> unit -> Engine.scenario
+
+val btree : ?threads:int -> ?ops:int -> unit -> Engine.scenario
+
+val alloc_churn : ?threads:int -> ?ops:int -> unit -> Engine.scenario
+
+val of_spec : ?threads:int -> ?ops:int -> Workloads.Driver.spec -> Engine.scenario
+
+val all : unit -> Engine.scenario list
+(** The four application scenarios with default sizes. *)
+
+val find : string -> Engine.scenario
+(** Look up one of {!all} by name.
+    @raise Invalid_argument on unknown name. *)

@@ -1,1 +1,1 @@
-lib/memsim/trace.ml: Array Format List
+lib/memsim/trace.ml: Array Format Int List Set

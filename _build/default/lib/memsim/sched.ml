@@ -61,6 +61,8 @@ let crashed t = t.crashed
 
 let time_limit t = t.crash_at
 
+let running t = t.current <> None
+
 let kill t th =
   match th.state with
   | Suspended k ->

@@ -10,6 +10,12 @@ type counters = {
   mutable pdram_page_misses : int;
 }
 
+(* A line whose content is travelling towards the NVM controller: it
+   was captured at clwb/eviction issue but becomes power-safe only when
+   the WPQ entry is serviced at [apply_at].  A crash before then loses
+   it — the loss window sfence exists to close. *)
+type pending = { apply_at : int; seq : int; line : int; data : int array }
+
 type t = {
   cfg : Config.t;
   sched : Sched.t;
@@ -24,6 +30,9 @@ type t = {
   mutable log_ranges : (int * int) list; (* [lo, hi) word ranges of PTM logs *)
   mutable fence_target : int array; (* per-tid max completion of own WPQ entries *)
   mutable trace : Trace.t option;
+  mutable pending : pending list; (* deferred ADR media writes, newest first *)
+  mutable pending_count : int;
+  mutable pending_seq : int;
   c : counters;
 }
 
@@ -51,6 +60,9 @@ let create (cfg : Config.t) =
     log_ranges = [];
     fence_target = Array.make 64 0;
     trace = None;
+    pending = [];
+    pending_count = 0;
+    pending_seq = 0;
     c =
       {
         loads = 0;
@@ -92,6 +104,48 @@ let line_to_media t line =
     let len = min Layout.words_per_line (t.cfg.heap_words - base) in
     Array.blit t.heap base media base len
 
+(* ADR persists a line only once the controller has serviced its WPQ
+   entry; until then the content rides in [pending].  eADR-family
+   domains and battery-backed DRAM paths stay eager: their reserve
+   power covers in-flight traffic, so there is no loss window.  Only
+   timed execution defers — untimed setup/recovery phases run outside
+   the clock (crashes cannot be armed there), and deferring against a
+   frozen [Sched.now] would just accumulate unsettleable entries. *)
+let adr_defers t =
+  t.media <> None
+  && Sched.running t.sched
+  && (match t.cfg.model.persistence with Config.Adr _ -> true | Config.Eadr -> false)
+
+(* Apply entries serviced strictly before [cutoff] to [image], oldest
+   first — the same order the controller wrote them. *)
+let apply_pending ~cutoff pending image =
+  List.filter (fun p -> p.apply_at < cutoff) pending
+  |> List.sort (fun a b ->
+         if a.apply_at <> b.apply_at then compare a.apply_at b.apply_at
+         else compare a.seq b.seq)
+  |> List.iter (fun p ->
+         Array.blit p.data 0 image (Layout.addr_of_line p.line) (Array.length p.data))
+
+let defer_line t ~now line ~apply_at =
+  match t.media with
+  | None -> ()
+  | Some media ->
+    let base = Layout.addr_of_line line in
+    let len = min Layout.words_per_line (t.cfg.heap_words - base) in
+    t.pending <-
+      { apply_at; seq = t.pending_seq; line; data = Array.sub t.heap base len } :: t.pending;
+    t.pending_seq <- t.pending_seq + 1;
+    t.pending_count <- t.pending_count + 1;
+    if t.pending_count > 4096 then begin
+      (* Settle entries already past the current virtual time: a crash
+         can only be armed at some instant > [now] (this thread is
+         still executing), so their loss window is closed. *)
+      let settled, inflight = List.partition (fun p -> p.apply_at <= now) t.pending in
+      apply_pending ~cutoff:max_int settled media;
+      t.pending <- inflight;
+      t.pending_count <- List.length inflight
+    end
+
 (* Interleaving: consecutive cache lines rotate across channels. *)
 let nvm_wpq_of t line = t.wpq_nvm.(line mod Array.length t.wpq_nvm)
 let nvm_rd_of t line = t.rd_nvm.(line mod Array.length t.rd_nvm)
@@ -127,19 +181,23 @@ let pdram_access t ~now ~page ~write =
       | Some { dirty = false; _ } | None -> ());
       `Dram_miss)
 
-(* Write-back of an evicted dirty line: content persists to media now
-   (it is in flight towards the controller); bandwidth charged on the
-   backing channel; issuing thread stalls only on WPQ backpressure. *)
+(* Write-back of an evicted dirty line: content is in flight towards
+   the controller; bandwidth charged on the backing channel; issuing
+   thread stalls only on WPQ backpressure.  On the NVM path under ADR
+   the media image is updated at the entry's service time — eviction
+   write-backs are not tracked by fence targets, exactly as x86 dirty
+   evictions are not ordered by sfence. *)
 let writeback_line t ~now line =
-  line_to_media t line;
   let addr = Layout.addr_of_line line in
   match media_of t addr with
   | Config.Dram ->
+    line_to_media t line;
     let a = Server.enqueue_async t.wpq_dram ~now in
     a.Server.ready - now
   | Config.Nvm ->
     if t.cfg.model.pdram_cache then begin
       (* Line lands in the DRAM page cache; page marked dirty. *)
+      line_to_media t line;
       let page = Layout.page_of_addr addr in
       (match pdram_access t ~now ~page ~write:true with
       | `Dram_hit | `Not_pdram -> ()
@@ -149,6 +207,8 @@ let writeback_line t ~now line =
     end
     else begin
       let a = Server.enqueue_async (nvm_wpq_of t line) ~now in
+      if adr_defers t then defer_line t ~now line ~apply_at:a.Server.completion
+      else line_to_media t line;
       a.Server.ready - now
     end
 
@@ -221,13 +281,15 @@ let clwb t addr =
   let line = Layout.line_of_addr addr in
   let stall =
     if Cache.clean t.l3 ~line then begin
-      line_to_media t line;
-      let server =
+      let nvm_path =
         match media_of t addr with
-        | Config.Dram -> t.wpq_dram
-        | Config.Nvm -> if t.cfg.model.pdram_cache then t.wpq_dram else nvm_wpq_of t line
+        | Config.Dram -> false
+        | Config.Nvm -> not t.cfg.model.pdram_cache
       in
+      let server = if nvm_path then nvm_wpq_of t line else t.wpq_dram in
       let a = Server.enqueue_async server ~now in
+      if nvm_path && adr_defers t then defer_line t ~now line ~apply_at:a.Server.completion
+      else line_to_media t line;
       t.fence_target.(tid) <- max t.fence_target.(tid) a.Server.completion;
       a.Server.ready - now
     end
@@ -264,6 +326,13 @@ let crashed t = Sched.crashed t.sched
    contents and cache residency (a warm start).  Must be called before
    the first [spawn]/[run], never during one. *)
 let reset_timing t =
+  (* Settle deferred media writes first: server clocks restart below,
+     so stale future [apply_at] stamps must not survive the epoch. *)
+  (match t.media with
+  | Some media -> apply_pending ~cutoff:max_int t.pending media
+  | None -> ());
+  t.pending <- [];
+  t.pending_count <- 0;
   Array.iter Server.reset t.wpq_nvm;
   Server.reset t.wpq_dram;
   Array.iter Server.reset t.rd_nvm;
@@ -279,7 +348,12 @@ let reset_timing t =
   t.c.pdram_page_misses <- 0
 
 let persist_all t =
-  match t.media with None -> () | Some media -> Array.blit t.heap 0 media 0 t.cfg.heap_words
+  match t.media with
+  | None -> ()
+  | Some media ->
+    t.pending <- [];
+    t.pending_count <- 0;
+    Array.blit t.heap 0 media 0 t.cfg.heap_words
 
 (* Apply the durability domain's survival rule after a power failure
    (or a clean shutdown, which is strictly weaker than eADR flush). *)
@@ -295,7 +369,17 @@ let surviving_media t =
     in
     (match t.cfg.model.persistence with
     | Config.Adr _ ->
-      () (* only the media image: WPQ content was applied eagerly *)
+      (* Deferred WPQ traffic: only entries the controller serviced
+         strictly before the power failed reach the image.  Leaves
+         [t.pending] untouched so reboot can be replayed. *)
+      let cutoff =
+        if Sched.crashed t.sched then
+          match Sched.time_limit t.sched with
+          | Some c -> c
+          | None -> Sched.now t.sched
+        else max_int
+      in
+      apply_pending ~cutoff t.pending image
     | Config.Eadr ->
       (* Reserve power flushes resident dirty lines. *)
       List.iter

@@ -7,15 +7,20 @@
 
     Persistence model (per cache line):
     - a store dirties the line in the L3;
-    - [clwb] sends the line's current content to the WPQ (the media
-      image is updated there and then, because ADR guarantees the WPQ
-      drains even on power failure) and charges the issuing thread the
-      clwb latency, plus a stall if the bounded WPQ is full;
-    - [sfence] makes the thread wait until its own outstanding WPQ
-      entries have drained;
-    - a dirty line evicted by capacity also transits the WPQ — this is
-      the write-back traffic that saturates eADR at scale (§III-C);
-    - on a power failure, ADR keeps only the media image; eADR-family
+    - [clwb] captures the line's current content and sends it to the
+      WPQ, charging the issuing thread the clwb latency plus a stall if
+      the bounded WPQ is full;
+    - under ADR the content becomes power-safe only when the memory
+      controller services the WPQ entry; with interleaved channels,
+      service completions can reorder relative to issue order, so an
+      unfenced flush has a real loss window (the Table III no-fence
+      hazard) while [sfence] — which waits for the thread's own
+      outstanding entries to complete — closes it;
+    - a dirty line evicted by capacity also transits the WPQ (persisting
+      at service time under ADR, unordered by sfence) — this is the
+      write-back traffic that saturates eADR at scale (§III-C);
+    - on a power failure, ADR keeps the media image plus every WPQ
+      entry serviced strictly before the crash instant; eADR-family
       domains additionally flush resident dirty lines; PDRAM persists
       the entire heap (its DRAM page cache is battery-backed).
 

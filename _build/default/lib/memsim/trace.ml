@@ -32,6 +32,19 @@ let find t p =
   in
   go (tail t)
 
+module Int_set = Set.Make (Int)
+
+let crash_points ?(halo = 1) t =
+  let add acc e =
+    match e.kind with
+    | Load _ | Crash -> acc
+    | Store _ | Clwb _ | Sfence | Publish _ ->
+      Int_set.add e.at_ns (Int_set.add (e.at_ns + halo) acc)
+  in
+  List.fold_left add Int_set.empty (tail t)
+  |> Int_set.filter (fun x -> x > 0)
+  |> Int_set.elements
+
 let pp_kind ppf = function
   | Load addr -> Format.fprintf ppf "load   %d" addr
   | Store addr -> Format.fprintf ppf "store  %d" addr

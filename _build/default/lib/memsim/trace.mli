@@ -33,6 +33,14 @@ val tail : t -> event list
 val find : t -> (event -> bool) -> event option
 (** Most recent retained event satisfying the predicate. *)
 
+val crash_points : ?halo:int -> t -> int list
+(** Candidate crash instants harvested from the retained events: for
+    every state-changing event (store, clwb, sfence, publish) at time
+    [t], both [t] itself (power fails just before the event executes)
+    and [t + halo] (just after), sorted, deduplicated, all positive.
+    Loads are skipped — crashing around them adds no new
+    persistent-state interleavings.  Default [halo] is 1. *)
+
 val pp_event : Format.formatter -> event -> unit
 
 val dump : Format.formatter -> t -> unit

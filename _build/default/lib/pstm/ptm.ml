@@ -497,11 +497,27 @@ let undo_write tx addr value =
        the zero slot, so a crash amid these stores can never roll back
        with a stale [old] (the address slot may hold garbage reused
        from an earlier transaction). *)
-    t.m.Machine.store (pos + 1) old;
-    t.m.Machine.store (pos + 2) 0 (* sentinel *);
-    t.m.Machine.store pos addr;
-    flush_range t pos (pos + 2);
-    fence t
+    if Layout.line_of_addr (pos + 2) <> Layout.line_of_addr pos then begin
+      (* The sentinel lives on the next cache line.  Its line must be
+         durable before the armed entry's line: flushes to distinct
+         lines can persist out of order, and a surviving armed entry
+         next to a stale non-zero successor would let recovery scan on
+         into a previous transaction's entries. *)
+      t.m.Machine.store (pos + 2) 0;
+      flush t (pos + 2);
+      fence t;
+      t.m.Machine.store (pos + 1) old;
+      t.m.Machine.store pos addr;
+      flush t pos;
+      fence t
+    end
+    else begin
+      t.m.Machine.store (pos + 1) old;
+      t.m.Machine.store (pos + 2) 0 (* sentinel *);
+      t.m.Machine.store pos addr;
+      flush_range t pos (pos + 2);
+      fence t
+    end
   end;
   t.m.Machine.store addr value
 

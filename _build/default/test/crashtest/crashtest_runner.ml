@@ -1,0 +1,74 @@
+(* Standalone crash-test sweep, wired to `dune build @crashtest`.
+
+   Default: sampled sweep of every scenario across the
+   {Redo, Undo} x {ADR, eADR, PDRAM, PDRAM-Lite} matrix.
+   CRASHTEST_EXHAUSTIVE=1 probes every candidate instant instead.
+   CRASHTEST_SCENARIO / CRASHTEST_MODEL / CRASHTEST_ALG restrict the
+   sweep to matching cells (exact scenario / model / algorithm names).
+   CRASHTEST_REPLAY='scenario:model:algorithm:seed:crash_at' re-runs a
+   single failing point printed by a previous sweep. *)
+
+module Config = Memsim.Config
+module Engine = Crashtest.Engine
+module Scenarios = Crashtest.Scenarios
+
+let models = [ Config.optane_adr; Config.optane_eadr; Config.pdram; Config.pdram_lite ]
+let algorithms = [ Pstm.Ptm.Redo; Pstm.Ptm.Undo ]
+
+let replay spec =
+  match Engine.parse_replay spec with
+  | None ->
+    Printf.eprintf "CRASHTEST_REPLAY: cannot parse %S\n%!" spec;
+    exit 2
+  | Some (scenario_name, model_name, algorithm, seed, crash_at) ->
+    let scenario, model =
+      try (Scenarios.find scenario_name, Config.model_of_name model_name)
+      with Invalid_argument msg ->
+        Printf.eprintf "CRASHTEST_REPLAY: %s\n%!" msg;
+        exit 2
+    in
+    (match Engine.run_point ~model ~algorithm ~seed ~crash_at scenario with
+    | Ok () ->
+      Printf.printf "replay %s: ok (no violation at t=%d)\n%!" spec crash_at
+    | Error reason ->
+      Printf.printf "replay %s: VIOLATION\n  %s\n%!" spec reason;
+      exit 1)
+
+let wanted var name =
+  match Sys.getenv_opt var with None | Some "" -> true | Some v -> v = name
+
+let sweep () =
+  let failed = ref 0 in
+  let ran = ref 0 in
+  List.iter
+    (fun scenario ->
+      if wanted "CRASHTEST_SCENARIO" scenario.Engine.name then
+        List.iter
+          (fun model ->
+            if wanted "CRASHTEST_MODEL" model.Config.model_name then
+              List.iter
+                (fun algorithm ->
+                  if wanted "CRASHTEST_ALG" (Pstm.Ptm.algorithm_name algorithm) then begin
+                    let report = Engine.explore ~model ~algorithm scenario in
+                    Format.printf "%a@." Engine.pp_report report;
+                    incr ran;
+                    if not (Engine.ok report) then incr failed
+                  end)
+                algorithms)
+          models)
+    (Scenarios.all ());
+  if !ran = 0 then begin
+    (* A typo'd filter must not read as a clean bill of health. *)
+    Printf.eprintf "no cells matched the CRASHTEST_SCENARIO/MODEL/ALG filters\n%!";
+    exit 2
+  end
+  else if !failed > 0 then begin
+    Printf.printf "%d/%d cell(s) FAILED\n%!" !failed !ran;
+    exit 1
+  end
+  else Printf.printf "all %d cells passed\n%!" !ran
+
+let () =
+  match Sys.getenv_opt "CRASHTEST_REPLAY" with
+  | Some spec when String.trim spec <> "" -> replay spec
+  | Some _ | None -> sweep ()

@@ -12,6 +12,15 @@ let run_workers ?crash_at sim threads f =
   done;
   Memsim.Sim.run ?crash_at sim
 
+(* Machine plus an attached PTM — the fixture most suites start from.
+   Optional arguments mirror [Ptm.create]'s so suites only state what
+   they care about. *)
+let ptm_fixture ?model ?algorithm ?flush_timing ?(heap_words = 1 lsl 16)
+    ?(max_threads = 8) ?(log_words_per_thread = 1024) ?lat () =
+  let sim, m = sim_machine ?model ~heap_words ?lat () in
+  let ptm = Pstm.Ptm.create ?algorithm ?flush_timing ~max_threads ~log_words_per_thread m in
+  (sim, m, ptm)
+
 (* Reboot a crashed (or finished) sim and recover the PTM on it. *)
 let reboot_and_recover ?algorithm sim =
   let sim' = Memsim.Sim.reboot sim in

@@ -11,5 +11,6 @@ let () =
       ("workloads", Test_workloads.suite);
       ("native", Test_native.suite);
       ("extensions", Test_extensions.suite);
+      ("crashtest", Test_crashtest.suite);
       ("experiments", Test_experiments.suite);
     ]

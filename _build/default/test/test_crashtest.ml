@@ -1,0 +1,181 @@
+(* Crash-point exploration harness: the durable-linearizability matrix,
+   the missing-fence expected-failure meta-test, recovery idempotence,
+   run determinism, and the crash-leak severity regression. *)
+
+open Pstm
+module Config = Memsim.Config
+module Sim = Memsim.Sim
+module Engine = Crashtest.Engine
+module Scenarios = Crashtest.Scenarios
+
+let seed = 1
+
+(* ---------- the {Redo, Undo} x durability-domain matrix ---------- *)
+
+let matrix_models =
+  [ Config.optane_adr; Config.optane_eadr; Config.pdram; Config.pdram_lite ]
+
+let test_cell scenario model algorithm () =
+  let report = Engine.explore ~points:50 ~seed ~model ~algorithm scenario in
+  Helpers.check_bool
+    (Format.asprintf "%a" Engine.pp_report report)
+    true (Engine.ok report);
+  Helpers.check_bool "probed at least 50 instants" true (report.Engine.tested >= 50)
+
+let matrix_cases =
+  (* Rotate scenarios through the cells so every durability domain and
+     both algorithms see >= 50 crash points, and every scenario runs
+     under at least two domains. *)
+  let scenarios =
+    [| Scenarios.bank (); Scenarios.counters (); Scenarios.btree (); Scenarios.alloc_churn () |]
+  in
+  List.concat
+    (List.mapi
+       (fun i model ->
+         List.mapi
+           (fun j algorithm ->
+             let scenario = scenarios.(((2 * i) + j) mod Array.length scenarios) in
+             let name =
+               Printf.sprintf "matrix %s/%s/%s" scenario.Engine.name
+                 model.Config.model_name
+                 (Ptm.algorithm_name algorithm)
+             in
+             Alcotest.test_case name `Slow (test_cell scenario model algorithm))
+           [ Ptm.Redo; Ptm.Undo ])
+       matrix_models)
+
+(* ---------- expected failure: ADR without fences ---------- *)
+
+(* Table III's broken variant: clwb without sfence leaves write-backs
+   racing in the interleaved WPQ.  The harness must *catch* it — an
+   all-pass report here means the oracle is blind. *)
+let test_nofence algorithm () =
+  let scenario = Scenarios.bank () in
+  let report =
+    Engine.explore ~points:80 ~seed ~model:Config.optane_adr_nofence ~algorithm scenario
+  in
+  Helpers.check_bool "oracle detects the missing fences" false (Engine.ok report);
+  match report.Engine.failures with
+  | [] -> Alcotest.fail "report not ok but carries no failure record"
+  | f :: _ ->
+    Helpers.check_bool "minimal crash time is positive" true (f.Engine.min_crash_at > 0);
+    Helpers.check_bool "shrinking did not grow the crash time" true
+      (f.Engine.min_crash_at <= f.Engine.crash_at);
+    Helpers.check_bool "failure explains itself" true (String.length f.Engine.reason > 0);
+    (* The replay line must reproduce the violation in one command. *)
+    let spec =
+      match String.split_on_char '\'' f.Engine.replay with
+      | _ :: spec :: _ -> spec
+      | _ -> Alcotest.fail ("unparseable replay line: " ^ f.Engine.replay)
+    in
+    (match Engine.parse_replay spec with
+    | None -> Alcotest.fail ("replay spec does not parse: " ^ spec)
+    | Some (scen_name, model_name, alg, replay_seed, crash_at) ->
+      Helpers.check_int "replay seed matches report" report.Engine.seed replay_seed;
+      let result =
+        Engine.run_point
+          ~model:(Config.model_of_name model_name)
+          ~algorithm:alg ~seed:replay_seed ~crash_at
+          (Scenarios.find scen_name)
+      in
+      Helpers.check_bool "replay reproduces the violation" true (Result.is_error result))
+
+(* ---------- recovery idempotence ---------- *)
+
+let test_recovery_convergence algorithm () =
+  let scenario = Scenarios.bank () in
+  let model = Config.optane_adr in
+  let probe = Engine.explore ~points:1 ~seed ~model ~algorithm scenario in
+  let t_final = probe.Engine.final_time in
+  List.iter
+    (fun eighth ->
+      let crash_at = max 1 (t_final * eighth / 8) in
+      match Engine.recovery_convergence ~model ~algorithm ~seed ~crash_at scenario with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.fail (Printf.sprintf "crash_at=%dns (%d/8 of run): %s" crash_at eighth e))
+    [ 1; 2; 3; 5; 7 ]
+
+(* ---------- determinism ---------- *)
+
+let run_reference_once () =
+  let scenario = Scenarios.bank () in
+  let cfg =
+    Config.make ~nvm_channels:4 ~heap_words:scenario.Engine.heap_words ~track_media:true
+      Config.optane_adr
+  in
+  let sim = Sim.create cfg in
+  let m = Sim.machine sim in
+  let ptm =
+    Ptm.create ~algorithm:Ptm.Redo ~max_threads:scenario.Engine.threads
+      ~log_words_per_thread:scenario.Engine.log_words_per_thread m
+  in
+  scenario.Engine.prepare ptm;
+  let inst = scenario.Engine.fresh ~seed:42 in
+  for tid = 0 to scenario.Engine.threads - 1 do
+    ignore (Sim.spawn sim (fun () -> inst.Engine.worker ~tid ptm) : int)
+  done;
+  Sim.run sim;
+  let heap = Array.init scenario.Engine.heap_words m.Machine.raw_read in
+  (Sim.now sim, Sim.Stats.get sim, Ptm.Stats.get ptm, heap)
+
+let test_determinism () =
+  let t1, s1, p1, h1 = run_reference_once () in
+  let t2, s2, p2, h2 = run_reference_once () in
+  Helpers.check_int "final virtual time" t1 t2;
+  Helpers.check_bool "sim stats bit-identical" true (s1 = s2);
+  Helpers.check_bool "ptm stats bit-identical" true (p1 = p2);
+  Helpers.check_bool "final heap bit-identical" true (h1 = h2)
+
+(* ---------- crash-leaked arenas are warnings, not corruption ---------- *)
+
+(* [Alloc.claim_chunk] durably advances the high-water mark before the
+   arena header's flush completes; a crash in between strands a chunk
+   with no recognizable header.  The checker must report that as a
+   Warning (bounded leak, by design) and [is_clean] must hold so
+   recovery proceeds. *)
+let test_crash_leak_is_warning () =
+  let probe crash_at =
+    let sim, _m, ptm = Helpers.ptm_fixture ~model:Config.optane_adr ~max_threads:1 () in
+    Sim.persist_all sim;
+    ignore
+      (Sim.spawn sim (fun () -> Ptm.atomic ptm (fun tx -> ignore (Ptm.alloc tx 600 : int)))
+        : int);
+    Sim.run ~crash_at sim;
+    if not (Sim.crashed sim) then None
+    else begin
+      let _sim', _m', ptm' = Helpers.reboot_and_recover sim in
+      Some (Pmem.Check.run (Ptm.region ptm'))
+    end
+  in
+  let rec hunt t =
+    if t > 2000 then Alcotest.fail "no crash point leaked an arena within 2000ns"
+    else
+      match probe t with
+      | None -> Alcotest.fail "run completed before any leak window was found"
+      | Some rep when rep.Pmem.Check.leaked_arenas > 0 ->
+        Helpers.check_bool "region is clean after recovery despite the leak" true
+          (Pmem.Check.is_clean rep);
+        List.iter
+          (fun f ->
+            Helpers.check_bool
+              (Printf.sprintf "finding %S is not corruption" f.Pmem.Check.what)
+              true
+              (f.Pmem.Check.severity <> Pmem.Check.Corruption))
+          rep.Pmem.Check.findings
+      | Some _ -> hunt (t + 1)
+  in
+  hunt 1
+
+let suite =
+  matrix_cases
+  @ [
+      Alcotest.test_case "nofence-adr is caught (redo)" `Slow (test_nofence Ptm.Redo);
+      Alcotest.test_case "nofence-adr is caught (undo)" `Slow (test_nofence Ptm.Undo);
+      Alcotest.test_case "recovery converges under re-crash (redo)" `Slow
+        (test_recovery_convergence Ptm.Redo);
+      Alcotest.test_case "recovery converges under re-crash (undo)" `Slow
+        (test_recovery_convergence Ptm.Undo);
+      Alcotest.test_case "same config+seed is bit-identical" `Quick test_determinism;
+      Alcotest.test_case "crash-leaked arena is a warning" `Quick test_crash_leak_is_warning;
+    ]

@@ -6,9 +6,7 @@ module Sim = Memsim.Sim
 module Config = Memsim.Config
 
 let fixture ?(model = Config.optane_eadr) ?(algorithm = Ptm.Htm) () =
-  let sim, m = Helpers.sim_machine ~model ~heap_words:(1 lsl 16) () in
-  let ptm = Ptm.create ~algorithm ~max_threads:8 ~log_words_per_thread:1024 m in
-  (sim, m, ptm)
+  Helpers.ptm_fixture ~model ~algorithm ()
 
 (* ---------- HTM ---------- *)
 

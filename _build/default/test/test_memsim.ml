@@ -242,6 +242,85 @@ let test_sim_crash_adr_loses_unflushed () =
   Helpers.check_int "flushed store survives" 7 (m'.Machine.raw_read 100);
   Helpers.check_int "unflushed store lost" 0 (m'.Machine.raw_read 200)
 
+(* Under ADR, clwb only captures the line — durability arrives at WPQ
+   service completion, and sfence is what waits for it.  A crash inside
+   that window loses the flushed-but-unfenced line. *)
+let test_sim_adr_clwb_completion_window () =
+  let run crash_at =
+    let cfg = Config.make ~nvm_channels:4 ~heap_words:(1 lsl 12) Config.optane_adr in
+    let sim = Sim.create cfg in
+    let m = Sim.machine sim in
+    let trace = Sim.enable_trace sim in
+    ignore
+      (Sim.spawn sim (fun () ->
+           m.Machine.store 100 7;
+           m.Machine.clwb 100;
+           for _ = 1 to 50 do
+             m.Machine.pause 100
+           done)
+        : int);
+    Sim.run ?crash_at sim;
+    (sim, trace)
+  in
+  let _, trace = run None in
+  let clwb_at =
+    match
+      Trace.find trace (fun e ->
+          match e.Trace.kind with Trace.Clwb _ -> true | _ -> false)
+    with
+    | Some e -> e.Trace.at_ns
+    | None -> Alcotest.fail "no clwb event in reference trace"
+  in
+  let sim, _ = run (Some (clwb_at + 1)) in
+  Helpers.check_bool "crashed inside the window" true (Sim.crashed sim);
+  let m' = Sim.machine (Sim.reboot sim) in
+  Helpers.check_int "clwb'd line without fence is lost" 0 (m'.Machine.raw_read 100)
+
+let test_sim_adr_fence_closes_window () =
+  let run crash_at =
+    let cfg = Config.make ~nvm_channels:4 ~heap_words:(1 lsl 12) Config.optane_adr in
+    let sim = Sim.create cfg in
+    let m = Sim.machine sim in
+    let trace = Sim.enable_trace sim in
+    ignore
+      (Sim.spawn sim (fun () ->
+           m.Machine.store 100 7;
+           m.Machine.clwb 100;
+           m.Machine.sfence ();
+           (* marker store: program order puts it after the fence wait *)
+           m.Machine.store 200 9;
+           for _ = 1 to 50 do
+             m.Machine.pause 100
+           done)
+        : int);
+    Sim.run ?crash_at sim;
+    (sim, trace)
+  in
+  let _, trace = run None in
+  let marker_at =
+    match
+      Trace.find trace (fun e ->
+          match e.Trace.kind with Trace.Store a -> a = 200 | _ -> false)
+    with
+    | Some e -> e.Trace.at_ns
+    | None -> Alcotest.fail "no marker store in reference trace"
+  in
+  let sim, _ = run (Some marker_at) in
+  Helpers.check_bool "crashed after the fence" true (Sim.crashed sim);
+  let m' = Sim.machine (Sim.reboot sim) in
+  Helpers.check_int "fenced line survives any later crash" 7 (m'.Machine.raw_read 100)
+
+let test_trace_crash_points () =
+  let tr = Trace.create () in
+  Trace.record tr ~at_ns:0 ~tid:0 (Trace.Store 5);
+  Trace.record tr ~at_ns:10 ~tid:0 (Trace.Clwb 5);
+  Trace.record tr ~at_ns:10 ~tid:1 Trace.Sfence;
+  Trace.record tr ~at_ns:12 ~tid:0 (Trace.Load 5);
+  Helpers.check_bool "positive, deduped, loads skipped" true
+    (Trace.crash_points tr = [ 1; 10; 11 ]);
+  Helpers.check_bool "halo widens the after-point" true
+    (Trace.crash_points ~halo:3 tr = [ 3; 10; 13 ])
+
 let test_sim_crash_eadr_keeps_cached () =
   let sim, m = Helpers.sim_machine ~model:Config.optane_eadr () in
   ignore
@@ -482,6 +561,10 @@ let suite =
     Alcotest.test_case "sim: ADR dearer than eADR" `Quick test_sim_clwb_fence_cost;
     Alcotest.test_case "sim: nofence in between" `Quick test_sim_nofence_between_adr_and_eadr;
     Alcotest.test_case "sim: ADR crash semantics" `Quick test_sim_crash_adr_loses_unflushed;
+    Alcotest.test_case "sim: ADR clwb completion window" `Quick
+      test_sim_adr_clwb_completion_window;
+    Alcotest.test_case "sim: sfence closes the window" `Quick test_sim_adr_fence_closes_window;
+    Alcotest.test_case "trace: crash points" `Quick test_trace_crash_points;
     Alcotest.test_case "sim: eADR crash semantics" `Quick test_sim_crash_eadr_keeps_cached;
     Alcotest.test_case "sim: DRAM crash semantics" `Quick test_sim_crash_dram_loses_everything;
     Alcotest.test_case "sim: PDRAM crash semantics" `Quick test_sim_pdram_persists_everything;

@@ -3,10 +3,8 @@ module Sim = Memsim.Sim
 module Config = Memsim.Config
 
 (* PTM fixture sized for tests: 8 threads, 1K-word logs, 64K-word heap. *)
-let fixture ?(model = Config.optane_adr) ?(algorithm = Ptm.Redo) ?(heap_words = 1 lsl 16) () =
-  let sim, m = Helpers.sim_machine ~model ~heap_words () in
-  let ptm = Ptm.create ~algorithm ~max_threads:8 ~log_words_per_thread:1024 m in
-  (sim, m, ptm)
+let fixture ?(model = Config.optane_adr) ?(algorithm = Ptm.Redo) ?heap_words () =
+  Helpers.ptm_fixture ~model ~algorithm ?heap_words ()
 
 let both_algorithms f () =
   f Ptm.Redo;

@@ -4,9 +4,7 @@ module Sim = Memsim.Sim
 module Config = Memsim.Config
 
 let fixture ?(algorithm = Ptm.Redo) ?(heap_words = 1 lsl 18) () =
-  let sim, m = Helpers.sim_machine ~heap_words () in
-  let ptm = Ptm.create ~algorithm ~max_threads:8 ~log_words_per_thread:2048 m in
-  (sim, m, ptm)
+  Helpers.ptm_fixture ~algorithm ~heap_words ~log_words_per_thread:2048 ()
 
 (* ---------- B+Tree ---------- *)
 

@@ -5,9 +5,7 @@ module Ptm = Pstm.Ptm
 module Sim = Memsim.Sim
 
 let fixture ?(heap_words = 1 lsl 18) () =
-  let sim, m = Helpers.sim_machine ~heap_words () in
-  let ptm = Ptm.create ~max_threads:8 ~log_words_per_thread:2048 m in
-  (sim, m, ptm)
+  Helpers.ptm_fixture ~heap_words ~log_words_per_thread:2048 ()
 
 (* ---------- skiplist ---------- *)
 

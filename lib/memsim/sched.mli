@@ -46,6 +46,10 @@ val tid : t -> int
 
 val crashed : t -> bool
 
+val running : t -> bool
+(** Whether a simulated thread is currently executing — false during
+    untimed setup/recovery phases outside [run]. *)
+
 val time_limit : t -> int option
 (** The armed crash time, if any — lets long-running loops bail out
     early instead of spinning to the horizon. *)
