@@ -42,6 +42,78 @@ let run_experiment name =
       (List.length outcome.Experiments.results)
       (Unix.gettimeofday () -. t0)
 
+(* ---------- Telemetry: instrumented bank runs with phase profiles ---------- *)
+
+(* Short instrumented runs under ADR and eADR for both log algorithms.
+   Shows where virtual time goes per phase (the paper's fence-cost
+   story: undo pays a flush+fence per write, redo defers to commit)
+   and, with --csv DIR, dumps full profile/series/trace files per
+   configuration under DIR/telemetry/<model>-<alg>/. *)
+let telemetry_experiment () =
+  let duration_ns = if !quick then 200_000 else 1_000_000 in
+  let configs =
+    [
+      (Memsim.Config.optane_adr, Pstm.Ptm.Redo);
+      (Memsim.Config.optane_adr, Pstm.Ptm.Undo);
+      (Memsim.Config.optane_eadr, Pstm.Ptm.Redo);
+      (Memsim.Config.optane_eadr, Pstm.Ptm.Undo);
+    ]
+  in
+  List.iter
+    (fun (model, algorithm) ->
+      let r =
+        Workloads.Driver.run ~duration_ns ~telemetry:Telemetry.default_config ~model ~algorithm
+          ~threads:4 Workloads.Bank.spec
+      in
+      let cap =
+        match r.Workloads.Driver.telemetry with
+        | Some cap -> cap
+        | None -> failwith "telemetry capture missing"
+      in
+      let p = Telemetry.profile cap in
+      let tids = Pstm.Profile.tids p in
+      let sum f = List.fold_left (fun acc tid -> acc + f ~tid) 0 tids in
+      let total_txn_ns = sum (Pstm.Profile.txn_ns p) in
+      let table =
+        Table.create
+          ~title:
+            (Printf.sprintf "phase profile: bank on %s (%s, %d commits)"
+               model.Memsim.Config.model_name
+               (Pstm.Ptm.algorithm_name algorithm)
+               r.Workloads.Driver.commits)
+          ~header:[ "phase"; "count"; "total ns"; "share %"; "fences"; "flushes" ]
+      in
+      List.iter
+        (fun phase ->
+          let count = sum (fun ~tid -> Pstm.Profile.phase_count p ~tid phase) in
+          if count > 0 then
+            let ns = sum (fun ~tid -> Pstm.Profile.phase_ns p ~tid phase) in
+            Table.add_row table
+              [
+                Pstm.Profile.phase_name phase;
+                string_of_int count;
+                string_of_int ns;
+                Table.cell_f (100.0 *. float_of_int ns /. float_of_int (max 1 total_txn_ns));
+                string_of_int (sum (fun ~tid -> Pstm.Profile.phase_fences p ~tid phase));
+                string_of_int (sum (fun ~tid -> Pstm.Profile.phase_flushes p ~tid phase));
+              ])
+        Pstm.Profile.all_phases;
+      Format.printf "%a" Table.print table;
+      (match !csv_dir with
+      | None -> ()
+      | Some dir ->
+        let sub =
+          Filename.concat
+            (Filename.concat dir "telemetry")
+            (Printf.sprintf "%s-%s" model.Memsim.Config.model_name
+               (Pstm.Ptm.algorithm_name algorithm))
+        in
+        let meta =
+          Workloads.Driver.run_meta r ~seed:Workloads.Driver.default_seed ~duration_ns
+        in
+        List.iter (Format.printf "  (telemetry written to %s)@.") (Telemetry.dump ~dir:sub meta cap)))
+    configs
+
 (* ---------- Bechamel microbenchmarks of the primitives ---------- *)
 
 let microbench () =
@@ -119,7 +191,13 @@ let () =
   let selected = parse [] args in
   let selected =
     if selected = [] || selected = [ "all" ] then
-      List.map fst Experiments.all @ [ "microbench" ]
+      List.map fst Experiments.all @ [ "telemetry"; "microbench" ]
     else selected
   in
-  List.iter (fun name -> if name = "microbench" then microbench () else run_experiment name) selected
+  List.iter
+    (fun name ->
+      match name with
+      | "microbench" -> microbench ()
+      | "telemetry" -> telemetry_experiment ()
+      | _ -> run_experiment name)
+    selected

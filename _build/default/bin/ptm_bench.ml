@@ -13,6 +13,7 @@ open Cmdliner
 
 let workloads () =
   [
+    ("bank", Workloads.Bank.spec);
     ("tatp", Workloads.Tatp.spec);
     ("tpcc-hash", Workloads.Tpcc.spec Workloads.Tpcc.Hash);
     ("tpcc-btree", Workloads.Tpcc.spec Workloads.Tpcc.Btree);
@@ -83,21 +84,25 @@ let duration_arg =
     & opt float 3.0
     & info [ "d"; "duration-ms" ] ~docv:"MS" ~doc:"Virtual measurement window.")
 
+(* Non-finite statistics (e.g. percentiles of an empty histogram)
+   render as "-", never "nan". *)
+let ns_cell v = if Float.is_finite v then Printf.sprintf "%.0fns" v else "-"
+
 let print_result (r : Workloads.Driver.result) =
   Format.printf "workload   : %s@." r.Workloads.Driver.workload;
   Format.printf "model/alg  : %s / %s@." r.Workloads.Driver.model r.Workloads.Driver.algorithm;
   Format.printf "threads    : %d@." r.Workloads.Driver.threads;
   Format.printf "throughput : %.3f M tx/s@." (r.Workloads.Driver.txs_per_sec /. 1e6);
   Format.printf "commits    : %d@." r.Workloads.Driver.commits;
-  Format.printf "aborts     : %d (%.2f commits/abort)@." r.Workloads.Driver.aborts
-    r.Workloads.Driver.commits_per_abort;
+  Format.printf "aborts     : %d (%s commits/abort)@." r.Workloads.Driver.aborts
+    (Repro_util.Table.cell_f r.Workloads.Driver.commits_per_abort);
   Format.printf "log size   : %d cache lines max@." r.Workloads.Driver.max_log_lines;
   let h = r.Workloads.Driver.latency in
-  Format.printf "latency    : p50=%.0fns p95=%.0fns p99=%.0fns mean=%.0fns@."
-    (Repro_util.Histogram.percentile h 50.0)
-    (Repro_util.Histogram.percentile h 95.0)
-    (Repro_util.Histogram.percentile h 99.0)
-    (Repro_util.Histogram.mean h);
+  Format.printf "latency    : p50=%s p95=%s p99=%s mean=%s@."
+    (ns_cell (Repro_util.Histogram.percentile h 50.0))
+    (ns_cell (Repro_util.Histogram.percentile h 95.0))
+    (ns_cell (Repro_util.Histogram.percentile h 99.0))
+    (ns_cell (Repro_util.Histogram.mean h));
   let s = r.Workloads.Driver.sim in
   Format.printf "machine    : loads=%d stores=%d l3miss=%d clwb=%d sfence=%d@."
     s.Memsim.Sim.Stats.loads s.Memsim.Sim.Stats.stores s.Memsim.Sim.Stats.l3_misses
@@ -105,14 +110,64 @@ let print_result (r : Workloads.Driver.result) =
   Format.printf "             fence-wait=%dns wpq-stall=%dns nvm-reads=%d@."
     s.Memsim.Sim.Stats.fence_wait_ns s.Memsim.Sim.Stats.wpq_stall_ns s.Memsim.Sim.Stats.nvm_reads
 
+let print_phase_table (p : Pstm.Profile.t) =
+  let t =
+    Repro_util.Table.create ~title:"phase profile (all threads)"
+      ~header:[ "phase"; "count"; "total ns"; "fences"; "flushes"; "p50 ns"; "p95 ns" ]
+  in
+  let tids = Pstm.Profile.tids p in
+  List.iter
+    (fun phase ->
+      let sum f = List.fold_left (fun acc tid -> acc + f ~tid phase) 0 tids in
+      let count = sum (Pstm.Profile.phase_count p) in
+      if count > 0 then begin
+        let h = Pstm.Profile.merged_phase_hist p phase in
+        Repro_util.Table.add_row t
+          [
+            Pstm.Profile.phase_name phase;
+            string_of_int count;
+            string_of_int (sum (Pstm.Profile.phase_ns p));
+            string_of_int (sum (Pstm.Profile.phase_fences p));
+            string_of_int (sum (Pstm.Profile.phase_flushes p));
+            Repro_util.Table.cell_f (Repro_util.Histogram.percentile h 50.0);
+            Repro_util.Table.cell_f (Repro_util.Histogram.percentile h 95.0);
+          ]
+      end)
+    Pstm.Profile.all_phases;
+  Format.printf "%a" Repro_util.Table.print t
+
+let telemetry_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ] ~docv:"DIR"
+        ~doc:
+          "Capture telemetry (phase profile, time series, Chrome trace) and write \
+           $(i,DIR)/profile.jsonl, $(i,DIR)/series.csv and $(i,DIR)/trace.json.  Load the trace \
+           at https://ui.perfetto.dev.  Output is bit-deterministic for a given configuration.")
+
 let run_cmd =
-  let run spec model algorithm threads duration_ms =
+  let run spec model algorithm threads duration_ms telemetry_dir =
     let duration_ns = int_of_float (duration_ms *. 1e6) in
-    print_result (Workloads.Driver.run ~duration_ns ~model ~algorithm ~threads spec)
+    let telemetry =
+      match telemetry_dir with None -> None | Some _ -> Some Telemetry.default_config
+    in
+    let r = Workloads.Driver.run ~duration_ns ?telemetry ~model ~algorithm ~threads spec in
+    print_result r;
+    match (telemetry_dir, r.Workloads.Driver.telemetry) with
+    | Some dir, Some cap ->
+      print_phase_table (Telemetry.profile cap);
+      let meta =
+        Workloads.Driver.run_meta r ~seed:Workloads.Driver.default_seed ~duration_ns
+      in
+      List.iter (Format.printf "telemetry  : wrote %s@.") (Telemetry.dump ~dir meta cap)
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload under one configuration.")
-    Term.(const run $ workload_arg $ model_arg $ algorithm_arg $ threads_arg $ duration_arg)
+    Term.(
+      const run $ workload_arg $ model_arg $ algorithm_arg $ threads_arg $ duration_arg
+      $ telemetry_arg)
 
 let sweep_cmd =
   let sweep spec model algorithm duration_ms =
@@ -132,8 +187,7 @@ let sweep_cmd =
           [
             string_of_int threads;
             Repro_util.Table.cell_f (r.Workloads.Driver.txs_per_sec /. 1e6);
-            (if r.Workloads.Driver.commits_per_abort = infinity then "-"
-             else Repro_util.Table.cell_f r.Workloads.Driver.commits_per_abort);
+            Repro_util.Table.cell_f r.Workloads.Driver.commits_per_abort;
           ])
       Workloads.Experiments.threads_axis;
     Format.printf "%a" Repro_util.Table.print t

@@ -1,1 +1,1 @@
-lib/crashtest/engine.ml: Array Filename Format Fun List Machine Memsim Pmem Printf Pstm Repro_util String Sys
+lib/crashtest/engine.ml: Array Filename Format Fun List Machine Memsim Pmem Printf Pstm Repro_util String Sys Telemetry

@@ -18,7 +18,13 @@ type scenario = {
   fresh : seed:int -> instance;
 }
 
-type failure = { crash_at : int; min_crash_at : int; reason : string; replay : string }
+type failure = {
+  crash_at : int;
+  min_crash_at : int;
+  reason : string;
+  replay : string;
+  telemetry_dir : string option;
+}
 
 type report = {
   scenario : string;
@@ -42,7 +48,10 @@ let pp_report ppf r =
     List.iter
       (fun f ->
         Format.fprintf ppf "@.  FAIL at %dns (min %dns): %s@.  replay: %s" f.crash_at
-          f.min_crash_at f.reason f.replay)
+          f.min_crash_at f.reason f.replay;
+        match f.telemetry_dir with
+        | Some dir -> Format.fprintf ppf "@.  telemetry: %s" dir
+        | None -> ())
       fs
 
 (* ---------- env knobs ---------- *)
@@ -113,6 +122,58 @@ let run_from_image ?(trace_capacity = 0) cfg scenario ~algorithm ~seed ~image ?c
     end
   in
   (verdict, final, tr)
+
+(* ---------- failure telemetry ---------- *)
+
+(* On an oracle failure, the minimal failing instant is re-run with the
+   phase profiler and machine trace attached, and the artifacts are
+   dumped next to the replay line.  The series sampler stays off: a
+   monitor thread would shift the interleaving away from the probe that
+   failed, while profiler + trace are purely observational. *)
+let failure_telemetry_config =
+  {
+    Telemetry.default_config with
+    Telemetry.sample_interval_ns = 0;
+    machine_trace_capacity = 1 lsl 14;
+  }
+
+let dump_failure_telemetry cfg scenario ~model ~algorithm ~seed ~image ~crash_at =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "crashtest-%s-%s-%s-s%d-t%d" scenario.name model.Config.model_name
+         (Ptm.algorithm_name algorithm) seed crash_at)
+  in
+  let sim = Sim.load_image cfg image in
+  let ptm = Ptm.recover ~algorithm (Sim.machine sim) in
+  let cap = Telemetry.attach ~config:failure_telemetry_config sim ptm in
+  let inst = scenario.fresh ~seed in
+  for tid = 0 to scenario.threads - 1 do
+    ignore (Sim.spawn sim (fun () -> inst.worker ~tid ptm))
+  done;
+  Sim.run ~crash_at sim;
+  let meta =
+    {
+      Telemetry.Export.workload = scenario.name;
+      model = model.Config.model_name;
+      algorithm = Ptm.algorithm_name algorithm;
+      threads = scenario.threads;
+      seed;
+      duration_ns = crash_at;
+    }
+  in
+  ignore (Telemetry.dump ~dir meta cap : string list);
+  (* Profile the post-crash recovery on the rebooted machine too, so the
+     dump also shows what log replay did. *)
+  if Sim.crashed sim then begin
+    let m2 = Sim.machine (Sim.reboot sim) in
+    let profiler = Pstm.Profile.create m2 in
+    ignore (Ptm.recover ~algorithm ~profiler m2 : Ptm.t);
+    let oc = open_out_bin (Filename.concat dir "recovery.jsonl") in
+    output_string oc (Telemetry.Export.profile_jsonl meta profiler);
+    close_out oc
+  end;
+  dir
 
 (* ---------- exploration ---------- *)
 
@@ -206,6 +267,13 @@ let explore ?points ?seed ?exhaustive ?(shrink_budget = 24) ?(nvm_channels = 4) 
                let reason =
                  match probe min_t with Error r -> r | Ok () -> reason
                in
+               let telemetry_dir =
+                 try
+                   Some
+                     (dump_failure_telemetry cfg scenario ~model ~algorithm ~seed ~image
+                        ~crash_at:min_t)
+                 with Sys_error _ -> None
+               in
                failure :=
                  Some
                    {
@@ -215,6 +283,7 @@ let explore ?points ?seed ?exhaustive ?(shrink_budget = 24) ?(nvm_channels = 4) 
                      replay =
                        replay_command scenario.name model.Config.model_name algorithm seed
                          min_t;
+                     telemetry_dir;
                    };
                raise Exit)
            chosen

@@ -60,6 +60,11 @@ type failure = {
   min_crash_at : int;  (** smallest failing instant found by shrinking *)
   reason : string;
   replay : string;  (** one shell command reproducing [min_crash_at] *)
+  telemetry_dir : string option;
+      (** directory holding a full telemetry capture of the minimal
+          failing re-run — phase profile, machine trace (Perfetto) and a
+          profile of the post-crash recovery — or [None] if the dump
+          could not be written *)
 }
 
 type report = {

@@ -29,6 +29,8 @@ type t = {
   page_cache : Repro_util.Lru.t option; (* PDRAM directory *)
   mutable log_ranges : (int * int) list; (* [lo, hi) word ranges of PTM logs *)
   mutable fence_target : int array; (* per-tid max completion of own WPQ entries *)
+  mutable fence_wait_by_tid : int array; (* per-tid share of fence_wait_ns *)
+  mutable wpq_stall_by_tid : int array; (* per-tid WPQ backpressure stalls *)
   mutable trace : Trace.t option;
   mutable pending : pending list; (* deferred ADR media writes, newest first *)
   mutable pending_count : int;
@@ -59,6 +61,8 @@ let create (cfg : Config.t) =
        else None);
     log_ranges = [];
     fence_target = Array.make 64 0;
+    fence_wait_by_tid = Array.make 64 0;
+    wpq_stall_by_tid = Array.make 64 0;
     trace = None;
     pending = [];
     pending_count = 0;
@@ -152,9 +156,24 @@ let nvm_rd_of t line = t.rd_nvm.(line mod Array.length t.rd_nvm)
 
 let ensure_fence_slot t tid =
   if tid >= Array.length t.fence_target then begin
-    let bigger = Array.make (2 * (tid + 1)) 0 in
-    Array.blit t.fence_target 0 bigger 0 (Array.length t.fence_target);
-    t.fence_target <- bigger
+    let grow src =
+      let bigger = Array.make (2 * (tid + 1)) 0 in
+      Array.blit src 0 bigger 0 (Array.length src);
+      bigger
+    in
+    t.fence_target <- grow t.fence_target;
+    t.fence_wait_by_tid <- grow t.fence_wait_by_tid;
+    t.wpq_stall_by_tid <- grow t.wpq_stall_by_tid
+  end
+
+(* Attribute a WPQ backpressure stall to the thread that paid it.  The
+   machine-wide total ([Server.stall_ns]) also counts bulk PDRAM page
+   drains that are not charged to any thread, so the per-tid sum is a
+   lower bound on the total. *)
+let note_wpq_stall t tid stall =
+  if stall > 0 then begin
+    ensure_fence_slot t tid;
+    t.wpq_stall_by_tid.(tid) <- t.wpq_stall_by_tid.(tid) + stall
   end
 
 (* PDRAM page-cache lookup for an NVM word.  Returns `Dram_hit when the
@@ -189,28 +208,32 @@ let pdram_access t ~now ~page ~write =
    evictions are not ordered by sfence. *)
 let writeback_line t ~now line =
   let addr = Layout.addr_of_line line in
-  match media_of t addr with
-  | Config.Dram ->
-    line_to_media t line;
-    let a = Server.enqueue_async t.wpq_dram ~now in
-    a.Server.ready - now
-  | Config.Nvm ->
-    if t.cfg.model.pdram_cache then begin
-      (* Line lands in the DRAM page cache; page marked dirty. *)
+  let stall =
+    match media_of t addr with
+    | Config.Dram ->
       line_to_media t line;
-      let page = Layout.page_of_addr addr in
-      (match pdram_access t ~now ~page ~write:true with
-      | `Dram_hit | `Not_pdram -> ()
-      | `Dram_miss -> ());
       let a = Server.enqueue_async t.wpq_dram ~now in
       a.Server.ready - now
-    end
-    else begin
-      let a = Server.enqueue_async (nvm_wpq_of t line) ~now in
-      if adr_defers t then defer_line t ~now line ~apply_at:a.Server.completion
-      else line_to_media t line;
-      a.Server.ready - now
-    end
+    | Config.Nvm ->
+      if t.cfg.model.pdram_cache then begin
+        (* Line lands in the DRAM page cache; page marked dirty. *)
+        line_to_media t line;
+        let page = Layout.page_of_addr addr in
+        (match pdram_access t ~now ~page ~write:true with
+        | `Dram_hit | `Not_pdram -> ()
+        | `Dram_miss -> ());
+        let a = Server.enqueue_async t.wpq_dram ~now in
+        a.Server.ready - now
+      end
+      else begin
+        let a = Server.enqueue_async (nvm_wpq_of t line) ~now in
+        if adr_defers t then defer_line t ~now line ~apply_at:a.Server.completion
+        else line_to_media t line;
+        a.Server.ready - now
+      end
+  in
+  note_wpq_stall t (Sched.tid t.sched) stall;
+  stall
 
 (* Memory access latency below the L3 for a miss on [addr]. *)
 let miss_latency t ~now ~addr ~write =
@@ -295,6 +318,7 @@ let clwb t addr =
     end
     else 0
   in
+  note_wpq_stall t tid stall;
   Sched.wait t.sched (stall + t.cfg.lat.clwb_ns)
 
 let sfence t =
@@ -304,7 +328,10 @@ let sfence t =
   let tid = Sched.tid t.sched in
   ensure_fence_slot t tid;
   let target = t.fence_target.(tid) in
-  if target > now then t.c.fence_wait_ns <- t.c.fence_wait_ns + (target - now);
+  if target > now then begin
+    t.c.fence_wait_ns <- t.c.fence_wait_ns + (target - now);
+    t.fence_wait_by_tid.(tid) <- t.fence_wait_by_tid.(tid) + (target - now)
+  end;
   Sched.wait_until t.sched target;
   Sched.wait t.sched t.cfg.lat.sfence_ns
 
@@ -320,6 +347,12 @@ let run ?crash_at t =
 let now t = Sched.now t.sched
 
 let crashed t = Sched.crashed t.sched
+
+let fence_wait_ns_of t ~tid =
+  if tid >= 0 && tid < Array.length t.fence_wait_by_tid then t.fence_wait_by_tid.(tid) else 0
+
+let wpq_stall_ns_of t ~tid =
+  if tid >= 0 && tid < Array.length t.wpq_stall_by_tid then t.wpq_stall_by_tid.(tid) else 0
 
 (* Forget all timing state accumulated by an untimed setup phase —
    queue depths, fence targets and counters — while keeping memory
@@ -338,6 +371,8 @@ let reset_timing t =
   Array.iter Server.reset t.rd_nvm;
   Server.reset t.rd_dram;
   Array.fill t.fence_target 0 (Array.length t.fence_target) 0;
+  Array.fill t.fence_wait_by_tid 0 (Array.length t.fence_wait_by_tid) 0;
+  Array.fill t.wpq_stall_by_tid 0 (Array.length t.wpq_stall_by_tid) 0;
   Cache.reset_stats t.l3;
   t.c.loads <- 0;
   t.c.stores <- 0;
@@ -608,6 +643,8 @@ module Stats = struct
     sfences : int;
     fence_wait_ns : int;
     wpq_stall_ns : int;
+    fence_wait_ns_by_tid : int array;
+    wpq_stall_ns_by_tid : int array;
     nvm_reads : int;
     dram_reads : int;
     pdram_page_hits : int;
@@ -627,6 +664,8 @@ module Stats = struct
       wpq_stall_ns =
         Array.fold_left (fun acc s -> acc + Server.stall_ns s) 0 sim.wpq_nvm
         + Server.stall_ns sim.wpq_dram;
+      fence_wait_ns_by_tid = Array.copy sim.fence_wait_by_tid;
+      wpq_stall_ns_by_tid = Array.copy sim.wpq_stall_by_tid;
       nvm_reads = Array.fold_left (fun acc s -> acc + Server.requests s) 0 sim.rd_nvm;
       dram_reads = Server.requests sim.rd_dram;
       pdram_page_hits = sim.c.pdram_page_hits;

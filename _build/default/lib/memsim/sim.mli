@@ -51,6 +51,15 @@ val now : t -> int
 
 val crashed : t -> bool
 
+val fence_wait_ns_of : t -> tid:int -> int
+(** Cumulative sfence drain wait paid by one thread (0 for unknown
+    tids).  The per-tid values sum to {!Stats.t.fence_wait_ns}. *)
+
+val wpq_stall_ns_of : t -> tid:int -> int
+(** Cumulative WPQ backpressure stall paid by one thread (0 for unknown
+    tids).  Bulk PDRAM page drains are not charged to any thread, so
+    the per-tid sum is a lower bound on {!Stats.t.wpq_stall_ns}. *)
+
 val reboot : t -> t
 (** Post-crash (or post-run) machine: fresh scheduler, caches, queues
     and volatile metadata; heap initialized from the surviving media
@@ -116,6 +125,8 @@ module Stats : sig
     sfences : int;
     fence_wait_ns : int;  (** total drain wait imposed by sfence *)
     wpq_stall_ns : int;  (** total backpressure from the bounded NVM WPQ *)
+    fence_wait_ns_by_tid : int array;  (** per-thread share of [fence_wait_ns] *)
+    wpq_stall_ns_by_tid : int array;  (** per-thread share of [wpq_stall_ns] *)
     nvm_reads : int;
     dram_reads : int;
     pdram_page_hits : int;

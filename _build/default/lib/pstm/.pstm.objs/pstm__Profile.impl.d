@@ -1,0 +1,1 @@
+lib/pstm/profile.ml: Array List Machine Repro_util

@@ -1,0 +1,1 @@
+lib/pstm/profile.mli: Machine Repro_util

@@ -1,1 +1,1 @@
-lib/pstm/ptm.ml: Array Hashtbl List Machine Pmem Repro_util
+lib/pstm/ptm.ml: Array Hashtbl List Machine Pmem Profile Repro_util

@@ -1,1 +1,1 @@
-lib/pstm/ptm.mli: Machine Pmem
+lib/pstm/ptm.mli: Machine Pmem Profile

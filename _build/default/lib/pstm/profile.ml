@@ -1,0 +1,327 @@
+(* Per-transaction phase profiler.
+
+   Pure observation: it samples the machine's virtual clock at phase
+   boundaries and never calls a timed operation itself, so attaching a
+   profiler perturbs no simulated time.  Accounting invariant: inside a
+   transaction every instant is charged to exactly one phase (the
+   attempt runs on a per-thread phase stack whose base is [Other]), so
+   per-thread phase nanoseconds sum to the thread's in-transaction
+   virtual time exactly.
+
+   Determinism: counters and histograms are updated in program order of
+   the (deterministic) DES interleaving; spans land in a ring buffer in
+   finish order.  Same (spec, model, algorithm, threads, seed) runs
+   produce bit-identical profiles. *)
+
+module Histogram = Repro_util.Histogram
+
+type phase =
+  | Read_set
+  | Log_append
+  | Clwb_issue
+  | Fence_wait
+  | Wpq_stall
+  | Write_back
+  | Validate
+  | Backoff
+  | Recovery
+  | Other
+
+let phase_index = function
+  | Read_set -> 0
+  | Log_append -> 1
+  | Clwb_issue -> 2
+  | Fence_wait -> 3
+  | Wpq_stall -> 4
+  | Write_back -> 5
+  | Validate -> 6
+  | Backoff -> 7
+  | Recovery -> 8
+  | Other -> 9
+
+let nphases = 10
+
+let all_phases =
+  [
+    Read_set; Log_append; Clwb_issue; Fence_wait; Wpq_stall; Write_back; Validate; Backoff;
+    Recovery; Other;
+  ]
+
+let phase_name = function
+  | Read_set -> "read-set"
+  | Log_append -> "log-append"
+  | Clwb_issue -> "clwb-issue"
+  | Fence_wait -> "fence-wait"
+  | Wpq_stall -> "wpq-stall"
+  | Write_back -> "write-back"
+  | Validate -> "validate"
+  | Backoff -> "backoff"
+  | Recovery -> "recovery"
+  | Other -> "other"
+
+(* Span ring labels: phase indices, then the two transaction outcomes. *)
+let label_txn = nphases
+let label_txn_failed = nphases + 1
+
+let label_name i =
+  if i = label_txn then "txn"
+  else if i = label_txn_failed then "txn-failed"
+  else phase_name (List.nth all_phases i)
+
+type per_thread = {
+  ns : int array; (* per-phase accumulated virtual ns *)
+  count : int array; (* per-phase slice count *)
+  fences : int array; (* sfences issued while in the phase *)
+  flushes : int array; (* clwbs issued while in the phase *)
+  hist : Histogram.t array; (* per-phase slice-duration histogram *)
+  txn_hist : Histogram.t; (* whole-transaction durations *)
+  mutable stack : int list; (* phase stack, top first; [] outside txns *)
+  mutable last_switch_ns : int;
+  mutable txn_start_ns : int;
+  mutable txn_ns : int;
+  mutable commits : int;
+  mutable aborts : int; (* failed attempts *)
+}
+
+type span = { tid : int; label : string; start_ns : int; stop_ns : int }
+
+type t = {
+  now_ns : unit -> float;
+  cur_tid : unit -> int;
+  wpq_stall_probe : (int -> int) option;
+  mutable slots : per_thread option array;
+  (* span ring, flat arrays in finish order *)
+  sp_tid : int array;
+  sp_label : int array;
+  sp_start : int array;
+  sp_stop : int array;
+  sp_capacity : int;
+  mutable sp_next : int; (* total spans ever recorded *)
+}
+
+let create ?(span_capacity = 1 lsl 16) ?wpq_stall_probe (m : Machine.t) =
+  {
+    now_ns = m.Machine.now_ns;
+    cur_tid = m.Machine.tid;
+    wpq_stall_probe;
+    slots = Array.make 8 None;
+    sp_tid = Array.make (max 1 span_capacity) 0;
+    sp_label = Array.make (max 1 span_capacity) 0;
+    sp_start = Array.make (max 1 span_capacity) 0;
+    sp_stop = Array.make (max 1 span_capacity) 0;
+    sp_capacity = max 1 span_capacity;
+    sp_next = 0;
+  }
+
+let now t = int_of_float (t.now_ns ())
+
+let fresh_thread () =
+  {
+    ns = Array.make nphases 0;
+    count = Array.make nphases 0;
+    fences = Array.make nphases 0;
+    flushes = Array.make nphases 0;
+    hist = Array.init nphases (fun _ -> Histogram.create ());
+    txn_hist = Histogram.create ();
+    stack = [];
+    last_switch_ns = 0;
+    txn_start_ns = 0;
+    txn_ns = 0;
+    commits = 0;
+    aborts = 0;
+  }
+
+let slot t tid =
+  if tid >= Array.length t.slots then begin
+    let bigger = Array.make (2 * (tid + 1)) None in
+    Array.blit t.slots 0 bigger 0 (Array.length t.slots);
+    t.slots <- bigger
+  end;
+  match t.slots.(tid) with
+  | Some pt -> pt
+  | None ->
+    let pt = fresh_thread () in
+    t.slots.(tid) <- Some pt;
+    pt
+
+let find_slot t tid = if tid < Array.length t.slots then t.slots.(tid) else None
+
+let push_span t tid label start stop =
+  let i = t.sp_next mod t.sp_capacity in
+  t.sp_tid.(i) <- tid;
+  t.sp_label.(i) <- label;
+  t.sp_start.(i) <- start;
+  t.sp_stop.(i) <- stop;
+  t.sp_next <- t.sp_next + 1
+
+(* Charge the time since the last boundary to the top-of-stack phase. *)
+let settle pt at =
+  (match pt.stack with
+  | idx :: _ -> pt.ns.(idx) <- pt.ns.(idx) + (at - pt.last_switch_ns)
+  | [] -> ());
+  pt.last_switch_ns <- at
+
+(* ---------- transaction lifecycle ---------- *)
+
+let txn_begin t =
+  let tid = t.cur_tid () in
+  let pt = slot t tid in
+  let at = now t in
+  pt.txn_start_ns <- at;
+  pt.last_switch_ns <- at;
+  pt.stack <- [ phase_index Other ];
+  pt.count.(phase_index Other) <- pt.count.(phase_index Other) + 1
+
+let txn_end t ~committed =
+  let tid = t.cur_tid () in
+  let pt = slot t tid in
+  let at = now t in
+  settle pt at;
+  pt.stack <- [];
+  let dur = at - pt.txn_start_ns in
+  pt.txn_ns <- pt.txn_ns + dur;
+  Histogram.record pt.txn_hist dur;
+  if committed then pt.commits <- pt.commits + 1;
+  push_span t tid (if committed then label_txn else label_txn_failed) pt.txn_start_ns at
+
+let note_abort t =
+  let pt = slot t (t.cur_tid ()) in
+  pt.aborts <- pt.aborts + 1
+
+(* ---------- phase scoping ---------- *)
+
+let with_phase t phase f =
+  let tid = t.cur_tid () in
+  let pt = slot t tid in
+  let idx = phase_index phase in
+  let start = now t in
+  settle pt start;
+  pt.stack <- idx :: pt.stack;
+  pt.count.(idx) <- pt.count.(idx) + 1;
+  let finish () =
+    let stop = now t in
+    settle pt stop;
+    pt.stack <- (match pt.stack with _ :: rest -> rest | [] -> []);
+    Histogram.record pt.hist.(idx) (stop - start);
+    push_span t tid idx start stop
+  in
+  match f () with
+  | v ->
+    finish ();
+    v
+  | exception e ->
+    finish ();
+    raise e
+
+(* A clwb (or a run of clwbs): the slice splits into WPQ backpressure
+   (measured via the per-tid stall probe delta) charged to [Wpq_stall]
+   and the remainder charged to [Clwb_issue]. *)
+let leaf_flush t ~flushes f =
+  let tid = t.cur_tid () in
+  let pt = slot t tid in
+  let ci = phase_index Clwb_issue and wi = phase_index Wpq_stall in
+  let start = now t in
+  settle pt start;
+  let s0 = match t.wpq_stall_probe with Some probe -> probe tid | None -> 0 in
+  let finish () =
+    let stop = now t in
+    let dt = stop - start in
+    let stall =
+      match t.wpq_stall_probe with Some probe -> max 0 (min (probe tid - s0) dt) | None -> 0
+    in
+    pt.ns.(ci) <- pt.ns.(ci) + (dt - stall);
+    pt.count.(ci) <- pt.count.(ci) + 1;
+    pt.flushes.(ci) <- pt.flushes.(ci) + flushes;
+    Histogram.record pt.hist.(ci) (dt - stall);
+    if stall > 0 then begin
+      pt.ns.(wi) <- pt.ns.(wi) + stall;
+      pt.count.(wi) <- pt.count.(wi) + 1;
+      Histogram.record pt.hist.(wi) stall
+    end;
+    pt.last_switch_ns <- stop;
+    push_span t tid ci start stop
+  in
+  match f () with
+  | v ->
+    finish ();
+    v
+  | exception e ->
+    finish ();
+    raise e
+
+let leaf_fence t f =
+  let tid = t.cur_tid () in
+  let pt = slot t tid in
+  let fi = phase_index Fence_wait in
+  let start = now t in
+  settle pt start;
+  let finish () =
+    let stop = now t in
+    pt.ns.(fi) <- pt.ns.(fi) + (stop - start);
+    pt.count.(fi) <- pt.count.(fi) + 1;
+    pt.fences.(fi) <- pt.fences.(fi) + 1;
+    Histogram.record pt.hist.(fi) (stop - start);
+    pt.last_switch_ns <- stop;
+    push_span t tid fi start stop
+  in
+  match f () with
+  | v ->
+    finish ();
+    v
+  | exception e ->
+    finish ();
+    raise e
+
+(* ---------- read-out ---------- *)
+
+let tids t =
+  let acc = ref [] in
+  for tid = Array.length t.slots - 1 downto 0 do
+    if t.slots.(tid) <> None then acc := tid :: !acc
+  done;
+  !acc
+
+let phase_ns t ~tid phase =
+  match find_slot t tid with None -> 0 | Some pt -> pt.ns.(phase_index phase)
+
+let phase_count t ~tid phase =
+  match find_slot t tid with None -> 0 | Some pt -> pt.count.(phase_index phase)
+
+let phase_fences t ~tid phase =
+  match find_slot t tid with None -> 0 | Some pt -> pt.fences.(phase_index phase)
+
+let phase_flushes t ~tid phase =
+  match find_slot t tid with None -> 0 | Some pt -> pt.flushes.(phase_index phase)
+
+let phase_hist t ~tid phase =
+  match find_slot t tid with
+  | None -> Histogram.create ()
+  | Some pt -> pt.hist.(phase_index phase)
+
+let txn_ns t ~tid = match find_slot t tid with None -> 0 | Some pt -> pt.txn_ns
+let commits t ~tid = match find_slot t tid with None -> 0 | Some pt -> pt.commits
+let aborts t ~tid = match find_slot t tid with None -> 0 | Some pt -> pt.aborts
+
+let txn_hist t ~tid =
+  match find_slot t tid with None -> Histogram.create () | Some pt -> pt.txn_hist
+
+let total_phase_ns t ~tid =
+  match find_slot t tid with None -> 0 | Some pt -> Array.fold_left ( + ) 0 pt.ns
+
+let merged_phase_hist t phase =
+  Histogram.merge_list (List.map (fun tid -> phase_hist t ~tid phase) (tids t))
+
+let spans_recorded t = t.sp_next
+let spans_dropped t = max 0 (t.sp_next - t.sp_capacity)
+
+let spans t =
+  let kept = min t.sp_next t.sp_capacity in
+  let first = t.sp_next - kept in
+  List.init kept (fun i ->
+      let j = (first + i) mod t.sp_capacity in
+      {
+        tid = t.sp_tid.(j);
+        label = label_name t.sp_label.(j);
+        start_ns = t.sp_start.(j);
+        stop_ns = t.sp_stop.(j);
+      })

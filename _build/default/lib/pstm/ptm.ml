@@ -72,6 +72,7 @@ and t = {
   log_capacity : int; (* max entries per transaction *)
   txs : tx option array;
   stats : thread_stats array;
+  mutable profiler : Profile.t option; (* observability; never advances clocks *)
 }
 
 (* ---------- orecs and the global clock ---------- *)
@@ -96,18 +97,39 @@ let locked_by v tid = v = lock_word tid
 
 (* ---------- flush/fence helpers (durability-domain aware) ---------- *)
 
-let flush t addr = if t.m.Machine.needs_flush then t.m.Machine.clwb addr
-let fence t = if t.m.Machine.needs_fence then t.m.Machine.sfence ()
+(* Profiling wrapper for runtime phases.  The disabled path costs one
+   closure allocation and no simulated time. *)
+let prof_phase t phase f =
+  match t.profiler with None -> f () | Some p -> Profile.with_phase p phase f
+
+(* A single clwb, with its slice split into issue cost vs WPQ stall
+   when profiling.  Callers have already checked [needs_flush]. *)
+let clwb1 t addr =
+  match t.profiler with
+  | None -> t.m.Machine.clwb addr
+  | Some p -> Profile.leaf_flush p ~flushes:1 (fun () -> t.m.Machine.clwb addr)
+
+let flush t addr = if t.m.Machine.needs_flush then clwb1 t addr
+
+let fence t =
+  if t.m.Machine.needs_fence then
+    match t.profiler with
+    | None -> t.m.Machine.sfence ()
+    | Some p -> Profile.leaf_fence p (fun () -> t.m.Machine.sfence ())
 
 (* Flush every line in [lo, hi] (inclusive word addresses). *)
 let flush_range t lo hi =
   if t.m.Machine.needs_flush then begin
-    let line = ref (Layout.line_of_addr lo) in
+    let first = Layout.line_of_addr lo in
     let last = Layout.line_of_addr hi in
-    while !line <= last do
-      t.m.Machine.clwb (Layout.addr_of_line !line);
-      incr line
-    done
+    let issue () =
+      for line = first to last do
+        t.m.Machine.clwb (Layout.addr_of_line line)
+      done
+    in
+    match t.profiler with
+    | None -> issue ()
+    | Some p -> Profile.leaf_flush p ~flushes:(last - first + 1) issue
   end
 
 (* ---------- construction ---------- *)
@@ -159,6 +181,7 @@ let build ~algorithm ~orec_bits ~flush_timing m reg allocator =
     log_capacity = (Pmem.Region.log_words_per_thread reg - 3) / 2;
     txs = Array.make nthreads None;
     stats = Array.init nthreads (fun _ -> fresh_stats ());
+    profiler = None;
   }
 
 let create ?(algorithm = Redo) ?(orec_bits = 20) ?(flush_timing = At_commit) ?(max_threads = 32)
@@ -201,16 +224,22 @@ let recover_logs m reg =
     write base status_idle
   done
 
-let recover ?(algorithm = Redo) ?(orec_bits = 20) ?(flush_timing = At_commit) m =
+let recover ?(algorithm = Redo) ?(orec_bits = 20) ?(flush_timing = At_commit) ?profiler m =
   let reg = Pmem.Region.attach m in
-  recover_logs m reg;
+  (match profiler with
+  | None -> recover_logs m reg
+  | Some p -> Profile.with_phase p Profile.Recovery (fun () -> recover_logs m reg));
   let allocator = Pmem.Alloc.recover reg in
-  build ~algorithm ~orec_bits ~flush_timing m reg allocator
+  let t = build ~algorithm ~orec_bits ~flush_timing m reg allocator in
+  t.profiler <- profiler;
+  t
 
 let region t = t.reg
 let machine t = t.m
 let algorithm t = t.alg
 let allocator t = t.allocator
+let set_profiler t p = t.profiler <- p
+let profiler t = t.profiler
 
 let root_get t i = Pmem.Region.root_get t.reg i
 let root_set t i v = Pmem.Region.root_set t.reg i v
@@ -331,14 +360,14 @@ let flush_written_lines tx iter_addrs =
         let line = Layout.line_of_addr addr in
         if not (Hashtbl.mem tx.flushed line) then begin
           Hashtbl.add tx.flushed line ();
-          t.m.Machine.clwb addr
+          clwb1 t addr
         end)
   end
 
 let write_status tx status =
   let t = tx.ptm in
   let base = log_base tx in
-  t.m.Machine.store base status;
+  prof_phase t Profile.Log_append (fun () -> t.m.Machine.store base status);
   flush t base;
   fence t
 
@@ -375,7 +404,7 @@ let redo_write tx addr value =
       (* Flush lines the log head has moved past. *)
       let head_line = Layout.line_of_addr (pos + 1) in
       while tx.log_flushed_upto < head_line do
-        t.m.Machine.clwb (Layout.addr_of_line tx.log_flushed_upto);
+        clwb1 t (Layout.addr_of_line tx.log_flushed_upto);
         tx.log_flushed_upto <- tx.log_flushed_upto + 1
       done
     end
@@ -391,30 +420,32 @@ let redo_try_commit tx =
   end
   else begin
     match
-      (* Commit-time acquisition of every orec covering the write set. *)
-      Repro_util.Int_vec.iter
-        (fun addr ->
-          let oidx = orec_of t addr in
-          if not (Hashtbl.mem tx.amap oidx) then begin
-            let v = orec_get t oidx in
-            if locked v then conflict "acquire-locked" addr;
-            if version_of v > tx.rv && not (extend tx) then conflict "acquire-stale" addr;
-            if not (orec_cas t oidx v (lock_word tx.tid)) then conflict "acquire-cas" addr;
-            Hashtbl.add tx.amap oidx v;
-            Repro_util.Int_vec.push tx.acquired oidx
-          end)
-        tx.vaddrs
+      prof_phase t Profile.Validate (fun () ->
+          (* Commit-time acquisition of every orec covering the write set. *)
+          Repro_util.Int_vec.iter
+            (fun addr ->
+              let oidx = orec_of t addr in
+              if not (Hashtbl.mem tx.amap oidx) then begin
+                let v = orec_get t oidx in
+                if locked v then conflict "acquire-locked" addr;
+                if version_of v > tx.rv && not (extend tx) then conflict "acquire-stale" addr;
+                if not (orec_cas t oidx v (lock_word tx.tid)) then conflict "acquire-cas" addr;
+                Hashtbl.add tx.amap oidx v;
+                Repro_util.Int_vec.push tx.acquired oidx
+              end)
+            tx.vaddrs;
+          let wv = clock_next t in
+          if (wv > tx.rv + 1 || Repro_util.Int_vec.length tx.reads > 0)
+             && not (validate_reads tx)
+          then None
+          else Some wv)
     with
-    | () ->
-      let wv = clock_next t in
-      if (wv > tx.rv + 1 || Repro_util.Int_vec.length tx.reads > 0)
-         && not (validate_reads tx)
-      then begin
-        (match !conflict_hook with Some f -> f "commit-validate" 0 | None -> ());
-        release_acquired_to_previous tx;
-        false
-      end
-      else begin
+    | None ->
+      (match !conflict_hook with Some f -> f "commit-validate" 0 | None -> ());
+      release_acquired_to_previous tx;
+      false
+    | Some wv ->
+      begin
         let base = log_base tx in
         (* 1. Persist the redo log (entries before status). *)
         if t.m.Machine.needs_flush then begin
@@ -423,19 +454,28 @@ let redo_try_commit tx =
           | Incremental ->
             (* Only the tail lines are still unflushed. *)
             let last = Layout.line_of_addr (base + 2 + (2 * n)) in
-            let line = ref tx.log_flushed_upto in
-            while !line <= last do
-              t.m.Machine.clwb (Layout.addr_of_line !line);
-              incr line
-            done);
+            let first = tx.log_flushed_upto in
+            if first <= last then begin
+              let issue () =
+                for line = first to last do
+                  t.m.Machine.clwb (Layout.addr_of_line line)
+                done
+              in
+              match t.profiler with
+              | None -> issue ()
+              | Some p -> Profile.leaf_flush p ~flushes:(last - first + 1) issue
+            end);
           fence t
         end;
         (* 2. Durable commit point. *)
         write_status tx status_redo_committed;
         (* 3. Write back to home locations. *)
-        for i = 0 to n - 1 do
-          t.m.Machine.store (Repro_util.Int_vec.get tx.vaddrs i) (Repro_util.Int_vec.get tx.vvals i)
-        done;
+        prof_phase t Profile.Write_back (fun () ->
+            for i = 0 to n - 1 do
+              t.m.Machine.store
+                (Repro_util.Int_vec.get tx.vaddrs i)
+                (Repro_util.Int_vec.get tx.vvals i)
+            done);
         flush_written_lines tx (fun f -> Repro_util.Int_vec.iter f tx.vaddrs);
         fence t;
         (* 4. Make the writes visible, then retire the log. *)
@@ -523,7 +563,8 @@ let undo_write tx addr value =
 
 let undo_rollback tx =
   let t = tx.ptm in
-  Repro_util.Int_vec.iter_rev_pairs (fun addr old -> t.m.Machine.store addr old) tx.uvec;
+  prof_phase t Profile.Write_back (fun () ->
+      Repro_util.Int_vec.iter_rev_pairs (fun addr old -> t.m.Machine.store addr old) tx.uvec);
   if Repro_util.Int_vec.length tx.uvec > 0 then begin
     flush_written_lines tx (fun f ->
         Repro_util.Int_vec.iter_rev_pairs (fun addr _ -> f addr) tx.uvec);
@@ -544,7 +585,7 @@ let undo_try_commit tx =
   else begin
     let wv = clock_next t in
     ignore wv;
-    if not (validate_reads tx) then begin
+    if not (prof_phase t Profile.Validate (fun () -> validate_reads tx)) then begin
       (match !conflict_hook with Some f -> f "commit-validate" 0 | None -> ());
       undo_rollback tx;
       false
@@ -610,35 +651,37 @@ let htm_try_commit tx =
   end
   else begin
     match
-      Repro_util.Int_vec.iter
-        (fun addr ->
-          let oidx = orec_of t addr in
-          if not (Hashtbl.mem tx.amap oidx) then begin
-            let v = orec_get t oidx in
-            if locked v then raise Conflict;
-            if version_of v > tx.rv && not (extend tx) then raise Conflict;
-            if not (orec_cas t oidx v (lock_word tx.tid)) then raise Conflict;
-            Hashtbl.add tx.amap oidx v;
-            Repro_util.Int_vec.push tx.acquired oidx
-          end)
-        tx.vaddrs
+      prof_phase t Profile.Validate (fun () ->
+          Repro_util.Int_vec.iter
+            (fun addr ->
+              let oidx = orec_of t addr in
+              if not (Hashtbl.mem tx.amap oidx) then begin
+                let v = orec_get t oidx in
+                if locked v then raise Conflict;
+                if version_of v > tx.rv && not (extend tx) then raise Conflict;
+                if not (orec_cas t oidx v (lock_word tx.tid)) then raise Conflict;
+                Hashtbl.add tx.amap oidx v;
+                Repro_util.Int_vec.push tx.acquired oidx
+              end)
+            tx.vaddrs;
+          let wv = clock_next t in
+          if (wv > tx.rv + 1 || Repro_util.Int_vec.length tx.reads > 0)
+             && not (validate_reads tx)
+          then None
+          else Some wv)
     with
-    | () ->
-      let wv = clock_next t in
-      if (wv > tx.rv + 1 || Repro_util.Int_vec.length tx.reads > 0)
-         && not (validate_reads tx)
-      then begin
-        release_acquired_to_previous tx;
-        false
-      end
-      else begin
+    | None ->
+      release_acquired_to_previous tx;
+      false
+    | Some wv ->
+      begin
         (* The indivisible hardware commit. *)
         let addrs = Array.make n 0 and values = Array.make n 0 in
         for i = 0 to n - 1 do
           addrs.(i) <- Repro_util.Int_vec.get tx.vaddrs i;
           values.(i) <- Repro_util.Int_vec.get tx.vvals i
         done;
-        t.m.Machine.publish addrs values n;
+        prof_phase t Profile.Write_back (fun () -> t.m.Machine.publish addrs values n);
         release_acquired_to tx (version_word wv);
         s.commits <- s.commits + 1;
         s.max_write_set <- max s.max_write_set n;
@@ -651,17 +694,27 @@ let htm_try_commit tx =
 
 (* ---------- public transactional API ---------- *)
 
-let read tx addr =
+let dispatch_read tx addr =
   match tx.mode with
   | Redo -> redo_read tx addr
   | Undo -> undo_read tx addr
   | Htm -> htm_read tx addr
 
-let write tx addr value =
+let read tx addr =
+  match tx.ptm.profiler with
+  | None -> dispatch_read tx addr
+  | Some p -> Profile.with_phase p Profile.Read_set (fun () -> dispatch_read tx addr)
+
+let dispatch_write tx addr value =
   match tx.mode with
   | Redo -> redo_write tx addr value
   | Undo -> undo_write tx addr value
   | Htm -> htm_write tx addr value
+
+let write tx addr value =
+  match tx.ptm.profiler with
+  | None -> dispatch_write tx addr value
+  | Some p -> Profile.with_phase p Profile.Log_append (fun () -> dispatch_write tx addr value)
 
 let on_commit tx hook = tx.commit_hooks <- hook :: tx.commit_hooks
 
@@ -683,7 +736,10 @@ let abort_and_retry _tx = raise Conflict
 
 let backoff tx =
   let cap = min (1 lsl (6 + min tx.attempts 8)) 32768 in
-  tx.ptm.m.Machine.pause (64 + Repro_util.Rng.int tx.rng cap)
+  let pause () = tx.ptm.m.Machine.pause (64 + Repro_util.Rng.int tx.rng cap) in
+  match tx.ptm.profiler with
+  | None -> pause ()
+  | Some p -> Profile.with_phase p Profile.Backoff pause
 
 (* Abort cleanup for a conflict discovered mid-execution (Conflict
    raised from read/write) or a user exception. *)
@@ -698,15 +754,20 @@ let atomic t f =
   let tx = tx_for t in
   if tx.depth > 0 then f tx
   else begin
+    (match t.profiler with Some p -> Profile.txn_begin p | None -> ());
     tx.depth <- 1;
     tx.attempts <- 0;
     let finish value =
       tx.depth <- 0;
+      (* Close the profile envelope before commit hooks run: a hook may
+         start a fresh transaction on this thread. *)
+      (match t.profiler with Some p -> Profile.txn_end p ~committed:true | None -> ());
       let hooks = List.rev tx.commit_hooks in
       tx.commit_hooks <- [];
       List.iter (fun hook -> hook ()) hooks;
       value
     in
+    let note_abort () = match t.profiler with Some p -> Profile.note_abort p | None -> () in
     let rec attempt () =
       reset_tx tx;
       (* HTM gives up after a few hardware attempts and falls back to
@@ -729,12 +790,14 @@ let atomic t f =
           (* Commit-time conflict: orecs already released by try_commit. *)
           List.iter (fun hook -> hook ()) tx.abort_hooks;
           t.stats.(tx.tid).aborts <- t.stats.(tx.tid).aborts + 1;
+          note_abort ();
           tx.attempts <- tx.attempts + 1;
           backoff tx;
           attempt ()
         end
       | exception Conflict ->
         abort_cleanup tx;
+        note_abort ();
         tx.attempts <- tx.attempts + 1;
         backoff tx;
         attempt ()
@@ -744,6 +807,7 @@ let atomic t f =
       | exception e ->
         abort_cleanup tx;
         tx.depth <- 0;
+        (match t.profiler with Some p -> Profile.txn_end p ~committed:false | None -> ());
         raise e
     in
     attempt ()

@@ -70,12 +70,18 @@ val create :
     logs. *)
 
 val recover :
-  ?algorithm:algorithm -> ?orec_bits:int -> ?flush_timing:flush_timing -> Machine.t -> t
+  ?algorithm:algorithm ->
+  ?orec_bits:int ->
+  ?flush_timing:flush_timing ->
+  ?profiler:Profile.t ->
+  Machine.t ->
+  t
 (** Attach to an existing region after a reboot and run crash
     recovery: replay committed redo logs, roll back in-flight undo
     logs, clear log statuses and rebuild the allocator's free lists.
     Idempotent (a crash during recovery is handled by recovering
-    again). *)
+    again).  When [profiler] is given, recovery is recorded as a
+    {!Profile.Recovery} phase and the profiler stays installed. *)
 
 val region : t -> Pmem.Region.t
 val machine : t -> Machine.t
@@ -140,6 +146,14 @@ module Stats : sig
 end
 
 (** {1 Diagnostics} *)
+
+val set_profiler : t -> Profile.t option -> unit
+(** Install (or remove) a phase profiler (see {!Profile}).  Off by
+    default.  The profiler observes the machine clock at phase
+    boundaries and never advances it: enabling one changes no simulated
+    timing.  Install before spawning workers for coherent streams. *)
+
+val profiler : t -> Profile.t option
 
 val set_conflict_hook : (string -> int -> unit) option -> unit
 (** Install a callback invoked on every conflict with the site name

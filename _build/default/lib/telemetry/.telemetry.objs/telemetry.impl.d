@@ -1,0 +1,1 @@
+lib/telemetry/telemetry.ml: Export Filename Fun List Memsim Pstm Series Sys

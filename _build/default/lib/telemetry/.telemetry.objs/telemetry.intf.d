@@ -1,0 +1,1 @@
+lib/telemetry/telemetry.mli: Export Memsim Pstm Series

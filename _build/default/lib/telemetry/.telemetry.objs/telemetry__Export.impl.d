@@ -1,0 +1,1 @@
+lib/telemetry/export.ml: Buffer Char List Memsim Printf Pstm Repro_util String

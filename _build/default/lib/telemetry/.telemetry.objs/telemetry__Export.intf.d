@@ -1,0 +1,1 @@
+lib/telemetry/export.mli: Memsim Pstm

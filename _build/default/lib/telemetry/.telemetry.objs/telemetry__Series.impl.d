@@ -1,0 +1,1 @@
+lib/telemetry/series.ml: Array Buffer List Memsim Printf Pstm

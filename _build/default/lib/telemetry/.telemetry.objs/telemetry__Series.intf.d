@@ -1,0 +1,1 @@
+lib/telemetry/series.mli: Memsim Pstm

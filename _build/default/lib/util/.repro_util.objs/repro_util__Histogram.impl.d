@@ -1,1 +1,1 @@
-lib/util/histogram.ml: Array Float
+lib/util/histogram.ml: Array Float List

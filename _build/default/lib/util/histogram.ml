@@ -71,6 +71,14 @@ let merge_into ~src ~dst =
   dst.sum <- dst.sum +. src.sum;
   if src.max_value > dst.max_value then dst.max_value <- src.max_value
 
+let merge a b =
+  let t = create () in
+  merge_into ~src:a ~dst:t;
+  merge_into ~src:b ~dst:t;
+  t
+
+let merge_list ts = List.fold_left (fun acc h -> merge_into ~src:h ~dst:acc; acc) (create ()) ts
+
 let clear t =
   Array.fill t.counts 0 total 0;
   t.n <- 0;

@@ -50,6 +50,14 @@ let add c x =
   if x < c.minimum then c.minimum <- x;
   if x > c.maximum then c.maximum <- x
 
+let merge a b =
+  {
+    count = a.count + b.count;
+    total = a.total +. b.total;
+    minimum = Float.min a.minimum b.minimum;
+    maximum = Float.max a.maximum b.maximum;
+  }
+
 let count c = c.count
 let total c = c.total
 let minimum c = c.minimum

@@ -18,6 +18,11 @@ type counter
 
 val counter : unit -> counter
 val add : counter -> float -> unit
+
+val merge : counter -> counter -> counter
+(** Fresh counter summarizing both inputs (inputs untouched); merging a
+    fresh/empty counter is the identity. *)
+
 val count : counter -> int
 val total : counter -> float
 val minimum : counter -> float

@@ -12,7 +12,9 @@ val add_row : t -> string list -> unit
 (** Append a row; short rows are padded with empty cells. *)
 
 val cell_f : float -> string
-(** Canonical float cell: 2 decimals, or scientific for tiny/huge values. *)
+(** Canonical float cell: 2 decimals, or scientific for tiny/huge
+    values.  Non-finite values (a percentile of an empty histogram, a
+    ratio with a zero denominator) render as ["-"], never ["nan"]. *)
 
 val print : Format.formatter -> t -> unit
 (** Render with aligned columns. *)

@@ -1,0 +1,1 @@
+lib/workloads/bank.ml: Driver Pstm Repro_util

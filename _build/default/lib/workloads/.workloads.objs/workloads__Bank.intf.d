@@ -1,0 +1,1 @@
+lib/workloads/bank.mli: Driver Pstm

@@ -1,1 +1,1 @@
-lib/workloads/driver.ml: Machine Memsim Pstm Repro_util
+lib/workloads/driver.ml: Machine Memsim Pstm Repro_util Telemetry

@@ -1,1 +1,1 @@
-lib/workloads/driver.mli: Memsim Pstm Repro_util
+lib/workloads/driver.mli: Memsim Pstm Repro_util Telemetry

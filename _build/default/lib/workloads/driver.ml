@@ -18,11 +18,14 @@ type result = {
   max_log_lines : int;
   latency : Repro_util.Histogram.t;  (** per-operation latency, virtual ns *)
   sim : Memsim.Sim.Stats.t;
+  telemetry : Telemetry.capture option;
 }
 
-let run ?(duration_ns = 3_000_000) ?(flush_timing = Pstm.Ptm.At_commit) ?(seed = 0xBE5C)
-    ?pdram_cache_bytes ?(orec_bits = 20) ?monitor ?lat ?nvm_channels ~model ~algorithm ~threads
-    spec =
+let default_seed = 0xBE5C
+
+let run ?(duration_ns = 3_000_000) ?(flush_timing = Pstm.Ptm.At_commit) ?(seed = default_seed)
+    ?pdram_cache_bytes ?(orec_bits = 20) ?monitor ?telemetry ?lat ?nvm_channels ~model ~algorithm
+    ~threads spec =
   let cfg =
     Memsim.Config.make ?lat ?nvm_channels ?pdram_cache_bytes ~heap_words:spec.heap_words
       ~track_media:false model
@@ -35,6 +38,11 @@ let run ?(duration_ns = 3_000_000) ?(flush_timing = Pstm.Ptm.At_commit) ?(seed =
   spec.setup ptm;
   Memsim.Sim.reset_timing sim;
   Pstm.Ptm.Stats.reset ptm;
+  (* Attach telemetry after setup so the streams cover exactly the
+     measured phase.  Pure observation: no virtual time is added. *)
+  let capture =
+    match telemetry with None -> None | Some config -> Some (Telemetry.attach ~config sim ptm)
+  in
   let root_rng = Repro_util.Rng.create seed in
   let latency = Repro_util.Histogram.create () in
   for tid = 0 to threads - 1 do
@@ -66,6 +74,18 @@ let run ?(duration_ns = 3_000_000) ?(flush_timing = Pstm.Ptm.At_commit) ?(seed =
              m.Machine.pause interval_ns;
              sample sim
            done)));
+  (* Telemetry sampler: a second monitor thread, also spawned after the
+     workers (dense worker tids are preserved). *)
+  (match capture with
+  | Some cap when (Telemetry.config cap).Telemetry.sample_interval_ns > 0 ->
+    let interval_ns = (Telemetry.config cap).Telemetry.sample_interval_ns in
+    ignore
+      (Memsim.Sim.spawn sim (fun () ->
+           while int_of_float (m.Machine.now_ns ()) < duration_ns do
+             m.Machine.pause interval_ns;
+             Telemetry.sample cap
+           done))
+  | Some _ | None -> ());
   Memsim.Sim.run sim;
   let elapsed_ns = max (Memsim.Sim.now sim) 1 in
   let stats = Pstm.Ptm.Stats.get ptm in
@@ -82,6 +102,7 @@ let run ?(duration_ns = 3_000_000) ?(flush_timing = Pstm.Ptm.At_commit) ?(seed =
     max_log_lines = stats.Pstm.Ptm.Stats.max_log_lines;
     latency;
     sim = Memsim.Sim.Stats.get sim;
+    telemetry = capture;
   }
 
 let throughput_row r =
@@ -91,5 +112,17 @@ let throughput_row r =
     r.algorithm;
     string_of_int r.threads;
     Repro_util.Table.cell_f (r.txs_per_sec /. 1e6);
-    (if r.commits_per_abort = infinity then "-" else Repro_util.Table.cell_f r.commits_per_abort);
+    (* cell_f renders non-finite ratios (no aborts, or no samples at
+       all) as "-". *)
+    Repro_util.Table.cell_f r.commits_per_abort;
   ]
+
+let run_meta r ~seed ~duration_ns =
+  {
+    Telemetry.Export.workload = r.workload;
+    model = r.model;
+    algorithm = r.algorithm;
+    threads = r.threads;
+    seed;
+    duration_ns;
+  }

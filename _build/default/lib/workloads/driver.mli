@@ -30,7 +30,11 @@ type result = {
       (** per-operation (transaction + modeled inter-transaction work)
           latency distribution, in virtual nanoseconds *)
   sim : Memsim.Sim.Stats.t;
+  telemetry : Telemetry.capture option;
+      (** present iff the run was started with [?telemetry] *)
 }
+
+val default_seed : int
 
 val run :
   ?duration_ns:int ->
@@ -39,6 +43,7 @@ val run :
   ?pdram_cache_bytes:int ->
   ?orec_bits:int ->
   ?monitor:int * (Memsim.Sim.t -> unit) ->
+  ?telemetry:Telemetry.config ->
   ?lat:Memsim.Config.latency ->
   ?nvm_channels:int ->
   model:Memsim.Config.model ->
@@ -47,7 +52,17 @@ val run :
   spec ->
   result
 (** Default duration 3 ms of virtual time.  Media tracking is disabled
-    (benchmarks never crash), halving memory. *)
+    (benchmarks never crash), halving memory.
+
+    [?telemetry] attaches a {!Telemetry.capture} after setup (phase
+    profiler, machine trace, and — when [sample_interval_ns > 0] — a
+    sampling monitor thread spawned after the workers).  Telemetry
+    observes clocks without advancing them: with sampling disabled the
+    run's virtual timeline is bit-identical to an uninstrumented run. *)
 
 val throughput_row : result -> string list
-(** [workload; model; algorithm; threads; tx/s; ratio] cells for tables. *)
+(** [workload; model; algorithm; threads; tx/s; ratio] cells for tables.
+    Non-finite values render as ["-"]. *)
+
+val run_meta : result -> seed:int -> duration_ns:int -> Telemetry.Export.run_meta
+(** Export metadata describing this run, for {!Telemetry.dump}. *)

@@ -1,1 +1,1 @@
-test/test_crashtest.ml: Alcotest Array Crashtest Format Helpers List Machine Memsim Pmem Printf Pstm Ptm Result String
+test/test_crashtest.ml: Alcotest Array Crashtest Filename Format Helpers List Machine Memsim Pmem Printf Pstm Ptm Result String Sys

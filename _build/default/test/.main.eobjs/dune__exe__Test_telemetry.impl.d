@@ -1,0 +1,1 @@
+test/test_telemetry.ml: Alcotest Helpers List Memsim Printf Pstm String Telemetry Workloads

@@ -9,6 +9,7 @@ let () =
       ("pstructs", Test_pstructs.suite);
       ("pstructs2", Test_pstructs2.suite);
       ("workloads", Test_workloads.suite);
+      ("telemetry", Test_telemetry.suite);
       ("native", Test_native.suite);
       ("extensions", Test_extensions.suite);
       ("crashtest", Test_crashtest.suite);

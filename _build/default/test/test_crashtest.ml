@@ -78,7 +78,17 @@ let test_nofence algorithm () =
           ~algorithm:alg ~seed:replay_seed ~crash_at
           (Scenarios.find scen_name)
       in
-      Helpers.check_bool "replay reproduces the violation" true (Result.is_error result))
+      Helpers.check_bool "replay reproduces the violation" true (Result.is_error result));
+    (* The failure must come with a telemetry capture of the minimal
+       failing re-run, including a profile of the post-crash recovery. *)
+    (match f.Engine.telemetry_dir with
+    | None -> Alcotest.fail "failure carries no telemetry dump"
+    | Some dir ->
+      List.iter
+        (fun file ->
+          Helpers.check_bool (Printf.sprintf "telemetry dump has %s" file) true
+            (Sys.file_exists (Filename.concat dir file)))
+        [ "profile.jsonl"; "series.csv"; "trace.json"; "recovery.jsonl" ])
 
 (* ---------- recovery idempotence ---------- *)
 

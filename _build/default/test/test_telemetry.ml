@@ -1,0 +1,151 @@
+(* Telemetry subsystem: zero-perturbation, determinism, phase
+   accounting, and the fence-cost story the profiler is meant to show. *)
+
+module Driver = Workloads.Driver
+module Profile = Pstm.Profile
+module Config = Memsim.Config
+
+let duration_ns = 300_000
+let threads = 4
+
+let run ?telemetry ~model ~algorithm () =
+  Driver.run ~duration_ns ?telemetry ~model ~algorithm ~threads Workloads.Bank.spec
+
+(* Sampler off: no monitor thread, so the interleaving must match an
+   uninstrumented run exactly. *)
+let passive = { Telemetry.default_config with Telemetry.sample_interval_ns = 0 }
+
+let capture (r : Driver.result) =
+  match r.Driver.telemetry with
+  | Some cap -> cap
+  | None -> Alcotest.fail "run started with ?telemetry returned no capture"
+
+let meta (r : Driver.result) = Driver.run_meta r ~seed:Driver.default_seed ~duration_ns
+
+let test_disabled_identical () =
+  (* Attaching the profiler + machine trace (no sampler) leaves every
+     result field bit-identical to a plain run. *)
+  let model = Config.optane_adr and algorithm = Pstm.Ptm.Undo in
+  let plain = run ~model ~algorithm () in
+  let instr = run ~telemetry:passive ~model ~algorithm () in
+  Helpers.check_int "elapsed_ns" plain.Driver.elapsed_ns instr.Driver.elapsed_ns;
+  Helpers.check_int "commits" plain.Driver.commits instr.Driver.commits;
+  Helpers.check_int "aborts" plain.Driver.aborts instr.Driver.aborts;
+  Helpers.check_int "max_log_lines" plain.Driver.max_log_lines instr.Driver.max_log_lines;
+  Alcotest.(check (float 0.0)) "txs_per_sec" plain.Driver.txs_per_sec instr.Driver.txs_per_sec;
+  Helpers.check_bool "sim stats identical" true (plain.Driver.sim = instr.Driver.sim)
+
+let test_exports_deterministic () =
+  (* Full telemetry (sampler on) twice: byte-identical artifacts. *)
+  let model = Config.optane_adr and algorithm = Pstm.Ptm.Redo in
+  let go () =
+    let r = run ~telemetry:Telemetry.default_config ~model ~algorithm () in
+    let cap = capture r in
+    ( Telemetry.profile_jsonl (meta r) cap,
+      Telemetry.series_csv cap,
+      Telemetry.chrome_trace (meta r) cap )
+  in
+  let j1, c1, t1 = go () in
+  let j2, c2, t2 = go () in
+  Alcotest.(check string) "profile.jsonl" j1 j2;
+  Alcotest.(check string) "series.csv" c1 c2;
+  Alcotest.(check string) "trace.json" t1 t2
+
+let test_phase_sum_to_total () =
+  (* Accounting invariant: per thread, phase ns partition in-transaction
+     time — they sum to txn_ns exactly. *)
+  List.iter
+    (fun algorithm ->
+      let r = run ~telemetry:passive ~model:Config.optane_adr ~algorithm () in
+      let p = Telemetry.profile (capture r) in
+      List.iter
+        (fun tid ->
+          let txn = Profile.txn_ns p ~tid in
+          Helpers.check_bool "thread ran transactions" true (txn > 0);
+          Helpers.check_int
+            (Printf.sprintf "tid %d phase sum = txn_ns" tid)
+            txn
+            (Profile.total_phase_ns p ~tid))
+        (Profile.tids p))
+    [ Pstm.Ptm.Redo; Pstm.Ptm.Undo ]
+
+let fence_waits_per_commit algorithm =
+  let r = run ~telemetry:passive ~model:Config.optane_adr ~algorithm () in
+  let p = Telemetry.profile (capture r) in
+  let sum f = List.fold_left (fun acc tid -> acc + f ~tid) 0 (Profile.tids p) in
+  let fences = sum (fun ~tid -> Profile.phase_count p ~tid Profile.Fence_wait) in
+  let commits = sum (Profile.commits p) in
+  Helpers.check_bool "commits > 0" true (commits > 0);
+  float_of_int fences /. float_of_int commits
+
+let test_undo_fences_exceed_redo () =
+  (* The paper's fence-cost asymmetry: undo orders every in-place write
+     with a flush+fence, redo pays O(1) fences at commit.  The profiler
+     must make that visible on the bank workload under ADR. *)
+  let undo = fence_waits_per_commit Pstm.Ptm.Undo in
+  let redo = fence_waits_per_commit Pstm.Ptm.Redo in
+  Helpers.check_bool
+    (Printf.sprintf "undo fence-waits/commit (%.2f) > redo (%.2f)" undo redo)
+    true (undo > redo)
+
+let test_eadr_no_flush_phases () =
+  (* eADR: the cache hierarchy is in the persistence domain, so the PTM
+     issues no clwb and no ordering fence — those phases must be empty
+     and no flushes/fences may be attributed anywhere. *)
+  List.iter
+    (fun algorithm ->
+      let r = run ~telemetry:passive ~model:Config.optane_eadr ~algorithm () in
+      let p = Telemetry.profile (capture r) in
+      let sum f = List.fold_left (fun acc tid -> acc + f ~tid) 0 (Profile.tids p) in
+      Helpers.check_int "clwb-issue count" 0
+        (sum (fun ~tid -> Profile.phase_count p ~tid Profile.Clwb_issue));
+      Helpers.check_int "fence-wait count" 0
+        (sum (fun ~tid -> Profile.phase_count p ~tid Profile.Fence_wait));
+      Helpers.check_int "wpq-stall count" 0
+        (sum (fun ~tid -> Profile.phase_count p ~tid Profile.Wpq_stall));
+      List.iter
+        (fun phase ->
+          Helpers.check_int
+            (Printf.sprintf "%s fences" (Profile.phase_name phase))
+            0
+            (sum (fun ~tid -> Profile.phase_fences p ~tid phase));
+          Helpers.check_int
+            (Printf.sprintf "%s flushes" (Profile.phase_name phase))
+            0
+            (sum (fun ~tid -> Profile.phase_flushes p ~tid phase)))
+        Profile.all_phases)
+    [ Pstm.Ptm.Redo; Pstm.Ptm.Undo ]
+
+let test_series_sampling () =
+  let r =
+    run ~telemetry:Telemetry.default_config ~model:Config.optane_adr ~algorithm:Pstm.Ptm.Redo ()
+  in
+  let s = Telemetry.series (capture r) in
+  let samples = Telemetry.Series.samples s in
+  Helpers.check_bool "samples recorded" true (List.length samples >= 3);
+  let rec check_monotone last = function
+    | [] -> ()
+    | (x : Telemetry.Series.sample) :: rest ->
+      Helpers.check_bool "at_ns nondecreasing" true (x.Telemetry.Series.at_ns >= last);
+      Helpers.check_bool "commits nondecreasing" true (x.Telemetry.Series.commits >= 0);
+      check_monotone x.Telemetry.Series.at_ns rest
+  in
+  check_monotone 0 samples;
+  (* CSV: fixed column count on every row. *)
+  let csv = Telemetry.Series.to_csv s in
+  let cols line = List.length (String.split_on_char ',' line) in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Helpers.check_bool "csv has data rows" true (List.length lines >= 2);
+  List.iter
+    (fun line -> Helpers.check_int "csv columns" (cols Telemetry.Series.csv_header) (cols line))
+    lines
+
+let suite =
+  [
+    Alcotest.test_case "telemetry off-path identical" `Quick test_disabled_identical;
+    Alcotest.test_case "exports byte-deterministic" `Quick test_exports_deterministic;
+    Alcotest.test_case "phase ns sum to txn time" `Quick test_phase_sum_to_total;
+    Alcotest.test_case "undo fences exceed redo (ADR)" `Quick test_undo_fences_exceed_redo;
+    Alcotest.test_case "eADR: no flush/fence phases" `Quick test_eadr_no_flush_phases;
+    Alcotest.test_case "series sampling monotone" `Quick test_series_sampling;
+  ]

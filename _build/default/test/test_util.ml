@@ -203,6 +203,71 @@ let test_histogram_merge () =
   Helpers.check_int "merged count" 2 (Histogram.count b);
   Helpers.check_int "merged max" 1000 (Histogram.max_value b)
 
+let test_histogram_merge_fresh () =
+  (* Empty ⊕ empty is empty; empty ⊕ x is x; inputs are untouched. *)
+  let e = Histogram.merge (Histogram.create ()) (Histogram.create ()) in
+  Helpers.check_int "empty+empty count" 0 (Histogram.count e);
+  let a = Histogram.create () in
+  List.iter (Histogram.record a) [ 5; 50; 500 ];
+  let m = Histogram.merge (Histogram.create ()) a in
+  Helpers.check_int "empty+a count" 3 (Histogram.count m);
+  Helpers.check_int "empty+a max" 500 (Histogram.max_value m);
+  Alcotest.(check (float 1e-9))
+    "identity percentiles" (Histogram.percentile a 50.0) (Histogram.percentile m 50.0);
+  Histogram.record m 5000;
+  Helpers.check_int "src untouched" 3 (Histogram.count a)
+
+let test_histogram_merge_disjoint () =
+  (* Mismatched occupied buckets: a holds small values, b large ones. *)
+  let a = Histogram.create () and b = Histogram.create () in
+  for v = 1 to 100 do
+    Histogram.record a v
+  done;
+  for v = 1_000_000 to 1_000_100 do
+    Histogram.record b v
+  done;
+  let m = Histogram.merge a b in
+  Helpers.check_int "count" 201 (Histogram.count m);
+  Helpers.check_bool "p25 from a" true (Histogram.percentile m 25.0 < 200.0);
+  Helpers.check_bool "p75 from b" true (Histogram.percentile m 75.0 > 500_000.0);
+  Helpers.check_int "max from b" (Histogram.max_value b) (Histogram.max_value m)
+
+let test_histogram_merge_list () =
+  let mk vs =
+    let h = Histogram.create () in
+    List.iter (Histogram.record h) vs;
+    h
+  in
+  Helpers.check_int "merge_list [] empty" 0 (Histogram.count (Histogram.merge_list []));
+  let m = Histogram.merge_list [ mk [ 1; 2 ]; Histogram.create (); mk [ 30 ] ] in
+  Helpers.check_int "merge_list count" 3 (Histogram.count m);
+  Helpers.check_int "merge_list max" 30 (Histogram.max_value m)
+
+let test_stats_counter_merge () =
+  let a = Stats.counter () and b = Stats.counter () in
+  List.iter (Stats.add a) [ 3.0; 1.0 ];
+  List.iter (Stats.add b) [ 10.0 ];
+  let m = Stats.merge a b in
+  Helpers.check_int "count" 3 (Stats.count m);
+  Alcotest.(check (float 1e-9)) "total" 14.0 (Stats.total m);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.minimum m);
+  Alcotest.(check (float 1e-9)) "max" 10.0 (Stats.maximum m);
+  (* Merging an empty counter is the identity. *)
+  let id = Stats.merge a (Stats.counter ()) in
+  Helpers.check_int "id count" 2 (Stats.count id);
+  Alcotest.(check (float 1e-9)) "id total" 4.0 (Stats.total id);
+  Alcotest.(check (float 1e-9)) "id min" 1.0 (Stats.minimum id);
+  Alcotest.(check (float 1e-9)) "id max" 3.0 (Stats.maximum id);
+  (* Inputs untouched. *)
+  Helpers.check_int "a untouched" 2 (Stats.count a);
+  Helpers.check_int "b untouched" 1 (Stats.count b)
+
+let test_table_cell_f_nonfinite () =
+  Alcotest.(check string) "nan" "-" (Table.cell_f Float.nan);
+  Alcotest.(check string) "inf" "-" (Table.cell_f Float.infinity);
+  Alcotest.(check string) "-inf" "-" (Table.cell_f Float.neg_infinity);
+  Alcotest.(check string) "finite" "1.50" (Table.cell_f 1.5)
+
 let test_histogram_empty () =
   let h = Histogram.create () in
   Helpers.check_bool "empty percentile nan" true (Float.is_nan (Histogram.percentile h 50.0));
@@ -241,6 +306,11 @@ let suite =
     Alcotest.test_case "histogram: percentiles" `Quick test_histogram_percentiles;
     Alcotest.test_case "histogram: bounded error" `Quick test_histogram_bounded_error;
     Alcotest.test_case "histogram: merge" `Quick test_histogram_merge;
+    Alcotest.test_case "histogram: merge fresh/identity" `Quick test_histogram_merge_fresh;
+    Alcotest.test_case "histogram: merge disjoint buckets" `Quick test_histogram_merge_disjoint;
+    Alcotest.test_case "histogram: merge_list" `Quick test_histogram_merge_list;
+    Alcotest.test_case "stats: counter merge" `Quick test_stats_counter_merge;
+    Alcotest.test_case "table: cell_f non-finite" `Quick test_table_cell_f_nonfinite;
     Alcotest.test_case "histogram: empty" `Quick test_histogram_empty;
     Alcotest.test_case "table: render/csv" `Quick test_table_render_and_csv;
   ]

@@ -22,6 +22,8 @@ module Region = Pmem.Region
 module Alloc = Pmem.Alloc
 module Check = Pmem.Check
 module Ptm = Pstm.Ptm
+module Profile = Pstm.Profile
+module Telemetry = Telemetry
 module Bptree = Pstructs.Bptree
 module Phashtable = Pstructs.Phashtable
 module Plist = Pstructs.Plist
@@ -30,6 +32,7 @@ module Pskiplist = Pstructs.Pskiplist
 module Pblob = Pstructs.Pblob
 module Parray = Pstructs.Parray
 module Driver = Workloads.Driver
+module Bank = Workloads.Bank
 module Tatp = Workloads.Tatp
 module Tpcc = Workloads.Tpcc
 module Vacation = Workloads.Vacation

@@ -25,4 +25,11 @@ val max_value : t -> int
 val merge_into : src:t -> dst:t -> unit
 (** Add [src]'s counts into [dst] (per-thread histograms to a global). *)
 
+val merge : t -> t -> t
+(** Fresh histogram holding both inputs' samples; the inputs are left
+    untouched.  Merging an empty histogram is the identity. *)
+
+val merge_list : t list -> t
+(** Fold {!merge} over a list; empty list yields an empty histogram. *)
+
 val clear : t -> unit

@@ -5,7 +5,7 @@ let create ~title ~header = { title; header; rows = [] }
 let add_row t row = t.rows <- row :: t.rows
 
 let cell_f x =
-  if Float.is_nan x then "-"
+  if not (Float.is_finite x) then "-"
   else if x <> 0.0 && (Float.abs x < 0.01 || Float.abs x >= 1e7) then Printf.sprintf "%.3e" x
   else Printf.sprintf "%.2f" x
 

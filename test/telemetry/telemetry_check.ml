@@ -1,0 +1,140 @@
+(* `dune build @telemetry`: end-to-end schema and determinism gate for
+   the telemetry artifacts.
+
+   Runs a short instrumented bank workload under {ADR, eADR} x
+   {Redo, Undo} and checks, for every cell:
+   - the profile JSONL is well-formed line-delimited JSON objects with
+     the expected record types and no "nan"/"inf"/negative values;
+   - per-thread phase nanoseconds sum to the thread's transaction time;
+   - the series CSV has a fixed column count and at least one data row;
+   - the Chrome trace is bracketed as one JSON object;
+   - a repeat run is byte-identical on all three artifacts.
+
+   Exits nonzero listing every violation. *)
+
+module Driver = Workloads.Driver
+module Profile = Pstm.Profile
+
+let failures = ref []
+let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt
+
+let check name cond = if not cond then fail "%s" name
+
+let duration_ns = 300_000
+
+let cells =
+  [
+    (Memsim.Config.optane_adr, Pstm.Ptm.Redo);
+    (Memsim.Config.optane_adr, Pstm.Ptm.Undo);
+    (Memsim.Config.optane_eadr, Pstm.Ptm.Redo);
+    (Memsim.Config.optane_eadr, Pstm.Ptm.Undo);
+  ]
+
+let artifacts model algorithm =
+  let r =
+    Driver.run ~duration_ns ~telemetry:Telemetry.default_config ~model ~algorithm ~threads:4
+      Workloads.Bank.spec
+  in
+  let cap = match r.Driver.telemetry with Some c -> c | None -> failwith "no capture" in
+  let meta = Driver.run_meta r ~seed:Driver.default_seed ~duration_ns in
+  (r, cap, Telemetry.files meta cap)
+
+let lines s = String.split_on_char '\n' (String.trim s)
+
+(* "nan"/"inf" can only come from a float leaking into the emitters;
+   "-" digits only from a negative duration or counter.  Both are
+   schema violations anywhere in any artifact. *)
+let check_no_bad_numbers cell name content =
+  let has sub =
+    let n = String.length sub and l = String.length content in
+    let rec go i = i + n <= l && (String.sub content i n = sub || go (i + 1)) in
+    go 0
+  in
+  check (Printf.sprintf "%s %s: contains \"nan\"" cell name) (not (has "nan"));
+  check (Printf.sprintf "%s %s: contains \"inf\"" cell name) (not (has "inf"));
+  check (Printf.sprintf "%s %s: negative value" cell name)
+    (not (has ":-") && not (has ",-"))
+
+let check_jsonl cell content =
+  let ls = lines content in
+  check (Printf.sprintf "%s profile.jsonl: empty" cell) (ls <> []);
+  List.iteri
+    (fun i l ->
+      let n = String.length l in
+      check
+        (Printf.sprintf "%s profile.jsonl:%d: not a JSON object" cell (i + 1))
+        (n >= 2 && l.[0] = '{' && l.[n - 1] = '}'))
+    ls;
+  let count_type ty =
+    let tag = Printf.sprintf "{\"type\":%S" ty in
+    List.length
+      (List.filter (fun l -> String.length l >= String.length tag
+                             && String.sub l 0 (String.length tag) = tag)
+         ls)
+  in
+  check (Printf.sprintf "%s profile.jsonl: exactly one run header" cell) (count_type "run" = 1);
+  check (Printf.sprintf "%s profile.jsonl: phase rows" cell) (count_type "phase" > 0);
+  check (Printf.sprintf "%s profile.jsonl: run-phase rows" cell) (count_type "run-phase" > 0);
+  check (Printf.sprintf "%s profile.jsonl: thread rows" cell) (count_type "thread" > 0)
+
+let check_csv cell content =
+  let ls = lines content in
+  let cols l = List.length (String.split_on_char ',' l) in
+  match ls with
+  | [] -> fail "%s series.csv: empty" cell
+  | header :: rows ->
+    check (Printf.sprintf "%s series.csv: header" cell)
+      (header = Telemetry.Series.csv_header);
+    check (Printf.sprintf "%s series.csv: no data rows" cell) (rows <> []);
+    List.iteri
+      (fun i row ->
+        check
+          (Printf.sprintf "%s series.csv:%d: column count" cell (i + 2))
+          (cols row = cols header))
+      rows
+
+let check_trace cell content =
+  let content = String.trim content in
+  let n = String.length content in
+  check (Printf.sprintf "%s trace.json: not a JSON object" cell)
+    (n >= 2 && content.[0] = '{' && content.[n - 1] = '}')
+
+let check_cell (model, algorithm) =
+  let cell =
+    Printf.sprintf "%s/%s" model.Memsim.Config.model_name (Pstm.Ptm.algorithm_name algorithm)
+  in
+  let r, cap, files = artifacts model algorithm in
+  check (Printf.sprintf "%s: no commits" cell) (r.Driver.commits > 0);
+  let p = Telemetry.profile cap in
+  List.iter
+    (fun tid ->
+      check
+        (Printf.sprintf "%s: tid %d phase sum <> txn time" cell tid)
+        (Profile.total_phase_ns p ~tid = Profile.txn_ns p ~tid))
+    (Profile.tids p);
+  List.iter
+    (fun (name, content) ->
+      check_no_bad_numbers cell name content;
+      match name with
+      | "profile.jsonl" -> check_jsonl cell content
+      | "series.csv" -> check_csv cell content
+      | "trace.json" -> check_trace cell content
+      | _ -> fail "%s: unexpected artifact %s" cell name)
+    files;
+  (* Determinism: the identical configuration again, byte-for-byte. *)
+  let _, _, files2 = artifacts model algorithm in
+  List.iter2
+    (fun (name, c1) (_, c2) ->
+      check (Printf.sprintf "%s %s: repeat run not byte-identical" cell name) (c1 = c2))
+    files files2;
+  Printf.printf "telemetry %-24s ok (%d commits, %d samples)\n%!" cell r.Driver.commits
+    (Telemetry.Series.recorded (Telemetry.series cap))
+
+let () =
+  List.iter check_cell cells;
+  match List.rev !failures with
+  | [] -> print_endline "telemetry check: all cells pass"
+  | fs ->
+    List.iter (Printf.eprintf "FAIL: %s\n") fs;
+    Printf.eprintf "telemetry check: %d failure(s)\n" (List.length fs);
+    exit 1
