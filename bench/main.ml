@@ -99,6 +99,11 @@ let telemetry_experiment () =
               ])
         Pstm.Profile.all_phases;
       Format.printf "%a" Table.print table;
+      let fences_saved = sum (Pstm.Profile.fences_saved p) in
+      let flushes_saved = sum (Pstm.Profile.flushes_saved p) in
+      if fences_saved > 0 || flushes_saved > 0 then
+        Format.printf "  (coalescing saved %d fences, %d clwbs vs the naive per-entry path)@."
+          fences_saved flushes_saved;
       (match !csv_dir with
       | None -> ()
       | Some dir ->

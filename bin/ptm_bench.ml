@@ -84,6 +84,16 @@ let duration_arg =
     & opt float 3.0
     & info [ "d"; "duration-ms" ] ~docv:"MS" ~doc:"Virtual measurement window.")
 
+let no_coalesce_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-coalesce" ]
+        ~doc:
+          "Disable the PTM's flush coalescing and commit pipelining: commits fall back to the \
+           naive per-entry discipline (a clwb + fence per log entry and per written word).  For \
+           A/B runs against the default coalesced path.")
+
 (* Non-finite statistics (e.g. percentiles of an empty histogram)
    render as "-", never "nan". *)
 let ns_cell v = if Float.is_finite v then Printf.sprintf "%.0fns" v else "-"
@@ -134,7 +144,13 @@ let print_phase_table (p : Pstm.Profile.t) =
           ]
       end)
     Pstm.Profile.all_phases;
-  Format.printf "%a" Repro_util.Table.print t
+  Format.printf "%a" Repro_util.Table.print t;
+  let sum f = List.fold_left (fun acc tid -> acc + f ~tid) 0 tids in
+  let fences_saved = sum (Pstm.Profile.fences_saved p) in
+  let flushes_saved = sum (Pstm.Profile.flushes_saved p) in
+  if fences_saved > 0 || flushes_saved > 0 then
+    Format.printf "coalescing : saved %d fences, %d clwbs vs the naive per-entry path@."
+      fences_saved flushes_saved
 
 let telemetry_arg =
   Arg.(
@@ -147,12 +163,15 @@ let telemetry_arg =
            at https://ui.perfetto.dev.  Output is bit-deterministic for a given configuration.")
 
 let run_cmd =
-  let run spec model algorithm threads duration_ms telemetry_dir =
+  let run spec model algorithm threads duration_ms no_coalesce telemetry_dir =
     let duration_ns = int_of_float (duration_ms *. 1e6) in
     let telemetry =
       match telemetry_dir with None -> None | Some _ -> Some Telemetry.default_config
     in
-    let r = Workloads.Driver.run ~duration_ns ?telemetry ~model ~algorithm ~threads spec in
+    let r =
+      Workloads.Driver.run ~duration_ns ~coalesce:(not no_coalesce) ?telemetry ~model ~algorithm
+        ~threads spec
+    in
     print_result r;
     match (telemetry_dir, r.Workloads.Driver.telemetry) with
     | Some dir, Some cap ->
@@ -167,22 +186,26 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one workload under one configuration.")
     Term.(
       const run $ workload_arg $ model_arg $ algorithm_arg $ threads_arg $ duration_arg
-      $ telemetry_arg)
+      $ no_coalesce_arg $ telemetry_arg)
 
 let sweep_cmd =
-  let sweep spec model algorithm duration_ms =
+  let sweep spec model algorithm duration_ms no_coalesce =
     let duration_ns = int_of_float (duration_ms *. 1e6) in
     let t =
       Repro_util.Table.create
         ~title:
-          (Printf.sprintf "%s on %s (%s)" spec.Workloads.Driver.name
+          (Printf.sprintf "%s on %s (%s%s)" spec.Workloads.Driver.name
              model.Memsim.Config.model_name
-             (Pstm.Ptm.algorithm_name algorithm))
+             (Pstm.Ptm.algorithm_name algorithm)
+             (if no_coalesce then ", naive flushes" else ""))
         ~header:[ "threads"; "M tx/s"; "commits/abort" ]
     in
     List.iter
       (fun threads ->
-        let r = Workloads.Driver.run ~duration_ns ~model ~algorithm ~threads spec in
+        let r =
+          Workloads.Driver.run ~duration_ns ~coalesce:(not no_coalesce) ~model ~algorithm
+            ~threads spec
+        in
         Repro_util.Table.add_row t
           [
             string_of_int threads;
@@ -194,7 +217,7 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep the paper's thread axis for one configuration.")
-    Term.(const sweep $ workload_arg $ model_arg $ algorithm_arg $ duration_arg)
+    Term.(const sweep $ workload_arg $ model_arg $ algorithm_arg $ duration_arg $ no_coalesce_arg)
 
 let experiment_cmd =
   let names = List.map fst Workloads.Experiments.all in

@@ -14,6 +14,7 @@ type scenario = {
   threads : int;
   heap_words : int;
   log_words_per_thread : int;
+  coalesce : bool;
   prepare : Ptm.t -> unit;
   fresh : seed:int -> instance;
 }
@@ -77,7 +78,7 @@ let make_config ~nvm_channels scenario model =
 let prepare_image cfg scenario ~algorithm =
   let sim = Sim.create cfg in
   let ptm =
-    Ptm.create ~algorithm ~max_threads:scenario.threads
+    Ptm.create ~algorithm ~coalesce:scenario.coalesce ~max_threads:scenario.threads
       ~log_words_per_thread:scenario.log_words_per_thread (Sim.machine sim)
   in
   scenario.prepare ptm;
@@ -91,7 +92,7 @@ let prepare_image cfg scenario ~algorithm =
    and the trace (when requested). *)
 let run_from_image ?(trace_capacity = 0) cfg scenario ~algorithm ~seed ~image ?crash_at () =
   let sim = Sim.load_image cfg image in
-  let ptm = Ptm.recover ~algorithm (Sim.machine sim) in
+  let ptm = Ptm.recover ~algorithm ~coalesce:scenario.coalesce (Sim.machine sim) in
   let tr =
     if trace_capacity > 0 then Some (Sim.enable_trace ~capacity:trace_capacity sim) else None
   in
@@ -113,7 +114,7 @@ let run_from_image ?(trace_capacity = 0) cfg scenario ~algorithm ~seed ~image ?c
         Error
           (Format.asprintf "pre-recovery corruption:@ %a" Pmem.Check.pp pre)
       else begin
-        let ptm2 = Ptm.recover ~algorithm m2 in
+        let ptm2 = Ptm.recover ~algorithm ~coalesce:scenario.coalesce m2 in
         let post = Pmem.Check.run (Ptm.region ptm2) in
         if not (Pmem.Check.is_clean post) then
           Error (Format.asprintf "post-recovery corruption:@ %a" Pmem.Check.pp post)
@@ -145,7 +146,7 @@ let dump_failure_telemetry cfg scenario ~model ~algorithm ~seed ~image ~crash_at
          (Ptm.algorithm_name algorithm) seed crash_at)
   in
   let sim = Sim.load_image cfg image in
-  let ptm = Ptm.recover ~algorithm (Sim.machine sim) in
+  let ptm = Ptm.recover ~algorithm ~coalesce:scenario.coalesce (Sim.machine sim) in
   let cap = Telemetry.attach ~config:failure_telemetry_config sim ptm in
   let inst = scenario.fresh ~seed in
   for tid = 0 to scenario.threads - 1 do
@@ -168,7 +169,7 @@ let dump_failure_telemetry cfg scenario ~model ~algorithm ~seed ~image ~crash_at
   if Sim.crashed sim then begin
     let m2 = Sim.machine (Sim.reboot sim) in
     let profiler = Pstm.Profile.create m2 in
-    ignore (Ptm.recover ~algorithm ~profiler m2 : Ptm.t);
+    ignore (Ptm.recover ~algorithm ~coalesce:scenario.coalesce ~profiler m2 : Ptm.t);
     let oc = open_out_bin (Filename.concat dir "recovery.jsonl") in
     output_string oc (Telemetry.Export.profile_jsonl meta profiler);
     close_out oc
@@ -320,7 +321,7 @@ let recovery_convergence ?(nvm_channels = 4) ?budgets ~model ~algorithm ~seed ~c
     ~finally:(fun () -> try Sys.remove image with Sys_error _ -> ())
     (fun () ->
       let sim = Sim.load_image cfg image in
-      let ptm = Ptm.recover ~algorithm (Sim.machine sim) in
+      let ptm = Ptm.recover ~algorithm ~coalesce:scenario.coalesce (Sim.machine sim) in
       let inst = scenario.fresh ~seed in
       for tid = 0 to scenario.threads - 1 do
         ignore (Sim.spawn sim (fun () -> inst.worker ~tid ptm))
@@ -342,7 +343,7 @@ let recovery_convergence ?(nvm_channels = 4) ?budgets ~model ~algorithm ~seed ~c
                 m_a.Machine.raw_write addr v);
           }
         in
-        ignore (Ptm.recover ~algorithm counting : Ptm.t);
+        ignore (Ptm.recover ~algorithm ~coalesce:scenario.coalesce counting : Ptm.t);
         let heap_a = heap_snapshot m_a cfg.Config.heap_words in
         let total = !writes in
         let budgets =
@@ -371,10 +372,10 @@ let recovery_convergence ?(nvm_channels = 4) ?budgets ~model ~algorithm ~seed ~c
                   m_b.Machine.raw_write addr v);
             }
           in
-          (match Ptm.recover ~algorithm wrapped with
+          (match Ptm.recover ~algorithm ~coalesce:scenario.coalesce wrapped with
           | (_ : Ptm.t) -> ()
           | exception Machine.Crashed -> ());
-          let ptm_b = Ptm.recover ~algorithm m_b in
+          let ptm_b = Ptm.recover ~algorithm ~coalesce:scenario.coalesce m_b in
           let heap_b = heap_snapshot m_b cfg.Config.heap_words in
           if heap_b <> heap_a then
             Error

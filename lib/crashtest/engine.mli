@@ -46,6 +46,10 @@ type scenario = {
   threads : int;
   heap_words : int;
   log_words_per_thread : int;
+  coalesce : bool;
+      (** run the PTM with flush coalescing (the default commit path) or
+          the naive per-entry flush/fence discipline — both are probed
+          by the crash sweep *)
   prepare : Pstm.Ptm.t -> unit;
       (** untimed population phase, run once on a fresh region; must
           store any addresses the workers need in region roots *)

@@ -5,9 +5,13 @@ module Rng = Repro_util.Rng
    persistent address. *)
 let root_slot = 0
 
+(* Scenario names encode the flush discipline so a replay spec printed
+   for a naive-mode failure reconstructs the same scenario. *)
+let mode_name name ~coalesce = if coalesce then name else name ^ "-naive"
+
 (* ---------- bank: money conservation + per-thread sequence cells ---------- *)
 
-let bank ?(accounts = 32) ?(threads = 4) ?(ops = 10) () =
+let bank ?(accounts = 32) ?(threads = 4) ?(ops = 10) ?(coalesce = true) () =
   let initial = 100 in
   let prepare ptm =
     let base =
@@ -80,17 +84,18 @@ let bank ?(accounts = 32) ?(threads = 4) ?(ops = 10) () =
     { Engine.worker; validate }
   in
   {
-    Engine.name = "bank";
+    Engine.name = mode_name "bank" ~coalesce;
     threads;
     heap_words = 1 lsl 16;
     log_words_per_thread = 512;
+    coalesce;
     prepare;
     fresh;
   }
 
 (* ---------- counters: whole-write-set atomicity ---------- *)
 
-let counters ?(slots = 8) ?(threads = 4) ?(ops = 8) () =
+let counters ?(slots = 8) ?(threads = 4) ?(ops = 8) ?(coalesce = true) () =
   let prepare ptm =
     let base =
       Ptm.atomic ptm (fun tx ->
@@ -134,17 +139,18 @@ let counters ?(slots = 8) ?(threads = 4) ?(ops = 8) () =
     { Engine.worker; validate }
   in
   {
-    Engine.name = "counters";
+    Engine.name = mode_name "counters" ~coalesce;
     threads;
     heap_words = 1 lsl 16;
     log_words_per_thread = 512;
+    coalesce;
     prepare;
     fresh;
   }
 
 (* ---------- btree: structural invariants + key-set bounds ---------- *)
 
-let btree ?(threads = 4) ?(ops = 8) () =
+let btree ?(threads = 4) ?(ops = 8) ?(coalesce = true) () =
   let value_of key = (key * 3) + 1 in
   let prepare ptm =
     let t = Pstructs.Bptree.create ptm in
@@ -192,17 +198,18 @@ let btree ?(threads = 4) ?(ops = 8) () =
     { Engine.worker; validate }
   in
   {
-    Engine.name = "btree";
+    Engine.name = mode_name "btree" ~coalesce;
     threads;
     heap_words = 1 lsl 17;
     log_words_per_thread = 2048;
+    coalesce;
     prepare;
     fresh;
   }
 
 (* ---------- alloc churn: allocator live-block accounting ---------- *)
 
-let alloc_churn ?(threads = 4) ?(ops = 10) () =
+let alloc_churn ?(threads = 4) ?(ops = 10) ?(coalesce = true) () =
   let payload_sig addr j = (addr * 31) + j + 1000 in
   let prepare ptm =
     (* Nothing beyond the formatted region; a one-word marker block
@@ -283,17 +290,18 @@ let alloc_churn ?(threads = 4) ?(ops = 10) () =
     { Engine.worker; validate }
   in
   {
-    Engine.name = "alloc";
+    Engine.name = mode_name "alloc" ~coalesce;
     threads;
     heap_words = 1 lsl 16;
     log_words_per_thread = 512;
+    coalesce;
     prepare;
     fresh;
   }
 
 (* ---------- adapter over the paper's workloads ---------- *)
 
-let of_spec ?(threads = 2) ?(ops = 50) (spec : Workloads.Driver.spec) =
+let of_spec ?(threads = 2) ?(ops = 50) ?(coalesce = true) (spec : Workloads.Driver.spec) =
   let prepare ptm = spec.Workloads.Driver.setup ptm in
   let fresh ~seed =
     let worker ~tid ptm =
@@ -313,15 +321,26 @@ let of_spec ?(threads = 2) ?(ops = 50) (spec : Workloads.Driver.spec) =
     { Engine.worker; validate }
   in
   {
-    Engine.name = "wl-" ^ spec.Workloads.Driver.name;
+    Engine.name = mode_name ("wl-" ^ spec.Workloads.Driver.name) ~coalesce;
     threads;
     heap_words = spec.Workloads.Driver.heap_words;
     log_words_per_thread = 4096;
+    coalesce;
     prepare;
     fresh;
   }
 
-let all () = [ bank (); counters (); btree (); alloc_churn () ]
+let all () =
+  [
+    bank ();
+    counters ();
+    btree ();
+    alloc_churn ();
+    (* The naive per-entry flush discipline is a distinct persistence
+       schedule, so its crash points are swept separately. *)
+    bank ~coalesce:false ();
+    btree ~coalesce:false ();
+  ]
 
 let find name =
   match List.find_opt (fun s -> s.Engine.name = name) (all ()) with

@@ -20,20 +20,28 @@
       ride the @crashtest sweep.
 
     All scenarios derive their randomness from the instance seed, so a
-    (scenario, seed) pair fully determines the workload. *)
+    (scenario, seed) pair fully determines the workload.
 
-val bank : ?accounts:int -> ?threads:int -> ?ops:int -> unit -> Engine.scenario
+    Every constructor takes [?coalesce] (default [true]): [false] runs
+    the PTM on the naive per-entry flush/fence path instead of the
+    batched commit pipeline, and appends ["-naive"] to the scenario
+    name so replay specs round-trip through {!find}. *)
 
-val counters : ?slots:int -> ?threads:int -> ?ops:int -> unit -> Engine.scenario
+val bank : ?accounts:int -> ?threads:int -> ?ops:int -> ?coalesce:bool -> unit -> Engine.scenario
 
-val btree : ?threads:int -> ?ops:int -> unit -> Engine.scenario
+val counters : ?slots:int -> ?threads:int -> ?ops:int -> ?coalesce:bool -> unit -> Engine.scenario
 
-val alloc_churn : ?threads:int -> ?ops:int -> unit -> Engine.scenario
+val btree : ?threads:int -> ?ops:int -> ?coalesce:bool -> unit -> Engine.scenario
 
-val of_spec : ?threads:int -> ?ops:int -> Workloads.Driver.spec -> Engine.scenario
+val alloc_churn : ?threads:int -> ?ops:int -> ?coalesce:bool -> unit -> Engine.scenario
+
+val of_spec :
+  ?threads:int -> ?ops:int -> ?coalesce:bool -> Workloads.Driver.spec -> Engine.scenario
 
 val all : unit -> Engine.scenario list
-(** The four application scenarios with default sizes. *)
+(** The four application scenarios with default sizes (coalescing on),
+    plus naive-flush bank and btree variants — the two flush schedules
+    reach "persistent" at different instants, so both are swept. *)
 
 val find : string -> Engine.scenario
 (** Look up one of {!all} by name.

@@ -1,0 +1,76 @@
+(** Differential stress testing of the PTM's flush disciplines.
+
+    A seeded generator produces a single-threaded trace of transactions
+    over a fixed directory of slots — allocations, frees, payload
+    writes and reads, and user-exception aborts — while maintaining a
+    volatile shadow interpreter, so every action is valid at its
+    program point and the shadow's final state is the expected outcome.
+
+    {!execute} replays a trace under one (durability model, algorithm,
+    flush discipline) configuration; {!check_seed} replays it under the
+    whole {!matrix} and demands
+
+    + every configuration's final user-visible heap (an address-free
+      per-slot digest) equals the shadow's, hence all are pairwise
+      identical; and
+    + for each algorithm x model pair, the coalesced run issues no more
+      sfences and no more clwbs than the naive run.
+
+    Since traces are single-threaded there are no conflicts or retries:
+    any divergence is a logging, write-back or allocator-rollback bug,
+    not a scheduling artifact. *)
+
+type action =
+  | Alloc of { slot : int; words : int }
+      (** allocate a fresh block of [words] payload words (zeroed) and
+          install it in directory slot [slot] (empty at this point) *)
+  | Free of { slot : int }  (** free the block in [slot], emptying it *)
+  | Write of { slot : int; off : int; value : int }
+  | Read of { slot : int; off : int }
+  | Abort
+      (** raise a user exception, aborting the enclosing transaction;
+          always the last action of its transaction *)
+
+type txn = action list
+type trace = { slots : int; txns : txn list }
+
+type digest = int array option array
+(** Per directory slot, the payload of the block it points at ([None]
+    when empty).  Address-free, so allocator placement differences
+    between configurations cannot cause false alarms. *)
+
+val pp_action : Format.formatter -> action -> unit
+val pp_digest : Format.formatter -> digest -> unit
+val digest_equal : digest -> digest -> bool
+
+val gen_trace : ?slots:int -> ?txns:int -> int -> trace * digest
+(** [gen_trace seed] builds a trace (defaults: 8 slots, 40
+    transactions) and the digest it must produce.  Equal seeds yield
+    identical traces. *)
+
+type outcome = {
+  digest : digest;
+  commits : int;
+  aborts : int;
+  sfences : int;  (** whole-run fence count, from [Sim.Stats] *)
+  clwbs : int;  (** whole-run write-back count, from [Sim.Stats] *)
+}
+
+val execute :
+  ?heap_words:int ->
+  model:Memsim.Config.model ->
+  algorithm:Pstm.Ptm.algorithm ->
+  coalesce:bool ->
+  trace ->
+  outcome
+(** Replay [trace] on a fresh simulated machine under one
+    configuration.  The digest readback runs untimed after the stats
+    snapshot. *)
+
+val matrix : (string * Memsim.Config.model * Pstm.Ptm.algorithm * bool) list
+(** The nine comparison cells: {Redo, Undo} x {ADR, eADR} x
+    {coalesced, naive}, plus Htm under eADR. *)
+
+val check_seed : ?slots:int -> ?txns:int -> int -> (unit, string) result
+(** Run one seed through the whole matrix; [Error] carries every
+    divergence found, one per line. *)

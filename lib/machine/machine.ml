@@ -8,6 +8,7 @@ type t = {
   load : int -> int;
   store : int -> int -> unit;
   clwb : int -> unit;
+  clwb_many : int array -> int -> unit;
   sfence : unit -> unit;
   meta_get : int -> int;
   meta_set : int -> int -> unit;
@@ -64,6 +65,7 @@ module Native = struct
       load = (fun addr -> heap.(addr));
       store = (fun addr v -> heap.(addr) <- v);
       clwb = (fun _addr -> ());
+      clwb_many = (fun _addrs _n -> ());
       sfence = ignore;
       meta_get = (fun i -> Atomic.get meta.(i));
       meta_set = (fun i v -> Atomic.set meta.(i) v);

@@ -41,6 +41,16 @@ type t = {
       (** write-back the cache line containing the given word towards
           the memory controller; persistence is guaranteed only after a
           subsequent [sfence] *)
+  clwb_many : int array -> int -> unit;
+      (** [clwb_many addrs n] write-backs the cache lines of the first
+          [n] addresses back-to-back, as a coalesced sweep: every
+          write-back is handed to the memory controller at the same
+          issue instant, so their drains overlap instead of each
+          waiting out the previous clwb's issue latency.  Semantically
+          identical to [n] consecutive [clwb]s — persistence still
+          requires a subsequent [sfence] — only the charged issue
+          timing differs.  Callers pass line-distinct addresses; the
+          backend does not deduplicate. *)
   sfence : unit -> unit;
       (** drain: wait until all of this thread's outstanding write-backs
           have reached the durability domain *)

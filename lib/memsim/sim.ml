@@ -295,31 +295,56 @@ let store t addr v =
   t.heap.(addr) <- v;
   access t ~addr ~write:true
 
+(* One write-back's controller-side work, shared by [clwb] and
+   [clwb_many]: hand the line to its WPQ if it is dirty in L3, account
+   deferred-media application and the per-thread fence target, and
+   return the queue-admission stall paid at [now]. *)
+let clwb_issue t ~now ~tid addr =
+  let line = Layout.line_of_addr addr in
+  if Cache.clean t.l3 ~line then begin
+    let nvm_path =
+      match media_of t addr with
+      | Config.Dram -> false
+      | Config.Nvm -> not t.cfg.model.pdram_cache
+    in
+    let server = if nvm_path then nvm_wpq_of t line else t.wpq_dram in
+    let a = Server.enqueue_async server ~now in
+    if nvm_path && adr_defers t then defer_line t ~now line ~apply_at:a.Server.completion
+    else line_to_media t line;
+    t.fence_target.(tid) <- max t.fence_target.(tid) a.Server.completion;
+    a.Server.ready - now
+  end
+  else 0
+
 let clwb t addr =
   t.c.clwbs <- t.c.clwbs + 1;
   trace_event t (Trace.Clwb addr);
   let now = Sched.now t.sched in
   let tid = Sched.tid t.sched in
   ensure_fence_slot t tid;
-  let line = Layout.line_of_addr addr in
-  let stall =
-    if Cache.clean t.l3 ~line then begin
-      let nvm_path =
-        match media_of t addr with
-        | Config.Dram -> false
-        | Config.Nvm -> not t.cfg.model.pdram_cache
-      in
-      let server = if nvm_path then nvm_wpq_of t line else t.wpq_dram in
-      let a = Server.enqueue_async server ~now in
-      if nvm_path && adr_defers t then defer_line t ~now line ~apply_at:a.Server.completion
-      else line_to_media t line;
-      t.fence_target.(tid) <- max t.fence_target.(tid) a.Server.completion;
-      a.Server.ready - now
-    end
-    else 0
-  in
+  let stall = clwb_issue t ~now ~tid addr in
   note_wpq_stall t tid stall;
   Sched.wait t.sched (stall + t.cfg.lat.clwb_ns)
+
+(* Coalesced sweep: all [n] write-backs are handed to their controllers
+   at the same issue instant, so their WPQ drains overlap instead of
+   each waiting out the previous clwb's issue latency.  The thread still
+   pays every issue slot and every admission stall. *)
+let clwb_many t addrs n =
+  if n > 0 then begin
+    let now = Sched.now t.sched in
+    let tid = Sched.tid t.sched in
+    ensure_fence_slot t tid;
+    let stalls = ref 0 in
+    for i = 0 to n - 1 do
+      let addr = addrs.(i) in
+      t.c.clwbs <- t.c.clwbs + 1;
+      trace_event t (Trace.Clwb addr);
+      stalls := !stalls + clwb_issue t ~now ~tid addr
+    done;
+    note_wpq_stall t tid !stalls;
+    Sched.wait t.sched (!stalls + (n * t.cfg.lat.clwb_ns))
+  end
 
 let sfence t =
   t.c.sfences <- t.c.sfences + 1;
@@ -549,6 +574,7 @@ let machine t : Machine.t =
     load = (fun addr -> load t addr);
     store = (fun addr v -> store t addr v);
     clwb = (fun addr -> clwb t addr);
+    clwb_many = (fun addrs n -> clwb_many t addrs n);
     sfence = (fun () -> sfence t);
     meta_get;
     meta_set;

@@ -21,6 +21,7 @@ type phase =
   | Clwb_issue
   | Fence_wait
   | Wpq_stall
+  | Coalesce
   | Write_back
   | Validate
   | Backoff
@@ -33,18 +34,19 @@ let phase_index = function
   | Clwb_issue -> 2
   | Fence_wait -> 3
   | Wpq_stall -> 4
-  | Write_back -> 5
-  | Validate -> 6
-  | Backoff -> 7
-  | Recovery -> 8
-  | Other -> 9
+  | Coalesce -> 5
+  | Write_back -> 6
+  | Validate -> 7
+  | Backoff -> 8
+  | Recovery -> 9
+  | Other -> 10
 
-let nphases = 10
+let nphases = 11
 
 let all_phases =
   [
-    Read_set; Log_append; Clwb_issue; Fence_wait; Wpq_stall; Write_back; Validate; Backoff;
-    Recovery; Other;
+    Read_set; Log_append; Clwb_issue; Fence_wait; Wpq_stall; Coalesce; Write_back; Validate;
+    Backoff; Recovery; Other;
   ]
 
 let phase_name = function
@@ -53,6 +55,7 @@ let phase_name = function
   | Clwb_issue -> "clwb-issue"
   | Fence_wait -> "fence-wait"
   | Wpq_stall -> "wpq-stall"
+  | Coalesce -> "coalesce"
   | Write_back -> "write-back"
   | Validate -> "validate"
   | Backoff -> "backoff"
@@ -81,6 +84,8 @@ type per_thread = {
   mutable txn_ns : int;
   mutable commits : int;
   mutable aborts : int; (* failed attempts *)
+  mutable fences_saved : int; (* ordering points elided by coalescing *)
+  mutable flushes_saved : int; (* clwbs elided by line dedup/batching *)
 }
 
 type span = { tid : int; label : string; start_ns : int; stop_ns : int }
@@ -129,6 +134,8 @@ let fresh_thread () =
     txn_ns = 0;
     commits = 0;
     aborts = 0;
+    fences_saved = 0;
+    flushes_saved = 0;
   }
 
 let slot t tid =
@@ -188,6 +195,14 @@ let note_abort t =
   let pt = slot t (t.cur_tid ()) in
   pt.aborts <- pt.aborts + 1
 
+(* Credit side of the coalescing ledger: how many clwbs/sfences a naive
+   per-entry commit would have issued beyond what this commit actually
+   did.  Pure bookkeeping — no clock sample, no timed operation. *)
+let note_saved t ~fences ~flushes =
+  let pt = slot t (t.cur_tid ()) in
+  pt.fences_saved <- pt.fences_saved + fences;
+  pt.flushes_saved <- pt.flushes_saved + flushes
+
 (* ---------- phase scoping ---------- *)
 
 let with_phase t phase f =
@@ -215,11 +230,12 @@ let with_phase t phase f =
 
 (* A clwb (or a run of clwbs): the slice splits into WPQ backpressure
    (measured via the per-tid stall probe delta) charged to [Wpq_stall]
-   and the remainder charged to [Clwb_issue]. *)
-let leaf_flush t ~flushes f =
+   and the remainder charged to the issue phase — [Clwb_issue] for
+   plain flushes, [Coalesce] for the batched commit sweep. *)
+let leaf_flush_into t issue_phase ~flushes f =
   let tid = t.cur_tid () in
   let pt = slot t tid in
-  let ci = phase_index Clwb_issue and wi = phase_index Wpq_stall in
+  let ci = phase_index issue_phase and wi = phase_index Wpq_stall in
   let start = now t in
   settle pt start;
   let s0 = match t.wpq_stall_probe with Some probe -> probe tid | None -> 0 in
@@ -248,6 +264,9 @@ let leaf_flush t ~flushes f =
   | exception e ->
     finish ();
     raise e
+
+let leaf_flush t ~flushes f = leaf_flush_into t Clwb_issue ~flushes f
+let leaf_coalesce t ~flushes f = leaf_flush_into t Coalesce ~flushes f
 
 let leaf_fence t f =
   let tid = t.cur_tid () in
@@ -301,6 +320,8 @@ let phase_hist t ~tid phase =
 let txn_ns t ~tid = match find_slot t tid with None -> 0 | Some pt -> pt.txn_ns
 let commits t ~tid = match find_slot t tid with None -> 0 | Some pt -> pt.commits
 let aborts t ~tid = match find_slot t tid with None -> 0 | Some pt -> pt.aborts
+let fences_saved t ~tid = match find_slot t tid with None -> 0 | Some pt -> pt.fences_saved
+let flushes_saved t ~tid = match find_slot t tid with None -> 0 | Some pt -> pt.flushes_saved
 
 let txn_hist t ~tid =
   match find_slot t tid with None -> Histogram.create () | Some pt -> pt.txn_hist

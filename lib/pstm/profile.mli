@@ -22,6 +22,7 @@ type phase =
   | Clwb_issue  (** clwb issue cost, excluding WPQ backpressure *)
   | Fence_wait  (** sfence: drain wait for own WPQ entries *)
   | Wpq_stall  (** bounded-WPQ backpressure paid at clwb issue *)
+  | Coalesce  (** pipelined commit sweep: interleaved write-back + flush of deduped lines *)
   | Write_back  (** redo in-place write-back / undo rollback stores / HTM publish *)
   | Validate  (** commit-time orec acquisition + read-set validation *)
   | Backoff  (** randomized backoff between attempts *)
@@ -52,12 +53,22 @@ val txn_end : t -> committed:bool -> unit
 val note_abort : t -> unit
 (** Count one failed attempt of the current thread's transaction. *)
 
+val note_saved : t -> fences:int -> flushes:int -> unit
+(** Credit the coalescing ledger of the current thread: [fences]
+    ordering points and [flushes] clwbs that a naive per-entry commit
+    would have issued but this commit elided.  Bookkeeping only — no
+    clock sample, so calling it perturbs nothing. *)
+
 val with_phase : t -> phase -> (unit -> 'a) -> 'a
 (** Scope [f]'s execution to [phase] (nestable; exception-safe). *)
 
 val leaf_flush : t -> flushes:int -> (unit -> 'a) -> 'a
 (** Run [f] (a clwb or a run of [flushes] clwbs), splitting the slice
     into {!Wpq_stall} (probe delta) and {!Clwb_issue} (remainder). *)
+
+val leaf_coalesce : t -> flushes:int -> (unit -> 'a) -> 'a
+(** Like {!leaf_flush} but for the batched commit sweep: the issue
+    remainder is charged to {!Coalesce} instead of {!Clwb_issue}. *)
 
 val leaf_fence : t -> (unit -> 'a) -> 'a
 (** Run [f] (one sfence), charging the slice to {!Fence_wait}. *)
@@ -80,6 +91,14 @@ val txn_ns : t -> tid:int -> int
 val total_phase_ns : t -> tid:int -> int
 val commits : t -> tid:int -> int
 val aborts : t -> tid:int -> int
+
+val fences_saved : t -> tid:int -> int
+(** Fences a naive commit path would have issued beyond the actual
+    count — the accumulated {!note_saved} credit. *)
+
+val flushes_saved : t -> tid:int -> int
+(** Likewise for clwbs elided by line dedup and batching. *)
+
 val txn_hist : t -> tid:int -> Repro_util.Histogram.t
 
 val merged_phase_hist : t -> phase -> Repro_util.Histogram.t

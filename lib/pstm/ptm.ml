@@ -54,6 +54,7 @@ type tx = {
   acquired : Repro_util.Int_vec.t; (* oidxs I hold locked *)
   amap : (int, int) Hashtbl.t; (* oidx -> version before I locked it *)
   flushed : (int, unit) Hashtbl.t; (* line dedup for bulk flushes *)
+  mutable lscratch : int array; (* line addresses for vectored sweeps *)
   mutable commit_hooks : (unit -> unit) list;
   mutable abort_hooks : (unit -> unit) list;
   mutable undo_status_written : bool;
@@ -68,6 +69,7 @@ and t = {
   allocator : Pmem.Alloc.t;
   alg : algorithm;
   flush_timing : flush_timing;
+  coalesce : bool; (* flush coalescing + commit pipelining (off = naive per-entry) *)
   orec_mask : int;
   log_capacity : int; (* max entries per transaction *)
   txs : tx option array;
@@ -150,6 +152,7 @@ let fresh_tx t tid =
     acquired = Repro_util.Int_vec.create ();
     amap = Hashtbl.create 16;
     flushed = Hashtbl.create 64;
+    lscratch = Array.make 16 0;
     commit_hooks = [];
     abort_hooks = [];
     undo_status_written = false;
@@ -161,7 +164,7 @@ let fresh_tx t tid =
 let fresh_stats () =
   { commits = 0; aborts = 0; read_only_commits = 0; max_write_set = 0; max_log_lines = 0 }
 
-let build ~algorithm ~orec_bits ~flush_timing m reg allocator =
+let build ~algorithm ~orec_bits ~flush_timing ~coalesce m reg allocator =
   (* HTM is incompatible with explicit flushes: clwb of a speculative
      line aborts the hardware transaction (the paper's §II point about
      TSX under ADR).  Only eADR-class domains may run it. *)
@@ -177,6 +180,7 @@ let build ~algorithm ~orec_bits ~flush_timing m reg allocator =
     allocator;
     alg = algorithm;
     flush_timing;
+    coalesce;
     orec_mask = orec_count - 1;
     log_capacity = (Pmem.Region.log_words_per_thread reg - 3) / 2;
     txs = Array.make nthreads None;
@@ -184,8 +188,8 @@ let build ~algorithm ~orec_bits ~flush_timing m reg allocator =
     profiler = None;
   }
 
-let create ?(algorithm = Redo) ?(orec_bits = 20) ?(flush_timing = At_commit) ?(max_threads = 32)
-    ?(log_words_per_thread = 8192) m =
+let create ?(algorithm = Redo) ?(orec_bits = 20) ?(flush_timing = At_commit) ?(coalesce = true)
+    ?(max_threads = 32) ?(log_words_per_thread = 8192) m =
   if algorithm = Htm && m.Machine.needs_flush then
     invalid_arg "Ptm: the HTM algorithm requires an eADR-class durability domain";
   let reg = Pmem.Region.create ~max_threads ~log_words_per_thread m in
@@ -194,7 +198,7 @@ let create ?(algorithm = Redo) ?(orec_bits = 20) ?(flush_timing = At_commit) ?(m
   for tid = 0 to max_threads - 1 do
     m.Machine.raw_write (Pmem.Region.log_base reg ~tid) status_idle
   done;
-  build ~algorithm ~orec_bits ~flush_timing m reg allocator
+  build ~algorithm ~orec_bits ~flush_timing ~coalesce m reg allocator
 
 (* ---------- crash recovery ---------- *)
 
@@ -224,19 +228,21 @@ let recover_logs m reg =
     write base status_idle
   done
 
-let recover ?(algorithm = Redo) ?(orec_bits = 20) ?(flush_timing = At_commit) ?profiler m =
+let recover ?(algorithm = Redo) ?(orec_bits = 20) ?(flush_timing = At_commit) ?(coalesce = true)
+    ?profiler m =
   let reg = Pmem.Region.attach m in
   (match profiler with
   | None -> recover_logs m reg
   | Some p -> Profile.with_phase p Profile.Recovery (fun () -> recover_logs m reg));
   let allocator = Pmem.Alloc.recover reg in
-  let t = build ~algorithm ~orec_bits ~flush_timing m reg allocator in
+  let t = build ~algorithm ~orec_bits ~flush_timing ~coalesce m reg allocator in
   t.profiler <- profiler;
   t
 
 let region t = t.reg
 let machine t = t.m
 let algorithm t = t.alg
+let coalescing t = t.coalesce
 let allocator t = t.allocator
 let set_profiler t p = t.profiler <- p
 let profiler t = t.profiler
@@ -351,17 +357,66 @@ let read_shared tx addr =
     value
   end
 
-(* Flush the data lines of a write set, deduplicated. *)
+let ensure_scratch tx k =
+  let len = Array.length tx.lscratch in
+  if len < k then begin
+    (* Growth must preserve contents: [gather_lines] grows mid-sweep,
+       and dropping the already-gathered lines would leave them dirty
+       in cache forever — a silent durability hole. *)
+    let fresh = Array.make (max k ((2 * len) + 8)) 0 in
+    Array.blit tx.lscratch 0 fresh 0 len;
+    tx.lscratch <- fresh
+  end
+
+(* Collect the distinct cache lines of a write set into [tx.lscratch]
+   in first-touch order (deterministic sweeps); returns the count. *)
+let gather_lines tx iter_addrs =
+  Hashtbl.reset tx.flushed;
+  let k = ref 0 in
+  iter_addrs (fun addr ->
+      let line = Layout.line_of_addr addr in
+      if not (Hashtbl.mem tx.flushed line) then begin
+        Hashtbl.add tx.flushed line ();
+        ensure_scratch tx (!k + 1);
+        tx.lscratch.(!k) <- Layout.addr_of_line line;
+        incr k
+      end);
+  !k
+
+(* Vectored flush of the first [n] line-distinct addresses: one
+   coalesced issue instant, so the lines' WPQ drains overlap instead of
+   serializing behind each clwb's issue latency — the commit pipeline.
+   Charged to the [Coalesce] phase when profiling. *)
+let clwb_batch t addrs n =
+  if n > 0 then
+    match t.profiler with
+    | None -> t.m.Machine.clwb_many addrs n
+    | Some p -> Profile.leaf_coalesce p ~flushes:n (fun () -> t.m.Machine.clwb_many addrs n)
+
+(* Make a write set's data lines durable.  Coalesced: one vectored
+   sweep over the deduplicated dirty lines ordered by a single fence.
+   Naive: a clwb and its own fence per written word, no dedup — the
+   per-entry ordering an unoptimized PTM pays.  Returns the number of
+   clwbs issued (savings ledger). *)
 let flush_written_lines tx iter_addrs =
   let t = tx.ptm in
-  if t.m.Machine.needs_flush then begin
-    Hashtbl.reset tx.flushed;
+  if not t.m.Machine.needs_flush then begin
+    fence t;
+    0
+  end
+  else if t.coalesce then begin
+    let k = gather_lines tx iter_addrs in
+    clwb_batch t tx.lscratch k;
+    fence t;
+    k
+  end
+  else begin
+    let issued = ref 0 in
     iter_addrs (fun addr ->
-        let line = Layout.line_of_addr addr in
-        if not (Hashtbl.mem tx.flushed line) then begin
-          Hashtbl.add tx.flushed line ();
-          clwb1 t addr
-        end)
+        incr issued;
+        clwb1 t addr;
+        fence t);
+    !issued
   end
 
 let write_status tx status =
@@ -448,39 +503,70 @@ let redo_try_commit tx =
       begin
         let base = log_base tx in
         (* 1. Persist the redo log (entries before status). *)
-        if t.m.Machine.needs_flush then begin
-          (match t.flush_timing with
-          | At_commit -> flush_range t (base + 2) (base + 2 + (2 * n))
-          | Incremental ->
-            (* Only the tail lines are still unflushed. *)
+        let log_flushes = ref 0 and log_fences = ref 0 in
+        if t.m.Machine.needs_flush then
+          if not t.coalesce then begin
+            (* Naive per-entry ordering: every entry's line is written
+               back and fenced on its own, then the sentinel. *)
+            for i = 0 to n - 1 do
+              clwb1 t (base + 2 + (2 * i));
+              fence t
+            done;
+            clwb1 t (base + 2 + (2 * n));
+            fence t;
+            log_flushes := n + 1;
+            log_fences := n + 1
+          end
+          else begin
+            (* Batched append: one vectored sweep over the log lines
+               (only the unflushed tail under Incremental timing), then
+               a single ordering fence. *)
+            let first =
+              match t.flush_timing with
+              | At_commit -> Layout.line_of_addr (base + 2)
+              | Incremental -> tx.log_flushed_upto
+            in
             let last = Layout.line_of_addr (base + 2 + (2 * n)) in
-            let first = tx.log_flushed_upto in
             if first <= last then begin
-              let issue () =
-                for line = first to last do
-                  t.m.Machine.clwb (Layout.addr_of_line line)
-                done
-              in
-              match t.profiler with
-              | None -> issue ()
-              | Some p -> Profile.leaf_flush p ~flushes:(last - first + 1) issue
-            end);
-          fence t
-        end;
+              let k = last - first + 1 in
+              ensure_scratch tx k;
+              for i = 0 to k - 1 do
+                tx.lscratch.(i) <- Layout.addr_of_line (first + i)
+              done;
+              clwb_batch t tx.lscratch k;
+              log_flushes := k
+            end;
+            fence t;
+            log_fences := 1
+          end;
         (* 2. Durable commit point. *)
         write_status tx status_redo_committed;
-        (* 3. Write back to home locations. *)
+        (* 3. Write back to home locations; data durable before the
+           orecs are released. *)
         prof_phase t Profile.Write_back (fun () ->
             for i = 0 to n - 1 do
               t.m.Machine.store
                 (Repro_util.Int_vec.get tx.vaddrs i)
                 (Repro_util.Int_vec.get tx.vvals i)
             done);
-        flush_written_lines tx (fun f -> Repro_util.Int_vec.iter f tx.vaddrs);
-        fence t;
+        let data_flushes =
+          flush_written_lines tx (fun f -> Repro_util.Int_vec.iter f tx.vaddrs)
+        in
         (* 4. Make the writes visible, then retire the log. *)
         release_acquired_to tx (version_word wv);
         write_status tx status_idle;
+        (* Savings ledger: the naive path issues clwb+fence per log
+           entry, per sentinel and per written word, plus the two
+           status updates — (2n+3) of each. *)
+        (match t.profiler with
+        | Some p when t.coalesce && t.m.Machine.needs_flush ->
+          let naive = (2 * n) + 3 in
+          let actual_flushes = !log_flushes + data_flushes + 2 in
+          let actual_fences = !log_fences + 3 in
+          Profile.note_saved p
+            ~fences:(if t.m.Machine.needs_fence then max 0 (naive - actual_fences) else 0)
+            ~flushes:(max 0 (naive - actual_flushes))
+        | _ -> ());
         s.commits <- s.commits + 1;
         s.max_write_set <- max s.max_write_set n;
         s.max_log_lines <- max s.max_log_lines (((2 * n) + 1 + 7) / 8);
@@ -566,9 +652,10 @@ let undo_rollback tx =
   prof_phase t Profile.Write_back (fun () ->
       Repro_util.Int_vec.iter_rev_pairs (fun addr old -> t.m.Machine.store addr old) tx.uvec);
   if Repro_util.Int_vec.length tx.uvec > 0 then begin
-    flush_written_lines tx (fun f ->
-        Repro_util.Int_vec.iter_rev_pairs (fun addr _ -> f addr) tx.uvec);
-    fence t;
+    ignore
+      (flush_written_lines tx (fun f ->
+           Repro_util.Int_vec.iter_rev_pairs (fun addr _ -> f addr) tx.uvec)
+        : int);
     write_status tx status_idle
   end;
   release_acquired_to_previous tx
@@ -592,10 +679,18 @@ let undo_try_commit tx =
     end
     else begin
       (* Data durable before the commit point (the status clear). *)
-      flush_written_lines tx (fun f ->
-          Repro_util.Int_vec.iter_rev_pairs (fun addr _ -> f addr) tx.uvec);
-      fence t;
+      let data_flushes =
+        flush_written_lines tx (fun f ->
+            Repro_util.Int_vec.iter_rev_pairs (fun addr _ -> f addr) tx.uvec)
+      in
       write_status tx status_idle;
+      (* Savings ledger: naive issues clwb+fence per written word. *)
+      (match t.profiler with
+      | Some p when t.coalesce && t.m.Machine.needs_flush ->
+        Profile.note_saved p
+          ~fences:(if t.m.Machine.needs_fence then max 0 (n - 1) else 0)
+          ~flushes:(max 0 (n - data_flushes))
+      | _ -> ());
       release_acquired_to tx (version_word wv);
       s.commits <- s.commits + 1;
       s.max_write_set <- max s.max_write_set n;

@@ -23,9 +23,9 @@ type result = {
 
 let default_seed = 0xBE5C
 
-let run ?(duration_ns = 3_000_000) ?(flush_timing = Pstm.Ptm.At_commit) ?(seed = default_seed)
-    ?pdram_cache_bytes ?(orec_bits = 20) ?monitor ?telemetry ?lat ?nvm_channels ~model ~algorithm
-    ~threads spec =
+let run ?(duration_ns = 3_000_000) ?(flush_timing = Pstm.Ptm.At_commit) ?(coalesce = true)
+    ?(seed = default_seed) ?pdram_cache_bytes ?(orec_bits = 20) ?monitor ?telemetry ?lat
+    ?nvm_channels ~model ~algorithm ~threads spec =
   let cfg =
     Memsim.Config.make ?lat ?nvm_channels ?pdram_cache_bytes ~heap_words:spec.heap_words
       ~track_media:false model
@@ -33,7 +33,8 @@ let run ?(duration_ns = 3_000_000) ?(flush_timing = Pstm.Ptm.At_commit) ?(seed =
   let sim = Memsim.Sim.create cfg in
   let m = Memsim.Sim.machine sim in
   let ptm =
-    Pstm.Ptm.create ~algorithm ~flush_timing ~orec_bits ~max_threads:(max (threads + 1) 32) m
+    Pstm.Ptm.create ~algorithm ~flush_timing ~coalesce ~orec_bits
+      ~max_threads:(max (threads + 1) 32) m
   in
   spec.setup ptm;
   Memsim.Sim.reset_timing sim;

@@ -39,6 +39,7 @@ val default_seed : int
 val run :
   ?duration_ns:int ->
   ?flush_timing:Pstm.Ptm.flush_timing ->
+  ?coalesce:bool ->
   ?seed:int ->
   ?pdram_cache_bytes:int ->
   ?orec_bits:int ->
@@ -53,6 +54,10 @@ val run :
   result
 (** Default duration 3 ms of virtual time.  Media tracking is disabled
     (benchmarks never crash), halving memory.
+
+    [?coalesce] (default [true]) selects the PTM's coalesced commit
+    path; pass [false] for the naive per-entry flush/fence discipline
+    (A/B runs; see {!Pstm.Ptm.create}).
 
     [?telemetry] attaches a {!Telemetry.capture} after setup (phase
     profiler, machine trace, and — when [sample_interval_ns > 0] — a

@@ -466,6 +466,73 @@ let ycsb ?(quick = false) () =
     series;
   { tables = [ t ]; results = List.rev !all_results }
 
+(* Tentpole extension: what software flush coalescing buys.  The bank
+   workload's 2-write transfers under ADR pay the full per-entry
+   flush/fence discipline when naive; coalesced commits batch the log
+   sweep and dedup data lines behind single fences.  Under eADR no
+   flushes are issued at all, so the two modes coincide — the hardware
+   already did the optimisation. *)
+let scaling ?(quick = false) () =
+  let dur = duration quick in
+  let axis = if quick then [ 1; 2; 4 ] else threads_axis in
+  let passive = { Telemetry.default_config with Telemetry.sample_interval_ns = 0 } in
+  let series =
+    [
+      ("ADR_coalesced", Config.optane_adr, true);
+      ("ADR_naive", Config.optane_adr, false);
+      ("eADR_coalesced", Config.optane_eadr, true);
+      ("eADR_naive", Config.optane_eadr, false);
+    ]
+  in
+  let tput =
+    Table.create ~title:"Scaling — bank, redo: coalesced vs naive (M tx/s by thread count)"
+      ~header:("series" :: List.map string_of_int axis)
+  in
+  let economy =
+    Table.create ~title:"Scaling — flush/fence economy per commit (bank, redo)"
+      ~header:
+        [ "series"; "threads"; "fences/commit"; "clwbs/commit"; "fences saved"; "clwbs saved" ]
+  in
+  let all_results = ref [] in
+  List.iter
+    (fun (label, model, coalesce) ->
+      let cells =
+        List.map
+          (fun threads ->
+            let r =
+              Driver.run ~duration_ns:dur ~coalesce ~telemetry:passive ~model
+                ~algorithm:Ptm.Redo ~threads Bank.spec
+            in
+            all_results := r :: !all_results;
+            (match r.Driver.telemetry with
+            | None -> ()
+            | Some cap ->
+              let p = Telemetry.profile cap in
+              let sum f =
+                List.fold_left (fun acc tid -> acc + f ~tid) 0 (Pstm.Profile.tids p)
+              in
+              let over_phases f =
+                sum (fun ~tid ->
+                    List.fold_left (fun acc ph -> acc + f ~tid ph) 0 Pstm.Profile.all_phases)
+              in
+              let commits = max 1 (sum (Pstm.Profile.commits p)) in
+              let per x = Table.cell_f (float_of_int x /. float_of_int commits) in
+              Table.add_row economy
+                [
+                  label;
+                  string_of_int threads;
+                  per (over_phases (fun ~tid ph -> Pstm.Profile.phase_fences p ~tid ph));
+                  per (over_phases (fun ~tid ph -> Pstm.Profile.phase_flushes p ~tid ph));
+                  per (sum (Pstm.Profile.fences_saved p));
+                  per (sum (Pstm.Profile.flushes_saved p));
+                ]);
+            Table.cell_f (r.Driver.txs_per_sec /. 1e6))
+          axis
+      in
+      Table.add_row tput (label :: cells))
+    series;
+  { tables = [ tput; economy ]; results = List.rev !all_results }
+
 (* Extension: recovery cost.  Crash a run mid-flight and measure the
    real time Ptm.recover takes as the heap gets fuller. *)
 let recovery_time ?(quick = false) () =
@@ -519,6 +586,7 @@ let all =
     ("flush-timing", flush_timing_ablation);
     ("orec-size", orec_ablation);
     ("htm", htm);
+    ("scaling", scaling);
     ("ycsb", ycsb);
     ("latency", latency);
     ("dimm-interleave", dimm_interleave);

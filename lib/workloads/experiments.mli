@@ -60,6 +60,12 @@ val htm : ?quick:bool -> unit -> outcome
 (** §V future work: TSX-style hardware transactions vs the software
     paths under eADR and PDRAM. *)
 
+val scaling : ?quick:bool -> unit -> outcome
+(** Flush-coalescing A/B: bank throughput vs threads for
+    {coalesced, naive} x {ADR, eADR} (redo), plus a per-commit
+    flush/fence economy table (actual and saved counts from the
+    profiler's coalescing ledger). *)
+
 val ycsb : ?quick:bool -> unit -> outcome
 (** The YCSB core mixes A–F across durability models. *)
 

@@ -13,5 +13,6 @@ let () =
       ("native", Test_native.suite);
       ("extensions", Test_extensions.suite);
       ("crashtest", Test_crashtest.suite);
+      ("differential", Test_differential.suite);
       ("experiments", Test_experiments.suite);
     ]

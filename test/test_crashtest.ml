@@ -44,6 +44,27 @@ let matrix_cases =
            [ Ptm.Redo; Ptm.Undo ])
        matrix_models)
 
+(* ---------- both flush schedules at every crash point ---------- *)
+
+(* The matrix above runs bank and btree with coalescing on (the
+   default), so the batched-persist pipeline's crash points are already
+   swept.  These cells sweep the same workloads on the naive per-entry
+   schedule under ADR — the two disciplines reach "durable" at
+   different instants, so each needs its own exploration. *)
+let coalescing_cases =
+  List.concat_map
+    (fun scenario ->
+      List.map
+        (fun algorithm ->
+          let name =
+            Printf.sprintf "matrix %s/%s/%s" scenario.Engine.name
+              Config.optane_adr.Config.model_name
+              (Ptm.algorithm_name algorithm)
+          in
+          Alcotest.test_case name `Slow (test_cell scenario Config.optane_adr algorithm))
+        [ Ptm.Redo; Ptm.Undo ])
+    [ Scenarios.bank ~coalesce:false (); Scenarios.btree ~coalesce:false () ]
+
 (* ---------- expected failure: ADR without fences ---------- *)
 
 (* Table III's broken variant: clwb without sfence leaves write-backs
@@ -178,7 +199,7 @@ let test_crash_leak_is_warning () =
   hunt 1
 
 let suite =
-  matrix_cases
+  matrix_cases @ coalescing_cases
   @ [
       Alcotest.test_case "nofence-adr is caught (redo)" `Slow (test_nofence Ptm.Redo);
       Alcotest.test_case "nofence-adr is caught (undo)" `Slow (test_nofence Ptm.Undo);

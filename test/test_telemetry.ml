@@ -8,8 +8,8 @@ module Config = Memsim.Config
 let duration_ns = 300_000
 let threads = 4
 
-let run ?telemetry ~model ~algorithm () =
-  Driver.run ~duration_ns ?telemetry ~model ~algorithm ~threads Workloads.Bank.spec
+let run ?telemetry ?coalesce ~model ~algorithm () =
+  Driver.run ~duration_ns ?telemetry ?coalesce ~model ~algorithm ~threads Workloads.Bank.spec
 
 (* Sampler off: no monitor thread, so the interleaving must match an
    uninstrumented run exactly. *)
@@ -53,21 +53,23 @@ let test_exports_deterministic () =
 
 let test_phase_sum_to_total () =
   (* Accounting invariant: per thread, phase ns partition in-transaction
-     time — they sum to txn_ns exactly. *)
+     time — they sum to txn_ns exactly, on both flush disciplines (the
+     Coalesce phase must not double-count against Clwb_issue). *)
   List.iter
-    (fun algorithm ->
-      let r = run ~telemetry:passive ~model:Config.optane_adr ~algorithm () in
+    (fun (algorithm, coalesce) ->
+      let r = run ~telemetry:passive ~coalesce ~model:Config.optane_adr ~algorithm () in
       let p = Telemetry.profile (capture r) in
       List.iter
         (fun tid ->
           let txn = Profile.txn_ns p ~tid in
           Helpers.check_bool "thread ran transactions" true (txn > 0);
           Helpers.check_int
-            (Printf.sprintf "tid %d phase sum = txn_ns" tid)
+            (Printf.sprintf "tid %d phase sum = txn_ns (coalesce %b)" tid coalesce)
             txn
             (Profile.total_phase_ns p ~tid))
         (Profile.tids p))
-    [ Pstm.Ptm.Redo; Pstm.Ptm.Undo ]
+    [ (Pstm.Ptm.Redo, true); (Pstm.Ptm.Undo, true); (Pstm.Ptm.Redo, false);
+      (Pstm.Ptm.Undo, false) ]
 
 let fence_waits_per_commit algorithm =
   let r = run ~telemetry:passive ~model:Config.optane_adr ~algorithm () in
@@ -116,6 +118,71 @@ let test_eadr_no_flush_phases () =
         Profile.all_phases)
     [ Pstm.Ptm.Redo; Pstm.Ptm.Undo ]
 
+(* ---------- flush coalescing, as the profiler reports it ---------- *)
+
+let economy ?coalesce ~model algorithm =
+  let r = run ~telemetry:passive ?coalesce ~model ~algorithm () in
+  let p = Telemetry.profile (capture r) in
+  let sum f = List.fold_left (fun acc tid -> acc + f ~tid) 0 (Profile.tids p) in
+  let over metric =
+    sum (fun ~tid -> List.fold_left (fun acc ph -> acc + metric p ~tid ph) 0 Profile.all_phases)
+  in
+  let commits = sum (Profile.commits p) in
+  Helpers.check_bool "commits > 0" true (commits > 0);
+  let per n = float_of_int n /. float_of_int commits in
+  (per (over Profile.phase_fences), per (over Profile.phase_flushes),
+   sum (Profile.fences_saved p), sum (Profile.flushes_saved p), r)
+
+let test_coalescing_drops_fences_adr () =
+  (* The acceptance numbers: the 2-write bank transfer under ADR with
+     redo logging must spend strictly fewer fences and clwbs per commit
+     coalesced than naive, and the savings ledger must agree. *)
+  let fences_c, clwbs_c, fsaved_c, csaved_c, _ =
+    economy ~coalesce:true ~model:Config.optane_adr Pstm.Ptm.Redo
+  in
+  let fences_n, clwbs_n, fsaved_n, _, _ =
+    economy ~coalesce:false ~model:Config.optane_adr Pstm.Ptm.Redo
+  in
+  Helpers.check_bool
+    (Printf.sprintf "fences/commit coalesced (%.2f) < naive (%.2f)" fences_c fences_n)
+    true (fences_c < fences_n);
+  Helpers.check_bool
+    (Printf.sprintf "clwbs/commit coalesced (%.2f) < naive (%.2f)" clwbs_c clwbs_n)
+    true (clwbs_c < clwbs_n);
+  Helpers.check_bool "ledger reports fences saved" true (fsaved_c > 0);
+  Helpers.check_bool "ledger reports clwbs saved" true (csaved_c > 0);
+  Helpers.check_int "naive run saves nothing" 0 fsaved_n
+
+let test_coalescing_noop_under_eadr () =
+  (* eADR issues no flushes on either discipline, so coalescing must
+     change nothing: same schedule, same commits, empty ledger. *)
+  let fences_c, _, fsaved_c, csaved_c, rc =
+    economy ~coalesce:true ~model:Config.optane_eadr Pstm.Ptm.Redo
+  in
+  let fences_n, _, fsaved_n, _, rn =
+    economy ~coalesce:false ~model:Config.optane_eadr Pstm.Ptm.Redo
+  in
+  Alcotest.(check (float 0.0)) "fences/commit both zero" fences_c fences_n;
+  Alcotest.(check (float 0.0)) "fences/commit is zero" 0.0 fences_c;
+  Helpers.check_int "coalesced ledger empty" 0 (fsaved_c + csaved_c);
+  Helpers.check_int "naive ledger empty" 0 fsaved_n;
+  Helpers.check_int "commits identical" rc.Driver.commits rn.Driver.commits;
+  Helpers.check_int "elapsed identical" rc.Driver.elapsed_ns rn.Driver.elapsed_ns;
+  Helpers.check_bool "sim stats identical" true (rc.Driver.sim = rn.Driver.sim)
+
+let test_coalesce_phase_attribution () =
+  (* The batched sweep must be charged to the Coalesce phase — present
+     on the coalesced ADR run, absent on the naive one. *)
+  let count ~coalesce =
+    let r = run ~telemetry:passive ~coalesce ~model:Config.optane_adr ~algorithm:Pstm.Ptm.Redo () in
+    let p = Telemetry.profile (capture r) in
+    List.fold_left
+      (fun acc tid -> acc + Profile.phase_count p ~tid Profile.Coalesce)
+      0 (Profile.tids p)
+  in
+  Helpers.check_bool "coalesced run records Coalesce phase" true (count ~coalesce:true > 0);
+  Helpers.check_int "naive run records no Coalesce phase" 0 (count ~coalesce:false)
+
 let test_series_sampling () =
   let r =
     run ~telemetry:Telemetry.default_config ~model:Config.optane_adr ~algorithm:Pstm.Ptm.Redo ()
@@ -147,5 +214,8 @@ let suite =
     Alcotest.test_case "phase ns sum to txn time" `Quick test_phase_sum_to_total;
     Alcotest.test_case "undo fences exceed redo (ADR)" `Quick test_undo_fences_exceed_redo;
     Alcotest.test_case "eADR: no flush/fence phases" `Quick test_eadr_no_flush_phases;
+    Alcotest.test_case "coalescing drops fences (ADR)" `Quick test_coalescing_drops_fences_adr;
+    Alcotest.test_case "coalescing is a no-op under eADR" `Quick test_coalescing_noop_under_eadr;
+    Alcotest.test_case "coalesce phase attribution" `Quick test_coalesce_phase_attribution;
     Alcotest.test_case "series sampling monotone" `Quick test_series_sampling;
   ]
