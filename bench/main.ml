@@ -6,15 +6,26 @@
      dune exec bench/main.exe -- fig3 table1  # selected experiments
      dune exec bench/main.exe -- --quick all  # fast smoke sweep
      dune exec bench/main.exe -- --csv out/ fig8
+     dune exec bench/main.exe -- --jobs 4 --json fig3
+     dune exec bench/main.exe -- speedup      # serial-vs-parallel self-bench
 
    Output tables mirror the paper's rows/series; CSVs are written when
-   --csv DIR is given. *)
+   --csv DIR is given.  --jobs N fans the independent simulation cells
+   of each experiment across N domains (tables stay byte-identical to
+   --jobs 1); --json additionally writes BENCH_<experiment>.json next
+   to the CSVs (or in the cwd). *)
 
 module Experiments = Workloads.Experiments
 module Table = Repro_util.Table
+module Pool = Parallel.Pool
 
 let csv_dir = ref None
 let quick = ref false
+let jobs = ref None
+let json = ref false
+
+let effective_jobs () =
+  match !jobs with Some j -> j | None -> Pool.default_jobs ()
 
 let write_csv name (t : Table.t) =
   match !csv_dir with
@@ -27,20 +38,106 @@ let write_csv name (t : Table.t) =
     close_out oc;
     Format.printf "  (csv written to %s)@." path
 
+let write_json ?jobs:jobs_used ?quick:quick_used name ~wall_s ?extra results =
+  if !json then begin
+    let dir = Option.value !csv_dir ~default:"." in
+    let jobs = Option.value jobs_used ~default:(effective_jobs ()) in
+    let quick = Option.value quick_used ~default:!quick in
+    let path =
+      Workloads.Bench_json.write ~dir ~experiment:name ~quick ~jobs ~wall_s ?extra results
+    in
+    Format.printf "  (json written to %s)@." path
+  end
+
 let run_experiment name =
   match List.assoc_opt name Experiments.all with
   | None -> Format.eprintf "unknown experiment %S@." name
   | Some f ->
     let t0 = Unix.gettimeofday () in
-    let outcome = f ~quick:!quick () in
+    let outcome = f ~quick:!quick ?jobs:!jobs () in
+    let wall_s = Unix.gettimeofday () -. t0 in
     List.iteri
       (fun i table ->
         Format.printf "%a" Table.print table;
         write_csv (Printf.sprintf "%s-%d" name i) table)
       outcome.Experiments.tables;
+    write_json name ~wall_s outcome.Experiments.results;
     Format.printf "  [%s: %d data points, %.1fs]@." name
       (List.length outcome.Experiments.results)
-      (Unix.gettimeofday () -. t0)
+      wall_s
+
+(* ---------- speedup: serial vs parallel self-benchmark ---------- *)
+
+(* Runs one quick-sized Fig 3 panel twice — once with a single worker,
+   once with the requested pool — checks the rendered tables are
+   byte-identical, and reports wall time and simulated-events/sec for
+   both.  Always records the measurement in BENCH_speedup.json so the
+   simulator's speed trajectory can be tracked across commits.  The
+   parallel leg uses --jobs if given, else every available core (at
+   least 2, so the domain machinery is exercised even on one core —
+   where the honest expectation is no speedup). *)
+let speedup () =
+  let spec = Workloads.Btree_bench.insert_only in
+  let par_jobs = match !jobs with Some j -> max j 2 | None -> max 2 (Pool.default_jobs ()) in
+  let leg jobs =
+    let t0 = Unix.gettimeofday () in
+    let outcome = Experiments.fig3_panel ~quick:true ~jobs spec in
+    let wall = Unix.gettimeofday () -. t0 in
+    let rendered =
+      String.concat "\n"
+        (List.map (Format.asprintf "%a" Table.print) outcome.Experiments.tables)
+    in
+    (outcome, wall, rendered)
+  in
+  let serial, serial_wall, serial_out = leg 1 in
+  let parallel, par_wall, par_out = leg par_jobs in
+  let identical = String.equal serial_out par_out in
+  let events o =
+    List.fold_left (fun acc r -> acc + Workloads.Bench_json.events r) 0 o.Experiments.results
+  in
+  let rate o wall = float_of_int (events o) /. wall in
+  let sp = serial_wall /. par_wall in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "Speedup — quick Fig 3 panel (%s), %d cells, %d cores"
+           spec.Workloads.Driver.name
+           (List.length serial.Experiments.results)
+           (Domain.recommended_domain_count ()))
+      ~header:[ "mode"; "jobs"; "wall s"; "sim events/s"; "speedup" ]
+  in
+  Table.add_row t
+    [ "serial"; "1"; Table.cell_f serial_wall; Table.cell_f (rate serial serial_wall); "1.00" ];
+  Table.add_row t
+    [
+      "parallel";
+      string_of_int par_jobs;
+      Table.cell_f par_wall;
+      Table.cell_f (rate parallel par_wall);
+      Table.cell_f sp;
+    ];
+  Format.printf "%a" Table.print t;
+  Format.printf "  parallel output byte-identical to serial: %b@." identical;
+  let saved_json = !json in
+  json := true;
+  write_json "speedup" ~jobs:par_jobs ~quick:true ~wall_s:par_wall
+    ~extra:
+      [
+        ("cores", Workloads.Bench_json.Int (Domain.recommended_domain_count ()));
+        ("serial_wall_s", Workloads.Bench_json.Float serial_wall);
+        ("parallel_wall_s", Workloads.Bench_json.Float par_wall);
+        ("parallel_jobs", Workloads.Bench_json.Int par_jobs);
+        ("speedup", Workloads.Bench_json.Float sp);
+        ("serial_events_per_sec", Workloads.Bench_json.Float (rate serial serial_wall));
+        ("parallel_events_per_sec", Workloads.Bench_json.Float (rate parallel par_wall));
+        ("byte_identical", Workloads.Bench_json.Bool identical);
+      ]
+    parallel.Experiments.results;
+  json := saved_json;
+  if not identical then begin
+    Format.eprintf "speedup: parallel output differs from serial!@.";
+    exit 1
+  end
 
 (* ---------- Telemetry: instrumented bank runs with phase profiles ---------- *)
 
@@ -191,6 +288,16 @@ let () =
     | "--csv" :: dir :: rest ->
       csv_dir := Some dir;
       parse acc rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some j when j >= 1 -> jobs := Some j
+      | Some _ | None ->
+        Format.eprintf "--jobs expects a positive integer, got %S@." n;
+        exit 2);
+      parse acc rest
+    | "--json" :: rest ->
+      json := true;
+      parse acc rest
     | arg :: rest -> parse (arg :: acc) rest
   in
   let selected = parse [] args in
@@ -204,5 +311,6 @@ let () =
       match name with
       | "microbench" -> microbench ()
       | "telemetry" -> telemetry_experiment ()
+      | "speedup" -> speedup ()
       | _ -> run_experiment name)
     selected

@@ -228,17 +228,49 @@ let experiment_cmd =
       & info [] ~docv:"EXPERIMENT")
   in
   let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Short measurement window.") in
-  let exp name quick =
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the sweep's independent simulation cells (default: the \
+             available cores).  Tables are byte-identical for every value; only wall time \
+             changes.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "json" ]
+          ~doc:
+            "Also write BENCH_$(i,EXPERIMENT).json in the current directory: per-cell \
+             throughput/abort/fence metrics plus run totals and wall time.")
+  in
+  let exp name quick jobs json =
+    (match jobs with
+    | Some j when j < 1 -> failwith "--jobs expects a positive integer"
+    | Some _ | None -> ());
     let f = List.assoc name Workloads.Experiments.all in
-    let outcome = f ~quick () in
+    let t0 = Unix.gettimeofday () in
+    let outcome = f ~quick ?jobs () in
+    let wall_s = Unix.gettimeofday () -. t0 in
     List.iter
       (fun table -> Format.printf "%a" Repro_util.Table.print table)
-      outcome.Workloads.Experiments.tables
+      outcome.Workloads.Experiments.tables;
+    if json then begin
+      let jobs = match jobs with Some j -> j | None -> Parallel.Pool.default_jobs () in
+      let path =
+        Workloads.Bench_json.write ~experiment:name ~quick ~jobs ~wall_s
+          outcome.Workloads.Experiments.results
+      in
+      Format.printf "json       : wrote %s@." path
+    end
   in
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate one of the paper's tables/figures (fig3 fig4 table1 ... fig8).")
-    Term.(const exp $ name_arg $ quick_arg)
+    Term.(const exp $ name_arg $ quick_arg $ jobs_arg $ json_arg)
 
 let list_cmd =
   let list () =

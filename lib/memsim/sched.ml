@@ -11,23 +11,25 @@ type state =
 type thread = { thread_id : int; mutable time : int; mutable state : state }
 
 type t = {
-  mutable threads : thread list; (* reverse spawn order *)
+  mutable table : thread array; (* index = thread_id; padded with [dummy] *)
   mutable count : int;
-  ready : thread Repro_util.Min_heap.t;
+  ready : Repro_util.Int_heap.t; (* key = wake time, payload = thread id *)
   mutable current : thread option;
-  mutable crash_at : int option;
+  mutable crash_limit : int; (* armed crash time; [max_int] = none *)
   mutable crashed : bool;
   mutable max_time : int;
   mutable started : bool;
 }
 
+let dummy = { thread_id = -1; time = 0; state = Finished }
+
 let create () =
   {
-    threads = [];
+    table = [||];
     count = 0;
-    ready = Repro_util.Min_heap.create ();
+    ready = Repro_util.Int_heap.create ();
     current = None;
-    crash_at = None;
+    crash_limit = max_int;
     crashed = false;
     max_time = 0;
     started = false;
@@ -36,9 +38,14 @@ let create () =
 let spawn t f =
   if t.started then invalid_arg "Sched.spawn: scheduler already running";
   let th = { thread_id = t.count; time = 0; state = Not_started f } in
+  if t.count = Array.length t.table then begin
+    let bigger = Array.make (max 8 (2 * (t.count + 1))) dummy in
+    Array.blit t.table 0 bigger 0 t.count;
+    t.table <- bigger
+  end;
+  t.table.(t.count) <- th;
   t.count <- t.count + 1;
-  t.threads <- th :: t.threads;
-  Repro_util.Min_heap.push t.ready ~key:0 th;
+  Repro_util.Int_heap.push t.ready ~key:0 th.thread_id;
   th.thread_id
 
 let now t = match t.current with Some th -> th.time | None -> t.max_time
@@ -48,18 +55,35 @@ let now t = match t.current with Some th -> th.time | None -> t.max_time
    defaults to 0. *)
 let tid t = match t.current with Some th -> th.thread_id | None -> 0
 
+(* Fast path: when the current thread, after advancing by [ns], is
+   still strictly ahead of every pending wake-up, suspending it would
+   only have the scheduler pop it right back — no other thread can
+   interpose (FIFO tie-break means an *equal* wake time would run
+   first, hence the strict [<]).  Advancing the clock inline is then
+   observably identical to the full perform/reschedule cycle, and skips
+   the continuation capture, the heap round-trip and the handler
+   dispatch.  A wake time at or past the armed crash limit must take
+   the slow path so the crash machinery sees the event. *)
 let wait t ns =
   assert (ns >= 0);
-  match t.current with None -> () | Some _ -> Effect.perform (Wait ns)
+  match t.current with
+  | None -> ()
+  | Some th ->
+    let nt = th.time + ns in
+    if nt < t.crash_limit && nt < Repro_util.Int_heap.min_key t.ready then begin
+      th.time <- nt;
+      if nt > t.max_time then t.max_time <- nt
+    end
+    else Effect.perform (Wait ns)
 
 let wait_until t target =
   match t.current with
   | None -> ()
-  | Some th -> if target > th.time then Effect.perform (Wait (target - th.time))
+  | Some th -> if target > th.time then wait t (target - th.time)
 
 let crashed t = t.crashed
 
-let time_limit t = t.crash_at
+let time_limit t = if t.crash_limit = max_int then None else Some t.crash_limit
 
 let running t = t.current <> None
 
@@ -77,7 +101,7 @@ let kill t th =
 let run ?crash_at t =
   if t.started then invalid_arg "Sched.run: scheduler already ran";
   t.started <- true;
-  t.crash_at <- crash_at;
+  (match crash_at with Some c -> t.crash_limit <- c | None -> ());
   let handler =
     {
       Effect.Deep.retc =
@@ -98,45 +122,46 @@ let run ?crash_at t =
                 th.time <- th.time + ns;
                 th.state <- Suspended k;
                 t.max_time <- max t.max_time th.time;
-                Repro_util.Min_heap.push t.ready ~key:th.time th)
+                Repro_util.Int_heap.push t.ready ~key:th.time th.thread_id)
           | _ -> None);
     }
   in
-  let over_crash time = match t.crash_at with Some c -> time >= c | None -> false in
   let continue_loop = ref true in
   while !continue_loop do
-    match Repro_util.Min_heap.pop t.ready with
-    | None -> continue_loop := false
-    | Some (_, th) when th.state = Finished -> ()
-    | Some (time, th) ->
-      if over_crash time then begin
-        t.crashed <- true;
-        kill t th;
-        (* Power is gone: kill everything else too. *)
-        let rec drain () =
-          match Repro_util.Min_heap.pop t.ready with
-          | None -> ()
-          | Some (_, other) ->
-            kill t other;
-            drain ()
-        in
-        drain ();
-        continue_loop := false
+    let id = Repro_util.Int_heap.pop t.ready in
+    if id < 0 then continue_loop := false
+    else begin
+      let th = t.table.(id) in
+      if th.state <> Finished then begin
+        let time = Repro_util.Int_heap.last_key t.ready in
+        if time >= t.crash_limit then begin
+          t.crashed <- true;
+          kill t th;
+          (* Power is gone: kill everything else too. *)
+          let rec drain () =
+            let other = Repro_util.Int_heap.pop t.ready in
+            if other >= 0 then begin
+              kill t t.table.(other);
+              drain ()
+            end
+          in
+          drain ();
+          continue_loop := false
+        end
+        else begin
+          t.current <- Some th;
+          (match th.state with
+          | Not_started f ->
+            th.state <- Running;
+            Effect.Deep.match_with f () handler
+          | Suspended k ->
+            th.state <- Running;
+            Effect.Deep.continue k ()
+          | Running | Finished -> assert false);
+          t.current <- None
+        end
       end
-      else begin
-        t.current <- Some th;
-        (match th.state with
-        | Not_started f ->
-          th.state <- Running;
-          Effect.Deep.match_with f () handler
-        | Suspended k ->
-          th.state <- Running;
-          Effect.Deep.continue k ()
-        | Running | Finished -> assert false);
-        t.current <- None
-      end
+    end
   done;
   t.current <- None;
-  match t.crash_at with
-  | Some c when t.crashed -> t.max_time <- min t.max_time c
-  | Some _ | None -> ()
+  if t.crashed && t.crash_limit < t.max_time then t.max_time <- t.crash_limit

@@ -1,0 +1,32 @@
+(** Bounded worker pool over OCaml domains.
+
+    Fans a batch of independent tasks out across [jobs] domains
+    (including the calling one) and reassembles the results in
+    submission order, so a deterministic batch produces byte-identical
+    output no matter how many workers ran it or how the OS scheduled
+    them.  Tasks must not share mutable state: each experiment cell
+    builds its own simulator, PTM and RNGs from an explicit seed.
+
+    With [jobs = 1] (or a single task) everything runs inline in the
+    calling domain — no domain is spawned, so the serial path is
+    exactly the pre-pool behaviour. *)
+
+val default_jobs : unit -> int
+(** Number of workers used when [?jobs] is omitted:
+    [Domain.recommended_domain_count ()], i.e. the cores available to
+    this process. *)
+
+val run : ?jobs:int -> (unit -> 'a) list -> 'a list
+(** [run ~jobs tasks] executes every task and returns their results in
+    submission order.  At most [max 1 jobs] tasks run concurrently
+    (clamped to the task count; the calling domain counts as one
+    worker).
+
+    If a task raises, the exception of the lowest-indexed failing task
+    is re-raised in the caller (with its backtrace) after all started
+    tasks finish; tasks not yet started are skipped.  Workers claim
+    tasks in submission order, so which exception propagates is
+    deterministic. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [run ~jobs (List.map (fun x () -> f x) xs)]. *)

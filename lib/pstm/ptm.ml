@@ -12,15 +12,10 @@ exception Log_overflow
 (* Conflict signal; never escapes [atomic]. *)
 exception Conflict
 
-(* Diagnostics: invoked on every conflict with the site and the heap
-   address (or orec index, site-dependent) involved. *)
-let conflict_hook : (string -> int -> unit) option ref = ref None
-
-let set_conflict_hook f = conflict_hook := f
-
-let conflict site addr =
-  (match !conflict_hook with Some f -> f site addr | None -> ());
-  raise Conflict
+(* The conflict hook and backoff RNG streams are per-PTM-instance (see
+   the [t] fields below): independent simulations share no mutable
+   state, so the parallel experiment runner can execute them on
+   separate domains without cross-sim interference. *)
 
 (* Log status words (per-thread, first word of the log area).
    Entries are (addr, value) pairs starting at log_base+2, terminated
@@ -74,8 +69,18 @@ and t = {
   log_capacity : int; (* max entries per transaction *)
   txs : tx option array;
   stats : thread_stats array;
+  rng_seed : int; (* base of the per-thread backoff RNG streams *)
   mutable profiler : Profile.t option; (* observability; never advances clocks *)
+  (* Diagnostics: invoked on every conflict with the site and the heap
+     address (or orec index, site-dependent) involved. *)
+  mutable conflict_hook : (string -> int -> unit) option;
 }
+
+let set_conflict_hook t f = t.conflict_hook <- f
+
+let conflict tx site addr =
+  (match tx.ptm.conflict_hook with Some f -> f site addr | None -> ());
+  raise Conflict
 
 (* ---------- orecs and the global clock ---------- *)
 
@@ -140,7 +145,7 @@ let fresh_tx t tid =
   {
     ptm = t;
     tid;
-    rng = Repro_util.Rng.create (0x5EED + tid);
+    rng = Repro_util.Rng.create (t.rng_seed + tid);
     depth = 0;
     rv = 0;
     attempts = 0;
@@ -164,7 +169,9 @@ let fresh_tx t tid =
 let fresh_stats () =
   { commits = 0; aborts = 0; read_only_commits = 0; max_write_set = 0; max_log_lines = 0 }
 
-let build ~algorithm ~orec_bits ~flush_timing ~coalesce m reg allocator =
+let default_rng_seed = 0x5EED
+
+let build ~algorithm ~orec_bits ~flush_timing ~coalesce ~rng_seed m reg allocator =
   (* HTM is incompatible with explicit flushes: clwb of a speculative
      line aborts the hardware transaction (the paper's §II point about
      TSX under ADR).  Only eADR-class domains may run it. *)
@@ -185,11 +192,13 @@ let build ~algorithm ~orec_bits ~flush_timing ~coalesce m reg allocator =
     log_capacity = (Pmem.Region.log_words_per_thread reg - 3) / 2;
     txs = Array.make nthreads None;
     stats = Array.init nthreads (fun _ -> fresh_stats ());
+    rng_seed;
     profiler = None;
+    conflict_hook = None;
   }
 
 let create ?(algorithm = Redo) ?(orec_bits = 20) ?(flush_timing = At_commit) ?(coalesce = true)
-    ?(max_threads = 32) ?(log_words_per_thread = 8192) m =
+    ?(max_threads = 32) ?(log_words_per_thread = 8192) ?(rng_seed = default_rng_seed) m =
   if algorithm = Htm && m.Machine.needs_flush then
     invalid_arg "Ptm: the HTM algorithm requires an eADR-class durability domain";
   let reg = Pmem.Region.create ~max_threads ~log_words_per_thread m in
@@ -198,7 +207,7 @@ let create ?(algorithm = Redo) ?(orec_bits = 20) ?(flush_timing = At_commit) ?(c
   for tid = 0 to max_threads - 1 do
     m.Machine.raw_write (Pmem.Region.log_base reg ~tid) status_idle
   done;
-  build ~algorithm ~orec_bits ~flush_timing ~coalesce m reg allocator
+  build ~algorithm ~orec_bits ~flush_timing ~coalesce ~rng_seed m reg allocator
 
 (* ---------- crash recovery ---------- *)
 
@@ -229,13 +238,13 @@ let recover_logs m reg =
   done
 
 let recover ?(algorithm = Redo) ?(orec_bits = 20) ?(flush_timing = At_commit) ?(coalesce = true)
-    ?profiler m =
+    ?(rng_seed = default_rng_seed) ?profiler m =
   let reg = Pmem.Region.attach m in
   (match profiler with
   | None -> recover_logs m reg
   | Some p -> Profile.with_phase p Profile.Recovery (fun () -> recover_logs m reg));
   let allocator = Pmem.Alloc.recover reg in
-  let t = build ~algorithm ~orec_bits ~flush_timing ~coalesce m reg allocator in
+  let t = build ~algorithm ~orec_bits ~flush_timing ~coalesce ~rng_seed m reg allocator in
   t.profiler <- profiler;
   t
 
@@ -345,13 +354,13 @@ let read_shared tx addr =
   let v1 = if locked v1 && not (locked_by v1 tx.tid) then wait_unlocked tx oidx else v1 in
   if locked v1 then begin
     if locked_by v1 tx.tid then t.m.Machine.load addr
-    else conflict "read-locked" addr
+    else conflict tx "read-locked" addr
   end
   else begin
-    if version_of v1 > tx.rv && not (extend tx) then conflict "read-stale" addr;
+    if version_of v1 > tx.rv && not (extend tx) then conflict tx "read-stale" addr;
     let value = t.m.Machine.load addr in
     let v2 = orec_get t oidx in
-    if v2 <> v1 then conflict "read-race" addr;
+    if v2 <> v1 then conflict tx "read-race" addr;
     Repro_util.Int_vec.push tx.reads oidx;
     Repro_util.Int_vec.push tx.reads v1;
     value
@@ -482,9 +491,9 @@ let redo_try_commit tx =
               let oidx = orec_of t addr in
               if not (Hashtbl.mem tx.amap oidx) then begin
                 let v = orec_get t oidx in
-                if locked v then conflict "acquire-locked" addr;
-                if version_of v > tx.rv && not (extend tx) then conflict "acquire-stale" addr;
-                if not (orec_cas t oidx v (lock_word tx.tid)) then conflict "acquire-cas" addr;
+                if locked v then conflict tx "acquire-locked" addr;
+                if version_of v > tx.rv && not (extend tx) then conflict tx "acquire-stale" addr;
+                if not (orec_cas t oidx v (lock_word tx.tid)) then conflict tx "acquire-cas" addr;
                 Hashtbl.add tx.amap oidx v;
                 Repro_util.Int_vec.push tx.acquired oidx
               end)
@@ -496,7 +505,7 @@ let redo_try_commit tx =
           else Some wv)
     with
     | None ->
-      (match !conflict_hook with Some f -> f "commit-validate" 0 | None -> ());
+      (match t.conflict_hook with Some f -> f "commit-validate" 0 | None -> ());
       release_acquired_to_previous tx;
       false
     | Some wv ->
@@ -591,9 +600,9 @@ let undo_write tx addr value =
   let oidx = orec_of t addr in
   let v = orec_get t oidx in
   if not (locked_by v tx.tid) then begin
-    if locked v then conflict "write-locked" addr;
-    if version_of v > tx.rv && not (extend tx) then conflict "write-stale" addr;
-    if not (orec_cas t oidx v (lock_word tx.tid)) then conflict "write-cas" addr;
+    if locked v then conflict tx "write-locked" addr;
+    if version_of v > tx.rv && not (extend tx) then conflict tx "write-stale" addr;
+    if not (orec_cas t oidx v (lock_word tx.tid)) then conflict tx "write-cas" addr;
     Hashtbl.add tx.amap oidx v;
     Repro_util.Int_vec.push tx.acquired oidx
   end;
@@ -673,7 +682,7 @@ let undo_try_commit tx =
     let wv = clock_next t in
     ignore wv;
     if not (prof_phase t Profile.Validate (fun () -> validate_reads tx)) then begin
-      (match !conflict_hook with Some f -> f "commit-validate" 0 | None -> ());
+      (match t.conflict_hook with Some f -> f "commit-validate" 0 | None -> ());
       undo_rollback tx;
       false
     end
@@ -717,7 +726,7 @@ let htm_read tx addr =
   match Hashtbl.find_opt tx.wmap addr with
   | Some idx -> Repro_util.Int_vec.get tx.vvals idx
   | None ->
-    if Repro_util.Int_vec.length tx.reads >= 2 * htm_read_cap then conflict "htm-read-cap" addr;
+    if Repro_util.Int_vec.length tx.reads >= 2 * htm_read_cap then conflict tx "htm-read-cap" addr;
     read_shared tx addr
 
 let htm_write tx addr value =
@@ -727,7 +736,7 @@ let htm_write tx addr value =
   | None ->
     let line = Layout.line_of_addr addr in
     if not (Hashtbl.mem tx.wlines line) then begin
-      if Hashtbl.length tx.wlines >= htm_write_line_cap then conflict "htm-write-cap" addr;
+      if Hashtbl.length tx.wlines >= htm_write_line_cap then conflict tx "htm-write-cap" addr;
       Hashtbl.add tx.wlines line ()
     end;
     let idx = Repro_util.Int_vec.length tx.vaddrs in

@@ -64,11 +64,19 @@ val create :
   ?coalesce:bool ->
   ?max_threads:int ->
   ?log_words_per_thread:int ->
+  ?rng_seed:int ->
   Machine.t ->
   t
 (** Format a fresh region on [machine] and initialize the runtime.
     Defaults: [Redo], 2^20 orecs, [At_commit], coalescing on,
     32 threads, 8192-word logs.
+
+    [rng_seed] (default [0x5EED]) is the base of the per-thread backoff
+    RNG streams (thread [tid] draws from a generator seeded
+    [rng_seed + tid]).  All of a PTM instance's randomness derives from
+    it, so a driver that threads its own seed here owns every stream of
+    the simulation explicitly — nothing process-global, and two
+    instances never share generator state.
 
     [coalesce] (default [true]) enables the software flush-optimisation
     layer: dirty cache lines are deduplicated per commit (each line
@@ -86,6 +94,7 @@ val recover :
   ?orec_bits:int ->
   ?flush_timing:flush_timing ->
   ?coalesce:bool ->
+  ?rng_seed:int ->
   ?profiler:Profile.t ->
   Machine.t ->
   t
@@ -171,8 +180,10 @@ val set_profiler : t -> Profile.t option -> unit
 
 val profiler : t -> Profile.t option
 
-val set_conflict_hook : (string -> int -> unit) option -> unit
-(** Install a callback invoked on every conflict with the site name
-    ("read-stale", "acquire-locked", "commit-validate", ...) and the
-    heap address involved (0 for whole-read-set validation failures).
-    For contention debugging; [None] disables. *)
+val set_conflict_hook : t -> (string -> int -> unit) option -> unit
+(** Install a callback on this instance, invoked on every conflict with
+    the site name ("read-stale", "acquire-locked", "commit-validate",
+    ...) and the heap address involved (0 for whole-read-set validation
+    failures).  For contention debugging; [None] disables.  Per
+    instance, so concurrent simulations on other domains are never
+    observed. *)

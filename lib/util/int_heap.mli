@@ -1,0 +1,36 @@
+(** Array-based binary min-heap specialised to integer keys and integer
+    payloads.
+
+    Drop-in replacement for {!Min_heap} on the scheduler's hot path:
+    entries live in flat [int array]s, so pushing and popping an event
+    allocates nothing (no entry record, no option, no tuple).  Tie-break
+    order is identical to {!Min_heap} — FIFO among equal keys — so a
+    scheduler switched from one to the other replays the exact same
+    event order. *)
+
+type t
+
+val create : unit -> t
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val push : t -> key:int -> int -> unit
+(** O(log n) insertion; allocation-free except when the backing arrays
+    grow.  The payload must be non-negative. *)
+
+val pop : t -> int
+(** Remove the payload with the smallest key (FIFO among equal keys);
+    [-1] when empty.  The popped entry's key is available as
+    {!last_key} until the next [pop]. *)
+
+val last_key : t -> int
+(** Key of the most recently popped entry.  Unspecified before the
+    first successful [pop]. *)
+
+val min_key : t -> int
+(** Smallest key without removing it; [max_int] when empty — callers
+    compare against it directly, no option allocated. *)
+
+val clear : t -> unit

@@ -1,0 +1,125 @@
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec emit b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int v -> Buffer.add_string b (string_of_int v)
+  | Float v ->
+    if Float.is_finite v then Buffer.add_string b (Printf.sprintf "%.6g" v)
+    else Buffer.add_string b "null"
+  | String s ->
+    Buffer.add_char b '"';
+    Buffer.add_string b (escape s);
+    Buffer.add_char b '"'
+  | List items ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char b ',';
+        emit b item)
+      items;
+    Buffer.add_char b ']'
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        emit b (String k);
+        Buffer.add_char b ':';
+        emit b v)
+      fields;
+    Buffer.add_char b '}'
+
+let to_string j =
+  let b = Buffer.create 4096 in
+  emit b j;
+  Buffer.contents b
+
+let events (r : Driver.result) =
+  let s = r.Driver.sim in
+  s.Memsim.Sim.Stats.loads + s.Memsim.Sim.Stats.stores + s.Memsim.Sim.Stats.clwbs
+  + s.Memsim.Sim.Stats.sfences
+
+let result_json (r : Driver.result) =
+  let s = r.Driver.sim in
+  Obj
+    [
+      ("workload", String r.Driver.workload);
+      ("model", String r.Driver.model);
+      ("algorithm", String r.Driver.algorithm);
+      ("threads", Int r.Driver.threads);
+      ("elapsed_virtual_ns", Int r.Driver.elapsed_ns);
+      ("commits", Int r.Driver.commits);
+      ("aborts", Int r.Driver.aborts);
+      ("txs_per_sec", Float r.Driver.txs_per_sec);
+      ("commits_per_abort", Float r.Driver.commits_per_abort);
+      ("max_log_lines", Int r.Driver.max_log_lines);
+      ("loads", Int s.Memsim.Sim.Stats.loads);
+      ("stores", Int s.Memsim.Sim.Stats.stores);
+      ("l3_misses", Int s.Memsim.Sim.Stats.l3_misses);
+      ("clwbs", Int s.Memsim.Sim.Stats.clwbs);
+      ("sfences", Int s.Memsim.Sim.Stats.sfences);
+      ("fence_wait_ns", Int s.Memsim.Sim.Stats.fence_wait_ns);
+      ("wpq_stall_ns", Int s.Memsim.Sim.Stats.wpq_stall_ns);
+      ("nvm_reads", Int s.Memsim.Sim.Stats.nvm_reads);
+    ]
+
+let outcome_json ~experiment ~quick ~jobs ~wall_s ?(extra = []) results =
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 results in
+  let total_events = sum events in
+  Obj
+    ([
+       ("experiment", String experiment);
+       ("quick", Bool quick);
+       ("jobs", Int jobs);
+       ("wall_s", Float wall_s);
+       ("data_points", Int (List.length results));
+     ]
+    @ extra
+    @ [
+        ( "totals",
+          Obj
+            [
+              ("commits", Int (sum (fun r -> r.Driver.commits)));
+              ("aborts", Int (sum (fun r -> r.Driver.aborts)));
+              ("sfences", Int (sum (fun r -> r.Driver.sim.Memsim.Sim.Stats.sfences)));
+              ("clwbs", Int (sum (fun r -> r.Driver.sim.Memsim.Sim.Stats.clwbs)));
+              ("events", Int total_events);
+              ( "events_per_sec",
+                Float (if wall_s > 0.0 then float_of_int total_events /. wall_s else nan) );
+            ] );
+        ("results", List (List.map result_json results));
+      ])
+
+let write ?(dir = ".") ~experiment ~quick ~jobs ~wall_s ?extra results =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" experiment) in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string (outcome_json ~experiment ~quick ~jobs ~wall_s ?extra results));
+      output_char oc '\n');
+  path

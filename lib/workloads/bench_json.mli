@@ -1,0 +1,55 @@
+(** Machine-readable benchmark records.
+
+    One experiment run serialises to [BENCH_<experiment>.json] — the
+    per-cell metrics (throughput, aborts, fences, ...) plus run-wide
+    totals, wall-clock time and the worker count — so the perf
+    trajectory of the suite can be tracked across commits by diffing
+    or plotting these files. *)
+
+(** Minimal JSON tree; [to_string] emits compact valid JSON (non-finite
+    floats become [null]). *)
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+val to_string : json -> string
+
+val result_json : Driver.result -> json
+(** Per-cell record: identity (workload/model/algorithm/threads),
+    throughput, commit/abort counts, log footprint, and the simulated
+    machine's event counters (loads, stores, clwbs, sfences, stalls). *)
+
+val events : Driver.result -> int
+(** Simulated machine events of one cell (loads + stores + clwbs +
+    sfences) — the numerator of the events/sec simulator-speed
+    metric. *)
+
+val outcome_json :
+  experiment:string ->
+  quick:bool ->
+  jobs:int ->
+  wall_s:float ->
+  ?extra:(string * json) list ->
+  Driver.result list ->
+  json
+(** Full run record: meta, [extra] fields spliced in, totals over all
+    cells (commits, aborts, sfences, clwbs, events, events_per_sec
+    against [wall_s]), and the per-cell records. *)
+
+val write :
+  ?dir:string ->
+  experiment:string ->
+  quick:bool ->
+  jobs:int ->
+  wall_s:float ->
+  ?extra:(string * json) list ->
+  Driver.result list ->
+  string
+(** Serialise {!outcome_json} to [<dir>/BENCH_<experiment>.json]
+    ([dir] defaults to the current directory, and is created if
+    missing); returns the path written. *)

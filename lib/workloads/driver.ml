@@ -32,9 +32,14 @@ let run ?(duration_ns = 3_000_000) ?(flush_timing = Pstm.Ptm.At_commit) ?(coales
   in
   let sim = Memsim.Sim.create cfg in
   let m = Memsim.Sim.machine sim in
+  (* All of the run's randomness is rooted in [seed]: the per-thread
+     workload streams split off [root_rng] below, and the PTM's backoff
+     streams derive from the same seed.  No process-global generator is
+     involved, so concurrent runs on other domains cannot perturb this
+     one. *)
   let ptm =
     Pstm.Ptm.create ~algorithm ~flush_timing ~coalesce ~orec_bits
-      ~max_threads:(max (threads + 1) 32) m
+      ~max_threads:(max (threads + 1) 32) ~rng_seed:seed m
   in
   spec.setup ptm;
   Memsim.Sim.reset_timing sim;

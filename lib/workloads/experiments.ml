@@ -1,12 +1,29 @@
 module Table = Repro_util.Table
 module Config = Memsim.Config
 module Ptm = Pstm.Ptm
+module Pool = Parallel.Pool
 
 type outcome = { tables : Table.t list; results : Driver.result list }
 
 let threads_axis = [ 1; 2; 4; 8; 16; 32 ]
 
 let duration quick = if quick then 500_000 else 3_000_000
+
+(* Every grid experiment is two-phase: phase 1 enumerates its cells —
+   independent, deterministic [Driver.run] closures — in submission
+   order; the domain pool executes them with up to [jobs] workers;
+   phase 2 replays the same iteration structure, consuming pooled
+   results through a cursor to build the tables.  Because the pool
+   returns results in submission order, the output is byte-identical
+   to a serial run regardless of [jobs]. *)
+let dispatch ?jobs cells =
+  let results = ref (Pool.run ?jobs cells) in
+  fun () ->
+    match !results with
+    | [] -> invalid_arg "Experiments: cell cursor exhausted"
+    | r :: rest ->
+      results := rest;
+      r
 
 (* The eight Fig 3/4 series: placement x durability x logging. *)
 let fig3_series =
@@ -42,8 +59,20 @@ let main_panels () =
   ]
 
 (* One throughput-vs-threads table per workload panel. *)
-let sweep ~quick ~title ~series specs =
+let sweep ?jobs ~quick ~title ~series specs =
   let dur = duration quick in
+  let cells =
+    List.concat_map
+      (fun spec ->
+        List.concat_map
+          (fun (_, model, algorithm) ->
+            List.map
+              (fun threads () -> Driver.run ~duration_ns:dur ~model ~algorithm ~threads spec)
+              threads_axis)
+          series)
+      specs
+  in
+  let next = dispatch ?jobs cells in
   let all_results = ref [] in
   let tables =
     List.map
@@ -54,11 +83,11 @@ let sweep ~quick ~title ~series specs =
             ~header:("series" :: List.map string_of_int threads_axis)
         in
         List.iter
-          (fun (label, model, algorithm) ->
+          (fun (label, _, _) ->
             let cells =
               List.map
-                (fun threads ->
-                  let r = Driver.run ~duration_ns:dur ~model ~algorithm ~threads spec in
+                (fun _threads ->
+                  let r = next () in
                   all_results := r :: !all_results;
                   Table.cell_f (r.Driver.txs_per_sec /. 1e6))
                 threads_axis
@@ -70,13 +99,20 @@ let sweep ~quick ~title ~series specs =
   in
   { tables; results = List.rev !all_results }
 
-let fig3 ?(quick = false) () = sweep ~quick ~title:"Fig 3" ~series:fig3_series (main_panels ())
+let fig3 ?(quick = false) ?jobs () =
+  sweep ?jobs ~quick ~title:"Fig 3" ~series:fig3_series (main_panels ())
 
-let fig4 ?(quick = false) () = sweep ~quick ~title:"Fig 4" ~series:fig3_series [ Tatp.spec ]
+let fig4 ?(quick = false) ?jobs () =
+  sweep ?jobs ~quick ~title:"Fig 4" ~series:fig3_series [ Tatp.spec ]
+
+(* One panel of Fig 3 — the unit the parallel byte-identity gate and
+   the speedup self-benchmark sweep, so they stay quick-sized. *)
+let fig3_panel ?(quick = false) ?jobs spec =
+  sweep ?jobs ~quick ~title:"Fig 3" ~series:fig3_series [ spec ]
 
 (* Tables I/II: commits-per-abort for TPCC (hash), one row per
    placement/durability pair, one column per thread count >= 2. *)
-let ratio_table ~quick ~title algorithm =
+let ratio_table ?jobs ~quick ~title algorithm =
   let dur = duration quick in
   let rows =
     [
@@ -93,15 +129,23 @@ let ratio_table ~quick ~title algorithm =
                 (Ptm.algorithm_name algorithm))
       ~header:("config" :: List.map string_of_int threads)
   in
+  let cells =
+    List.concat_map
+      (fun (_, model) ->
+        List.map
+          (fun n () ->
+            Driver.run ~duration_ns:dur ~model ~algorithm ~threads:n (Tpcc.spec Tpcc.Hash))
+          threads)
+      rows
+  in
+  let next = dispatch ?jobs cells in
   let all_results = ref [] in
   List.iter
-    (fun (label, model) ->
+    (fun (label, _) ->
       let cells =
         List.map
-          (fun n ->
-            let r =
-              Driver.run ~duration_ns:dur ~model ~algorithm ~threads:n (Tpcc.spec Tpcc.Hash)
-            in
+          (fun _n ->
+            let r = next () in
             all_results := r :: !all_results;
             if r.Driver.commits_per_abort = infinity then "-"
             else Table.cell_f r.Driver.commits_per_abort)
@@ -111,16 +155,16 @@ let ratio_table ~quick ~title algorithm =
     rows;
   { tables = [ t ]; results = List.rev !all_results }
 
-let table1 ?(quick = false) () = ratio_table ~quick ~title:"Table I" Ptm.Redo
+let table1 ?(quick = false) ?jobs () = ratio_table ?jobs ~quick ~title:"Table I" Ptm.Redo
 
-let table2 ?(quick = false) () = ratio_table ~quick ~title:"Table II" Ptm.Undo
+let table2 ?(quick = false) ?jobs () = ratio_table ?jobs ~quick ~title:"Table II" Ptm.Undo
 
 (* Table III: throughput gain of the (incorrect) flush-without-fence
    variant over correct ADR.  Measured at 4 threads: past the write
    bandwidth saturation point (~4 threads on Optane) both variants are
    WPQ-throughput-bound and the fence gain disappears — the paper's
    machine shows its gains below saturation. *)
-let table3 ?(quick = false) () =
+let table3 ?(quick = false) ?jobs () =
   let dur = duration quick in
   let specs =
     [ Tpcc.spec Tpcc.Hash; Tatp.spec; Vacation.spec Vacation.Low; Vacation.spec Vacation.High ]
@@ -129,19 +173,30 @@ let table3 ?(quick = false) () =
     Table.create ~title:"Table III — speedup from removing fences (ADR, 4 threads)"
       ~header:("logging" :: List.map (fun s -> s.Driver.name) specs)
   in
+  let cells =
+    List.concat_map
+      (fun algorithm ->
+        List.concat_map
+          (fun spec ->
+            [
+              (fun () ->
+                Driver.run ~duration_ns:dur ~model:Config.optane_adr ~algorithm ~threads:4 spec);
+              (fun () ->
+                Driver.run ~duration_ns:dur ~model:Config.optane_adr_nofence ~algorithm
+                  ~threads:4 spec);
+            ])
+          specs)
+      [ Ptm.Undo; Ptm.Redo ]
+  in
+  let next = dispatch ?jobs cells in
   let all_results = ref [] in
   List.iter
     (fun algorithm ->
       let cells =
         List.map
-          (fun spec ->
-            let base =
-              Driver.run ~duration_ns:dur ~model:Config.optane_adr ~algorithm ~threads:4 spec
-            in
-            let nofence =
-              Driver.run ~duration_ns:dur ~model:Config.optane_adr_nofence ~algorithm ~threads:4
-                spec
-            in
+          (fun _spec ->
+            let base = next () in
+            let nofence = next () in
             all_results := nofence :: base :: !all_results;
             let pct = 100.0 *. ((nofence.Driver.txs_per_sec /. base.Driver.txs_per_sec) -. 1.0) in
             Printf.sprintf "%+.0f%%" pct)
@@ -151,9 +206,11 @@ let table3 ?(quick = false) () =
     [ Ptm.Undo; Ptm.Redo ];
   { tables = [ t ]; results = List.rev !all_results }
 
-let fig6 ?(quick = false) () = sweep ~quick ~title:"Fig 6" ~series:fig6_series (main_panels ())
+let fig6 ?(quick = false) ?jobs () =
+  sweep ?jobs ~quick ~title:"Fig 6" ~series:fig6_series (main_panels ())
 
-let fig7 ?(quick = false) () = sweep ~quick ~title:"Fig 7" ~series:fig6_series [ Tatp.spec ]
+let fig7 ?(quick = false) ?jobs () =
+  sweep ?jobs ~quick ~title:"Fig 7" ~series:fig6_series [ Tatp.spec ]
 
 (* Fig 8: memcached, one worker, sweeping the working set across the
    L3 (32 KB) and the PDRAM DRAM-cache (96 MB) boundaries.  Sizes are
@@ -180,25 +237,43 @@ let fig8_series =
     ("PDRAM-Lite", Config.pdram_lite, Ptm.Redo);
   ]
 
-let fig8 ?(quick = false) () =
+let fig8 ?(quick = false) ?jobs () =
   let dur = duration quick in
   let sizes = if quick then [ List.nth fig8_sizes 0; List.nth fig8_sizes 1 ] else fig8_sizes in
   let dram_capacity = 96 * 1024 * 1024 in
+  (* The paper cannot run the DRAM baseline beyond DRAM; those cells
+     render "n/a" and are never staged. *)
+  let feasible (model : Config.model) bytes =
+    not (model.Config.data_media = Config.Dram && bytes > dram_capacity)
+  in
   let t =
     Table.create ~title:"Fig 8 — memcached, 1 worker (k req/s by working set)"
       ~header:("series" :: List.map fst sizes)
   in
+  let cells =
+    List.concat_map
+      (fun (_, model, algorithm) ->
+        List.filter_map
+          (fun (_, bytes) ->
+            if feasible model bytes then
+              Some
+                (fun () ->
+                  let spec = Memcached.spec ~items:(Memcached.items_for_bytes bytes) in
+                  Driver.run ~duration_ns:dur ~model ~algorithm ~threads:1 spec)
+            else None)
+          sizes)
+      fig8_series
+  in
+  let next = dispatch ?jobs cells in
   let all_results = ref [] in
   List.iter
-    (fun (label, model, algorithm) ->
+    (fun (label, model, _) ->
       let cells =
         List.map
           (fun (_, bytes) ->
-            (* The paper cannot run the DRAM baseline beyond DRAM. *)
-            if model.Config.data_media = Config.Dram && bytes > dram_capacity then "n/a"
+            if not (feasible model bytes) then "n/a"
             else begin
-              let spec = Memcached.spec ~items:(Memcached.items_for_bytes bytes) in
-              let r = Driver.run ~duration_ns:dur ~model ~algorithm ~threads:1 spec in
+              let r = next () in
               all_results := r :: !all_results;
               Table.cell_f (r.Driver.txs_per_sec /. 1e3)
             end)
@@ -209,47 +284,66 @@ let fig8 ?(quick = false) () =
   { tables = [ t ]; results = List.rev !all_results }
 
 (* §IV-B: the compactness of redo logs that motivates PDRAM-Lite. *)
-let log_footprint ?(quick = false) () =
+let log_footprint ?(quick = false) ?jobs () =
   let dur = duration quick in
   let t =
     Table.create ~title:"Redo-log footprint (max cache lines per transaction)"
       ~header:[ "workload"; "max lines"; "paper" ]
   in
-  let all_results = ref [] in
-  List.iter
-    (fun (spec, paper) ->
-      let r =
-        Driver.run ~duration_ns:dur ~model:Config.optane_eadr ~algorithm:Ptm.Redo ~threads:8 spec
-      in
-      all_results := r :: !all_results;
-      Table.add_row t [ spec.Driver.name; string_of_int r.Driver.max_log_lines; paper ])
+  let rows =
     [
       (Vacation.spec Vacation.Low, "37 (\"never more than 37 contiguous lines\")");
       (Tpcc.spec Tpcc.Hash, "36 (\"at most 36 cache lines\")");
       (Tatp.spec, "(small)");
-    ];
+    ]
+  in
+  let next =
+    dispatch ?jobs
+      (List.map
+         (fun (spec, _) () ->
+           Driver.run ~duration_ns:dur ~model:Config.optane_eadr ~algorithm:Ptm.Redo ~threads:8
+             spec)
+         rows)
+  in
+  let all_results = ref [] in
+  List.iter
+    (fun (spec, paper) ->
+      let r = next () in
+      all_results := r :: !all_results;
+      Table.add_row t [ spec.Driver.name; string_of_int r.Driver.max_log_lines; paper ])
+    rows;
   { tables = [ t ]; results = List.rev !all_results }
 
 (* §III-B: incremental vs commit-time flushing of the redo log. *)
-let flush_timing_ablation ?(quick = false) () =
+let flush_timing_ablation ?(quick = false) ?jobs () =
   let dur = duration quick in
   let t =
     Table.create ~title:"Ablation — clwb timing of the redo log (ADR, M tx/s)"
       ~header:[ "workload"; "threads"; "at-commit"; "incremental"; "delta" ]
   in
+  let specs = [ Tpcc.spec Tpcc.Hash; Tatp.spec ] in
+  let thread_points = [ 1; 8 ] in
+  let cells =
+    List.concat_map
+      (fun spec ->
+        List.concat_map
+          (fun threads ->
+            List.map
+              (fun flush_timing () ->
+                Driver.run ~duration_ns:dur ~flush_timing ~model:Config.optane_adr
+                  ~algorithm:Ptm.Redo ~threads spec)
+              [ Ptm.At_commit; Ptm.Incremental ])
+          thread_points)
+      specs
+  in
+  let next = dispatch ?jobs cells in
   let all_results = ref [] in
   List.iter
     (fun spec ->
       List.iter
         (fun threads ->
-          let a =
-            Driver.run ~duration_ns:dur ~flush_timing:Ptm.At_commit ~model:Config.optane_adr
-              ~algorithm:Ptm.Redo ~threads spec
-          in
-          let b =
-            Driver.run ~duration_ns:dur ~flush_timing:Ptm.Incremental ~model:Config.optane_adr
-              ~algorithm:Ptm.Redo ~threads spec
-          in
+          let a = next () in
+          let b = next () in
           all_results := b :: a :: !all_results;
           Table.add_row t
             [
@@ -260,24 +354,30 @@ let flush_timing_ablation ?(quick = false) () =
               Printf.sprintf "%+.1f%%"
                 (100.0 *. ((b.Driver.txs_per_sec /. a.Driver.txs_per_sec) -. 1.0));
             ])
-        [ 1; 8 ])
-    [ Tpcc.spec Tpcc.Hash; Tatp.spec ];
+        thread_points)
+    specs;
   { tables = [ t ]; results = List.rev !all_results }
 
 (* Design-choice ablation: orec-table size vs false conflicts. *)
-let orec_ablation ?(quick = false) () =
+let orec_ablation ?(quick = false) ?jobs () =
   let dur = duration quick in
   let t =
     Table.create ~title:"Ablation — ownership-record table size (TPCC hash, redo, 16 threads)"
       ~header:[ "orec bits"; "M tx/s"; "commits/abort" ]
   in
+  let sizes = [ 10; 12; 14; 16; 18; 20 ] in
+  let next =
+    dispatch ?jobs
+      (List.map
+         (fun bits () ->
+           Driver.run ~duration_ns:dur ~orec_bits:bits ~model:Config.optane_eadr
+             ~algorithm:Ptm.Redo ~threads:16 (Tpcc.spec Tpcc.Hash))
+         sizes)
+  in
   let all_results = ref [] in
   List.iter
     (fun bits ->
-      let r =
-        Driver.run ~duration_ns:dur ~orec_bits:bits ~model:Config.optane_eadr ~algorithm:Ptm.Redo
-          ~threads:16 (Tpcc.spec Tpcc.Hash)
-      in
+      let r = next () in
       all_results := r :: !all_results;
       Table.add_row t
         [
@@ -286,7 +386,7 @@ let orec_ablation ?(quick = false) () =
           (if r.Driver.commits_per_abort = infinity then "-"
            else Table.cell_f r.Driver.commits_per_abort);
         ])
-    [ 10; 12; 14; 16; 18; 20 ];
+    sizes;
   { tables = [ t ]; results = List.rev !all_results }
 
 (* ---------- extensions beyond the paper's evaluation ---------- *)
@@ -294,7 +394,7 @@ let orec_ablation ?(quick = false) () =
 (* §V future work: "is HTM a viable strategy for accelerating PTM?  It
    might work with eADR and PDRAM."  Compare the TSX-style mode against
    the software paths under the flush-free domains. *)
-let htm ?(quick = false) () =
+let htm ?(quick = false) ?jobs () =
   let dur = duration quick in
   let series =
     [
@@ -305,13 +405,13 @@ let htm ?(quick = false) () =
       ("PDRAM_htm", Config.pdram, Ptm.Htm);
     ]
   in
-  sweep ~quick:(dur < 3_000_000) ~title:"Extension — HTM under eADR/PDRAM" ~series
+  sweep ?jobs ~quick:(dur < 3_000_000) ~title:"Extension — HTM under eADR/PDRAM" ~series
     [ Tpcc.spec Tpcc.Hash; Btree_bench.insert_only; Tatp.spec ]
 
 (* §IV-C's cost argument: PDRAM's mechanics are Memory Mode's; how much
    performance does persistence cost relative to the non-persistent
    cache, and where do both sit against eADR? *)
-let memory_mode ?(quick = false) () =
+let memory_mode ?(quick = false) ?jobs () =
   let series =
     [
       ("MemoryMode", Config.memory_mode, Ptm.Redo);
@@ -320,12 +420,14 @@ let memory_mode ?(quick = false) () =
       ("DRAM", Config.dram_eadr, Ptm.Redo);
     ]
   in
-  sweep ~quick ~title:"Extension — PDRAM vs Memory Mode" ~series [ Tatp.spec; Tpcc.spec Tpcc.Hash ]
+  sweep ?jobs ~quick ~title:"Extension — PDRAM vs Memory Mode" ~series
+    [ Tatp.spec; Tpcc.spec Tpcc.Hash ]
 
 (* §V future work: reserve-power requirements per durability domain.
    A monitor thread samples the persistence debt every 5 us; the table
-   reports the worst case and the derived reserve energy. *)
-let reserve_energy ?(quick = false) () =
+   reports the worst case and the derived reserve energy.  The monitor
+   refs live inside each cell, so cells stay shared-nothing. *)
+let reserve_energy ?(quick = false) ?jobs () =
   let dur = duration quick in
   let t =
     Repro_util.Table.create
@@ -334,27 +436,34 @@ let reserve_energy ?(quick = false) () =
         [ "model"; "max WPQ lines"; "max dirty L3"; "max dirty pages"; "max log lines";
           "reserve energy (uJ)" ]
   in
+  let models = [ Config.optane_adr; Config.optane_eadr; Config.pdram_lite; Config.pdram ] in
+  let cells =
+    List.map
+      (fun model () ->
+        let max_debt = ref { Memsim.Sim.Debt.wpq_lines = 0; dirty_l3_lines = 0;
+                             dirty_dram_pages = 0; armed_log_lines = 0 } in
+        let max_energy = ref 0.0 in
+        let sample sim =
+          let d = Memsim.Sim.Debt.sample sim in
+          let e = Memsim.Sim.Debt.reserve_energy_nj sim d in
+          if e > !max_energy then begin
+            max_energy := e;
+            max_debt := d
+          end
+        in
+        let r =
+          Driver.run ~duration_ns:dur ~monitor:(5_000, sample) ~model ~algorithm:Ptm.Redo
+            ~threads:8 (Tpcc.spec Tpcc.Hash)
+        in
+        (r, !max_debt, !max_energy))
+      models
+  in
+  let next = dispatch ?jobs cells in
   let all_results = ref [] in
   List.iter
     (fun model ->
-      let max_debt = ref { Memsim.Sim.Debt.wpq_lines = 0; dirty_l3_lines = 0;
-                           dirty_dram_pages = 0; armed_log_lines = 0 } in
-      let max_energy = ref 0.0 in
-      let sample sim =
-        let d = Memsim.Sim.Debt.sample sim in
-        let e = Memsim.Sim.Debt.reserve_energy_nj sim d in
-        if e > !max_energy then begin
-          max_energy := e;
-          max_debt := d
-        end
-      in
-      let algorithm = if model.Config.persistence = Config.Eadr then Ptm.Redo else Ptm.Redo in
-      let r =
-        Driver.run ~duration_ns:dur ~monitor:(5_000, sample) ~model ~algorithm ~threads:8
-          (Tpcc.spec Tpcc.Hash)
-      in
+      let r, d, max_energy = next () in
       all_results := r :: !all_results;
-      let d = !max_debt in
       Repro_util.Table.add_row t
         [
           model.Config.model_name;
@@ -362,9 +471,9 @@ let reserve_energy ?(quick = false) () =
           string_of_int d.Memsim.Sim.Debt.dirty_l3_lines;
           string_of_int d.Memsim.Sim.Debt.dirty_dram_pages;
           string_of_int d.Memsim.Sim.Debt.armed_log_lines;
-          Repro_util.Table.cell_f (!max_energy /. 1e3);
+          Repro_util.Table.cell_f (max_energy /. 1e3);
         ])
-    [ Config.optane_adr; Config.optane_eadr; Config.pdram_lite; Config.pdram ];
+    models;
   { tables = [ t ]; results = List.rev !all_results }
 
 (* Extension: DIMM interleaving (§III-A: "the Optane memory was split
@@ -372,54 +481,76 @@ let reserve_energy ?(quick = false) () =
    recommended configuration for maximizing throughput").  Channels
    carry per-DIMM service times; aggregate bandwidth grows with the
    channel count. *)
-let dimm_interleave ?(quick = false) () =
+let dimm_interleave ?(quick = false) ?jobs () =
   let dur = duration quick in
+  let channel_axis = [ 1; 2; 3; 6; 12 ] in
+  let thread_points = [ 1; 8; 16; 32 ] in
   let t =
     Table.create ~title:"Extension — DIMM interleaving (TPCC hash, redo, ADR, M tx/s)"
-      ~header:("channels" :: List.map string_of_int [ 1; 8; 16; 32 ])
+      ~header:("channels" :: List.map string_of_int thread_points)
   in
-  let all_results = ref [] in
   let base = Config.default_latency in
+  (* Per-DIMM service = 6x the aggregate default (the default
+     calibration folds ~6 interleaved DIMMs into one channel). *)
+  let lat =
+    {
+      base with
+      Config.nvm_wpq_service_ns = base.Config.nvm_wpq_service_ns * 6;
+      nvm_read_service_ns = base.Config.nvm_read_service_ns * 6;
+    }
+  in
+  let cells =
+    List.concat_map
+      (fun channels ->
+        List.map
+          (fun threads () ->
+            Driver.run ~duration_ns:dur ~lat ~nvm_channels:channels ~model:Config.optane_adr
+              ~algorithm:Ptm.Redo ~threads (Tpcc.spec Tpcc.Hash))
+          thread_points)
+      channel_axis
+  in
+  let next = dispatch ?jobs cells in
+  let all_results = ref [] in
   List.iter
     (fun channels ->
-      (* Per-DIMM service = 6x the aggregate default (the default
-         calibration folds ~6 interleaved DIMMs into one channel). *)
-      let lat =
-        {
-          base with
-          Config.nvm_wpq_service_ns = base.Config.nvm_wpq_service_ns * 6;
-          nvm_read_service_ns = base.Config.nvm_read_service_ns * 6;
-        }
-      in
       let cells =
         List.map
-          (fun threads ->
-            let r =
-              Driver.run ~duration_ns:dur ~lat ~nvm_channels:channels
-                ~model:Config.optane_adr ~algorithm:Ptm.Redo ~threads (Tpcc.spec Tpcc.Hash)
-            in
+          (fun _threads ->
+            let r = next () in
             all_results := r :: !all_results;
             Table.cell_f (r.Driver.txs_per_sec /. 1e6))
-          [ 1; 8; 16; 32 ]
+          thread_points
       in
       Table.add_row t (string_of_int channels :: cells))
-    [ 1; 2; 3; 6; 12 ];
+    channel_axis;
   { tables = [ t ]; results = List.rev !all_results }
 
 (* Extension: transaction latency distributions (the paper reports
    only throughput; tail latency is where fences actually hurt). *)
-let latency ?(quick = false) () =
+let latency ?(quick = false) ?jobs () =
   let dur = duration quick in
   let t =
     Table.create ~title:"Extension — transaction latency, 8 threads (virtual ns)"
       ~header:[ "workload"; "model"; "p50"; "p95"; "p99"; "mean" ]
   in
+  let specs = [ Tatp.spec; Tpcc.spec Tpcc.Hash ] in
+  let models = [ Config.dram_eadr; Config.optane_adr; Config.optane_eadr; Config.pdram ] in
+  let cells =
+    List.concat_map
+      (fun spec ->
+        List.map
+          (fun model () ->
+            Driver.run ~duration_ns:dur ~model ~algorithm:Ptm.Redo ~threads:8 spec)
+          models)
+      specs
+  in
+  let next = dispatch ?jobs cells in
   let all_results = ref [] in
   List.iter
     (fun spec ->
       List.iter
         (fun model ->
-          let r = Driver.run ~duration_ns:dur ~model ~algorithm:Ptm.Redo ~threads:8 spec in
+          let r = next () in
           all_results := r :: !all_results;
           let h = r.Driver.latency in
           Table.add_row t
@@ -431,12 +562,12 @@ let latency ?(quick = false) () =
               Table.cell_f (Repro_util.Histogram.percentile h 99.0);
               Table.cell_f (Repro_util.Histogram.mean h);
             ])
-        [ Config.dram_eadr; Config.optane_adr; Config.optane_eadr; Config.pdram ])
-    [ Tatp.spec; Tpcc.spec Tpcc.Hash ];
+        models)
+    specs;
   { tables = [ t ]; results = List.rev !all_results }
 
 (* Extension: the YCSB core mixes across the durability models. *)
-let ycsb ?(quick = false) () =
+let ycsb ?(quick = false) ?jobs () =
   let dur = duration quick in
   let mixes = [ Ycsb.A; Ycsb.B; Ycsb.C; Ycsb.D; Ycsb.E; Ycsb.F ] in
   let series =
@@ -451,13 +582,23 @@ let ycsb ?(quick = false) () =
     Table.create ~title:"Extension — YCSB mixes, 8 threads (M tx/s)"
       ~header:("series" :: List.map (fun m -> "ycsb-" ^ Ycsb.mix_name m) mixes)
   in
+  let cells =
+    List.concat_map
+      (fun (_, model, algorithm) ->
+        List.map
+          (fun mix () ->
+            Driver.run ~duration_ns:dur ~model ~algorithm ~threads:8 (Ycsb.spec mix))
+          mixes)
+      series
+  in
+  let next = dispatch ?jobs cells in
   let all_results = ref [] in
   List.iter
-    (fun (label, model, algorithm) ->
+    (fun (label, _, _) ->
       let cells =
         List.map
-          (fun mix ->
-            let r = Driver.run ~duration_ns:dur ~model ~algorithm ~threads:8 (Ycsb.spec mix) in
+          (fun _mix ->
+            let r = next () in
             all_results := r :: !all_results;
             Table.cell_f (r.Driver.txs_per_sec /. 1e6))
           mixes
@@ -472,7 +613,7 @@ let ycsb ?(quick = false) () =
    sweep and dedup data lines behind single fences.  Under eADR no
    flushes are issued at all, so the two modes coincide — the hardware
    already did the optimisation. *)
-let scaling ?(quick = false) () =
+let scaling ?(quick = false) ?jobs () =
   let dur = duration quick in
   let axis = if quick then [ 1; 2; 4 ] else threads_axis in
   let passive = { Telemetry.default_config with Telemetry.sample_interval_ns = 0 } in
@@ -493,16 +634,24 @@ let scaling ?(quick = false) () =
       ~header:
         [ "series"; "threads"; "fences/commit"; "clwbs/commit"; "fences saved"; "clwbs saved" ]
   in
+  let cells =
+    List.concat_map
+      (fun (_, model, coalesce) ->
+        List.map
+          (fun threads () ->
+            Driver.run ~duration_ns:dur ~coalesce ~telemetry:passive ~model ~algorithm:Ptm.Redo
+              ~threads Bank.spec)
+          axis)
+      series
+  in
+  let next = dispatch ?jobs cells in
   let all_results = ref [] in
   List.iter
-    (fun (label, model, coalesce) ->
+    (fun (label, _, _) ->
       let cells =
         List.map
           (fun threads ->
-            let r =
-              Driver.run ~duration_ns:dur ~coalesce ~telemetry:passive ~model
-                ~algorithm:Ptm.Redo ~threads Bank.spec
-            in
+            let r = next () in
             all_results := r :: !all_results;
             (match r.Driver.telemetry with
             | None -> ()
@@ -534,8 +683,10 @@ let scaling ?(quick = false) () =
   { tables = [ tput; economy ]; results = List.rev !all_results }
 
 (* Extension: recovery cost.  Crash a run mid-flight and measure the
-   real time Ptm.recover takes as the heap gets fuller. *)
-let recovery_time ?(quick = false) () =
+   real time Ptm.recover takes as the heap gets fuller.  Stays serial
+   regardless of [jobs]: the metric is wall-clock, and concurrent cells
+   contending for cores would distort it. *)
+let recovery_time ?(quick = false) ?jobs:_ () =
   let t =
     Repro_util.Table.create ~title:"Extension — recovery time after a crash (redo, B+Tree)"
       ~header:[ "pre-crash inserts"; "live blocks"; "recovery (real ms)" ]

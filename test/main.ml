@@ -2,6 +2,7 @@ let () =
   Alcotest.run "optane_ptm_repro"
     [
       ("util", Test_util.suite);
+      ("parallel", Test_parallel.suite);
       ("memsim", Test_memsim.suite);
       ("pmem", Test_pmem.suite);
       ("pstm", Test_pstm.suite);

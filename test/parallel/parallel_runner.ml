@@ -1,0 +1,45 @@
+(* Parallel-determinism gate: the experiment layer promises that [jobs]
+   buys wall-clock time only — every table is byte-identical to the
+   serial run.  Render one quick Fig 3 panel (the cheap bank workload:
+   all eight placement/durability/logging series across the full thread
+   axis) at --jobs 1, 2 and 4 and compare the outputs byte for byte.
+
+   A mismatch means a cell observed state outside itself — a shared RNG,
+   a process-global counter, a telemetry sink written from two domains —
+   exactly the class of bug the thread-localisation work exists to
+   prevent. *)
+
+let render jobs =
+  let outcome = Workloads.Experiments.fig3_panel ~quick:true ~jobs Workloads.Bank.spec in
+  String.concat "\n"
+    (List.map
+       (Format.asprintf "%a" Repro_util.Table.print)
+       outcome.Workloads.Experiments.tables)
+
+let first_diff a b =
+  let n = min (String.length a) (String.length b) in
+  let rec go i = if i < n && a.[i] = b.[i] then go (i + 1) else i in
+  go 0
+
+let () =
+  let serial = render 1 in
+  let failures = ref 0 in
+  List.iter
+    (fun jobs ->
+      let out = render jobs in
+      if String.equal serial out then
+        Printf.printf "parallel: --jobs %d byte-identical to serial (%d bytes)\n%!" jobs
+          (String.length out)
+      else begin
+        incr failures;
+        let i = first_diff serial out in
+        Printf.printf "parallel: --jobs %d DIFFERS from serial at byte %d\n" jobs i;
+        let context s =
+          let lo = max 0 (i - 40) in
+          String.sub s lo (min 80 (String.length s - lo))
+        in
+        Printf.printf "  serial:   %S\n" (context serial);
+        Printf.printf "  parallel: %S\n%!" (context out)
+      end)
+    [ 2; 4 ];
+  if !failures > 0 then exit 1
