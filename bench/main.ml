@@ -139,6 +139,24 @@ let speedup () =
     exit 1
   end
 
+(* ---------- kvserve: sharded KV service sweep + recovery ---------- *)
+
+(* Working-set sweep through the full service path (codec → router →
+   batch → commit) and the per-domain restart-recovery table, from
+   lib/kvserve.  No Driver.results — the per-run metrics land in the
+   JSON extras instead. *)
+let kvserve_experiment () =
+  let t0 = Unix.gettimeofday () in
+  let outcome = Kvserve.Bench.run ~quick:!quick ?jobs:!jobs () in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  List.iteri
+    (fun i table ->
+      Format.printf "%a" Table.print table;
+      write_csv (Printf.sprintf "kvserve-%d" i) table)
+    outcome.Kvserve.Bench.tables;
+  write_json "kvserve" ~wall_s ~extra:outcome.Kvserve.Bench.extra [];
+  Format.printf "  [kvserve: %.1fs]@." wall_s
+
 (* ---------- Telemetry: instrumented bank runs with phase profiles ---------- *)
 
 (* Short instrumented runs under ADR and eADR for both log algorithms.
@@ -303,13 +321,14 @@ let () =
   let selected = parse [] args in
   let selected =
     if selected = [] || selected = [ "all" ] then
-      List.map fst Experiments.all @ [ "telemetry"; "microbench" ]
+      List.map fst Experiments.all @ [ "kvserve"; "telemetry"; "microbench" ]
     else selected
   in
   List.iter
     (fun name ->
       match name with
       | "microbench" -> microbench ()
+      | "kvserve" -> kvserve_experiment ()
       | "telemetry" -> telemetry_experiment ()
       | "speedup" -> speedup ()
       | _ -> run_experiment name)

@@ -299,6 +299,195 @@ let alloc_churn ?(threads = 4) ?(ops = 10) ?(coalesce = true) () =
     fresh;
   }
 
+(* ---------- kvserve: crash mid-batch ---------- *)
+
+(* The KV service's coalesced write path: every thread commits batches
+   of [batch] sets plus its batch-marker key in ONE transaction, so a
+   crash anywhere inside the batch must leave either all of it or none
+   of it — and the marker tells which.  Mirrors
+   [Kvserve.Service]'s durable-prefix recovery contract at crash-point
+   granularity. *)
+
+let kv_value ~tid ~b ~k = Printf.sprintf "v%d.%d.%d" tid b k
+let kv_key ~tid ~b ~k = Printf.sprintf "t%d.b%d.%d" tid b k
+
+(* Markers are fixed-width so every update is a same-length in-place
+   [Pblob.set] — one store, no realloc. *)
+let kv_marker v = Printf.sprintf "%03d" v
+
+let kv_batch ?(threads = 4) ?(ops = 5) ?(batch = 4) ?(coalesce = true) () =
+  let prepare ptm =
+    let store = Kvserve.Store.create ptm ~buckets:64 in
+    Ptm.atomic ptm (fun tx ->
+        for tid = 0 to threads - 1 do
+          Kvserve.Store.set tx store ~key:(Printf.sprintf "m%d" tid) ~flags:0 (kv_marker 0)
+        done)
+  in
+  let fresh ~seed =
+    let committed = Array.make threads 0 in
+    let attempted = Array.make threads 0 in
+    let worker ~tid ptm =
+      let rng = Rng.create (seed + (7919 * tid)) in
+      let store = Kvserve.Store.attach ptm in
+      for b = 1 to ops do
+        (* Seeded per-batch jitter so crash candidates land at distinct
+           phases of different threads' batches. *)
+        let k_extra = Rng.int rng 2 in
+        attempted.(tid) <- b;
+        Ptm.atomic ptm (fun tx ->
+            for k = 0 to batch - 1 + k_extra do
+              Kvserve.Store.set tx store ~key:(kv_key ~tid ~b ~k) ~flags:tid
+                (kv_value ~tid ~b ~k)
+            done;
+            Kvserve.Store.set tx store ~key:(Printf.sprintf "m%d" tid) ~flags:0 (kv_marker b);
+            Ptm.on_commit tx (fun () -> committed.(tid) <- b))
+      done
+    in
+    let validate ~crashed:_ _sim ptm =
+      let store = Kvserve.Store.attach ptm in
+      Ptm.atomic ptm (fun tx ->
+          let err = ref None in
+          let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
+          for tid = 0 to threads - 1 do
+            let rng = Rng.create (seed + (7919 * tid)) in
+            match Kvserve.Store.get tx store (Printf.sprintf "m%d" tid) with
+            | None -> fail "kv-batch: thread %d marker key missing" tid
+            | Some (_, m) ->
+              let d = int_of_string m in
+              if d < committed.(tid) then
+                fail "kv-batch: thread %d lost committed batch %d (marker %d)" tid
+                  committed.(tid) d
+              else if d > attempted.(tid) then
+                fail "kv-batch: thread %d marker %d beyond last attempted batch %d" tid d
+                  attempted.(tid);
+              for b = 1 to ops do
+                let k_extra = Rng.int rng 2 in
+                for k = 0 to batch - 1 + k_extra do
+                  let key = kv_key ~tid ~b ~k in
+                  match (Kvserve.Store.get tx store key, b <= d) with
+                  | None, true -> fail "kv-batch: durable batch %d lost key %s" b key
+                  | Some (flags, v), true ->
+                    if flags <> tid || not (String.equal v (kv_value ~tid ~b ~k)) then
+                      fail "kv-batch: key %s holds %S flags %d" key v flags
+                  | Some _, false ->
+                    fail "kv-batch: key %s from batch %d survived past marker %d" key b d
+                  | None, false -> ()
+                done
+              done
+          done;
+          match !err with None -> Ok () | Some e -> Error e)
+    in
+    { Engine.worker; validate }
+  in
+  {
+    Engine.name = mode_name "kv-batch" ~coalesce;
+    threads;
+    heap_words = 1 lsl 16;
+    log_words_per_thread = 4096;
+    coalesce;
+    prepare;
+    fresh;
+  }
+
+(* ---------- kvserve: crash between per-shard commits ---------- *)
+
+(* Two stores stand in for two shards of the service sharing a crash
+   domain.  Each logical operation commits to shard A, then shard B —
+   two independent transactions — so a crash in the window between
+   them must leave A exactly one operation ahead of B, never more,
+   never the other order. *)
+
+let kv_xshard ?(threads = 4) ?(ops = 6) ?(coalesce = true) () =
+  let base_a = 0 and base_b = 2 in
+  let prepare ptm =
+    let a = Kvserve.Store.create ~root_base:base_a ptm ~buckets:32 in
+    let b = Kvserve.Store.create ~root_base:base_b ptm ~buckets:32 in
+    Ptm.atomic ptm (fun tx ->
+        for tid = 0 to threads - 1 do
+          Kvserve.Store.set tx a ~key:(Printf.sprintf "ma%d" tid) ~flags:0 (kv_marker 0);
+          Kvserve.Store.set tx b ~key:(Printf.sprintf "mb%d" tid) ~flags:0 (kv_marker 0)
+        done)
+  in
+  (* No per-seed randomness: the interleaving the engine explores comes
+     entirely from the crash instant. *)
+  let fresh ~seed:_ =
+    let committed_a = Array.make threads 0 in
+    let committed_b = Array.make threads 0 in
+    let attempted = Array.make threads 0 in
+    let worker ~tid ptm =
+      let a = Kvserve.Store.attach ~root_base:base_a ptm in
+      let b = Kvserve.Store.attach ~root_base:base_b ptm in
+      for o = 1 to ops do
+        attempted.(tid) <- o;
+        Ptm.atomic ptm (fun tx ->
+            Kvserve.Store.set tx a ~key:(Printf.sprintf "a.t%d.%d" tid o) ~flags:o
+              (kv_value ~tid ~b:o ~k:0);
+            Kvserve.Store.set tx a ~key:(Printf.sprintf "ma%d" tid) ~flags:0 (kv_marker o);
+            Ptm.on_commit tx (fun () -> committed_a.(tid) <- o));
+        Ptm.atomic ptm (fun tx ->
+            Kvserve.Store.set tx b ~key:(Printf.sprintf "b.t%d.%d" tid o) ~flags:o
+              (kv_value ~tid ~b:o ~k:1);
+            Kvserve.Store.set tx b ~key:(Printf.sprintf "mb%d" tid) ~flags:0 (kv_marker o);
+            Ptm.on_commit tx (fun () -> committed_b.(tid) <- o))
+      done
+    in
+    let validate ~crashed:_ _sim ptm =
+      let a = Kvserve.Store.attach ~root_base:base_a ptm in
+      let b = Kvserve.Store.attach ~root_base:base_b ptm in
+      Ptm.atomic ptm (fun tx ->
+          let err = ref None in
+          let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
+          let marker store name tid =
+            match Kvserve.Store.get tx store (Printf.sprintf "%s%d" name tid) with
+            | None ->
+              fail "kv-xshard: thread %d %s marker missing" tid name;
+              0
+            | Some (_, m) -> int_of_string m
+          in
+          let check_content store prefix tid upto =
+            for o = 1 to ops do
+              let key = Printf.sprintf "%s.t%d.%d" prefix tid o in
+              match (Kvserve.Store.get tx store key, o <= upto) with
+              | None, true -> fail "kv-xshard: durable op %d lost key %s" o key
+              | Some _, false ->
+                fail "kv-xshard: key %s survived past marker %d" key upto
+              | _ -> ()
+            done
+          in
+          for tid = 0 to threads - 1 do
+            let ma = marker a "ma" tid in
+            let mb = marker b "mb" tid in
+            if ma < committed_a.(tid) then
+              fail "kv-xshard: thread %d lost committed A op %d (marker %d)" tid
+                committed_a.(tid) ma;
+            if mb < committed_b.(tid) then
+              fail "kv-xshard: thread %d lost committed B op %d (marker %d)" tid
+                committed_b.(tid) mb;
+            if ma > attempted.(tid) || mb > attempted.(tid) then
+              fail "kv-xshard: thread %d markers (%d,%d) beyond attempted %d" tid ma mb
+                attempted.(tid);
+            (* A commits strictly before B within an op: B may trail A
+               by at most the one in-flight op, and never lead it. *)
+            if mb > ma || ma > mb + 1 then
+              fail "kv-xshard: thread %d shard markers A=%d B=%d violate commit order" tid ma
+                mb;
+            check_content a "a" tid ma;
+            check_content b "b" tid mb
+          done;
+          match !err with None -> Ok () | Some e -> Error e)
+    in
+    { Engine.worker; validate }
+  in
+  {
+    Engine.name = mode_name "kv-xshard" ~coalesce;
+    threads;
+    heap_words = 1 lsl 16;
+    log_words_per_thread = 4096;
+    coalesce;
+    prepare;
+    fresh;
+  }
+
 (* ---------- adapter over the paper's workloads ---------- *)
 
 let of_spec ?(threads = 2) ?(ops = 50) ?(coalesce = true) (spec : Workloads.Driver.spec) =
@@ -336,6 +525,8 @@ let all () =
     counters ();
     btree ();
     alloc_churn ();
+    kv_batch ();
+    kv_xshard ();
     (* The naive per-entry flush discipline is a distinct persistence
        schedule, so its crash points are swept separately. *)
     bank ~coalesce:false ();

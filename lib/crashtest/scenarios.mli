@@ -15,6 +15,13 @@
     - {!alloc_churn}: allocator accounting — committed-live payloads
       keep their signatures, and {!Pmem.Check} agrees with the shadow
       directory up to one in-flight operation per thread;
+    - {!kv_batch}: the KV service's coalesced write path — each thread
+      commits batches of sets plus its batch-marker key in one
+      transaction, so a crash mid-batch must leave all of the batch or
+      none, with the marker naming the durable prefix;
+    - {!kv_xshard}: two {!Kvserve.Store}s standing in for two shards —
+      every operation commits to A then B in separate transactions, so
+      the recovered markers must satisfy [B <= A <= B+1] per thread;
     - {!of_spec}: wraps any {!Workloads.Driver.spec} with a structural
       (region-integrity only) oracle, so the paper's full workloads can
       ride the @crashtest sweep.
@@ -35,11 +42,16 @@ val btree : ?threads:int -> ?ops:int -> ?coalesce:bool -> unit -> Engine.scenari
 
 val alloc_churn : ?threads:int -> ?ops:int -> ?coalesce:bool -> unit -> Engine.scenario
 
+val kv_batch :
+  ?threads:int -> ?ops:int -> ?batch:int -> ?coalesce:bool -> unit -> Engine.scenario
+
+val kv_xshard : ?threads:int -> ?ops:int -> ?coalesce:bool -> unit -> Engine.scenario
+
 val of_spec :
   ?threads:int -> ?ops:int -> ?coalesce:bool -> Workloads.Driver.spec -> Engine.scenario
 
 val all : unit -> Engine.scenario list
-(** The four application scenarios with default sizes (coalescing on),
+(** The six application scenarios with default sizes (coalescing on),
     plus naive-flush bank and btree variants — the two flush schedules
     reach "persistent" at different instants, so both are swept. *)
 

@@ -1,0 +1,20 @@
+(** The [kvserve] bench experiment: Fig-8-style working-set sweep
+    through the full service path (codec → router → batch → commit),
+    plus a per-domain recovery table from a mid-run crash.
+
+    Unlike [Workloads.Experiments.fig8] (which drives the PTM
+    directly), every operation here enters through the memcached codec
+    and the shard router, so protocol parsing, batching and
+    backpressure are all on the measured path.
+
+    Deterministic: tables and [extra] are byte-identical across runs
+    and across [jobs] values.  Only wall-clock recovery time is
+    excluded from the gated output (it lands in the JSON extras). *)
+
+type outcome = {
+  tables : Repro_util.Table.t list;
+  extra : (string * Workloads.Bench_json.json) list;
+      (** spliced into [BENCH_kvserve.json] by the bench harness *)
+}
+
+val run : ?quick:bool -> ?jobs:int -> unit -> outcome

@@ -1,0 +1,77 @@
+module Rng = Repro_util.Rng
+module Zipf = Repro_util.Zipf
+
+type chunk = { arrival_ns : int; conn : int; bytes : string }
+type t = { chunks : chunk list; conns : int; requests : int }
+
+let key_of i = Printf.sprintf "k%06d" i
+
+(* Small dedicated counter keyspace for [incr] traffic (values must be
+   decimal; the bulk keyspace holds opaque payloads). *)
+let counters = 16
+let counter_of i = Printf.sprintf "c%02d" i
+
+let value_of ~rank ~version ~value_bytes =
+  let stamp = Printf.sprintf "r%d.v%d." rank version in
+  let n = max (String.length stamp) value_bytes in
+  let b = Bytes.make n 'x' in
+  Bytes.blit_string stamp 0 b 0 (String.length stamp);
+  (* Deterministic filler that varies by position, so same-length
+     values still differ beyond the stamp. *)
+  for i = String.length stamp to n - 1 do
+    Bytes.set b i (Char.chr (97 + ((rank + i) mod 26)))
+  done;
+  Bytes.to_string b
+
+let generate ~seed ~conns ~requests_per_conn ~items ~value_bytes ~set_ratio ~delete_ratio
+    ~incr_ratio ~mean_gap_ns ~theta () =
+  let zipf = Zipf.create ~theta items in
+  let root = Rng.create seed in
+  let requests = ref 0 in
+  let all = ref [] in
+  for conn = 0 to conns - 1 do
+    let rng = Rng.split root in
+    (* Per-connection write-version counter: payloads are identifiable
+       but never depend on what other connections did. *)
+    let version = ref 0 in
+    let clock = ref 0 in
+    for _ = 1 to requests_per_conn do
+      clock := !clock + 1 + Rng.int rng (2 * mean_gap_ns);
+      let rank = Zipf.sample zipf rng in
+      let key = key_of rank in
+      let r = Rng.float rng 1.0 in
+      let request =
+        if r < set_ratio then begin
+          incr version;
+          Protocol.Set
+            { key; flags = conn; data = value_of ~rank ~version:!version ~value_bytes }
+        end
+        else if r < set_ratio +. delete_ratio then Protocol.Delete key
+        else if r < set_ratio +. delete_ratio +. incr_ratio then
+          Protocol.Incr { key = counter_of (Rng.int rng counters); delta = 1 + Rng.int rng 9 }
+        else Protocol.Get [ key ]
+      in
+      incr requests;
+      let bytes = Protocol.render_request request in
+      (* Tear roughly half the requests at a random interior byte: both
+         halves hit the wire at the same instant, but the parser sees
+         them as separate reads. *)
+      let n = String.length bytes in
+      if n >= 2 && Rng.bool rng then begin
+        let cut = 1 + Rng.int rng (n - 1) in
+        all := { arrival_ns = !clock; conn; bytes = String.sub bytes 0 cut } :: !all;
+        all := { arrival_ns = !clock; conn; bytes = String.sub bytes cut (n - cut) } :: !all
+      end
+      else all := { arrival_ns = !clock; conn; bytes } :: !all
+    done
+  done;
+  (* Stable merge: per-connection order is preserved (list is built in
+     reverse emission order, so reverse first), then sort by arrival
+     with connection id as tie-break. *)
+  let chunks =
+    List.stable_sort
+      (fun a b ->
+        match compare a.arrival_ns b.arrival_ns with 0 -> compare a.conn b.conn | c -> c)
+      (List.rev !all)
+  in
+  { chunks; conns; requests = !requests }

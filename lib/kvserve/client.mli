@@ -1,0 +1,58 @@
+(** Deterministic in-sim client fleet.
+
+    Generates the byte streams a set of memcached clients would send:
+    per-connection Zipf-skewed keys, a get/set/delete/incr mix, and
+    open-loop arrivals (a connection's next request arrives on its own
+    clock whether or not the service has kept up — so backlog and
+    queueing delay are visible, unlike the closed-loop workload in
+    [lib/workloads/memcached.ml]).
+
+    Each request is rendered to wire bytes and may be split into two
+    chunks at a seeded byte boundary, so the service's incremental
+    parser is exercised on realistic torn reads.  Everything derives
+    from the seed: equal seeds give byte-identical fleets. *)
+
+type chunk = {
+  arrival_ns : int;  (** virtual instant the bytes are on the wire *)
+  conn : int;
+  bytes : string;
+}
+
+type t = {
+  chunks : chunk list;
+      (** global arrival order (ties broken by connection id);
+          per-connection subsequences are in-order *)
+  conns : int;
+  requests : int;  (** total requests rendered into [chunks] *)
+}
+
+val key_of : int -> string
+(** Canonical key for item rank [i] (["k%06d"]). *)
+
+val counters : int
+(** Size of the dedicated decimal-counter keyspace [incr] targets. *)
+
+val counter_of : int -> string
+(** Counter key [i], for [i < counters]. *)
+
+val value_of : rank:int -> version:int -> value_bytes:int -> string
+(** Deterministic payload: identifies (rank, version) and pads to
+    [value_bytes]. *)
+
+val generate :
+  seed:int ->
+  conns:int ->
+  requests_per_conn:int ->
+  items:int ->
+  value_bytes:int ->
+  set_ratio:float ->
+  delete_ratio:float ->
+  incr_ratio:float ->
+  mean_gap_ns:int ->
+  theta:float ->
+  unit ->
+  t
+(** Remaining probability mass is [get]s.  [mean_gap_ns] is each
+    connection's mean inter-arrival time (uniform on
+    [\[1, 2*mean_gap_ns\]]); [theta] is the Zipf skew over item
+    ranks. *)

@@ -1,0 +1,155 @@
+type request =
+  | Get of string list
+  | Set of { key : string; flags : int; data : string }
+  | Delete of string
+  | Incr of { key : string; delta : int }
+
+type reply =
+  | Stored
+  | Deleted
+  | Not_found
+  | Values of (string * int * string) list
+  | Number of int
+  | Error
+  | Client_error of string
+  | Server_error of string
+
+let max_key_bytes = 250
+let max_value_bytes = 8192
+
+(* Longest command line we buffer before declaring the stream garbage;
+   generous next to max_key_bytes but bounded, so a newline-free flood
+   cannot grow the buffer without limit. *)
+let max_line_bytes = 4096
+
+let valid_key k =
+  let n = String.length k in
+  n > 0 && n <= max_key_bytes
+  && (let ok = ref true in
+      String.iter (fun c -> if c <= ' ' || c = '\x7f' then ok := false) k;
+      !ok)
+
+(* Strict non-negative decimal (int_of_string_opt would admit 0x/-/_ forms
+   the wire protocol rejects). *)
+let dec_opt s =
+  let n = String.length s in
+  if n = 0 || n > 15 then None
+  else begin
+    let v = ref 0 in
+    let ok = ref true in
+    String.iter
+      (fun c -> if c >= '0' && c <= '9' then v := (!v * 10) + Char.code c - 48 else ok := false)
+      s;
+    if !ok then Some !v else None
+  end
+
+type state =
+  | Line  (** expecting a command line *)
+  | Body of { key : string; flags : int; nbytes : int }
+      (** expecting [nbytes] of [set] payload plus CRLF *)
+
+type parser_ = { mutable data : string; mutable state : state }
+
+let parser_create () = { data = ""; state = Line }
+
+let feed p chunk = if chunk <> "" then p.data <- p.data ^ chunk
+
+let buffered p = String.length p.data
+
+type item = Request of request | Protocol_error of string
+
+let client_error msg = Protocol_error (Printf.sprintf "CLIENT_ERROR %s\r\n" msg)
+
+let consume p n = p.data <- String.sub p.data n (String.length p.data - n)
+
+(* Split on single spaces, dropping empty tokens (memcached tolerates
+   repeated separators). *)
+let tokens line = List.filter (fun t -> t <> "") (String.split_on_char ' ' line)
+
+let parse_line p line =
+  match tokens line with
+  | [] -> Protocol_error "ERROR\r\n"
+  | "get" :: keys ->
+    if keys <> [] && List.for_all valid_key keys then Request (Get keys)
+    else client_error "bad command line format"
+  | [ "set"; key; flags; exptime; bytes ] -> (
+    match (valid_key key, dec_opt flags, dec_opt exptime, dec_opt bytes) with
+    | true, Some flags, Some _exptime, Some nbytes when nbytes <= max_value_bytes ->
+      (* Switch to body mode; the caller retries [next], which either
+         finds the payload buffered already or waits for more bytes. *)
+      p.state <- Body { key; flags; nbytes };
+      Protocol_error "" (* placeholder, never returned: see [next] *)
+    | _ -> client_error "bad command line format")
+  | "set" :: _ -> client_error "bad command line format"
+  | [ "delete"; key ] ->
+    if valid_key key then Request (Delete key) else client_error "bad command line format"
+  | "delete" :: _ -> client_error "bad command line format"
+  | [ "incr"; key; delta ] -> (
+    if not (valid_key key) then client_error "bad command line format"
+    else
+      match dec_opt delta with
+      | Some delta -> Request (Incr { key; delta })
+      | None -> client_error "invalid numeric delta argument")
+  | "incr" :: _ -> client_error "bad command line format"
+  | _ -> Protocol_error "ERROR\r\n"
+
+let rec next p =
+  match p.state with
+  | Body { key; flags; nbytes } ->
+    if String.length p.data < nbytes + 2 then None
+    else begin
+      let data = String.sub p.data 0 nbytes in
+      let terminated = p.data.[nbytes] = '\r' && p.data.[nbytes + 1] = '\n' in
+      p.state <- Line;
+      if terminated then begin
+        consume p (nbytes + 2);
+        Some (Request (Set { key; flags; data }))
+      end
+      else begin
+        (* Payload not CRLF-terminated: the frame is torn.  Drop the
+           declared payload and resynchronise at the next line. *)
+        consume p nbytes;
+        Some (client_error "bad data chunk")
+      end
+    end
+  | Line -> (
+    match String.index_opt p.data '\n' with
+    | None ->
+      if String.length p.data > max_line_bytes then begin
+        p.data <- "";
+        Some (client_error "line too long")
+      end
+      else None
+    | Some i ->
+      let line = String.sub p.data 0 (if i > 0 && p.data.[i - 1] = '\r' then i - 1 else i) in
+      consume p (i + 1);
+      (match parse_line p line with
+      | Protocol_error "" -> next p (* [set] armed body mode; try the payload *)
+      | item -> Some item))
+
+let drain p =
+  let rec go acc = match next p with None -> List.rev acc | Some it -> go (it :: acc) in
+  go []
+
+let render_request = function
+  | Get keys -> "get " ^ String.concat " " keys ^ "\r\n"
+  | Set { key; flags; data } ->
+    Printf.sprintf "set %s %d 0 %d\r\n%s\r\n" key flags (String.length data) data
+  | Delete key -> Printf.sprintf "delete %s\r\n" key
+  | Incr { key; delta } -> Printf.sprintf "incr %s %d\r\n" key delta
+
+let render_reply = function
+  | Stored -> "STORED\r\n"
+  | Deleted -> "DELETED\r\n"
+  | Not_found -> "NOT_FOUND\r\n"
+  | Values hits ->
+    String.concat ""
+      (List.map
+         (fun (key, flags, data) ->
+           Printf.sprintf "VALUE %s %d %d\r\n%s\r\n" key flags (String.length data) data)
+         hits)
+    ^ "END\r\n"
+  | Number n -> Printf.sprintf "%d\r\n" n
+  | Error -> "ERROR\r\n"
+  | Client_error msg -> Printf.sprintf "CLIENT_ERROR %s\r\n" msg
+  | Server_error msg -> Printf.sprintf "SERVER_ERROR %s\r\n" msg

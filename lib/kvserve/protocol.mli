@@ -1,0 +1,72 @@
+(** Memcached text-protocol codec: the wire format of the {!Service}.
+
+    Supports the command subset the paper's memcached workload models —
+    [get] (multi-key), [set], [delete], [incr] — with the textual
+    framing of the real protocol: space-separated command lines
+    terminated by CRLF, and a [<bytes>]-long data block after [set].
+
+    The parser is {e incremental}: feed it byte chunks as they arrive
+    (a request may be split at any byte boundary) and drain complete
+    requests as they become parseable.  Malformed input never raises —
+    it yields a protocol error reply ([ERROR] / [CLIENT_ERROR ...]) and
+    resynchronises at the next line, exactly as a server must. *)
+
+type request =
+  | Get of string list  (** [get key...] — at least one key *)
+  | Set of { key : string; flags : int; data : string }
+  | Delete of string
+  | Incr of { key : string; delta : int }
+
+type reply =
+  | Stored
+  | Deleted
+  | Not_found
+  | Values of (string * int * string) list
+      (** (key, flags, data) hits of a [get], in request order;
+          renders the [VALUE]/[END] block *)
+  | Number of int  (** new value after [incr] *)
+  | Error  (** unknown command *)
+  | Client_error of string
+  | Server_error of string
+
+val max_key_bytes : int
+(** Longest accepted key (250, the memcached limit). *)
+
+val max_value_bytes : int
+(** Longest accepted [set] payload. *)
+
+val valid_key : string -> bool
+(** Non-empty, at most {!max_key_bytes} printable non-space bytes. *)
+
+(** {1 Incremental parsing} *)
+
+type parser_
+
+val parser_create : unit -> parser_
+
+val feed : parser_ -> string -> unit
+(** Append a chunk of received bytes. *)
+
+type item =
+  | Request of request
+  | Protocol_error of string
+      (** rendered error reply to send back (ends in CRLF); the
+          offending frame has been consumed *)
+
+val next : parser_ -> item option
+(** Extract the next complete item, or [None] when more bytes are
+    needed.  Never raises. *)
+
+val drain : parser_ -> item list
+(** All items currently extractable, in order. *)
+
+val buffered : parser_ -> int
+(** Bytes received but not yet consumed (0 on a quiescent parser). *)
+
+(** {1 Rendering} *)
+
+val render_request : request -> string
+(** Wire bytes of a request (the client side of the codec).  [Set]
+    renders with exptime 0. *)
+
+val render_reply : reply -> string

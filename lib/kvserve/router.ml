@@ -1,0 +1,20 @@
+(* FNV-1a with the 64-bit prime; the offset basis is the standard one
+   truncated to OCaml's 63-bit ints (harmless for distribution). *)
+let fnv1a s =
+  let h = ref 0x3bf29ce484222325 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x100000001b3) s;
+  !h
+
+let store_hash s =
+  let h = fnv1a s land max_int in
+  if h = 0 then 1 else h
+
+let shard_of_key ~shards key =
+  if shards <= 1 then 0
+  else begin
+    let h = fnv1a key in
+    let h = h lxor (h lsr 33) in
+    let h = h * 0x2545F4914F6CDD1D in
+    let h = h lxor (h lsr 29) in
+    (h land max_int) mod shards
+  end

@@ -1,0 +1,15 @@
+(** Key-hash routing: which shard owns a key, and the store-level hash
+    of a key within its shard.
+
+    Both hashes start from FNV-1a over the key bytes; the shard router
+    applies a further splitmix finalizer so the shard index and the
+    in-shard bucket index are decorrelated (a hot bucket does not imply
+    a hot shard and vice versa). *)
+
+val store_hash : string -> int
+(** FNV-1a (64-bit, folded positive, never 0) — the key of the
+    per-shard {!Store} index; positive as {!Pstructs.Phashtable}
+    requires. *)
+
+val shard_of_key : shards:int -> string -> int
+(** Owning shard in [\[0, shards)]. *)

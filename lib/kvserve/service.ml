@@ -1,0 +1,604 @@
+module Config = Memsim.Config
+module Sim = Memsim.Sim
+module Ptm = Pstm.Ptm
+module Pool = Parallel.Pool
+module Histogram = Repro_util.Histogram
+
+type config = {
+  shards : int;
+  model : Config.model;
+  heap_words_per_shard : int;
+  buckets_per_shard : int;
+  log_words_per_thread : int;
+  max_batch : int;
+  debt_line_limit : int;
+  restart_gap_ns : int;
+  prepopulate_items : int;
+  value_bytes : int;
+  profile : bool;
+  seed : int;
+}
+
+let default_config model =
+  {
+    shards = 4;
+    model;
+    heap_words_per_shard = 1 lsl 18;
+    buckets_per_shard = 1024;
+    log_words_per_thread = 8192;
+    max_batch = 8;
+    debt_line_limit = 24;
+    restart_gap_ns = 50_000;
+    prepopulate_items = 2048;
+    value_bytes = 64;
+    profile = false;
+    seed = 0xCAFE;
+  }
+
+type opcode = Op_get | Op_set | Op_delete | Op_incr
+
+let opcode_name = function
+  | Op_get -> "get"
+  | Op_set -> "set"
+  | Op_delete -> "delete"
+  | Op_incr -> "incr"
+
+(* ---------- frontend: parse, route, enqueue ---------- *)
+
+(* One sub-operation on one shard.  A multi-key [get] splits into one
+   sub per key (its shards answer independently; the reply merges in
+   key order).  Writes carry a per-shard [seq] — the batch-marker
+   currency. *)
+type sop =
+  | Sget of string
+  | Sset of { key : string; flags : int; data : string }
+  | Sdel of string
+  | Sincr of string * int
+
+type sub = { seq : int; id : int; part : int; arrival : int; op : sop }
+
+let is_write = function Sget _ -> false | Sset _ | Sdel _ | Sincr _ -> true
+
+(* Parsed-request bookkeeping on the assembly side. *)
+type payload =
+  | P_error of string
+  | P_get of { keys : string array; hits : (int * string) option array }
+  | P_write of { mutable reply : string }
+
+type item = {
+  conn : int;
+  arrival : int;
+  opcode : opcode option;  (* None for protocol errors *)
+  payload : payload;
+  mutable unanswered : int;
+  mutable done_at : int;
+}
+
+type frontend = { items : item array; queues : sub list array (* per shard, arrival order *) }
+
+let frontend cfg (fleet : Client.t) =
+  let parsers = Array.init fleet.Client.conns (fun _ -> Protocol.parser_create ()) in
+  let items = ref [] and n_items = ref 0 in
+  let queues = Array.make cfg.shards [] in
+  let wseq = Array.make cfg.shards 0 in
+  let push shard sub = queues.(shard) <- sub :: queues.(shard) in
+  let route ~arrival ~conn (request : Protocol.request) =
+    let id = !n_items in
+    let item, subs =
+      match request with
+      | Protocol.Get keys ->
+        let keys = Array.of_list keys in
+        let payload = P_get { keys; hits = Array.make (Array.length keys) None } in
+        ( { conn; arrival; opcode = Some Op_get; payload;
+            unanswered = Array.length keys; done_at = -1 },
+          Array.to_list
+            (Array.mapi
+               (fun part key -> (Router.shard_of_key ~shards:cfg.shards key, Sget key, part))
+               keys) )
+      | Protocol.Set { key; flags; data } ->
+        ( { conn; arrival; opcode = Some Op_set; payload = P_write { reply = "" };
+            unanswered = 1; done_at = -1 },
+          [ (Router.shard_of_key ~shards:cfg.shards key, Sset { key; flags; data }, 0) ] )
+      | Protocol.Delete key ->
+        ( { conn; arrival; opcode = Some Op_delete; payload = P_write { reply = "" };
+            unanswered = 1; done_at = -1 },
+          [ (Router.shard_of_key ~shards:cfg.shards key, Sdel key, 0) ] )
+      | Protocol.Incr { key; delta } ->
+        ( { conn; arrival; opcode = Some Op_incr; payload = P_write { reply = "" };
+            unanswered = 1; done_at = -1 },
+          [ (Router.shard_of_key ~shards:cfg.shards key, Sincr (key, delta), 0) ] )
+    in
+    items := item :: !items;
+    incr n_items;
+    List.iter
+      (fun (shard, op, part) ->
+        let seq =
+          if is_write op then begin
+            wseq.(shard) <- wseq.(shard) + 1;
+            wseq.(shard)
+          end
+          else 0
+        in
+        push shard { seq; id; part; arrival; op })
+      subs
+  in
+  List.iter
+    (fun { Client.arrival_ns; conn; bytes } ->
+      Protocol.feed parsers.(conn) bytes;
+      List.iter
+        (function
+          | Protocol.Request r -> route ~arrival:arrival_ns ~conn r
+          | Protocol.Protocol_error reply ->
+            items :=
+              { conn; arrival = arrival_ns; opcode = None; payload = P_error reply;
+                unanswered = 0; done_at = arrival_ns }
+              :: !items;
+            incr n_items)
+        (Protocol.drain parsers.(conn)))
+    fleet.Client.chunks;
+  {
+    items = Array.of_list (List.rev !items);
+    queues = Array.map List.rev queues;
+  }
+
+(* ---------- per-shard execution ---------- *)
+
+type out =
+  | O_hit of int * string
+  | O_miss
+  | O_stored
+  | O_deleted
+  | O_not_found
+  | O_number of int
+  | O_not_numeric
+
+type event = { e_id : int; e_part : int; e_done : int; e_out : out }
+
+type recovery = {
+  r_shard : int;
+  r_logs_scanned : int;
+  r_words_scanned : int;
+  r_entries_replayed : int;
+  r_entries_rolled_back : int;
+  r_durable_marker : int;
+  r_replayed_ops : int;
+  r_modeled_ns : int;
+  r_wall_ns : int;
+}
+
+type shard_stats = {
+  s_shard : int;
+  s_ops : int;
+  s_commits : int;
+  s_aborts : int;
+  s_batches : int;
+  s_max_batch : int;
+  s_throttled : int;
+  s_elapsed_ns : int;
+}
+
+type cell = {
+  c_events : event list;  (* execution order *)
+  c_batch_sizes : int list;  (* reverse commit order; order-insensitive use *)
+  c_stats : shard_stats;
+  c_recovery : recovery option;
+  c_capture : (int * Telemetry.capture) option;
+}
+
+(* Simulated recovery time, modeled from what the recovery pass did:
+   every scanned log word is a load from the log's medium (DRAM under
+   PDRAM-Lite — the domain's whole point), every replayed or
+   rolled-back entry a write-back to the data medium (plus a clwb when
+   the domain requires flushes), closed by one fence. *)
+let modeled_recovery_ns (cfg : Config.t) ~needs_flush (rr : Ptm.Recovery_report.t) =
+  let lat = cfg.Config.lat in
+  let log_load_ns =
+    if cfg.Config.model.Config.log_in_dram then lat.Config.dram_load_ns
+    else
+      match cfg.Config.model.Config.data_media with
+      | Config.Dram -> lat.Config.dram_load_ns
+      | Config.Nvm -> lat.Config.nvm_load_ns
+  in
+  let writeback_ns =
+    (match cfg.Config.model.Config.data_media with
+    | Config.Dram -> lat.Config.dram_wpq_service_ns
+    | Config.Nvm -> lat.Config.nvm_wpq_service_ns)
+    + if needs_flush then lat.Config.clwb_ns else 0
+  in
+  (rr.Ptm.Recovery_report.words_scanned * log_load_ns)
+  + ((rr.Ptm.Recovery_report.entries_replayed + rr.Ptm.Recovery_report.entries_rolled_back)
+    * writeback_ns)
+  + lat.Config.sfence_ns
+
+let apply_write tx store = function
+  | Sset { key; flags; data } ->
+    Store.set tx store ~key ~flags data;
+    O_stored
+  | Sdel key -> if Store.delete tx store key then O_deleted else O_not_found
+  | Sincr (key, delta) -> (
+    match Store.incr tx store key delta with
+    | Store.New_value v -> O_number v
+    | Store.Missing -> O_not_found
+    | Store.Not_numeric -> O_not_numeric)
+  | Sget _ -> assert false
+
+(* The executor: walk [positions] (indices into [subs], arrival order)
+   inside a simulated thread, batching adjacent arrived writes into one
+   transaction and running gets as individual read-only transactions.
+   [offset] converts this sim's clock to service-global time. *)
+let executor cfg ~sim ~m ~ptm ~store ~subs ~positions ~arrival ~offset ~events ~answered
+    ~batches ~batch_sizes ~max_batch_seen ~throttled () =
+  let n = Array.length positions in
+  let now () = int_of_float (m.Machine.now_ns ()) in
+  let record p done_t out =
+    let s = subs.(p) in
+    events := { e_id = s.id; e_part = s.part; e_done = done_t + offset; e_out = out } :: !events;
+    answered.(p) <- true
+  in
+  let i = ref 0 in
+  while !i < n do
+    let p = positions.(!i) in
+    let t = now () in
+    let arr = arrival p in
+    if arr > t then m.Machine.pause (arr - t)
+    else if is_write subs.(p).op then begin
+      (* Debt-driven admission: past the line limit, writes are let in
+         one at a time until the WPQ has drained. *)
+      let debt = Sim.Debt.sample sim in
+      let pending = debt.Sim.Debt.wpq_lines + debt.Sim.Debt.armed_log_lines in
+      let clamped = pending >= cfg.debt_line_limit in
+      let cap = if clamped then 1 else cfg.max_batch in
+      let j = ref !i in
+      while
+        !j < n && !j - !i < cap
+        && (let q = positions.(!j) in
+            is_write subs.(q).op && arrival q <= t)
+      do
+        incr j
+      done;
+      let batch = Array.sub positions !i (!j - !i) in
+      let outs = ref [] in
+      Ptm.atomic ptm (fun tx ->
+          outs := [];
+          Array.iter (fun bp -> outs := apply_write tx store subs.(bp).op :: !outs) batch;
+          Store.set_batch_marker tx store subs.(batch.(Array.length batch - 1)).seq);
+      let done_t = now () in
+      List.iteri
+        (fun k out -> record batch.(Array.length batch - 1 - k) done_t out)
+        !outs;
+      incr batches;
+      batch_sizes := Array.length batch :: !batch_sizes;
+      max_batch_seen := max !max_batch_seen (Array.length batch);
+      if clamped then incr throttled;
+      i := !j
+    end
+    else begin
+      let key = match subs.(p).op with Sget k -> k | _ -> assert false in
+      let out =
+        Ptm.atomic ptm (fun tx ->
+            match Store.get tx store key with
+            | Some (flags, data) -> O_hit (flags, data)
+            | None -> O_miss)
+      in
+      record p (now ()) out;
+      incr i
+    end
+  done
+
+(* Reply reconstruction for writes whose commit survived the crash but
+   whose response was lost with the pre-crash process: answer from the
+   recovered state (a real server's client would have seen a dropped
+   connection; the simulated fleet gets a deterministic answer). *)
+let reconstruct ptm store op =
+  Ptm.atomic ptm (fun tx ->
+      match op with
+      | Sset _ -> O_stored
+      | Sdel key -> if Store.get tx store key = None then O_deleted else O_not_found
+      | Sincr (key, _) -> (
+        match Store.get tx store key with
+        | None -> O_not_found
+        | Some (_, s) -> (
+          match int_of_string_opt s with Some v -> O_number v | None -> O_not_numeric))
+      | Sget _ -> assert false)
+
+let populate cfg ptm store ~shard =
+  let batch = ref [] in
+  let flush_batch () =
+    if !batch <> [] then begin
+      let ops = !batch in
+      batch := [];
+      Ptm.atomic ptm (fun tx ->
+          List.iter (fun (key, data) -> Store.set tx store ~key ~flags:0 data) ops)
+    end
+  in
+  let add key data =
+    batch := (key, data) :: !batch;
+    if List.length !batch >= 32 then flush_batch ()
+  in
+  for rank = 0 to cfg.prepopulate_items - 1 do
+    let key = Client.key_of rank in
+    if Router.shard_of_key ~shards:cfg.shards key = shard then
+      add key (Client.value_of ~rank ~version:0 ~value_bytes:cfg.value_bytes)
+  done;
+  for c = 0 to Client.counters - 1 do
+    let key = Client.counter_of c in
+    if Router.shard_of_key ~shards:cfg.shards key = shard then add key "0"
+  done;
+  flush_batch ()
+
+let run_shard cfg ~crash_at ~shard (queue : sub list) =
+  let subs = Array.of_list queue in
+  let n = Array.length subs in
+  let track = crash_at <> None in
+  let sim_cfg =
+    Config.make ~heap_words:cfg.heap_words_per_shard ~track_media:track cfg.model
+  in
+  let sim = Sim.create sim_cfg in
+  let m = Sim.machine sim in
+  let ptm =
+    Ptm.create ~max_threads:1 ~log_words_per_thread:cfg.log_words_per_thread
+      ~rng_seed:(cfg.seed + shard) m
+  in
+  let store = Store.create ptm ~buckets:cfg.buckets_per_shard in
+  populate cfg ptm store ~shard;
+  Sim.reset_timing sim;
+  Ptm.Stats.reset ptm;
+  if track then Sim.persist_all sim;
+  let capture =
+    if cfg.profile then
+      let tcfg = { Telemetry.default_config with Telemetry.sample_interval_ns = 0 } in
+      Some (shard, Telemetry.attach ~config:tcfg sim ptm)
+    else None
+  in
+  let events = ref [] in
+  let answered = Array.make n false in
+  let batches = ref 0 in
+  let batch_sizes = ref [] in
+  let max_batch_seen = ref 0 in
+  let throttled = ref 0 in
+  let all_positions = Array.init n (fun i -> i) in
+  if n > 0 then
+    ignore
+      (Sim.spawn sim
+         (executor cfg ~sim ~m ~ptm ~store ~subs ~positions:all_positions
+            ~arrival:(fun p -> subs.(p).arrival)
+            ~offset:0 ~events ~answered ~batches ~batch_sizes ~max_batch_seen ~throttled));
+  (match crash_at with None -> Sim.run sim | Some at -> Sim.run ~crash_at:at sim);
+  let crashed = Sim.crashed sim in
+  let elapsed, recovery, commits2, aborts2 =
+    if not crashed then (Sim.now sim, None, 0, 0)
+    else begin
+      (* Restart: reboot the machine image, recover the PTM, find the
+         durable prefix, reconstruct lost replies, replay the rest. *)
+      let sim2 = Sim.reboot sim in
+      let m2 = Sim.machine sim2 in
+      let t0 = Unix.gettimeofday () in
+      let ptm2 = Ptm.recover ~rng_seed:(cfg.seed + shard) m2 in
+      let wall_ns = int_of_float (1e9 *. (Unix.gettimeofday () -. t0)) in
+      let rr =
+        match Ptm.last_recovery ptm2 with Some rr -> rr | None -> assert false
+      in
+      let store2 = Store.attach ptm2 in
+      let marker = Ptm.atomic ptm2 (fun tx -> Store.batch_marker tx store2) in
+      let modeled = modeled_recovery_ns sim_cfg ~needs_flush:m2.Machine.needs_flush rr in
+      let offset = (match crash_at with Some at -> at | None -> 0) + modeled
+                   + cfg.restart_gap_ns in
+      (* Durably-applied writes whose reply was lost: answer from the
+         recovered state at the restart instant. *)
+      for p = 0 to n - 1 do
+        if (not answered.(p)) && is_write subs.(p).op && subs.(p).seq <= marker then begin
+          let out = reconstruct ptm2 store2 subs.(p).op in
+          events := { e_id = subs.(p).id; e_part = subs.(p).part; e_done = offset; e_out = out }
+                    :: !events;
+          answered.(p) <- true
+        end
+      done;
+      let replay =
+        Array.of_list (List.filter (fun p -> not answered.(p)) (Array.to_list all_positions))
+      in
+      if Array.length replay > 0 then
+        ignore
+          (Sim.spawn sim2
+             (executor cfg ~sim:sim2 ~m:m2 ~ptm:ptm2 ~store:store2 ~subs ~positions:replay
+                ~arrival:(fun p -> max (subs.(p).arrival - offset) 0)
+                ~offset ~events ~answered ~batches ~batch_sizes ~max_batch_seen ~throttled));
+      if Array.length replay > 0 then Sim.run sim2;
+      let st2 = Ptm.Stats.get ptm2 in
+      ( offset + Sim.now sim2,
+        Some
+          {
+            r_shard = shard;
+            r_logs_scanned = rr.Ptm.Recovery_report.logs_scanned;
+            r_words_scanned = rr.Ptm.Recovery_report.words_scanned;
+            r_entries_replayed = rr.Ptm.Recovery_report.entries_replayed;
+            r_entries_rolled_back = rr.Ptm.Recovery_report.entries_rolled_back;
+            r_durable_marker = marker;
+            r_replayed_ops = Array.length replay;
+            r_modeled_ns = modeled;
+            r_wall_ns = wall_ns;
+          },
+        st2.Ptm.Stats.commits,
+        st2.Ptm.Stats.aborts )
+    end
+  in
+  let st = Ptm.Stats.get ptm in
+  {
+    c_events = List.rev !events;
+    c_batch_sizes = !batch_sizes;
+    c_stats =
+      {
+        s_shard = shard;
+        s_ops = n;
+        s_commits = st.Ptm.Stats.commits + commits2;
+        s_aborts = st.Ptm.Stats.aborts + aborts2;
+        s_batches = !batches;
+        s_max_batch = !max_batch_seen;
+        s_throttled = !throttled;
+        s_elapsed_ns = elapsed;
+      };
+    c_recovery = recovery;
+    c_capture = capture;
+  }
+
+(* ---------- assembly ---------- *)
+
+type result = {
+  model : string;
+  requests : int;
+  kv_ops : int;
+  protocol_errors : int;
+  get_hits : int;
+  get_misses : int;
+  elapsed_ns : int;
+  ops_per_sec : float;
+  replies : string array;
+  latency : (opcode * Histogram.t) list;
+  batch_occupancy : Histogram.t;
+  shard_ops : int array;
+  imbalance : float;
+  shards : shard_stats list;
+  recoveries : recovery list;
+  crashed : bool;
+  captures : (int * Telemetry.capture) list;
+}
+
+let render_out = function
+  | O_stored -> Protocol.render_reply Protocol.Stored
+  | O_deleted -> Protocol.render_reply Protocol.Deleted
+  | O_not_found -> Protocol.render_reply Protocol.Not_found
+  | O_number v -> Protocol.render_reply (Protocol.Number v)
+  | O_not_numeric ->
+    Protocol.render_reply
+      (Protocol.Client_error "cannot increment or decrement non-numeric value")
+  | O_hit _ | O_miss -> assert false
+
+let run ?jobs ?crash_at cfg (fleet : Client.t) =
+  let fe = frontend cfg fleet in
+  let cells =
+    Pool.run ?jobs
+      (List.init cfg.shards (fun shard () ->
+           run_shard cfg ~crash_at ~shard fe.queues.(shard)))
+  in
+  let hist = [ Op_get; Op_set; Op_delete; Op_incr ] in
+  let latency = List.map (fun oc -> (oc, Histogram.create ())) hist in
+  let batch_occupancy = Histogram.create () in
+  let get_hits = ref 0 and get_misses = ref 0 in
+  (* Apply shard events in shard order: parts land in their items; an
+     item completes when its last part does. *)
+  List.iter
+    (fun cell ->
+      List.iter
+        (fun ev ->
+          let item = fe.items.(ev.e_id) in
+          (match item.payload with
+          | P_get g ->
+            (match ev.e_out with
+            | O_hit (flags, data) ->
+              g.hits.(ev.e_part) <- Some (flags, data);
+              incr get_hits
+            | O_miss -> incr get_misses
+            | _ -> assert false)
+          | P_write w -> w.reply <- render_out ev.e_out
+          | P_error _ -> assert false);
+          item.done_at <- max item.done_at ev.e_done;
+          item.unanswered <- item.unanswered - 1;
+          if item.unanswered = 0 then
+            match item.opcode with
+            | Some oc ->
+              Histogram.record (List.assoc oc latency) (item.done_at - item.arrival)
+            | None -> ())
+        cell.c_events;
+      List.iter (Histogram.record batch_occupancy) (List.rev cell.c_batch_sizes))
+    cells;
+  (* Render per-connection reply streams in request order. *)
+  let bufs = Array.init fleet.Client.conns (fun _ -> Buffer.create 256) in
+  let protocol_errors = ref 0 in
+  Array.iter
+    (fun item ->
+      let reply =
+        match item.payload with
+        | P_error e ->
+          incr protocol_errors;
+          e
+        | P_write w -> w.reply
+        | P_get g ->
+          let hits = ref [] in
+          for k = Array.length g.keys - 1 downto 0 do
+            match g.hits.(k) with
+            | Some (flags, data) -> hits := (g.keys.(k), flags, data) :: !hits
+            | None -> ()
+          done;
+          Protocol.render_reply (Protocol.Values !hits)
+      in
+      Buffer.add_string bufs.(item.conn) reply)
+    fe.items;
+  let shard_ops = Array.of_list (List.map (fun c -> c.c_stats.s_ops) cells) in
+  let kv_ops = Array.fold_left ( + ) 0 shard_ops in
+  let elapsed_ns = List.fold_left (fun acc c -> max acc c.c_stats.s_elapsed_ns) 1 cells in
+  let mean_load = float_of_int kv_ops /. float_of_int (max 1 cfg.shards) in
+  let imbalance =
+    if kv_ops = 0 then 1.0
+    else float_of_int (Array.fold_left max 0 shard_ops) /. mean_load
+  in
+  {
+    model = cfg.model.Config.model_name;
+    requests = Array.length fe.items;
+    kv_ops;
+    protocol_errors = !protocol_errors;
+    get_hits = !get_hits;
+    get_misses = !get_misses;
+    elapsed_ns;
+    ops_per_sec = float_of_int kv_ops /. (float_of_int elapsed_ns *. 1e-9);
+    replies = Array.map Buffer.contents bufs;
+    latency;
+    batch_occupancy;
+    shard_ops;
+    imbalance;
+    shards = List.map (fun c -> c.c_stats) cells;
+    recoveries = List.filter_map (fun c -> c.c_recovery) cells;
+    crashed = List.exists (fun c -> c.c_recovery <> None) cells;
+    captures = List.filter_map (fun c -> c.c_capture) cells;
+  }
+
+(* ---------- metrics export ---------- *)
+
+let metrics_jsonl (cfg : config) (r : result) =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let esc = Telemetry.Export.json_escape in
+  line
+    "{\"schema\":%S,\"kind\":\"kvserve\",\"model\":\"%s\",\"shards\":%d,\"requests\":%d,\"kv_ops\":%d,\"protocol_errors\":%d,\"elapsed_ns\":%d,\"crashed\":%b}"
+    Telemetry.Export.schema_version (esc r.model) cfg.shards r.requests r.kv_ops
+    r.protocol_errors r.elapsed_ns r.crashed;
+  List.iter
+    (fun (oc, h) ->
+      if Histogram.count h > 0 then
+        line
+          "{\"kind\":\"op-latency\",\"op\":\"%s\",\"count\":%d,\"mean_ns\":%.1f,\"p50_ns\":%.1f,\"p95_ns\":%.1f,\"p99_ns\":%.1f,\"max_ns\":%d}"
+          (opcode_name oc) (Histogram.count h) (Histogram.mean h)
+          (Histogram.percentile h 50.0) (Histogram.percentile h 95.0)
+          (Histogram.percentile h 99.0) (Histogram.max_value h))
+    r.latency;
+  if Histogram.count r.batch_occupancy > 0 then
+    line
+      "{\"kind\":\"batch-occupancy\",\"batches\":%d,\"mean\":%.2f,\"p95\":%.1f,\"max\":%d,\"hits\":%d,\"misses\":%d,\"imbalance\":%.3f}"
+      (Histogram.count r.batch_occupancy)
+      (Histogram.mean r.batch_occupancy)
+      (Histogram.percentile r.batch_occupancy 95.0)
+      (Histogram.max_value r.batch_occupancy)
+      r.get_hits r.get_misses r.imbalance;
+  List.iter
+    (fun s ->
+      line
+        "{\"kind\":\"shard\",\"shard\":%d,\"ops\":%d,\"commits\":%d,\"aborts\":%d,\"batches\":%d,\"max_batch\":%d,\"throttled\":%d,\"elapsed_ns\":%d}"
+        s.s_shard s.s_ops s.s_commits s.s_aborts s.s_batches s.s_max_batch s.s_throttled
+        s.s_elapsed_ns)
+    r.shards;
+  List.iter
+    (fun rc ->
+      line
+        "{\"kind\":\"recovery\",\"shard\":%d,\"logs_scanned\":%d,\"words_scanned\":%d,\"entries_replayed\":%d,\"entries_rolled_back\":%d,\"durable_marker\":%d,\"replayed_ops\":%d,\"modeled_ns\":%d}"
+        rc.r_shard rc.r_logs_scanned rc.r_words_scanned rc.r_entries_replayed
+        rc.r_entries_rolled_back rc.r_durable_marker rc.r_replayed_ops rc.r_modeled_ns)
+    r.recoveries;
+  Buffer.contents b

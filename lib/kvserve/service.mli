@@ -1,0 +1,123 @@
+(** The sharded persistent KV service: codec → router → batch → commit.
+
+    The service owns [shards] independent PTM instances, each on its
+    own simulated machine ({!Memsim.Sim}), region and {!Store} — so a
+    shard's commit-time flushes and fences never interfere with another
+    shard's, and cross-shard batches overlap in (virtual) time.  A run
+    has three stages:
+
+    + {b Frontend} (untimed, as a network front): every client chunk
+      is fed to that connection's incremental {!Protocol} parser;
+      malformed frames are answered immediately with protocol error
+      replies; parsed requests are split per key and routed to shard
+      queues by {!Router.shard_of_key}, stamped with their arrival
+      instant.
+    + {b Shards} (timed, one simulated executor per shard, fanned
+      across domains by {!Parallel.Pool}): each executor walks its
+      queue in arrival order, batching {e adjacent writes} into one
+      transaction — one coalesced commit, one durable fence for the
+      whole batch — while reads run as individual read-only
+      transactions.  Admission is debt-driven: when the shard's
+      instantaneous persistence debt ({!Memsim.Sim.Debt}) exceeds
+      [debt_line_limit] lines, the batch cap drops to 1, giving the
+      WPQ time to drain before more log traffic is admitted.  Every
+      write batch also commits the shard's batch marker
+      ({!Store.set_batch_marker}), making the durable prefix of the
+      write stream explicit.
+    + {b Crash + restart} (when [crash_at] is given): every shard
+      crashes at the same virtual instant; restart reattaches each
+      region ({!Pstm.Ptm.recover}), reads the recovered batch marker,
+      reconstructs replies for writes that committed durably but whose
+      responses were lost, and re-runs everything after the durable
+      prefix.  Recovery's own cost is {e modeled} from the
+      {!Pstm.Ptm.Recovery_report} counts and the machine's configured
+      latencies (log-scan loads at the log medium's latency — DRAM
+      under PDRAM-Lite — plus write-back per replayed entry), because
+      the recovery pass itself runs on untimed raw operations.
+
+    Everything is deterministic: equal (config, fleet) pairs produce
+    byte-identical replies and metrics for any [jobs] value. *)
+
+type config = {
+  shards : int;
+  model : Memsim.Config.model;
+  heap_words_per_shard : int;
+  buckets_per_shard : int;
+  log_words_per_thread : int;
+  max_batch : int;  (** admission cap: writes coalesced per commit *)
+  debt_line_limit : int;
+      (** backpressure threshold on WPQ + armed-log lines; at or above
+          it the batch cap drops to 1 *)
+  restart_gap_ns : int;
+      (** modeled service-restart cost (process start, reattach)
+          added between crash and the replay phase *)
+  prepopulate_items : int;
+      (** item ranks preloaded untimed before the clock starts *)
+  value_bytes : int;  (** payload size of preloaded values *)
+  profile : bool;  (** attach a {!Telemetry.capture} to every shard *)
+  seed : int;
+}
+
+val default_config : Memsim.Config.model -> config
+
+type opcode = Op_get | Op_set | Op_delete | Op_incr
+
+val opcode_name : opcode -> string
+
+type recovery = {
+  r_shard : int;
+  r_logs_scanned : int;
+  r_words_scanned : int;
+  r_entries_replayed : int;
+  r_entries_rolled_back : int;
+  r_durable_marker : int;  (** last write batch that survived *)
+  r_replayed_ops : int;  (** sub-operations re-run after the marker *)
+  r_modeled_ns : int;  (** simulated recovery time (deterministic) *)
+  r_wall_ns : int;
+      (** host wall time of the recovery pass — nondeterministic;
+          report it, never gate on it *)
+}
+
+type shard_stats = {
+  s_shard : int;
+  s_ops : int;  (** sub-operations executed by this shard *)
+  s_commits : int;
+  s_aborts : int;
+  s_batches : int;  (** write batches committed *)
+  s_max_batch : int;
+  s_throttled : int;  (** batches clamped to 1 by the debt knob *)
+  s_elapsed_ns : int;  (** this shard's final (global) virtual time *)
+}
+
+type result = {
+  model : string;
+  requests : int;  (** parsed requests answered, protocol errors included *)
+  kv_ops : int;  (** sub-operations executed against shards *)
+  protocol_errors : int;
+  get_hits : int;
+  get_misses : int;
+  elapsed_ns : int;  (** max over shards *)
+  ops_per_sec : float;
+  replies : string array;  (** per connection, replies in request order *)
+  latency : (opcode * Repro_util.Histogram.t) list;
+      (** arrival → completion, virtual ns, per opcode *)
+  batch_occupancy : Repro_util.Histogram.t;  (** writes per commit *)
+  shard_ops : int array;
+  imbalance : float;  (** max shard load / mean shard load *)
+  shards : shard_stats list;
+  recoveries : recovery list;  (** one per shard when the run crashed *)
+  crashed : bool;
+  captures : (int * Telemetry.capture) list;
+      (** per-shard telemetry when [config.profile] *)
+}
+
+val run : ?jobs:int -> ?crash_at:int -> config -> Client.t -> result
+(** Serve the fleet.  [jobs] fans shard executions across domains
+    (byte-identical results for any value); [crash_at] pulls the plug
+    on every shard at that virtual instant and exercises the full
+    restart-recovery path. *)
+
+val metrics_jsonl : config -> result -> string
+(** Deterministic service-metrics export in the telemetry JSONL style
+    (schema header; per-opcode latency rows; batch/shard/recovery
+    rows).  Wall-clock recovery times are deliberately excluded. *)

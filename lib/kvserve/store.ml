@@ -1,0 +1,126 @@
+module Ptm = Pstm.Ptm
+module Phashtable = Pstructs.Phashtable
+module Pblob = Pstructs.Pblob
+
+(* Item block layout. *)
+let it_key = 0
+let it_value = 1
+let it_flags = 2
+let it_next = 3
+let item_words = 4
+
+(* Meta block layout. *)
+let meta_items = 0
+let meta_marker = 1
+
+type t = { index : Phashtable.t; meta : int }
+
+let create ?(root_base = 0) ptm ~buckets =
+  let index = Phashtable.create ptm ~buckets in
+  let meta =
+    Ptm.atomic ptm (fun tx ->
+        let a = Ptm.alloc tx 2 in
+        Ptm.write tx (a + meta_items) 0;
+        Ptm.write tx (a + meta_marker) 0;
+        a)
+  in
+  Ptm.root_set ptm root_base (Phashtable.descriptor index);
+  Ptm.root_set ptm (root_base + 1) meta;
+  { index; meta }
+
+let attach ?(root_base = 0) ptm =
+  {
+
+    index = Phashtable.attach ptm (Ptm.root_get ptm root_base);
+    meta = Ptm.root_get ptm (root_base + 1);
+  }
+
+(* Walk the same-hash chain for the item whose key blob equals [key];
+   0 when absent.  [prev] (item address or 0 for the chain head) lets
+   [delete] unlink. *)
+let rec find_from tx prev item key =
+  if item = 0 then (prev, 0)
+  else if Pblob.equal_string tx (Ptm.read tx (item + it_key)) key then (prev, item)
+  else find_from tx item (Ptm.read tx (item + it_next)) key
+
+let find tx t key =
+  match Phashtable.get tx t.index (Router.store_hash key) with
+  | None -> (0, 0)
+  | Some head -> find_from tx 0 head key
+
+let get tx t key =
+  match find tx t key with
+  | _, 0 -> None
+  | _, item -> Some (Ptm.read tx (item + it_flags), Pblob.get tx (Ptm.read tx (item + it_value)))
+
+(* Overwrite an item's value, reallocating the blob when the length
+   changes. *)
+let write_value tx item data =
+  let vb = Ptm.read tx (item + it_value) in
+  if Pblob.length tx vb = String.length data then Pblob.set tx vb data
+  else begin
+    Pblob.free tx vb;
+    Ptm.write tx (item + it_value) (Pblob.alloc tx data)
+  end
+
+let bump_items tx t delta =
+  Ptm.write tx (t.meta + meta_items) (Ptm.read tx (t.meta + meta_items) + delta)
+
+let set tx t ~key ~flags data =
+  match find tx t key with
+  | _, item when item <> 0 ->
+    Ptm.write tx (item + it_flags) flags;
+    write_value tx item data
+  | _ ->
+    let h = Router.store_hash key in
+    let head = match Phashtable.get tx t.index h with None -> 0 | Some head -> head in
+    let item = Ptm.alloc tx item_words in
+    Ptm.write tx (item + it_key) (Pblob.alloc tx key);
+    Ptm.write tx (item + it_value) (Pblob.alloc tx data);
+    Ptm.write tx (item + it_flags) flags;
+    Ptm.write tx (item + it_next) head;
+    ignore (Phashtable.put tx t.index ~key:h ~value:item : bool);
+    bump_items tx t 1
+
+let delete tx t key =
+  let h = Router.store_hash key in
+  match find tx t key with
+  | _, 0 -> false
+  | prev, item ->
+    let succ = Ptm.read tx (item + it_next) in
+    if prev = 0 then
+      if succ = 0 then ignore (Phashtable.remove tx t.index h : bool)
+      else ignore (Phashtable.put tx t.index ~key:h ~value:succ : bool)
+    else Ptm.write tx (prev + it_next) succ;
+    Pblob.free tx (Ptm.read tx (item + it_key));
+    Pblob.free tx (Ptm.read tx (item + it_value));
+    Ptm.free tx item;
+    bump_items tx t (-1);
+    true
+
+type incr_result = New_value of int | Missing | Not_numeric
+
+let incr tx t key delta =
+  match find tx t key with
+  | _, 0 -> Missing
+  | _, item -> (
+    let vb = Ptm.read tx (item + it_value) in
+    let s = Pblob.get tx vb in
+    let n = String.length s in
+    let numeric = n > 0 && n <= 15 in
+    let numeric =
+      numeric
+      && (let ok = ref true in
+          String.iter (fun c -> if c < '0' || c > '9' then ok := false) s;
+          !ok)
+    in
+    match numeric with
+    | false -> Not_numeric
+    | true ->
+      let v = int_of_string s + delta in
+      write_value tx item (string_of_int v);
+      New_value v)
+
+let items tx t = Ptm.read tx (t.meta + meta_items)
+let batch_marker tx t = Ptm.read tx (t.meta + meta_marker)
+let set_batch_marker tx t v = Ptm.write tx (t.meta + meta_marker) v

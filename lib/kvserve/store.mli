@@ -1,0 +1,52 @@
+(** One shard's persistent KV store: a {!Pstructs.Phashtable} index
+    from {!Router.store_hash} to chains of item blocks, with
+    {!Pstructs.Pblob} keys and values — the layout of a real memcached
+    item cache, expressed over the PTM API.
+
+    Item block (4 words): [key_blob; value_blob; flags; next], where
+    [next] chains items whose string keys collide on the same 63-bit
+    hash (vanishingly rare, but correctness owns the case).
+
+    A meta block (2 words) holds the live item count and the
+    {e batch marker}: the sequence number of the last write batch the
+    service committed, written in the same transaction as the batch
+    itself.  After a crash, the recovered marker tells the service
+    exactly which prefix of its write stream is durable — the
+    replay-point of restart recovery, and the hinge of the
+    crash-between-batches scenarios in [lib/crashtest]. *)
+
+type t
+
+val create : ?root_base:int -> Pstm.Ptm.t -> buckets:int -> t
+(** Format a fresh store, publishing its descriptor and meta block in
+    region root slots [root_base] (default 0) and [root_base + 1].
+    Several stores can share one region under distinct [root_base]s. *)
+
+val attach : ?root_base:int -> Pstm.Ptm.t -> t
+(** Re-open after recovery from the same root slots. *)
+
+val get : Pstm.Ptm.tx -> t -> string -> (int * string) option
+(** [(flags, data)] if present. *)
+
+val set : Pstm.Ptm.tx -> t -> key:string -> flags:int -> string -> unit
+(** Upsert.  A same-length overwrite updates the value blob in place;
+    a length change reallocates it. *)
+
+val delete : Pstm.Ptm.tx -> t -> string -> bool
+(** [true] if the key existed. *)
+
+type incr_result = New_value of int | Missing | Not_numeric
+
+val incr : Pstm.Ptm.tx -> t -> string -> int -> incr_result
+(** Add a non-negative delta to a decimal value, memcached-style.
+    The stored representation reallocates only when the decimal's
+    length grows. *)
+
+val items : Pstm.Ptm.tx -> t -> int
+(** Live item count. *)
+
+val batch_marker : Pstm.Ptm.tx -> t -> int
+
+val set_batch_marker : Pstm.Ptm.tx -> t -> int -> unit
+(** Write the marker inside the surrounding batch transaction — the
+    marker and the batch commit (or vanish) together. *)

@@ -1,5 +1,7 @@
 exception Crashed
 
+exception Corrupt_image of string
+
 type t = {
   words : int;
   meta_words : int;

@@ -25,6 +25,14 @@ exception Crashed
     Code between [atomic] boundaries must let it propagate: the whole
     point of a crash is that no cleanup runs. *)
 
+exception Corrupt_image of string
+(** A persistent image that exists but cannot be trusted: a region
+    header with a bad magic ({!Pmem.Region.attach}) or a torn/truncated
+    on-disk media file ([Memsim.Sim.load_image]).  The payload carries
+    file/offset context.  Deliberately distinct from [Sys_error] ("no
+    image at all"), so a service restart can choose between formatting
+    a fresh store and refusing to touch a damaged one. *)
+
 type t = {
   words : int;  (** persistent heap size in words *)
   meta_words : int;  (** volatile metadata space size in words *)

@@ -477,17 +477,34 @@ let save_image t path =
 
 let load_image cfg path =
   let ic = open_in_bin path in
+  let corrupt msg =
+    raise
+      (Machine.Corrupt_image (Printf.sprintf "Sim.load_image: %s: %s (offset %d)" path msg (pos_in ic)))
+  in
   let image =
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () ->
-        if input_binary_int ic <> image_magic then failwith "Sim.load_image: bad magic";
-        let words = input_binary_int ic in
-        if words <> cfg.Config.heap_words then
-          failwith
-            (Printf.sprintf "Sim.load_image: image has %d words, config expects %d" words
-               cfg.Config.heap_words);
-        (Marshal.from_channel ic : int array))
+        (* A short read anywhere in the header or payload means the
+           image was torn mid-write; report it as corruption (with the
+           failing offset), never as a bare [End_of_file]. *)
+        match
+          let magic = input_binary_int ic in
+          if magic <> image_magic then
+            corrupt (Printf.sprintf "bad magic %#x, expected %#x" magic image_magic);
+          let words = input_binary_int ic in
+          if words <> cfg.Config.heap_words then
+            corrupt (Printf.sprintf "image has %d words, config expects %d" words
+                       cfg.Config.heap_words);
+          (Marshal.from_channel ic : int array)
+        with
+        | image ->
+          if Array.length image <> cfg.Config.heap_words then
+            corrupt (Printf.sprintf "payload holds %d words, header promised %d"
+                       (Array.length image) cfg.Config.heap_words);
+          image
+        | exception End_of_file -> corrupt "truncated image"
+        | exception Failure msg -> corrupt ("unreadable payload: " ^ msg))
   in
   let fresh = create cfg in
   Array.blit image 0 fresh.heap 0 (Array.length image);

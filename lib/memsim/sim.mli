@@ -85,7 +85,10 @@ val save_image : t -> string -> unit
 val load_image : Config.t -> string -> t
 (** Fresh machine whose heap and media are initialized from a file
     written by {!save_image}.
-    @raise Failure on a malformed or mis-sized image. *)
+    @raise Machine.Corrupt_image on a malformed, truncated or
+    mis-sized image (the payload carries the file path and offset);
+    [Sys_error] propagates when the file does not exist — restart code
+    can tell "no image" from "torn image". *)
 
 (** Reserve-power accounting (the paper's §V future work: "we do not
     have a formula or model for estimating reserve power requirements

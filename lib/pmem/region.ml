@@ -47,7 +47,12 @@ let create ?(roots = 16) ?(log_words_per_thread = 8192) ?(max_threads = 32) (m :
   { m; roots; max_threads; log_words_per_thread; log_base; data_start }
 
 let attach (m : Machine.t) =
-  if m.Machine.raw_read h_magic <> magic_word then failwith "Region.attach: bad magic";
+  let found = m.Machine.raw_read h_magic in
+  if found <> magic_word then
+    raise
+      (Machine.Corrupt_image
+         (Printf.sprintf "Region.attach: bad magic at word %d: found %#x, expected %#x" h_magic
+            found magic_word));
   let roots = m.Machine.raw_read h_roots in
   let max_threads = m.Machine.raw_read h_max_threads in
   let log_words_per_thread = m.Machine.raw_read h_log_words in

@@ -26,7 +26,8 @@ val create :
 val attach : Machine.t -> t
 (** Re-open an existing region after a reboot; validates the header
     magic and re-registers the log range.
-    @raise Failure if the header is not a valid region. *)
+    @raise Machine.Corrupt_image if the header is not a valid region
+    (the payload names the offending word and the magic found). *)
 
 val machine : t -> Machine.t
 val roots : t -> int

@@ -12,6 +12,18 @@ exception Log_overflow
 (* Conflict signal; never escapes [atomic]. *)
 exception Conflict
 
+(* What one pass of crash recovery actually did — the input of modeled
+   recovery-time estimates (the recovery pass itself runs on raw,
+   untimed machine ops, so it advances no virtual clock). *)
+module Recovery_report = struct
+  type t = {
+    logs_scanned : int;
+    words_scanned : int;
+    entries_replayed : int;
+    entries_rolled_back : int;
+  }
+end
+
 (* The conflict hook and backoff RNG streams are per-PTM-instance (see
    the [t] fields below): independent simulations share no mutable
    state, so the parallel experiment runner can execute them on
@@ -74,6 +86,8 @@ and t = {
   (* Diagnostics: invoked on every conflict with the site and the heap
      address (or orec index, site-dependent) involved. *)
   mutable conflict_hook : (string -> int -> unit) option;
+  (* Set by [recover]; [None] for a freshly created runtime. *)
+  mutable last_recovery : Recovery_report.t option;
 }
 
 let set_conflict_hook t f = t.conflict_hook <- f
@@ -195,6 +209,7 @@ let build ~algorithm ~orec_bits ~flush_timing ~coalesce ~rng_seed m reg allocato
     rng_seed;
     profiler = None;
     conflict_hook = None;
+    last_recovery = None;
   }
 
 let create ?(algorithm = Redo) ?(orec_bits = 20) ?(flush_timing = At_commit) ?(coalesce = true)
@@ -213,16 +228,24 @@ let create ?(algorithm = Redo) ?(orec_bits = 20) ?(flush_timing = At_commit) ?(c
 
 let recover_logs m reg =
   let raw = m.Machine.raw_read and write = m.Machine.raw_write in
-  for tid = 0 to Pmem.Region.max_threads reg - 1 do
+  let words_scanned = ref 0 in
+  let entries_replayed = ref 0 in
+  let entries_rolled_back = ref 0 in
+  let nthreads = Pmem.Region.max_threads reg in
+  for tid = 0 to nthreads - 1 do
     let base = Pmem.Region.log_base reg ~tid in
     let status = raw base in
+    incr words_scanned;
     if status = status_redo_committed then begin
       (* Replay committed-but-possibly-not-written-back values. *)
       let pos = ref (base + 2) in
       while raw !pos <> 0 do
         write (raw !pos) (raw (!pos + 1));
+        words_scanned := !words_scanned + 2;
+        incr entries_replayed;
         pos := !pos + 2
-      done
+      done;
+      incr words_scanned (* the zero-addr sentinel *)
     end
     else if status = status_undo_active then begin
       (* Roll the in-flight transaction back, newest entry first. *)
@@ -230,22 +253,34 @@ let recover_logs m reg =
       let pos = ref (base + 2) in
       while raw !pos <> 0 do
         entries := (raw !pos, raw (!pos + 1)) :: !entries;
+        words_scanned := !words_scanned + 2;
+        incr entries_rolled_back;
         pos := !pos + 2
       done;
+      incr words_scanned;
       List.iter (fun (addr, old) -> write addr old) !entries
     end;
     write base status_idle
-  done
+  done;
+  {
+    Recovery_report.logs_scanned = nthreads;
+    words_scanned = !words_scanned;
+    entries_replayed = !entries_replayed;
+    entries_rolled_back = !entries_rolled_back;
+  }
 
 let recover ?(algorithm = Redo) ?(orec_bits = 20) ?(flush_timing = At_commit) ?(coalesce = true)
     ?(rng_seed = default_rng_seed) ?profiler m =
   let reg = Pmem.Region.attach m in
-  (match profiler with
-  | None -> recover_logs m reg
-  | Some p -> Profile.with_phase p Profile.Recovery (fun () -> recover_logs m reg));
+  let report =
+    match profiler with
+    | None -> recover_logs m reg
+    | Some p -> Profile.with_phase p Profile.Recovery (fun () -> recover_logs m reg)
+  in
   let allocator = Pmem.Alloc.recover reg in
   let t = build ~algorithm ~orec_bits ~flush_timing ~coalesce ~rng_seed m reg allocator in
   t.profiler <- profiler;
+  t.last_recovery <- Some report;
   t
 
 let region t = t.reg
@@ -255,6 +290,7 @@ let coalescing t = t.coalesce
 let allocator t = t.allocator
 let set_profiler t p = t.profiler <- p
 let profiler t = t.profiler
+let last_recovery t = t.last_recovery
 
 let root_get t i = Pmem.Region.root_get t.reg i
 let root_set t i v = Pmem.Region.root_set t.reg i v

@@ -89,6 +89,22 @@ val create :
     Both modes produce identical heap states; only flush/fence traffic
     and timing differ. *)
 
+(** What one pass of crash recovery did: how many per-thread logs were
+    scanned, how many log words were examined, and how many entries
+    were replayed (redo, committed) or rolled back (undo, in-flight).
+    Recovery runs on raw, untimed machine operations — it advances no
+    virtual clock — so services that want to report a {e simulated}
+    recovery time combine these counts with the machine's configured
+    latencies (see [Kvserve.Service]). *)
+module Recovery_report : sig
+  type t = {
+    logs_scanned : int;
+    words_scanned : int;
+    entries_replayed : int;
+    entries_rolled_back : int;
+  }
+end
+
 val recover :
   ?algorithm:algorithm ->
   ?orec_bits:int ->
@@ -179,6 +195,10 @@ val set_profiler : t -> Profile.t option -> unit
     timing.  Install before spawning workers for coherent streams. *)
 
 val profiler : t -> Profile.t option
+
+val last_recovery : t -> Recovery_report.t option
+(** Report of the recovery pass that produced this runtime; [None] for
+    a runtime built by {!create}. *)
 
 val set_conflict_hook : t -> (string -> int -> unit) option -> unit
 (** Install a callback on this instance, invoked on every conflict with

@@ -1,12 +1,13 @@
 (** Array-based binary min-heap specialised to integer keys and integer
-    payloads.
+    payloads — the event queue of the discrete-event scheduler.
 
-    Drop-in replacement for {!Min_heap} on the scheduler's hot path:
-    entries live in flat [int array]s, so pushing and popping an event
+    Entries live in flat [int array]s, so pushing and popping an event
     allocates nothing (no entry record, no option, no tuple).  Tie-break
-    order is identical to {!Min_heap} — FIFO among equal keys — so a
-    scheduler switched from one to the other replays the exact same
-    event order. *)
+    order is FIFO among equal keys, which keeps simulations
+    deterministic.  The retired polymorphic {!Min_heap} survives only
+    as this module's differential oracle: [test/test_util.ml] drives
+    both heaps with identical operation sequences and requires
+    identical pop orders. *)
 
 type t
 

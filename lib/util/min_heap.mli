@@ -1,8 +1,14 @@
-(** Array-based binary min-heap with integer keys.
+(** Array-based binary min-heap with integer keys and polymorphic
+    payloads.
 
-    Used as the event queue of the discrete-event scheduler: pop the
-    runnable with the smallest virtual time.  Ties are broken by
-    insertion order (FIFO), which keeps simulations deterministic. *)
+    Retired from the hot path: the discrete-event scheduler now runs on
+    the allocation-free {!Int_heap}.  This module is kept {e solely} as
+    the easy-to-audit reference implementation — the differential
+    oracle {!Int_heap} is tested against (see [test/test_util.ml]).
+    Ties are broken by insertion order (FIFO), the property the
+    scheduler's determinism rests on; both heaps implement it
+    identically.  Do not add new production callers — use {!Int_heap}
+    (int payloads) or a purpose-built structure instead. *)
 
 type 'a t
 

@@ -1,0 +1,40 @@
+(* kvserve determinism gate: the service promises byte-identical
+   output for equal (config, fleet) inputs, no matter how many domains
+   the per-shard cells ran on and no matter how often it is re-run.
+   Render the quick bench sweep (working-set sizes x durability
+   domains, plus the crash-recovery table — the full codec → router →
+   batch → commit path) twice at --jobs 1 and once at --jobs 2 and
+   compare byte for byte. *)
+
+let render jobs =
+  let outcome = Kvserve.Bench.run ~quick:true ~jobs () in
+  String.concat "\n"
+    (List.map
+       (Format.asprintf "%a" Repro_util.Table.print)
+       outcome.Kvserve.Bench.tables)
+
+let first_diff a b =
+  let n = min (String.length a) (String.length b) in
+  let rec go i = if i < n && a.[i] = b.[i] then go (i + 1) else i in
+  go 0
+
+let () =
+  let reference = render 1 in
+  let failures = ref 0 in
+  let check label out =
+    if String.equal reference out then
+      Printf.printf "kvserve: %s byte-identical (%d bytes)\n%!" label (String.length out)
+    else begin
+      incr failures;
+      let i = first_diff reference out in
+      let context s =
+        let lo = max 0 (i - 40) in
+        String.sub s lo (min 80 (String.length s - lo))
+      in
+      Printf.printf "kvserve: %s DIFFERS at byte %d\n  ref: %S\n  got: %S\n%!" label i
+        (context reference) (context out)
+    end
+  in
+  check "second --jobs 1 run" (render 1);
+  check "--jobs 2" (render 2);
+  if !failures > 0 then exit 1

@@ -13,6 +13,7 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("native", Test_native.suite);
       ("extensions", Test_extensions.suite);
+      ("kvserve", Test_kvserve.suite);
       ("crashtest", Test_crashtest.suite);
       ("differential", Test_differential.suite);
       ("experiments", Test_experiments.suite);

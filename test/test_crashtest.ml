@@ -65,6 +65,25 @@ let coalescing_cases =
         [ Ptm.Redo; Ptm.Undo ])
     [ Scenarios.bank ~coalesce:false (); Scenarios.btree ~coalesce:false () ]
 
+(* ---------- the KV service's crash contracts ---------- *)
+
+(* kv-batch sweeps the coalesced multi-set commit (all-or-nothing plus
+   the batch marker); kv-xshard sweeps the window between two shards'
+   commits (markers must stay within one op, in commit order).  The
+   full matrix for both runs under @crashtest; these cells keep one
+   redo and one undo probe of each in tier 1. *)
+let kvserve_cases =
+  [
+    Alcotest.test_case "matrix kv-batch/optane-adr/redo" `Slow
+      (test_cell (Scenarios.kv_batch ()) Config.optane_adr Ptm.Redo);
+    Alcotest.test_case "matrix kv-batch/pdram-lite/undo" `Slow
+      (test_cell (Scenarios.kv_batch ()) Config.pdram_lite Ptm.Undo);
+    Alcotest.test_case "matrix kv-xshard/optane-adr/undo" `Slow
+      (test_cell (Scenarios.kv_xshard ()) Config.optane_adr Ptm.Undo);
+    Alcotest.test_case "matrix kv-xshard/optane-eadr/redo" `Slow
+      (test_cell (Scenarios.kv_xshard ()) Config.optane_eadr Ptm.Redo);
+  ]
+
 (* ---------- expected failure: ADR without fences ---------- *)
 
 (* Table III's broken variant: clwb without sfence leaves write-backs
@@ -199,7 +218,7 @@ let test_crash_leak_is_warning () =
   hunt 1
 
 let suite =
-  matrix_cases @ coalescing_cases
+  matrix_cases @ coalescing_cases @ kvserve_cases
   @ [
       Alcotest.test_case "nofence-adr is caught (redo)" `Slow (test_nofence Ptm.Redo);
       Alcotest.test_case "nofence-adr is caught (undo)" `Slow (test_nofence Ptm.Undo);

@@ -1,0 +1,365 @@
+(* The KV service: codec fuzz (every-byte-boundary splits, malformed
+   frames that must never raise), router and store semantics, and
+   service-level determinism plus crash-recovery oracles. *)
+
+module P = Kvserve.Protocol
+module Router = Kvserve.Router
+module Store = Kvserve.Store
+module Service = Kvserve.Service
+module Client = Kvserve.Client
+module Config = Memsim.Config
+module Ptm = Pstm.Ptm
+module Rng = Repro_util.Rng
+
+let parse_all bytes =
+  let p = P.parser_create () in
+  P.feed p bytes;
+  P.drain p
+
+let item_str = function
+  | P.Request r -> "req:" ^ P.render_request r
+  | P.Protocol_error e -> "err:" ^ e
+
+let items_str items = String.concat "|" (List.map item_str items)
+
+(* ---------- codec: request round-trip ---------- *)
+
+let sample_requests =
+  [
+    P.Get [ "alpha" ];
+    P.Get [ "a"; "b"; "c" ];
+    P.Set { key = "k1"; flags = 7; data = "hello" };
+    (* Length-prefixed payloads may contain anything, CRLF included. *)
+    P.Set { key = "k2"; flags = 0; data = "bin\r\nary \x01 bytes" };
+    P.Set { key = "k3"; flags = 42; data = "" };
+    P.Delete "gone";
+    P.Incr { key = "c01"; delta = 9 };
+  ]
+
+let test_roundtrip () =
+  let stream = String.concat "" (List.map P.render_request sample_requests) in
+  let items = parse_all stream in
+  Helpers.check_int "all requests parsed" (List.length sample_requests) (List.length items);
+  List.iter2
+    (fun want got ->
+      match got with
+      | P.Request r ->
+        Alcotest.(check string)
+          "round-trips" (P.render_request want) (P.render_request r)
+      | P.Protocol_error e -> Alcotest.fail ("unexpected protocol error: " ^ e))
+    sample_requests items
+
+(* ---------- codec: split at every byte boundary ---------- *)
+
+(* The satellite's core property: an incremental parser must produce
+   the same item sequence no matter where the stream is torn. *)
+let test_every_split () =
+  let stream = String.concat "" (List.map P.render_request sample_requests) in
+  let reference = items_str (parse_all stream) in
+  let n = String.length stream in
+  for cut = 1 to n - 1 do
+    let p = P.parser_create () in
+    P.feed p (String.sub stream 0 cut);
+    let before = P.drain p in
+    P.feed p (String.sub stream cut (n - cut));
+    let items = before @ P.drain p in
+    if not (String.equal reference (items_str items)) then
+      Alcotest.failf "split at byte %d/%d diverges" cut n
+  done;
+  (* Worst case: one byte per feed. *)
+  let p = P.parser_create () in
+  let trickled = ref [] in
+  String.iter
+    (fun c ->
+      P.feed p (String.make 1 c);
+      List.iter (fun it -> trickled := it :: !trickled) (P.drain p))
+    stream;
+  Alcotest.(check string) "byte-at-a-time" reference (items_str (List.rev !trickled));
+  Helpers.check_int "parser quiescent" 0 (P.buffered p)
+
+(* ---------- codec: malformed frames ---------- *)
+
+let expect_error input =
+  match parse_all input with
+  | [ P.Protocol_error e ] ->
+    Helpers.check_bool
+      (Printf.sprintf "%S yields an error reply" input)
+      true
+      (String.length e > 2 && String.sub e (String.length e - 2) 2 = "\r\n")
+  | items ->
+    Alcotest.failf "%S: expected one protocol error, got %d item(s): %s" input
+      (List.length items) (items_str items)
+
+let test_malformed () =
+  List.iter expect_error
+    [
+      "bogus\r\n";
+      "\r\n";
+      "get\r\n";
+      "get bad key\x01\r\n";
+      "set k\r\n";
+      "set k 0 0 notanum\r\n";
+      "set k -1 0 3\r\n";
+      "set k 0 0 99999999999999999999\r\n";
+      (Printf.sprintf "set %s 0 0 3\r\n" (String.make 300 'k'));
+      (Printf.sprintf "set k 0 0 %d\r\n" (P.max_value_bytes + 1));
+      "delete\r\n";
+      "delete a b\r\n";
+      "incr k notanum\r\n";
+      "incr k -3\r\n";
+      (String.make 5000 'x');
+    ];
+  (* A torn set payload (missing CRLF terminator) consumes the declared
+     bytes and resynchronises. *)
+  (match parse_all "set k 0 0 4\r\nabcdXX\r\n" with
+  | [ P.Protocol_error _; P.Protocol_error _ ] -> ()
+  | items -> Alcotest.failf "torn payload: got %s" (items_str items));
+  (* The parser recovers: a valid request after garbage still parses. *)
+  match parse_all "garbage line\r\nget ok\r\n" with
+  | [ P.Protocol_error _; P.Request (P.Get [ "ok" ]) ] -> ()
+  | items -> Alcotest.failf "no resync after garbage: %s" (items_str items)
+
+(* ---------- codec: random-bytes fuzz ---------- *)
+
+(* Whatever arrives — random binary, random chunk boundaries — the
+   parser must neither raise nor wedge (items stay drainable, the
+   buffer stays bounded by line/body limits). *)
+let test_fuzz () =
+  let rng = Rng.create 0xF022 in
+  let alphabet = "get set delincr 0123456789 \r\n\x00\xff k" in
+  for _ = 1 to 200 do
+    let p = P.parser_create () in
+    let budget = ref 0 in
+    for _ = 1 to 40 do
+      let len = Rng.int rng 30 in
+      let chunk =
+        String.init len (fun _ -> alphabet.[Rng.int rng (String.length alphabet)])
+      in
+      P.feed p chunk;
+      budget := !budget + len;
+      let items = P.drain p in
+      List.iter
+        (function
+          | P.Protocol_error e ->
+            Helpers.check_bool "error replies are CRLF-terminated" true
+              (String.length e >= 2 && String.sub e (String.length e - 2) 2 = "\r\n")
+          | P.Request _ -> ())
+        items
+    done;
+    Helpers.check_bool "buffer bounded" true (P.buffered p <= !budget)
+  done
+
+(* ---------- router ---------- *)
+
+let test_router () =
+  let shards = 5 in
+  let counts = Array.make shards 0 in
+  for i = 0 to 999 do
+    let key = Client.key_of i in
+    let s = Router.shard_of_key ~shards key in
+    Helpers.check_bool "shard in range" true (s >= 0 && s < shards);
+    Helpers.check_int "routing is a pure function" s (Router.shard_of_key ~shards key);
+    counts.(s) <- counts.(s) + 1;
+    let h = Router.store_hash key in
+    Helpers.check_bool "store hash positive" true (h > 0)
+  done;
+  Array.iteri
+    (fun s c -> Helpers.check_bool (Printf.sprintf "shard %d nonempty" s) true (c > 50))
+    counts;
+  Helpers.check_int "one shard degenerates to 0" 0 (Router.shard_of_key ~shards:1 "anything")
+
+(* ---------- store ---------- *)
+
+let test_store () =
+  let _sim, _m, ptm = Helpers.ptm_fixture ~log_words_per_thread:4096 () in
+  let store = Store.create ptm ~buckets:64 in
+  Ptm.atomic ptm (fun tx ->
+      Store.set tx store ~key:"a" ~flags:3 "hello";
+      Store.set tx store ~key:"b" ~flags:0 "12");
+  Ptm.atomic ptm (fun tx ->
+      (match Store.get tx store "a" with
+      | Some (3, "hello") -> ()
+      | _ -> Alcotest.fail "a not stored");
+      Helpers.check_int "items counted" 2 (Store.items tx store));
+  (* Overwrite: same length updates in place, new length reallocates. *)
+  Ptm.atomic ptm (fun tx -> Store.set tx store ~key:"a" ~flags:9 "world");
+  Ptm.atomic ptm (fun tx -> Store.set tx store ~key:"a" ~flags:9 "long-er value");
+  Ptm.atomic ptm (fun tx ->
+      match Store.get tx store "a" with
+      | Some (9, "long-er value") -> ()
+      | _ -> Alcotest.fail "overwrite lost");
+  (* incr only on decimal values. *)
+  Ptm.atomic ptm (fun tx ->
+      (match Store.incr tx store "b" 30 with
+      | Store.New_value 42 -> ()
+      | _ -> Alcotest.fail "incr 12+30");
+      (match Store.incr tx store "a" 1 with
+      | Store.Not_numeric -> ()
+      | _ -> Alcotest.fail "incr on text must refuse");
+      match Store.incr tx store "nope" 1 with
+      | Store.Missing -> ()
+      | _ -> Alcotest.fail "incr on missing key");
+  (* delete *)
+  Ptm.atomic ptm (fun tx ->
+      Helpers.check_bool "delete existing" true (Store.delete tx store "a");
+      Helpers.check_bool "delete missing" false (Store.delete tx store "a");
+      Helpers.check_int "items after delete" 1 (Store.items tx store));
+  (* The batch marker is just a meta word under the same transactions. *)
+  Ptm.atomic ptm (fun tx -> Store.set_batch_marker tx store 17);
+  Helpers.check_int "marker round-trips" 17
+    (Ptm.atomic ptm (fun tx -> Store.batch_marker tx store));
+  (* attach sees the same state. *)
+  let store' = Store.attach ptm in
+  Ptm.atomic ptm (fun tx ->
+      match Store.get tx store' "b" with
+      | Some (0, "42") -> ()
+      | _ -> Alcotest.fail "attach lost data")
+
+(* ---------- service fixtures ---------- *)
+
+let small_config ?(model = Config.optane_adr) () =
+  {
+    (Service.default_config model) with
+    Service.shards = 2;
+    prepopulate_items = 64;
+    buckets_per_shard = 256;
+    heap_words_per_shard = 1 lsl 17;
+  }
+
+let small_fleet () =
+  Client.generate ~seed:0xBEEF ~conns:3 ~requests_per_conn:25 ~items:64 ~value_bytes:32
+    ~set_ratio:0.3 ~delete_ratio:0.05 ~incr_ratio:0.1 ~mean_gap_ns:1_500 ~theta:0.9 ()
+
+(* Count reply frames in a connection's response stream.  VALUE blocks
+   are length-prefixed (payloads may contain CRLF); END closes a get
+   frame; every other reply is a single line. *)
+let count_reply_frames s =
+  let n = String.length s in
+  let rec go pos acc =
+    if pos >= n then acc
+    else
+      match String.index_from_opt s pos '\n' with
+      | None -> Alcotest.fail "reply stream ends mid-line"
+      | Some nl ->
+        let line = String.sub s pos (nl - pos - 1) in
+        if String.length line >= 6 && String.sub line 0 6 = "VALUE " then
+          match String.split_on_char ' ' line with
+          | [ _; _; _; bytes ] -> go (nl + 1 + int_of_string bytes + 2) acc
+          | _ -> Alcotest.fail ("bad VALUE line: " ^ line)
+        else go (nl + 1) (acc + 1)
+  in
+  go 0 0
+
+let requests_per_conn (fleet : Client.t) =
+  let counts = Array.make fleet.Client.conns 0 in
+  let parsers = Array.init fleet.Client.conns (fun _ -> P.parser_create ()) in
+  List.iter
+    (fun { Client.conn; bytes; _ } ->
+      P.feed parsers.(conn) bytes;
+      counts.(conn) <- counts.(conn) + List.length (P.drain parsers.(conn)))
+    fleet.Client.chunks;
+  counts
+
+let fingerprint cfg (r : Service.result) =
+  Service.metrics_jsonl cfg r ^ String.concat "\x00" (Array.to_list r.Service.replies)
+
+(* ---------- service: determinism ---------- *)
+
+let test_service_deterministic () =
+  let cfg = small_config () in
+  let fleet = small_fleet () in
+  let a = Service.run ~jobs:1 cfg fleet in
+  let b = Service.run ~jobs:1 cfg fleet in
+  let c = Service.run ~jobs:2 cfg fleet in
+  Alcotest.(check string) "repeat run byte-identical" (fingerprint cfg a) (fingerprint cfg b);
+  Alcotest.(check string) "jobs=2 byte-identical" (fingerprint cfg a) (fingerprint cfg c);
+  Helpers.check_bool "no crash" false a.Service.crashed;
+  Helpers.check_int "no recovery records" 0 (List.length a.Service.recoveries);
+  (* Every request gets exactly one reply frame, per connection. *)
+  let expect = requests_per_conn fleet in
+  Array.iteri
+    (fun conn stream ->
+      Helpers.check_int
+        (Printf.sprintf "conn %d reply frames" conn)
+        expect.(conn) (count_reply_frames stream))
+    a.Service.replies;
+  Helpers.check_int "every request answered" fleet.Client.requests a.Service.requests
+
+(* ---------- service: crash + restart recovery ---------- *)
+
+let test_service_crash () =
+  let cfg = small_config () in
+  let fleet = small_fleet () in
+  let a = Service.run ~jobs:1 ~crash_at:15_000 cfg fleet in
+  let b = Service.run ~jobs:2 ~crash_at:15_000 cfg fleet in
+  Alcotest.(check string) "crash run deterministic across jobs" (fingerprint cfg a)
+    (fingerprint cfg b);
+  Helpers.check_bool "crash observed" true a.Service.crashed;
+  Helpers.check_bool "recovery records present" true (a.Service.recoveries <> []);
+  List.iter
+    (fun rc ->
+      Helpers.check_bool "modeled recovery time positive" true (rc.Service.r_modeled_ns > 0);
+      Helpers.check_bool "recovery scanned its log" true (rc.Service.r_words_scanned > 0))
+    a.Service.recoveries;
+  (* Despite the crash, every request is answered exactly once. *)
+  let expect = requests_per_conn fleet in
+  Array.iteri
+    (fun conn stream ->
+      Helpers.check_int
+        (Printf.sprintf "conn %d reply frames after crash" conn)
+        expect.(conn) (count_reply_frames stream))
+    a.Service.replies
+
+(* ---------- service: exactly-once incr oracle ---------- *)
+
+(* A single connection issuing N increments of one counter.  Increments
+   are serialised by the owning shard, so the reply sequence must be
+   non-decreasing (reconstructed replies for a durable-but-unanswered
+   batch repeat the recovered value) and end exactly at N: a lost
+   commit would fall short, a double replay would overshoot. *)
+let test_incr_exactly_once () =
+  let n = 40 in
+  let bytes = P.render_request (P.Incr { key = Client.counter_of 0; delta = 1 }) in
+  let fleet =
+    {
+      Client.chunks =
+        List.init n (fun i -> { Client.arrival_ns = 2_000 * (i + 1); conn = 0; bytes });
+      conns = 1;
+      requests = n;
+    }
+  in
+  let cfg = small_config () in
+  let check label r =
+    let stream = r.Service.replies.(0) in
+    let numbers =
+      List.filter_map int_of_string_opt
+        (List.map String.trim (String.split_on_char '\n' stream))
+    in
+    Helpers.check_int (label ^ ": all incrs answered with numbers") n (List.length numbers);
+    let last = List.fold_left (fun _ v -> v) 0 numbers in
+    Helpers.check_int (label ^ ": final count exact") n last;
+    ignore
+      (List.fold_left
+         (fun prev v ->
+           Helpers.check_bool (label ^ ": counts never regress") true (v >= prev);
+           v)
+         0 numbers)
+  in
+  check "clean" (Service.run ~jobs:1 cfg fleet);
+  check "crashed" (Service.run ~jobs:1 ~crash_at:40_000 cfg fleet)
+
+let suite =
+  [
+    Alcotest.test_case "codec: render/parse round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "codec: split at every byte boundary" `Quick test_every_split;
+    Alcotest.test_case "codec: malformed frames never raise" `Quick test_malformed;
+    Alcotest.test_case "codec: random-bytes fuzz" `Quick test_fuzz;
+    Alcotest.test_case "router: stable, in-range, spread" `Quick test_router;
+    Alcotest.test_case "store: set/get/delete/incr semantics" `Quick test_store;
+    Alcotest.test_case "service: deterministic across runs and jobs" `Slow
+      test_service_deterministic;
+    Alcotest.test_case "service: crash, recovery, every request answered" `Slow
+      test_service_crash;
+    Alcotest.test_case "service: incr exactly-once across crash" `Slow
+      test_incr_exactly_once;
+  ]

@@ -268,6 +268,37 @@ let test_image_roundtrip_across_machines () =
           Alcotest.(check (option int)) "data crossed processes" (Some (150 * 150))
             (Bptree.lookup tx tree' 150)))
 
+let test_truncated_image_rejected () =
+  let path = Filename.temp_file "pdimg" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let cfg = Memsim.Config.make ~heap_words:(1 lsl 14) Memsim.Config.optane_adr in
+      let sim = Sim.create cfg in
+      Sim.save_image sim path;
+      (* Tear the image mid-payload, as a crash during [save_image]
+         would.  The loader must report corruption (with context), not
+         leak [End_of_file] or hand back a half-image. *)
+      let whole = In_channel.with_open_bin path In_channel.input_all in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (String.sub whole 0 (String.length whole / 2)));
+      (match Sim.load_image cfg path with
+      | _ -> Alcotest.fail "expected Corrupt_image for a torn image"
+      | exception Machine.Corrupt_image msg ->
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+          go 0
+        in
+        Helpers.check_bool "message carries the path" true (contains msg path));
+      (* A missing image is a different condition: plain [Sys_error]. *)
+      Sys.remove path;
+      (match Sim.load_image cfg path with
+      | _ -> Alcotest.fail "expected Sys_error for a missing image"
+      | exception Sys_error _ -> ());
+      (* Recreate so the [finally] remove has something to delete. *)
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc ""))
+
 let test_image_size_mismatch_rejected () =
   let path = Filename.temp_file "pdimg" ".bin" in
   Fun.protect
@@ -279,7 +310,7 @@ let test_image_size_mismatch_rejected () =
       let other = Memsim.Config.make ~heap_words:(1 lsl 15) Memsim.Config.optane_adr in
       match Sim.load_image other path with
       | _ -> Alcotest.fail "expected size mismatch"
-      | exception Failure _ -> ())
+      | exception Machine.Corrupt_image _ -> ())
 
 let prop_queue_matches_model =
   Helpers.qtest ~count:30 "pqueue behaves like Queue"
@@ -325,5 +356,6 @@ let suite =
     Alcotest.test_case "parray: abort rollback" `Quick test_parray_crash_rollback;
     Alcotest.test_case "image: cross-process roundtrip" `Quick test_image_roundtrip_across_machines;
     Alcotest.test_case "image: size mismatch" `Quick test_image_size_mismatch_rejected;
+    Alcotest.test_case "image: truncation -> Corrupt_image" `Quick test_truncated_image_rejected;
     prop_queue_matches_model;
   ]

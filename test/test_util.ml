@@ -114,6 +114,42 @@ let prop_min_heap_sorts =
       in
       drain [] = List.sort compare xs)
 
+(* Min_heap's only remaining job: differential oracle for the
+   scheduler's Int_heap.  Drive both with the same interleaved
+   push/pop sequence and require identical (key, payload) pop orders —
+   including the FIFO tie-break determinism rests on. *)
+let prop_int_heap_matches_min_heap =
+  let op_gen = QCheck2.Gen.(oneof [ map (fun k -> Some k) (int_range 0 50); return None ]) in
+  Helpers.qtest "int_heap differentially equals min_heap (oracle)"
+    QCheck2.Gen.(list op_gen)
+    (fun ops ->
+      let oracle = Min_heap.create () in
+      let subject = Int_heap.create () in
+      let payload = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some key ->
+            incr payload;
+            Min_heap.push oracle ~key !payload;
+            Int_heap.push subject ~key !payload;
+            true
+          | None -> (
+            match (Min_heap.pop oracle, Int_heap.pop subject) with
+            | None, got -> got = -1
+            | Some (k, v), got -> got = v && Int_heap.last_key subject = k))
+        ops
+      && begin
+           (* Drain whatever is left; orders must agree to the end. *)
+           let rec drain () =
+             match (Min_heap.pop oracle, Int_heap.pop subject) with
+             | None, got -> got = -1
+             | Some (k, v), got ->
+               got = v && Int_heap.last_key subject = k && drain ()
+           in
+           drain ()
+         end)
+
 let test_lru_eviction_order () =
   let lru = Lru.create ~capacity:2 in
   ignore (Lru.touch lru 1 ~dirty:false);
@@ -297,6 +333,7 @@ let suite =
     Alcotest.test_case "min_heap: ordering" `Quick test_min_heap_orders;
     Alcotest.test_case "min_heap: FIFO ties" `Quick test_min_heap_fifo_ties;
     prop_min_heap_sorts;
+    prop_int_heap_matches_min_heap;
     Alcotest.test_case "lru: eviction order" `Quick test_lru_eviction_order;
     Alcotest.test_case "lru: dirty tracking" `Quick test_lru_dirty_tracking;
     Alcotest.test_case "lru: dirty eviction" `Quick test_lru_dirty_eviction_reported;
