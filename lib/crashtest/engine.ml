@@ -4,9 +4,14 @@ module Trace = Memsim.Trace
 module Ptm = Pstm.Ptm
 module Rng = Repro_util.Rng
 
+(* A failed check, with an optional replayable counterexample dump
+   (JSONL, written as dlin.jsonl next to the other telemetry). *)
+type oracle_failure = { fail_reason : string; counterexample : string option }
+
 type instance = {
   worker : tid:int -> Ptm.t -> unit;
   validate : crashed:bool -> Sim.t -> Ptm.t -> (unit, string) result;
+  oracle : (crashed:bool -> Sim.t -> Ptm.t -> (unit, oracle_failure) result) option;
 }
 
 type scenario = {
@@ -87,12 +92,28 @@ let prepare_image cfg scenario ~algorithm =
   Sim.save_image sim path;
   path
 
+(* Run the dlin oracle (when the scenario has one) before the shadow
+   validator, so a durable-linearizability violation — which carries a
+   replayable counterexample dump — takes precedence over the coarser
+   invariant check's message. *)
+let check_instance inst ~crashed sim ptm =
+  let first = match inst.oracle with None -> Ok () | Some o -> o ~crashed sim ptm in
+  match first with
+  | Error _ as e -> e
+  | Ok () -> (
+    match inst.validate ~crashed sim ptm with
+    | Ok () -> Ok ()
+    | Error reason -> Error { fail_reason = reason; counterexample = None })
+
 (* Run the scenario's workload from the prepared image, optionally
    crashing, and validate.  Returns the verdict, the final virtual time
-   and the trace (when requested). *)
-let run_from_image ?(trace_capacity = 0) cfg scenario ~algorithm ~seed ~image ?crash_at () =
+   and the trace (when requested).  [inject] arms a deliberate ordering
+   bug in the PTM runtime (mutation tests); the prepared image is always
+   populated without injection. *)
+let run_from_image ?(trace_capacity = 0) ?inject cfg scenario ~algorithm ~seed ~image
+    ?crash_at () =
   let sim = Sim.load_image cfg image in
-  let ptm = Ptm.recover ~algorithm ~coalesce:scenario.coalesce (Sim.machine sim) in
+  let ptm = Ptm.recover ~algorithm ~coalesce:scenario.coalesce ?inject (Sim.machine sim) in
   let tr =
     if trace_capacity > 0 then Some (Sim.enable_trace ~capacity:trace_capacity sim) else None
   in
@@ -103,7 +124,7 @@ let run_from_image ?(trace_capacity = 0) cfg scenario ~algorithm ~seed ~image ?c
   Sim.run ?crash_at sim;
   let final = Sim.now sim in
   let verdict =
-    if not (Sim.crashed sim) then inst.validate ~crashed:false sim ptm
+    if not (Sim.crashed sim) then check_instance inst ~crashed:false sim ptm
     else begin
       let sim2 = Sim.reboot sim in
       let m2 = Sim.machine sim2 in
@@ -112,13 +133,20 @@ let run_from_image ?(trace_capacity = 0) cfg scenario ~algorithm ~seed ~image ?c
       let pre = Pmem.Check.run (Pmem.Region.attach m2) in
       if not (Pmem.Check.is_clean pre) then
         Error
-          (Format.asprintf "pre-recovery corruption:@ %a" Pmem.Check.pp pre)
+          {
+            fail_reason = Format.asprintf "pre-recovery corruption:@ %a" Pmem.Check.pp pre;
+            counterexample = None;
+          }
       else begin
-        let ptm2 = Ptm.recover ~algorithm ~coalesce:scenario.coalesce m2 in
+        let ptm2 = Ptm.recover ~algorithm ~coalesce:scenario.coalesce ?inject m2 in
         let post = Pmem.Check.run (Ptm.region ptm2) in
         if not (Pmem.Check.is_clean post) then
-          Error (Format.asprintf "post-recovery corruption:@ %a" Pmem.Check.pp post)
-        else inst.validate ~crashed:true sim2 ptm2
+          Error
+            {
+              fail_reason = Format.asprintf "post-recovery corruption:@ %a" Pmem.Check.pp post;
+              counterexample = None;
+            }
+        else check_instance inst ~crashed:true sim2 ptm2
       end
     end
   in
@@ -138,15 +166,16 @@ let failure_telemetry_config =
     machine_trace_capacity = 1 lsl 14;
   }
 
-let dump_failure_telemetry cfg scenario ~model ~algorithm ~seed ~image ~crash_at =
+let dump_failure_telemetry ?inject cfg scenario ~model ~algorithm ~seed ~image ~crash_at =
   let dir =
     Filename.concat
       (Filename.get_temp_dir_name ())
-      (Printf.sprintf "crashtest-%s-%s-%s-s%d-t%d" scenario.name model.Config.model_name
-         (Ptm.algorithm_name algorithm) seed crash_at)
+      (Printf.sprintf "crashtest-%s-%s-%s-s%d-t%d%s" scenario.name model.Config.model_name
+         (Ptm.algorithm_name algorithm) seed crash_at
+         (match inject with None -> "" | Some i -> "-" ^ Ptm.inject_name i))
   in
   let sim = Sim.load_image cfg image in
-  let ptm = Ptm.recover ~algorithm ~coalesce:scenario.coalesce (Sim.machine sim) in
+  let ptm = Ptm.recover ~algorithm ~coalesce:scenario.coalesce ?inject (Sim.machine sim) in
   let cap = Telemetry.attach ~config:failure_telemetry_config sim ptm in
   let inst = scenario.fresh ~seed in
   for tid = 0 to scenario.threads - 1 do
@@ -178,9 +207,10 @@ let dump_failure_telemetry cfg scenario ~model ~algorithm ~seed ~image ~crash_at
 
 (* ---------- exploration ---------- *)
 
-let replay_command scenario_name model_name alg seed crash_at =
-  Printf.sprintf "CRASHTEST_REPLAY='%s:%s:%s:%d:%d' dune build @crashtest" scenario_name
+let replay_command ?inject scenario_name model_name alg seed crash_at =
+  Printf.sprintf "CRASHTEST_REPLAY='%s:%s:%s:%d:%d%s' dune build @crashtest" scenario_name
     model_name (Ptm.algorithm_name alg) seed crash_at
+    (match inject with None -> "" | Some i -> ":" ^ Ptm.inject_name i)
 
 (* Greedy shrink: repeatedly probe a few instants below the current
    minimum; stop when none of them fails or the budget runs out.
@@ -213,8 +243,8 @@ let shrink ~probe ~budget t0 =
   done;
   !best
 
-let explore ?points ?seed ?exhaustive ?(shrink_budget = 24) ?(nvm_channels = 4) ~model
-    ~algorithm scenario =
+let explore ?points ?seed ?exhaustive ?(shrink_budget = 24) ?(nvm_channels = 4) ?inject
+    ~model ~algorithm scenario =
   let exhaustive =
     match exhaustive with Some b -> b | None -> exhaustive_from_env ()
   in
@@ -226,16 +256,20 @@ let explore ?points ?seed ?exhaustive ?(shrink_budget = 24) ?(nvm_channels = 4) 
     ~finally:(fun () -> try Sys.remove image with Sys_error _ -> ())
     (fun () ->
       (* Crash-free reference run, traced: yields the final time and
-         the interesting instants, and sanity-checks the oracle. *)
+         the interesting instants, and sanity-checks the oracle.  The
+         injected ordering bugs only weaken durability, never the
+         cache-visible heap, so the reference must pass even under
+         injection. *)
       let verdict, final_time, tr =
-        run_from_image ~trace_capacity:(1 lsl 17) cfg scenario ~algorithm ~seed ~image ()
+        run_from_image ~trace_capacity:(1 lsl 17) ?inject cfg scenario ~algorithm ~seed
+          ~image ()
       in
       (match verdict with
       | Ok () -> ()
       | Error e ->
         failwith
           (Printf.sprintf "crashtest %s/%s: reference run violates the model (harness bug): %s"
-             scenario.name model.Config.model_name e));
+             scenario.name model.Config.model_name e.fail_reason));
       let candidates =
         let traced = match tr with Some tr -> Trace.crash_points tr | None -> [] in
         let grid = List.init 64 (fun i -> (i + 1) * final_time / 65) in
@@ -252,7 +286,9 @@ let explore ?points ?seed ?exhaustive ?(shrink_budget = 24) ?(nvm_channels = 4) 
         end
       in
       let probe t =
-        let v, _, _ = run_from_image cfg scenario ~algorithm ~seed ~image ~crash_at:t () in
+        let v, _, _ =
+          run_from_image ?inject cfg scenario ~algorithm ~seed ~image ~crash_at:t ()
+        in
         v
       in
       let tested = ref 0 in
@@ -263,27 +299,38 @@ let explore ?points ?seed ?exhaustive ?(shrink_budget = 24) ?(nvm_channels = 4) 
              incr tested;
              match probe t with
              | Ok () -> ()
-             | Error reason ->
+             | Error first_fail ->
                let min_t = shrink ~probe ~budget:shrink_budget t in
-               let reason =
-                 match probe min_t with Error r -> r | Ok () -> reason
+               let fail =
+                 match probe min_t with Error f -> f | Ok () -> first_fail
                in
                let telemetry_dir =
                  try
                    Some
-                     (dump_failure_telemetry cfg scenario ~model ~algorithm ~seed ~image
-                        ~crash_at:min_t)
+                     (dump_failure_telemetry ?inject cfg scenario ~model ~algorithm ~seed
+                        ~image ~crash_at:min_t)
                  with Sys_error _ -> None
                in
+               (* The dlin counterexample rides the same telemetry path
+                  as the other failure artifacts: one JSONL next to the
+                  replay line. *)
+               (match (telemetry_dir, fail.counterexample) with
+               | Some dir, Some jsonl -> (
+                 try
+                   let oc = open_out_bin (Filename.concat dir "dlin.jsonl") in
+                   output_string oc jsonl;
+                   close_out oc
+                 with Sys_error _ -> ())
+               | _ -> ());
                failure :=
                  Some
                    {
                      crash_at = t;
                      min_crash_at = min_t;
-                     reason;
+                     reason = fail.fail_reason;
                      replay =
-                       replay_command scenario.name model.Config.model_name algorithm seed
-                         min_t;
+                       replay_command ?inject scenario.name model.Config.model_name algorithm
+                         seed min_t;
                      telemetry_dir;
                    };
                raise Exit)
@@ -300,14 +347,16 @@ let explore ?points ?seed ?exhaustive ?(shrink_budget = 24) ?(nvm_channels = 4) 
         failures = (match !failure with None -> [] | Some f -> [ f ]);
       })
 
-let run_point ?(nvm_channels = 4) ~model ~algorithm ~seed ~crash_at scenario =
+let run_point ?(nvm_channels = 4) ?inject ~model ~algorithm ~seed ~crash_at scenario =
   let cfg = make_config ~nvm_channels scenario model in
   let image = prepare_image cfg scenario ~algorithm in
   Fun.protect
     ~finally:(fun () -> try Sys.remove image with Sys_error _ -> ())
     (fun () ->
-      let v, _, _ = run_from_image cfg scenario ~algorithm ~seed ~image ~crash_at () in
-      v)
+      let v, _, _ =
+        run_from_image ?inject cfg scenario ~algorithm ~seed ~image ~crash_at ()
+      in
+      Result.map_error (fun f -> f.fail_reason) v)
 
 (* ---------- crash-during-recovery ---------- *)
 
@@ -384,12 +433,12 @@ let recovery_convergence ?(nvm_channels = 4) ?budgets ~model ~algorithm ~seed ~c
                   recovery (crash_at=%d seed=%d)"
                  k total crash_at seed)
           else
-            match inst.validate ~crashed:true sim_b ptm_b with
+            match check_instance inst ~crashed:true sim_b ptm_b with
             | Ok () -> Ok ()
             | Error e ->
               Error
                 (Printf.sprintf "model violated after re-recovery (budget %d/%d): %s" k total
-                   e)
+                   e.fail_reason)
         in
         List.fold_left
           (fun acc k -> match acc with Error _ -> acc | Ok () -> check_budget k)
@@ -399,8 +448,7 @@ let recovery_convergence ?(nvm_channels = 4) ?budgets ~model ~algorithm ~seed ~c
 (* ---------- replay parsing ---------- *)
 
 let parse_replay spec =
-  match String.split_on_char ':' (String.trim spec) with
-  | [ scen; model; alg; seed; crash_at ] -> (
+  let parse scen model alg seed crash_at inject =
     let alg =
       match String.lowercase_ascii alg with
       | "redo" -> Some Ptm.Redo
@@ -408,7 +456,19 @@ let parse_replay spec =
       | "htm" -> Some Ptm.Htm
       | _ -> None
     in
-    match (alg, int_of_string_opt seed, int_of_string_opt crash_at) with
-    | Some alg, Some seed, Some crash_at -> Some (scen, model, alg, seed, crash_at)
-    | _ -> None)
+    match (alg, int_of_string_opt seed, int_of_string_opt crash_at, inject) with
+    | Some alg, Some seed, Some crash_at, None ->
+      Some (scen, model, alg, seed, crash_at, None)
+    | Some alg, Some seed, Some crash_at, Some name -> (
+      (* A present-but-unknown inject name must not silently replay the
+         un-mutated runtime. *)
+      match Ptm.inject_of_name name with
+      | Some i -> Some (scen, model, alg, seed, crash_at, Some i)
+      | None -> None)
+    | _ -> None
+  in
+  match String.split_on_char ':' (String.trim spec) with
+  | [ scen; model; alg; seed; crash_at ] -> parse scen model alg seed crash_at None
+  | [ scen; model; alg; seed; crash_at; inject ] ->
+    parse scen model alg seed crash_at (Some inject)
   | _ -> None

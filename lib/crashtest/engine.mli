@@ -28,6 +28,11 @@
     - [CRASHTEST_POINTS=n] — sample size per cell (default 64);
     - [CRASHTEST_SEED=n] — base RNG seed (default 1). *)
 
+(** A failed oracle or validator check.  [counterexample], when present,
+    is a replayable JSONL dump (see {!Dlin.counterexample}) written as
+    [dlin.jsonl] into the failure's telemetry directory. *)
+type oracle_failure = { fail_reason : string; counterexample : string option }
+
 (** One run of a scenario: volatile shadow state (what the workload
     believes committed) plus the validator that checks it against the
     recovered persistent state. *)
@@ -39,6 +44,14 @@ type instance = {
   validate : crashed:bool -> Memsim.Sim.t -> Pstm.Ptm.t -> (unit, string) result;
       (** called untimed on the recovered (or cleanly finished) machine;
           checks every invariant the scenario promises *)
+  oracle :
+    (crashed:bool -> Memsim.Sim.t -> Pstm.Ptm.t -> (unit, oracle_failure) result) option;
+      (** the durable-linearizability oracle: replays the recorded
+          operation history (see {!Dlin}) against the recovered state.
+          Runs {e before} [validate], so a linearizability violation —
+          which carries a replayable counterexample — takes precedence
+          over the coarser invariant check's message.  [None] for
+          scenarios without a history recorder. *)
 }
 
 type scenario = {
@@ -66,9 +79,10 @@ type failure = {
   replay : string;  (** one shell command reproducing [min_crash_at] *)
   telemetry_dir : string option;
       (** directory holding a full telemetry capture of the minimal
-          failing re-run — phase profile, machine trace (Perfetto) and a
-          profile of the post-crash recovery — or [None] if the dump
-          could not be written *)
+          failing re-run — phase profile, machine trace (Perfetto), a
+          profile of the post-crash recovery, and (for dlin-oracle
+          failures) the [dlin.jsonl] counterexample — or [None] if the
+          dump could not be written *)
 }
 
 type report = {
@@ -93,6 +107,7 @@ val explore :
   ?exhaustive:bool ->
   ?shrink_budget:int ->
   ?nvm_channels:int ->
+  ?inject:Pstm.Ptm.inject ->
   model:Memsim.Config.model ->
   algorithm:Pstm.Ptm.algorithm ->
   scenario ->
@@ -100,11 +115,16 @@ val explore :
 (** Run the full exploration for one matrix cell.  Interleaved
     [nvm_channels] default to 4 so WPQ completions can reorder relative
     to issue order — the hazard window missing fences open.
+    [inject] arms a deliberate PTM ordering bug for mutation-testing the
+    oracles; the prepared image is always populated without injection.
     @raise Failure if the crash-free reference run already violates the
-    scenario's model (harness bug, not a crash-consistency bug). *)
+    scenario's model (harness bug, not a crash-consistency bug — the
+    injected bugs weaken durability only, never the cache-visible
+    heap). *)
 
 val run_point :
   ?nvm_channels:int ->
+  ?inject:Pstm.Ptm.inject ->
   model:Memsim.Config.model ->
   algorithm:Pstm.Ptm.algorithm ->
   seed:int ->
@@ -132,7 +152,12 @@ val recovery_convergence :
     validate.  [Ok ()] when the workload ran to completion before
     [crash_at]. *)
 
-val parse_replay : string -> (string * string * Pstm.Ptm.algorithm * int * int) option
-(** Parse a ["scenario:model:algorithm:seed:crash_at"] replay spec (the
-    payload of the [CRASHTEST_REPLAY] variable) into
-    [(scenario_name, model_name, algorithm, seed, crash_at)]. *)
+val parse_replay :
+  string ->
+  (string * string * Pstm.Ptm.algorithm * int * int * Pstm.Ptm.inject option) option
+(** Parse a ["scenario:model:algorithm:seed:crash_at[:inject]"] replay
+    spec (the payload of the [CRASHTEST_REPLAY] variable) into
+    [(scenario_name, model_name, algorithm, seed, crash_at, inject)].
+    The optional sixth field names an injected ordering bug (see
+    {!Pstm.Ptm.inject_name}); an unknown inject name fails the parse
+    rather than silently replaying the un-mutated runtime. *)

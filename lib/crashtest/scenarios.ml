@@ -1,5 +1,7 @@
 module Ptm = Pstm.Ptm
 module Rng = Repro_util.Rng
+module IntMap = Map.Make (Int)
+module IntSet = Set.Make (Int)
 
 (* Roots used by every scenario: slot 0 holds the scenario's top-level
    persistent address. *)
@@ -9,7 +11,39 @@ let root_slot = 0
    for a naive-mode failure reconstructs the same scenario. *)
 let mode_name name ~coalesce = if coalesce then name else name ^ "-naive"
 
+(* ---------- dlin plumbing shared by the scenario oracles ---------- *)
+
+(* Every scenario worker wraps each logical operation in
+   [Dlin.History.run] against the machine's virtual clock, so the
+   instance accumulates a timed invocation/response history.  After the
+   crash the oracle extracts the recovered abstract state and asks
+   {!Dlin.check} for a durable linearization explaining it. *)
+
+let vclock ptm = (Ptm.machine ptm).Machine.now_ns
+
+let run_dlin ?max_nodes spec h ~recovered =
+  match Dlin.check ?max_nodes spec h ~recovered with
+  | Ok (_ : Dlin.stats) -> Ok ()
+  | Error c ->
+    Error
+      { Engine.fail_reason = "dlin: " ^ c.Dlin.reason; counterexample = Some c.Dlin.jsonl }
+
+(* Recovered-state extraction found data no abstract state can hold
+   (torn payload, non-numeric counter, missing marker): fail before the
+   search, with the same replayable dump format. *)
+let extraction_fail spec h reason =
+  Error
+    {
+      Engine.fail_reason = reason;
+      counterexample = Some (Dlin.dump spec h ~recovered:None ~reason ~nodes:0);
+    }
+
+let hash_int_array a = Array.fold_left (fun h v -> (h * 31) + v + 1) 17 a
+
 (* ---------- bank: money conservation + per-thread sequence cells ---------- *)
+
+type bank_op = { btid : int; bop : int; src : int; dst : int; amount : int }
+type bank_state = { bal : int array; bseq : int array }
 
 let bank ?(accounts = 32) ?(threads = 4) ?(ops = 10) ?(coalesce = true) () =
   let initial = 100 in
@@ -27,27 +61,87 @@ let bank ?(accounts = 32) ?(threads = 4) ?(ops = 10) ?(coalesce = true) () =
     in
     Ptm.root_set ptm root_slot base
   in
+  (* Sequential semantics of one transfer, mirroring the transaction
+     body exactly: both reads happen before both writes (the generator
+     never aliases [src = dst], but the model stays faithful to the
+     store order regardless).  The response is the pair of values
+     read. *)
+  let spec =
+    {
+      Dlin.init = { bal = Array.make accounts initial; bseq = Array.make threads 0 };
+      apply =
+        (fun st o ->
+          let bal = Array.copy st.bal and bseq = Array.copy st.bseq in
+          let s = bal.(o.src) and d = bal.(o.dst) in
+          bal.(o.src) <- s - o.amount;
+          bal.(o.dst) <- d + o.amount;
+          bseq.(o.btid) <- o.bop;
+          ({ bal; bseq }, (s, d)));
+      equal_state = (fun a b -> a.bal = b.bal && a.bseq = b.bseq);
+      hash_state = (fun st -> (hash_int_array st.bal * 31) + hash_int_array st.bseq);
+      equal_res = ( = );
+      commutes =
+        (fun a b ->
+          (* Disjoint account sets: state effects and both responses are
+             independent of order (seq cells are per-thread, and the
+             checker only asks about different threads). *)
+          a.src <> b.src && a.src <> b.dst && a.dst <> b.src && a.dst <> b.dst);
+      pp_op =
+        (fun ppf o ->
+          Format.fprintf ppf "t%d#%d: transfer %d %d->%d" o.btid o.bop o.amount o.src o.dst);
+      pp_res = (fun ppf (s, d) -> Format.fprintf ppf "read (%d, %d)" s d);
+      pp_state =
+        (fun ppf st ->
+          Format.fprintf ppf "bal=[%s] seq=[%s]"
+            (String.concat ";" (Array.to_list (Array.map string_of_int st.bal)))
+            (String.concat ";" (Array.to_list (Array.map string_of_int st.bseq))));
+    }
+  in
   let fresh ~seed =
     let committed = Array.make threads 0 in
     let attempted = Array.make threads 0 in
+    let h = Dlin.History.create ~threads in
     let worker ~tid ptm =
       let rng = Rng.create (seed + (7919 * tid)) in
       let base = Ptm.root_get ptm root_slot in
+      let now = vclock ptm in
       for op = 1 to ops do
         let src = Rng.int rng accounts in
-        let dst = Rng.int rng accounts in
+        (* Never [src = dst]: both reads precede both writes in the
+           transaction body, so an aliased transfer would net +amount
+           and break the conservation invariant for unlucky seeds. *)
+        let dst = (src + 1 + Rng.int rng (accounts - 1)) mod accounts in
         let amount = 1 + Rng.int rng 5 in
         attempted.(tid) <- op;
-        Ptm.atomic ptm (fun tx ->
-            let s = Ptm.read tx (base + src) in
-            let d = Ptm.read tx (base + dst) in
-            Ptm.write tx (base + src) (s - amount);
-            Ptm.write tx (base + dst) (d + amount);
-            (* The sequence cell makes lost/partial transactions visible
-               even when the transfer itself happens to conserve money. *)
-            Ptm.write tx (base + accounts + tid) op;
-            Ptm.on_commit tx (fun () -> committed.(tid) <- op))
+        let o = { btid = tid; bop = op; src; dst; amount } in
+        ignore
+          (Dlin.History.run h ~tid ~now o (fun () ->
+               let res = ref (0, 0) in
+               Ptm.atomic ptm (fun tx ->
+                   let s = Ptm.read tx (base + src) in
+                   let d = Ptm.read tx (base + dst) in
+                   res := (s, d);
+                   Ptm.write tx (base + src) (s - amount);
+                   Ptm.write tx (base + dst) (d + amount);
+                   (* The sequence cell makes lost/partial transactions
+                      visible even when the transfer itself happens to
+                      conserve money. *)
+                   Ptm.write tx (base + accounts + tid) op;
+                   Ptm.on_commit tx (fun () -> committed.(tid) <- op));
+               !res)
+            : int * int)
       done
+    in
+    let oracle ~crashed:_ _sim ptm =
+      let base = Ptm.root_get ptm root_slot in
+      let recovered =
+        Ptm.atomic ptm (fun tx ->
+            {
+              bal = Array.init accounts (fun i -> Ptm.read tx (base + i));
+              bseq = Array.init threads (fun j -> Ptm.read tx (base + accounts + j));
+            })
+      in
+      run_dlin spec h ~recovered
     in
     let validate ~crashed:_ _sim ptm =
       let base = Ptm.root_get ptm root_slot in
@@ -81,7 +175,7 @@ let bank ?(accounts = 32) ?(threads = 4) ?(ops = 10) ?(coalesce = true) () =
         match !bad with None -> Ok () | Some e -> Error e
       end
     in
-    { Engine.worker; validate }
+    { Engine.worker; validate; oracle = Some oracle }
   in
   {
     Engine.name = mode_name "bank" ~coalesce;
@@ -95,6 +189,8 @@ let bank ?(accounts = 32) ?(threads = 4) ?(ops = 10) ?(coalesce = true) () =
 
 (* ---------- counters: whole-write-set atomicity ---------- *)
 
+type counters_op = { ctid : int; cop : int }
+
 let counters ?(slots = 8) ?(threads = 4) ?(ops = 8) ?(coalesce = true) () =
   let prepare ptm =
     let base =
@@ -107,18 +203,54 @@ let counters ?(slots = 8) ?(threads = 4) ?(ops = 8) ?(coalesce = true) () =
     in
     Ptm.root_set ptm root_slot base
   in
+  (* All slots always hold the same value, so the abstract state is one
+     integer; the response (the new value) forces a near-total order —
+     exactly-once increments fall out of the search. *)
+  let spec =
+    {
+      Dlin.init = 0;
+      apply = (fun st (_ : counters_op) -> (st + 1, st + 1));
+      equal_state = Int.equal;
+      hash_state = Fun.id;
+      equal_res = Int.equal;
+      commutes = (fun _ _ -> false);
+      pp_op = (fun ppf o -> Format.fprintf ppf "t%d#%d: incr-all" o.ctid o.cop);
+      pp_res = Format.pp_print_int;
+      pp_state = (fun ppf v -> Format.fprintf ppf "slots=%d" v);
+    }
+  in
   let fresh ~seed:_ =
     let committed = ref 0 in
-    let worker ~tid:_ ptm =
+    let h = Dlin.History.create ~threads in
+    let worker ~tid ptm =
       let base = Ptm.root_get ptm root_slot in
-      for _ = 1 to ops do
-        Ptm.atomic ptm (fun tx ->
-            let v = Ptm.read tx (base + 0) + 1 in
-            for i = 0 to slots - 1 do
-              Ptm.write tx (base + i) v
-            done;
-            Ptm.on_commit tx (fun () -> committed := max !committed v))
+      let now = vclock ptm in
+      for op = 1 to ops do
+        ignore
+          (Dlin.History.run h ~tid ~now { ctid = tid; cop = op } (fun () ->
+               let res = ref 0 in
+               Ptm.atomic ptm (fun tx ->
+                   let v = Ptm.read tx (base + 0) + 1 in
+                   res := v;
+                   for i = 0 to slots - 1 do
+                     Ptm.write tx (base + i) v
+                   done;
+                   Ptm.on_commit tx (fun () -> committed := max !committed v));
+               !res)
+            : int)
       done
+    in
+    let oracle ~crashed:_ _sim ptm =
+      let base = Ptm.root_get ptm root_slot in
+      let values =
+        Ptm.atomic ptm (fun tx -> List.init slots (fun i -> Ptm.read tx (base + i)))
+      in
+      let v0 = List.hd values in
+      if List.exists (fun v -> v <> v0) values then
+        extraction_fail spec h
+          (Printf.sprintf "counters: slots diverge after recovery: [%s]"
+             (String.concat "; " (List.map string_of_int values)))
+      else run_dlin spec h ~recovered:v0
     in
     let validate ~crashed:_ _sim ptm =
       let base = Ptm.root_get ptm root_slot in
@@ -136,7 +268,7 @@ let counters ?(slots = 8) ?(threads = 4) ?(ops = 8) ?(coalesce = true) () =
         Error (Printf.sprintf "counters: value %d exceeds %d attempts" v0 (threads * ops))
       else Ok ()
     in
-    { Engine.worker; validate }
+    { Engine.worker; validate; oracle = Some oracle }
   in
   {
     Engine.name = mode_name "counters" ~coalesce;
@@ -150,24 +282,66 @@ let counters ?(slots = 8) ?(threads = 4) ?(ops = 8) ?(coalesce = true) () =
 
 (* ---------- btree: structural invariants + key-set bounds ---------- *)
 
+type btree_op = { ttid : int; tkey : int; tvalue : int }
+
 let btree ?(threads = 4) ?(ops = 8) ?(coalesce = true) () =
   let value_of key = (key * 3) + 1 in
   let prepare ptm =
     let t = Pstructs.Bptree.create ptm in
     Ptm.root_set ptm root_slot (Pstructs.Bptree.descriptor t)
   in
+  let spec =
+    {
+      Dlin.init = IntMap.empty;
+      apply =
+        (fun st o -> (IntMap.add o.tkey o.tvalue st, not (IntMap.mem o.tkey st)));
+      equal_state = IntMap.equal Int.equal;
+      hash_state = (fun st -> IntMap.fold (fun k v h -> (h * 31) + (k lxor (v * 7))) st 17);
+      equal_res = Bool.equal;
+      commutes = (fun a b -> a.tkey <> b.tkey);
+      pp_op = (fun ppf o -> Format.fprintf ppf "t%d: insert %d=%d" o.ttid o.tkey o.tvalue);
+      pp_res = Format.pp_print_bool;
+      pp_state =
+        (fun ppf st ->
+          Format.fprintf ppf "{%s}"
+            (String.concat ";"
+               (List.map
+                  (fun (k, v) -> Printf.sprintf "%d=%d" k v)
+                  (IntMap.bindings st))));
+    }
+  in
   let fresh ~seed:_ =
     let committed : (int, unit) Hashtbl.t = Hashtbl.create 64 in
     let attempted : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+    let h = Dlin.History.create ~threads in
     let worker ~tid ptm =
       let t = Pstructs.Bptree.attach ptm (Ptm.root_get ptm root_slot) in
+      let now = vclock ptm in
       for i = 1 to ops do
         let key = ((tid + 1) * 1000) + i in
         Hashtbl.replace attempted key ();
-        Ptm.atomic ptm (fun tx ->
-            ignore (Pstructs.Bptree.insert tx t ~key ~value:(value_of key) : bool);
-            Ptm.on_commit tx (fun () -> Hashtbl.replace committed key ()))
+        ignore
+          (Dlin.History.run h ~tid ~now { ttid = tid; tkey = key; tvalue = value_of key }
+             (fun () ->
+               let res = ref false in
+               Ptm.atomic ptm (fun tx ->
+                   res := Pstructs.Bptree.insert tx t ~key ~value:(value_of key);
+                   Ptm.on_commit tx (fun () -> Hashtbl.replace committed key ()));
+               !res)
+            : bool)
       done
+    in
+    let oracle ~crashed:_ _sim ptm =
+      let t = Pstructs.Bptree.attach ptm (Ptm.root_get ptm root_slot) in
+      match Pstructs.Bptree.check_invariants t with
+      | exception Failure e -> extraction_fail spec h ("btree: structural violation: " ^ e)
+      | () ->
+        let recovered =
+          List.fold_left
+            (fun m (k, v) -> IntMap.add k v m)
+            IntMap.empty (Pstructs.Bptree.to_alist t)
+        in
+        run_dlin spec h ~recovered
     in
     let validate ~crashed:_ _sim ptm =
       let t = Pstructs.Bptree.attach ptm (Ptm.root_get ptm root_slot) in
@@ -195,7 +369,7 @@ let btree ?(threads = 4) ?(ops = 8) ?(coalesce = true) () =
           alist;
         (match !bad with None -> Ok () | Some e -> Error e)
     in
-    { Engine.worker; validate }
+    { Engine.worker; validate; oracle = Some oracle }
   in
   {
     Engine.name = mode_name "btree" ~coalesce;
@@ -207,87 +381,151 @@ let btree ?(threads = 4) ?(ops = 8) ?(coalesce = true) () =
     fresh;
   }
 
-(* ---------- alloc churn: allocator live-block accounting ---------- *)
+(* ---------- alloc churn: allocator accounting under a slot directory ---------- *)
+
+(* Each thread owns [ops] one-word slots of a persistent directory;
+   operation [j] either allocates a fresh block (stamp in word 0,
+   address-independent signature words after it) and publishes its
+   address in slot [j], or frees the most recently acquired live block
+   and zeroes its slot — each in one transaction.  The abstract state is
+   just the stamp-per-slot vector, so the oracle never has to model the
+   allocator's address choices. *)
+
+type alloc_op =
+  | Acquire of { atid : int; aslot : int; words : int; stamp : int }
+  | Release of { rtid : int; rslot : int }
+
+let alloc_payload_sig stamp k tid = (stamp * 31) + (k * 7) + tid + 1000
 
 let alloc_churn ?(threads = 4) ?(ops = 10) ?(coalesce = true) () =
-  let payload_sig addr j = (addr * 31) + j + 1000 in
   let prepare ptm =
-    (* Nothing beyond the formatted region; a one-word marker block
-       keeps root 0 pointing at valid data. *)
-    let marker =
+    let dir =
       Ptm.atomic ptm (fun tx ->
-          let a = Ptm.alloc tx 1 in
-          Ptm.write tx a 0x5eed;
-          a)
+          let d = Ptm.alloc tx (threads * ops) in
+          for i = 0 to (threads * ops) - 1 do
+            Ptm.write tx (d + i) 0
+          done;
+          d)
     in
-    Ptm.root_set ptm root_slot marker
+    Ptm.root_set ptm root_slot dir
+  in
+  let spec =
+    {
+      Dlin.init = Array.make (threads * ops) 0;
+      apply =
+        (fun st o ->
+          let st = Array.copy st in
+          (match o with
+          | Acquire { atid; aslot; stamp; _ } -> st.((atid * ops) + aslot) <- stamp
+          | Release { rtid; rslot } -> st.((rtid * ops) + rslot) <- 0);
+          (st, ()));
+      equal_state = ( = );
+      hash_state = hash_int_array;
+      equal_res = (fun () () -> true);
+      (* Slots are per-thread and responses are unit, so cross-thread
+         operations always commute — the search degenerates to checking
+         each thread's durable prefix independently. *)
+      commutes = (fun _ _ -> true);
+      pp_op =
+        (fun ppf -> function
+          | Acquire { atid; aslot; words; stamp } ->
+            Format.fprintf ppf "t%d: acquire slot %d (%d words, stamp %d)" atid aslot words
+              stamp
+          | Release { rtid; rslot } -> Format.fprintf ppf "t%d: release slot %d" rtid rslot);
+      pp_res = (fun ppf () -> Format.pp_print_string ppf "()");
+      pp_state =
+        (fun ppf st ->
+          Format.fprintf ppf "stamps=[%s]"
+            (String.concat ";" (Array.to_list (Array.map string_of_int st))));
+    }
   in
   let fresh ~seed =
-    (* addr -> words for blocks whose allocation durably committed (as
-       far as the shadow knows); [inflight_free] marks the one free per
-       thread that may have committed without its hook running. *)
+    (* The op schedule is a pure function of the seed, so the oracle's
+       extraction can look up each slot's expected block shape. *)
+    let schedule =
+      Array.init threads (fun tid ->
+          let rng = Rng.create (seed + (104729 * tid)) in
+          let owned = ref [] in
+          Array.init ops (fun j ->
+              if !owned <> [] && Rng.chance rng 0.3 then begin
+                let slot = List.hd !owned in
+                owned := List.tl !owned;
+                Release { rtid = tid; rslot = slot }
+              end
+              else begin
+                let words = 2 + Rng.int rng 6 in
+                owned := j :: !owned;
+                Acquire { atid = tid; aslot = j; words; stamp = ((tid + 1) * 1000) + j }
+              end))
+    in
     let committed_live : (int, int) Hashtbl.t = Hashtbl.create 64 in
-    let inflight_free = Array.make threads None in
-    let owned = Array.make threads [] in
+    let h = Dlin.History.create ~threads in
     let worker ~tid ptm =
-      let rng = Rng.create (seed + (104729 * tid)) in
-      for _ = 1 to ops do
-        let do_free = owned.(tid) <> [] && Rng.chance rng 0.3 in
-        if do_free then begin
-          match owned.(tid) with
-          | [] -> ()
-          | addr :: rest ->
-            inflight_free.(tid) <- Some addr;
-            Ptm.atomic ptm (fun tx ->
-                Ptm.free tx addr;
-                Ptm.on_commit tx (fun () -> Hashtbl.remove committed_live addr));
-            owned.(tid) <- rest;
-            inflight_free.(tid) <- None
-        end
-        else begin
-          let words = 2 + Rng.int rng 6 in
-          let addr =
-            Ptm.atomic ptm (fun tx ->
-                let a = Ptm.alloc tx words in
-                for j = 0 to words - 1 do
-                  Ptm.write tx (a + j) (payload_sig a j)
-                done;
-                Ptm.on_commit tx (fun () -> Hashtbl.replace committed_live a words);
-                a)
-          in
-          owned.(tid) <- addr :: owned.(tid)
-        end
-      done
+      let dir = Ptm.root_get ptm root_slot in
+      let now = vclock ptm in
+      Array.iter
+        (fun op ->
+          Dlin.History.run h ~tid ~now op (fun () ->
+              match op with
+              | Acquire { aslot; words; stamp; _ } ->
+                Ptm.atomic ptm (fun tx ->
+                    let a = Ptm.alloc tx words in
+                    Ptm.write tx a stamp;
+                    for k = 1 to words - 1 do
+                      Ptm.write tx (a + k) (alloc_payload_sig stamp k tid)
+                    done;
+                    Ptm.write tx (dir + (tid * ops) + aslot) a;
+                    Ptm.on_commit tx (fun () -> Hashtbl.replace committed_live a words))
+              | Release { rslot; _ } ->
+                Ptm.atomic ptm (fun tx ->
+                    let a = Ptm.read tx (dir + (tid * ops) + rslot) in
+                    Ptm.free tx a;
+                    Ptm.write tx (dir + (tid * ops) + rslot) 0;
+                    Ptm.on_commit tx (fun () -> Hashtbl.remove committed_live a))))
+        schedule.(tid)
+    in
+    let oracle ~crashed:_ _sim ptm =
+      let dir = Ptm.root_get ptm root_slot in
+      let err = ref None in
+      let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
+      let recovered =
+        Ptm.atomic ptm (fun tx ->
+            Array.init (threads * ops) (fun i ->
+                let tid = i / ops and j = i mod ops in
+                let a = Ptm.read tx (dir + i) in
+                if a = 0 then 0
+                else
+                  match schedule.(tid).(j) with
+                  | Release _ ->
+                    fail "alloc: slot %d.%d belongs to a release op but holds addr %d" tid j a;
+                    0
+                  | Acquire { words; stamp; _ } ->
+                    let found = Ptm.read tx a in
+                    for k = 1 to words - 1 do
+                      let v = Ptm.read tx (a + k) in
+                      if v <> alloc_payload_sig stamp k tid then
+                        fail "alloc: block %d (slot %d.%d) word %d holds %d, expected %d" a
+                          tid j k v (alloc_payload_sig stamp k tid)
+                    done;
+                    found))
+      in
+      match !err with
+      | Some reason -> extraction_fail spec h reason
+      | None -> run_dlin spec h ~recovered
     in
     let validate ~crashed:_ _sim ptm =
-      let maybe_freed addr = Array.exists (fun o -> o = Some addr) inflight_free in
-      let bad = ref None in
-      Hashtbl.iter
-        (fun addr words ->
-          if !bad = None && not (maybe_freed addr) then
-            for j = 0 to words - 1 do
-              let v = Ptm.atomic ptm (fun tx -> Ptm.read tx (addr + j)) in
-              if !bad = None && v <> payload_sig addr j then
-                bad :=
-                  Some
-                    (Printf.sprintf "alloc: committed block %d word %d holds %d, expected %d"
-                       addr j v (payload_sig addr j))
-            done)
-        committed_live;
-      match !bad with
-      | Some e -> Error e
-      | None ->
-        let rep = Pmem.Check.run (Ptm.region ptm) in
-        let shadow = Hashtbl.length committed_live in
-        (* One in-flight operation per thread can commit durably without
-           its shadow hook running, so allow that much slack. *)
-        if rep.Pmem.Check.live_blocks < shadow - threads then
-          Error
-            (Printf.sprintf "alloc: checker sees %d live blocks, shadow has %d committed"
-               rep.Pmem.Check.live_blocks shadow)
-        else Ok ()
+      (* Coarse allocator accounting: every durably committed block is
+         visible to the region checker, up to one in-flight operation
+         per thread whose hook never ran. *)
+      let rep = Pmem.Check.run (Ptm.region ptm) in
+      let shadow = Hashtbl.length committed_live in
+      if rep.Pmem.Check.live_blocks < shadow - threads then
+        Error
+          (Printf.sprintf "alloc: checker sees %d live blocks, shadow has %d committed"
+             rep.Pmem.Check.live_blocks shadow)
+      else Ok ()
     in
-    { Engine.worker; validate }
+    { Engine.worker; validate; oracle = Some oracle }
   in
   {
     Engine.name = mode_name "alloc" ~coalesce;
@@ -315,6 +553,11 @@ let kv_key ~tid ~b ~k = Printf.sprintf "t%d.b%d.%d" tid b k
    [Pblob.set] — one store, no realloc. *)
 let kv_marker v = Printf.sprintf "%03d" v
 
+type kv_batch_op = { ktid : int; kb : int; kn : int }
+
+(* Key triples packed into one int for the abstract key set. *)
+let kv_enc ~tid ~b ~k = (((tid * 1024) + b) * 1024) + k
+
 let kv_batch ?(threads = 4) ?(ops = 5) ?(batch = 4) ?(coalesce = true) () =
   let prepare ptm =
     let store = Kvserve.Store.create ptm ~buckets:64 in
@@ -323,25 +566,95 @@ let kv_batch ?(threads = 4) ?(ops = 5) ?(batch = 4) ?(coalesce = true) () =
           Kvserve.Store.set tx store ~key:(Printf.sprintf "m%d" tid) ~flags:0 (kv_marker 0)
         done)
   in
+  let spec =
+    {
+      Dlin.init = (Array.make threads 0, IntSet.empty);
+      apply =
+        (fun (markers, keys) o ->
+          let markers = Array.copy markers in
+          markers.(o.ktid) <- o.kb;
+          let keys = ref keys in
+          for k = 0 to o.kn - 1 do
+            keys := IntSet.add (kv_enc ~tid:o.ktid ~b:o.kb ~k) !keys
+          done;
+          ((markers, !keys), ()));
+      equal_state =
+        (fun (ma, ka) (mb, kb) -> ma = mb && IntSet.equal ka kb);
+      hash_state =
+        (fun (m, keys) ->
+          IntSet.fold (fun e acc -> (acc * 31) + e) keys (hash_int_array m));
+      equal_res = (fun () () -> true);
+      commutes = (fun a b -> a.ktid <> b.ktid);
+      pp_op = (fun ppf o -> Format.fprintf ppf "t%d: batch %d (%d keys)" o.ktid o.kb o.kn);
+      pp_res = (fun ppf () -> Format.pp_print_string ppf "()");
+      pp_state =
+        (fun ppf (m, keys) ->
+          Format.fprintf ppf "markers=[%s] keys=%d"
+            (String.concat ";" (Array.to_list (Array.map string_of_int m)))
+            (IntSet.cardinal keys));
+    }
+  in
   let fresh ~seed =
+    (* Seeded per-batch jitter so crash candidates land at distinct
+       phases of different threads' batches; precomputed so worker,
+       validator and oracle agree on every batch's width. *)
+    let widths =
+      Array.init threads (fun tid ->
+          let rng = Rng.create (seed + (7919 * tid)) in
+          Array.init ops (fun _ -> batch + Rng.int rng 2))
+    in
     let committed = Array.make threads 0 in
     let attempted = Array.make threads 0 in
+    let h = Dlin.History.create ~threads in
     let worker ~tid ptm =
-      let rng = Rng.create (seed + (7919 * tid)) in
       let store = Kvserve.Store.attach ptm in
+      let now = vclock ptm in
       for b = 1 to ops do
-        (* Seeded per-batch jitter so crash candidates land at distinct
-           phases of different threads' batches. *)
-        let k_extra = Rng.int rng 2 in
         attempted.(tid) <- b;
-        Ptm.atomic ptm (fun tx ->
-            for k = 0 to batch - 1 + k_extra do
-              Kvserve.Store.set tx store ~key:(kv_key ~tid ~b ~k) ~flags:tid
-                (kv_value ~tid ~b ~k)
-            done;
-            Kvserve.Store.set tx store ~key:(Printf.sprintf "m%d" tid) ~flags:0 (kv_marker b);
-            Ptm.on_commit tx (fun () -> committed.(tid) <- b))
+        let n = widths.(tid).(b - 1) in
+        Dlin.History.run h ~tid ~now { ktid = tid; kb = b; kn = n } (fun () ->
+            Ptm.atomic ptm (fun tx ->
+                for k = 0 to n - 1 do
+                  Kvserve.Store.set tx store ~key:(kv_key ~tid ~b ~k) ~flags:tid
+                    (kv_value ~tid ~b ~k)
+                done;
+                Kvserve.Store.set tx store ~key:(Printf.sprintf "m%d" tid) ~flags:0
+                  (kv_marker b);
+                Ptm.on_commit tx (fun () -> committed.(tid) <- b)))
       done
+    in
+    let oracle ~crashed:_ _sim ptm =
+      let store = Kvserve.Store.attach ptm in
+      let err = ref None in
+      let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
+      let recovered =
+        Ptm.atomic ptm (fun tx ->
+            let markers =
+              Array.init threads (fun tid ->
+                  match Kvserve.Store.get tx store (Printf.sprintf "m%d" tid) with
+                  | None ->
+                    fail "kv-batch: thread %d marker key missing" tid;
+                    0
+                  | Some (_, m) -> int_of_string m)
+            in
+            let keys = ref IntSet.empty in
+            for tid = 0 to threads - 1 do
+              for b = 1 to ops do
+                for k = 0 to widths.(tid).(b - 1) - 1 do
+                  match Kvserve.Store.get tx store (kv_key ~tid ~b ~k) with
+                  | None -> ()
+                  | Some (flags, v) ->
+                    if flags <> tid || not (String.equal v (kv_value ~tid ~b ~k)) then
+                      fail "kv-batch: key %s holds %S flags %d" (kv_key ~tid ~b ~k) v flags;
+                    keys := IntSet.add (kv_enc ~tid ~b ~k) !keys
+                done
+              done
+            done;
+            (markers, !keys))
+      in
+      match !err with
+      | Some reason -> extraction_fail spec h reason
+      | None -> run_dlin spec h ~recovered
     in
     let validate ~crashed:_ _sim ptm =
       let store = Kvserve.Store.attach ptm in
@@ -349,7 +662,6 @@ let kv_batch ?(threads = 4) ?(ops = 5) ?(batch = 4) ?(coalesce = true) () =
           let err = ref None in
           let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
           for tid = 0 to threads - 1 do
-            let rng = Rng.create (seed + (7919 * tid)) in
             match Kvserve.Store.get tx store (Printf.sprintf "m%d" tid) with
             | None -> fail "kv-batch: thread %d marker key missing" tid
             | Some (_, m) ->
@@ -361,8 +673,7 @@ let kv_batch ?(threads = 4) ?(ops = 5) ?(batch = 4) ?(coalesce = true) () =
                 fail "kv-batch: thread %d marker %d beyond last attempted batch %d" tid d
                   attempted.(tid);
               for b = 1 to ops do
-                let k_extra = Rng.int rng 2 in
-                for k = 0 to batch - 1 + k_extra do
+                for k = 0 to widths.(tid).(b - 1) - 1 do
                   let key = kv_key ~tid ~b ~k in
                   match (Kvserve.Store.get tx store key, b <= d) with
                   | None, true -> fail "kv-batch: durable batch %d lost key %s" b key
@@ -377,7 +688,7 @@ let kv_batch ?(threads = 4) ?(ops = 5) ?(batch = 4) ?(coalesce = true) () =
           done;
           match !err with None -> Ok () | Some e -> Error e)
     in
-    { Engine.worker; validate }
+    { Engine.worker; validate; oracle = Some oracle }
   in
   {
     Engine.name = mode_name "kv-batch" ~coalesce;
@@ -395,7 +706,11 @@ let kv_batch ?(threads = 4) ?(ops = 5) ?(batch = 4) ?(coalesce = true) () =
    domain.  Each logical operation commits to shard A, then shard B —
    two independent transactions — so a crash in the window between
    them must leave A exactly one operation ahead of B, never more,
-   never the other order. *)
+   never the other order.  Under the dlin oracle each per-shard commit
+   is its own operation, so the B <= A <= B+1 bound is just "durable
+   sets are per-thread prefixes". *)
+
+type kv_xshard_op = XSetA of { xtid : int; xo : int } | XSetB of { xtid : int; xo : int }
 
 let kv_xshard ?(threads = 4) ?(ops = 6) ?(coalesce = true) () =
   let base_a = 0 and base_b = 2 in
@@ -408,28 +723,110 @@ let kv_xshard ?(threads = 4) ?(ops = 6) ?(coalesce = true) () =
           Kvserve.Store.set tx b ~key:(Printf.sprintf "mb%d" tid) ~flags:0 (kv_marker 0)
         done)
   in
+  let spec =
+    {
+      Dlin.init = (Array.make threads 0, Array.make threads 0, IntSet.empty);
+      apply =
+        (fun (ma, mb, keys) o ->
+          match o with
+          | XSetA { xtid; xo } ->
+            let ma = Array.copy ma in
+            ma.(xtid) <- xo;
+            ((ma, mb, IntSet.add (kv_enc ~tid:xtid ~b:xo ~k:0) keys), ())
+          | XSetB { xtid; xo } ->
+            let mb = Array.copy mb in
+            mb.(xtid) <- xo;
+            ((ma, mb, IntSet.add (kv_enc ~tid:xtid ~b:xo ~k:1) keys), ()));
+      equal_state =
+        (fun (ma, mb, ka) (ma', mb', kb) -> ma = ma' && mb = mb' && IntSet.equal ka kb);
+      hash_state =
+        (fun (ma, mb, keys) ->
+          IntSet.fold
+            (fun e acc -> (acc * 31) + e)
+            keys
+            ((hash_int_array ma * 31) + hash_int_array mb));
+      equal_res = (fun () () -> true);
+      commutes =
+        (fun a b ->
+          let tid = function XSetA { xtid; _ } | XSetB { xtid; _ } -> xtid in
+          tid a <> tid b);
+      pp_op =
+        (fun ppf -> function
+          | XSetA { xtid; xo } -> Format.fprintf ppf "t%d: set A #%d" xtid xo
+          | XSetB { xtid; xo } -> Format.fprintf ppf "t%d: set B #%d" xtid xo);
+      pp_res = (fun ppf () -> Format.pp_print_string ppf "()");
+      pp_state =
+        (fun ppf (ma, mb, _) ->
+          Format.fprintf ppf "A=[%s] B=[%s]"
+            (String.concat ";" (Array.to_list (Array.map string_of_int ma)))
+            (String.concat ";" (Array.to_list (Array.map string_of_int mb))));
+    }
+  in
   (* No per-seed randomness: the interleaving the engine explores comes
      entirely from the crash instant. *)
   let fresh ~seed:_ =
     let committed_a = Array.make threads 0 in
     let committed_b = Array.make threads 0 in
     let attempted = Array.make threads 0 in
+    let h = Dlin.History.create ~threads in
     let worker ~tid ptm =
       let a = Kvserve.Store.attach ~root_base:base_a ptm in
       let b = Kvserve.Store.attach ~root_base:base_b ptm in
+      let now = vclock ptm in
       for o = 1 to ops do
         attempted.(tid) <- o;
-        Ptm.atomic ptm (fun tx ->
-            Kvserve.Store.set tx a ~key:(Printf.sprintf "a.t%d.%d" tid o) ~flags:o
-              (kv_value ~tid ~b:o ~k:0);
-            Kvserve.Store.set tx a ~key:(Printf.sprintf "ma%d" tid) ~flags:0 (kv_marker o);
-            Ptm.on_commit tx (fun () -> committed_a.(tid) <- o));
-        Ptm.atomic ptm (fun tx ->
-            Kvserve.Store.set tx b ~key:(Printf.sprintf "b.t%d.%d" tid o) ~flags:o
-              (kv_value ~tid ~b:o ~k:1);
-            Kvserve.Store.set tx b ~key:(Printf.sprintf "mb%d" tid) ~flags:0 (kv_marker o);
-            Ptm.on_commit tx (fun () -> committed_b.(tid) <- o))
+        Dlin.History.run h ~tid ~now (XSetA { xtid = tid; xo = o }) (fun () ->
+            Ptm.atomic ptm (fun tx ->
+                Kvserve.Store.set tx a ~key:(Printf.sprintf "a.t%d.%d" tid o) ~flags:o
+                  (kv_value ~tid ~b:o ~k:0);
+                Kvserve.Store.set tx a ~key:(Printf.sprintf "ma%d" tid) ~flags:0 (kv_marker o);
+                Ptm.on_commit tx (fun () -> committed_a.(tid) <- o)));
+        Dlin.History.run h ~tid ~now (XSetB { xtid = tid; xo = o }) (fun () ->
+            Ptm.atomic ptm (fun tx ->
+                Kvserve.Store.set tx b ~key:(Printf.sprintf "b.t%d.%d" tid o) ~flags:o
+                  (kv_value ~tid ~b:o ~k:1);
+                Kvserve.Store.set tx b ~key:(Printf.sprintf "mb%d" tid) ~flags:0 (kv_marker o);
+                Ptm.on_commit tx (fun () -> committed_b.(tid) <- o)))
       done
+    in
+    let oracle ~crashed:_ _sim ptm =
+      let a = Kvserve.Store.attach ~root_base:base_a ptm in
+      let b = Kvserve.Store.attach ~root_base:base_b ptm in
+      let err = ref None in
+      let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
+      let recovered =
+        Ptm.atomic ptm (fun tx ->
+            let marker store name tid =
+              match Kvserve.Store.get tx store (Printf.sprintf "%s%d" name tid) with
+              | None ->
+                fail "kv-xshard: thread %d %s marker missing" tid name;
+                0
+              | Some (_, m) -> int_of_string m
+            in
+            let ma = Array.init threads (marker a "ma") in
+            let mb = Array.init threads (marker b "mb") in
+            let keys = ref IntSet.empty in
+            for tid = 0 to threads - 1 do
+              for o = 1 to ops do
+                (match Kvserve.Store.get tx a (Printf.sprintf "a.t%d.%d" tid o) with
+                | None -> ()
+                | Some (flags, v) ->
+                  if flags <> o || not (String.equal v (kv_value ~tid ~b:o ~k:0)) then
+                    fail "kv-xshard: key a.t%d.%d holds %S flags %d" tid o v flags;
+                  keys := IntSet.add (kv_enc ~tid ~b:o ~k:0) !keys);
+                match Kvserve.Store.get tx b (Printf.sprintf "b.t%d.%d" tid o) with
+                | None -> ()
+                | Some (flags, v) ->
+                  if flags <> o || not (String.equal v (kv_value ~tid ~b:o ~k:1)) then
+                    fail "kv-xshard: key b.t%d.%d holds %S flags %d" tid o v flags;
+                  keys := IntSet.add (kv_enc ~tid ~b:o ~k:1) !keys
+              done
+            done;
+            (ma, mb, !keys))
+      in
+      match !err with
+      | Some reason -> extraction_fail spec h reason
+      | None -> run_dlin spec h ~recovered
     in
     let validate ~crashed:_ _sim ptm =
       let a = Kvserve.Store.attach ~root_base:base_a ptm in
@@ -476,10 +873,97 @@ let kv_xshard ?(threads = 4) ?(ops = 6) ?(coalesce = true) () =
           done;
           match !err with None -> Ok () | Some e -> Error e)
     in
-    { Engine.worker; validate }
+    { Engine.worker; validate; oracle = Some oracle }
   in
   {
     Engine.name = mode_name "kv-xshard" ~coalesce;
+    threads;
+    heap_words = 1 lsl 16;
+    log_words_per_thread = 4096;
+    coalesce;
+    prepare;
+    fresh;
+  }
+
+(* ---------- kvserve: exactly-once increments ---------- *)
+
+(* A single shared memcached-style counter bumped by every thread
+   through [Kvserve.Store.incr].  The response (the new value) pins
+   each increment to one slot of a total order, so the dlin search is
+   the exactly-once oracle: a replayed increment (value seen twice) or
+   a lost committed one has no explaining linearization. *)
+
+type kv_incr_op = { itid : int; iop : int }
+
+let kv_incr_key = "ctr"
+
+let kv_incr ?(threads = 4) ?(ops = 6) ?(coalesce = true) () =
+  let prepare ptm =
+    let store = Kvserve.Store.create ptm ~buckets:32 in
+    Ptm.atomic ptm (fun tx -> Kvserve.Store.set tx store ~key:kv_incr_key ~flags:0 "0")
+  in
+  let spec =
+    {
+      Dlin.init = 0;
+      apply = (fun st (_ : kv_incr_op) -> (st + 1, st + 1));
+      equal_state = Int.equal;
+      hash_state = Fun.id;
+      equal_res = Int.equal;
+      commutes = (fun _ _ -> false);
+      pp_op = (fun ppf o -> Format.fprintf ppf "t%d#%d: incr" o.itid o.iop);
+      pp_res = Format.pp_print_int;
+      pp_state = (fun ppf v -> Format.fprintf ppf "ctr=%d" v);
+    }
+  in
+  let fresh ~seed:_ =
+    let committed = ref 0 in
+    let h = Dlin.History.create ~threads in
+    let worker ~tid ptm =
+      let store = Kvserve.Store.attach ptm in
+      let now = vclock ptm in
+      for op = 1 to ops do
+        ignore
+          (Dlin.History.run h ~tid ~now { itid = tid; iop = op } (fun () ->
+               let res = ref 0 in
+               Ptm.atomic ptm (fun tx ->
+                   match Kvserve.Store.incr tx store kv_incr_key 1 with
+                   | Kvserve.Store.New_value v ->
+                     res := v;
+                     Ptm.on_commit tx (fun () -> committed := max !committed v)
+                   | Missing | Not_numeric -> failwith "kv-incr: counter unreadable");
+               !res)
+            : int)
+      done
+    in
+    let read_counter ptm =
+      let store = Kvserve.Store.attach ptm in
+      Ptm.atomic ptm (fun tx ->
+          match Kvserve.Store.get tx store kv_incr_key with
+          | None -> Error "kv-incr: counter key missing"
+          | Some (_, v) -> (
+            match int_of_string_opt v with
+            | None -> Error (Printf.sprintf "kv-incr: counter holds non-numeric %S" v)
+            | Some n -> Ok n))
+    in
+    let oracle ~crashed:_ _sim ptm =
+      match read_counter ptm with
+      | Error reason -> extraction_fail spec h reason
+      | Ok n -> run_dlin spec h ~recovered:n
+    in
+    let validate ~crashed:_ _sim ptm =
+      match read_counter ptm with
+      | Error e -> Error e
+      | Ok n ->
+        if n < !committed then
+          Error (Printf.sprintf "kv-incr: committed value %d lost (counter %d)" !committed n)
+        else if n > threads * ops then
+          Error (Printf.sprintf "kv-incr: value %d exceeds %d attempts" n (threads * ops))
+        else Ok ()
+    in
+    { Engine.worker; validate; oracle = Some oracle }
+  in
+  {
+    Engine.name = mode_name "kv-incr" ~coalesce;
     threads;
     heap_words = 1 lsl 16;
     log_words_per_thread = 4096;
@@ -507,7 +991,7 @@ let of_spec ?(threads = 2) ?(ops = 50) ?(coalesce = true) (spec : Workloads.Driv
       if Pmem.Check.is_clean rep then Ok ()
       else Error (Format.asprintf "workload %s: %a" spec.Workloads.Driver.name Pmem.Check.pp rep)
     in
-    { Engine.worker; validate }
+    { Engine.worker; validate; oracle = None }
   in
   {
     Engine.name = mode_name ("wl-" ^ spec.Workloads.Driver.name) ~coalesce;
@@ -527,6 +1011,7 @@ let all () =
     alloc_churn ();
     kv_batch ();
     kv_xshard ();
+    kv_incr ();
     (* The naive per-entry flush discipline is a distinct persistence
        schedule, so its crash points are swept separately. *)
     bank ~coalesce:false ();

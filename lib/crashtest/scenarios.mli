@@ -1,27 +1,43 @@
 (** Ready-made crash-test scenarios with application-level oracles.
 
-    Each scenario pairs a small concurrent workload with the strongest
-    invariants we can state about its recovered state:
+    Every application scenario carries {e two} oracles.  The primary is
+    a durable-linearizability check ({!Dlin}): each worker wraps every
+    logical operation in [Dlin.History.run] against the machine's
+    virtual clock, and after recovery the instance's [oracle] extracts
+    the recovered abstract state and searches for a legal durable
+    linearization explaining it.  A failure carries a replayable JSONL
+    counterexample (the recorded history plus the recovered state),
+    written as [dlin.jsonl] into the failure telemetry directory.  The
+    secondary [validate] keeps the original coarse shadow-state
+    invariants as a cross-check:
 
     - {!bank}: money conservation plus per-thread operation-sequence
       cells — a committed transfer that vanishes, or an in-flight one
-      that half-appears, is caught;
+      that half-appears, is caught; the dlin responses are the two
+      account values each transfer read;
     - {!counters}: every transaction rewrites all slots, so recovered
-      slots must be equal (atomicity) and at least the last durably
-      committed value (durability);
+      slots must be equal (atomicity) and the single abstract value
+      must be explained by an increment order consistent with the
+      returned new-values;
     - {!btree}: B+Tree structural invariants plus key-set bounds — the
       recovered key set contains every durably committed insert and
       nothing that was never attempted;
-    - {!alloc_churn}: allocator accounting — committed-live payloads
-      keep their signatures, and {!Pmem.Check} agrees with the shadow
-      directory up to one in-flight operation per thread;
+    - {!alloc_churn}: allocator accounting over a persistent slot
+      directory — each thread acquires stamped, signature-filled
+      blocks into its own directory slots or releases them, and the
+      recovered stamp-per-slot vector must match a durable prefix;
+      {!Pmem.Check} cross-checks live-block counts;
     - {!kv_batch}: the KV service's coalesced write path — each thread
       commits batches of sets plus its batch-marker key in one
       transaction, so a crash mid-batch must leave all of the batch or
       none, with the marker naming the durable prefix;
     - {!kv_xshard}: two {!Kvserve.Store}s standing in for two shards —
-      every operation commits to A then B in separate transactions, so
-      the recovered markers must satisfy [B <= A <= B+1] per thread;
+      every operation commits to A then B in separate transactions;
+      under the dlin oracle the [B <= A <= B+1] marker bound is just
+      "durable sets are per-thread prefixes";
+    - {!kv_incr}: a single shared counter bumped through
+      [Kvserve.Store.incr]; the returned new-values make the dlin
+      search an exactly-once oracle;
     - {!of_spec}: wraps any {!Workloads.Driver.spec} with a structural
       (region-integrity only) oracle, so the paper's full workloads can
       ride the @crashtest sweep.
@@ -47,11 +63,13 @@ val kv_batch :
 
 val kv_xshard : ?threads:int -> ?ops:int -> ?coalesce:bool -> unit -> Engine.scenario
 
+val kv_incr : ?threads:int -> ?ops:int -> ?coalesce:bool -> unit -> Engine.scenario
+
 val of_spec :
   ?threads:int -> ?ops:int -> ?coalesce:bool -> Workloads.Driver.spec -> Engine.scenario
 
 val all : unit -> Engine.scenario list
-(** The six application scenarios with default sizes (coalescing on),
+(** The seven application scenarios with default sizes (coalescing on),
     plus naive-flush bank and btree variants — the two flush schedules
     reach "persistent" at different instants, so both are swept. *)
 

@@ -193,6 +193,14 @@ let matrix =
     ("undo/eADR/coalesced", Config.optane_eadr, Ptm.Undo, true);
     ("undo/eADR/naive", Config.optane_eadr, Ptm.Undo, false);
     ("htm/eADR", Config.optane_eadr, Ptm.Htm, true);
+    ("redo/transient/coalesced", Config.transient_cache, Ptm.Redo, true);
+    ("redo/transient/naive", Config.transient_cache, Ptm.Redo, false);
+    ("undo/transient/coalesced", Config.transient_cache, Ptm.Undo, true);
+    ("undo/transient/naive", Config.transient_cache, Ptm.Undo, false);
+    ("htm/transient", Config.transient_cache, Ptm.Htm, true);
+    ("redo/htm-commit/coalesced", Config.htm_commit, Ptm.Redo, true);
+    ("redo/htm-commit/naive", Config.htm_commit, Ptm.Redo, false);
+    ("htm/htm-commit", Config.htm_commit, Ptm.Htm, true);
   ]
 
 let check_seed ?slots ?txns seed =
@@ -228,5 +236,13 @@ let check_seed ?slots ?txns seed =
       if c.clwbs > n.clwbs then
         err "seed %d: %s/coalesced issues %d clwbs, more than naive's %d" seed prefix c.clwbs
           n.clwbs)
-    [ "redo/ADR"; "redo/eADR"; "undo/ADR"; "undo/eADR" ];
+    [
+      "redo/ADR";
+      "redo/eADR";
+      "undo/ADR";
+      "undo/eADR";
+      "redo/transient";
+      "undo/transient";
+      "redo/htm-commit";
+    ];
   match !errors with [] -> Ok () | es -> Error (String.concat "\n" (List.rev es))

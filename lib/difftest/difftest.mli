@@ -68,8 +68,9 @@ val execute :
     snapshot. *)
 
 val matrix : (string * Memsim.Config.model * Pstm.Ptm.algorithm * bool) list
-(** The nine comparison cells: {Redo, Undo} x {ADR, eADR} x
-    {coalesced, naive}, plus Htm under eADR. *)
+(** The comparison cells: {Redo, Undo} x {ADR, eADR, transient-cache} x
+    {coalesced, naive}, Redo x htm-commit x {coalesced, naive}, plus
+    Htm under eADR, transient-cache and htm-commit. *)
 
 val check_seed : ?slots:int -> ?txns:int -> int -> (unit, string) result
 (** Run one seed through the whole matrix; [Error] carries every

@@ -7,6 +7,7 @@ type t = {
   meta_words : int;
   needs_flush : bool;
   needs_fence : bool;
+  durable_publish : bool;
   load : int -> int;
   store : int -> int -> unit;
   clwb : int -> unit;
@@ -64,6 +65,7 @@ module Native = struct
       meta_words;
       needs_flush = false;
       needs_fence = false;
+      durable_publish = false;
       load = (fun addr -> heap.(addr));
       store = (fun addr v -> heap.(addr) <- v);
       clwb = (fun _addr -> ());

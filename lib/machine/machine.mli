@@ -43,6 +43,11 @@ type t = {
       (** whether [sfence] ordering is required (false for eADR-family
           domains and for the deliberately incorrect "no-fence" ADR
           variant of Table III) *)
+  durable_publish : bool;
+      (** whether [publish] alone makes its write set durable even when
+          [needs_flush] holds — the HTM-commit durability domain, where
+          the controller hardens a hardware transaction's write set as
+          one unit at retirement *)
   load : int -> int;  (** timed read of a heap word *)
   store : int -> int -> unit;  (** timed write of a heap word *)
   clwb : int -> unit;

@@ -1,6 +1,6 @@
 type media = Dram | Nvm
 
-type persistence = Adr of { fences : bool } | Eadr
+type persistence = Adr of { fences : bool } | Eadr | Transient_cache
 
 type model = {
   model_name : string;
@@ -9,6 +9,7 @@ type model = {
   persistence : persistence;
   pdram_cache : bool;
   battery : bool;
+  durable_publish : bool;
 }
 
 let dram_adr =
@@ -19,6 +20,7 @@ let dram_adr =
     persistence = Adr { fences = true };
     pdram_cache = false;
     battery = false;
+    durable_publish = false;
   }
 
 let dram_eadr = { dram_adr with model_name = "dram-eadr"; persistence = Eadr }
@@ -31,6 +33,7 @@ let optane_adr =
     persistence = Adr { fences = true };
     pdram_cache = false;
     battery = false;
+    durable_publish = false;
   }
 
 let optane_adr_nofence =
@@ -51,9 +54,25 @@ let memory_mode =
     persistence = Eadr;
     pdram_cache = true;
     battery = false;
+    durable_publish = false;
   }
 
 let pdram_lite = { optane_eadr with model_name = "pdram-lite"; log_in_dram = true }
+
+(* Transiently Persistent CPU Cache (arXiv 2210.17377): the cache
+   arrays themselves retain content across a power failure for long
+   enough to drain lazily, so — like eADR — no flush or fence is ever
+   needed; unlike eADR, reserve power only has to *retain* dirty lines,
+   not read them out of SRAM and write them to NVM, so the energy
+   accounting differs (see [Sim.Debt]). *)
+let transient_cache =
+  { optane_eadr with model_name = "transient-cache"; persistence = Transient_cache }
+
+(* HTM-commit (arXiv 1806.01108): the memory controller hardens a
+   hardware transaction's write set as one unit at commit, so [publish]
+   is durable at retirement — while ordinary stores still pay the full
+   ADR clwb/sfence discipline (the STM fallback path is unchanged). *)
+let htm_commit = { optane_adr with model_name = "htm-commit"; durable_publish = true }
 
 let all_models =
   [
@@ -65,6 +84,8 @@ let all_models =
     pdram;
     pdram_lite;
     memory_mode;
+    transient_cache;
+    htm_commit;
   ]
 
 let model_of_name name =

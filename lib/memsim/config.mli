@@ -21,6 +21,14 @@ type persistence =
           [fences = false] is the deliberately incorrect variant used for
           Table III (flushes without ordering). *)
   | Eadr  (** reserve power flushes caches on failure; no flushes needed *)
+  | Transient_cache
+      (** Transiently Persistent CPU Cache (arXiv 2210.17377): the cache
+          arrays themselves ride out the failure and drain lazily.  Same
+          programming model as eADR (no flushes, no fences, dirty lines
+          survive) but a different reserve-energy story: lines only need
+          to be {e retained}, not read out and written to NVM, so the
+          per-line energy term is roughly an order of magnitude smaller
+          (see [Sim.Debt.reserve_energy_nj]). *)
 
 type model = {
   model_name : string;
@@ -29,6 +37,11 @@ type model = {
   persistence : persistence;
   pdram_cache : bool;  (** PDRAM/Memory Mode: DRAM is a page cache of NVM *)
   battery : bool;  (** reserve power to flush the DRAM cache on failure *)
+  durable_publish : bool;
+      (** HTM-commit (arXiv 1806.01108): the memory controller hardens a
+          hardware transaction's write set as one unit at commit, so
+          [Machine.publish] is durable at retirement even when ordinary
+          stores still need the ADR clwb/sfence discipline. *)
 }
 
 (** The durability/placement models evaluated in the paper. *)
@@ -60,6 +73,14 @@ val memory_mode : model
 (** Memory Mode (§II, Fig 1a): DRAM caches Optane pages with no
     reserve power — PDRAM's performance, no persistence.  Used by the
     extension experiment comparing PDRAM's cost to Memory Mode. *)
+
+val transient_cache : model
+(** Transiently persistent CPU cache: eADR's crash semantics and
+    instruction stream, retention-only reserve-energy accounting. *)
+
+val htm_commit : model
+(** ADR machine whose HTM commits are durable at publish time; the
+    [Ptm.Htm] algorithm runs log-free here despite [needs_flush]. *)
 
 val all_models : model list
 

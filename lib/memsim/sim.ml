@@ -118,7 +118,10 @@ let line_to_media t line =
 let adr_defers t =
   t.media <> None
   && Sched.running t.sched
-  && (match t.cfg.model.persistence with Config.Adr _ -> true | Config.Eadr -> false)
+  &&
+  match t.cfg.model.persistence with
+  | Config.Adr _ -> true
+  | Config.Eadr | Config.Transient_cache -> false
 
 (* Apply entries serviced strictly before [cutoff] to [image], oldest
    first — the same order the controller wrote them. *)
@@ -440,8 +443,11 @@ let surviving_media t =
         else max_int
       in
       apply_pending ~cutoff t.pending image
-    | Config.Eadr ->
-      (* Reserve power flushes resident dirty lines. *)
+    | Config.Eadr | Config.Transient_cache ->
+      (* Reserve power flushes resident dirty lines (eADR), or the
+         cache arrays themselves ride out the failure and drain lazily
+         (transiently persistent cache) — same survival rule, different
+         energy accounting (see [Debt.reserve_energy_nj]). *)
       List.iter
         (fun line ->
           let base = Layout.addr_of_line line in
@@ -545,6 +551,25 @@ let publish t addrs values n =
       | Some { Cache.line = victim; dirty = true } -> ignore (writeback_line t ~now victim)
       | Some { Cache.dirty = false; _ } | None -> ())
   done;
+  (* HTM-commit domain: the controller hardens the write set as one
+     unit at retirement, so each distinct line lands in the media image
+     before this call returns — a crash at any later instant keeps the
+     whole commit.  Stale in-flight WPQ entries for the same lines are
+     dropped (the hardened content supersedes whatever an earlier
+     eviction captured).  The thread pays one NVM drain slot per line. *)
+  let touched = Hashtbl.create 16 in
+  if t.cfg.model.durable_publish then begin
+    for i = 0 to n - 1 do
+      Hashtbl.replace touched (Layout.line_of_addr addrs.(i)) ()
+    done;
+    (match t.media with
+    | Some _ ->
+      t.pending <- List.filter (fun p -> not (Hashtbl.mem touched p.line)) t.pending;
+      t.pending_count <- List.length t.pending;
+      Hashtbl.iter (fun line () -> line_to_media t line) touched
+    | None -> ());
+    Sched.wait t.sched (Hashtbl.length touched * t.cfg.lat.nvm_wpq_service_ns)
+  end;
   Sched.wait t.sched (30 + (2 * n) + (10 * !lines))
 
 (* Volatile metadata space: plain arrays — the DES interleaves at
@@ -581,13 +606,14 @@ let machine t : Machine.t =
   let needs_flush, needs_fence =
     match t.cfg.model.persistence with
     | Config.Adr { fences } -> (true, fences)
-    | Config.Eadr -> (false, false)
+    | Config.Eadr | Config.Transient_cache -> (false, false)
   in
   {
     Machine.words = t.cfg.heap_words;
     meta_words = t.cfg.meta_words;
     needs_flush;
     needs_fence;
+    durable_publish = t.cfg.model.durable_publish;
     load = (fun addr -> load t addr);
     store = (fun addr v -> store t addr v);
     clwb = (fun addr -> clwb t addr);
@@ -657,12 +683,21 @@ module Debt = struct
      *relative* demands of the domains are the result). *)
   let nvm_line_write_nj = 56.0
   let dram_line_read_nj = 6.5
+
+  (* Transiently persistent cache: a dirty line only has to be
+     *retained* in the (now persistent) cache array until lazy drain —
+     no SRAM read-out, no burst NVM write on the reserve budget.
+     Retention leakage over the ride-through window is roughly a DRAM
+     line read's worth of energy, an order of magnitude below eADR's
+     read+write per line. *)
+  let cache_line_retain_nj = 6.5
   let lines_per_page = Layout.words_per_page / Layout.words_per_line
 
   let reserve_energy_nj (sim : sim) t =
     let wpq = float_of_int t.wpq_lines *. nvm_line_write_nj in
     match sim.cfg.model.persistence with
     | Config.Adr _ -> wpq
+    | Config.Transient_cache -> wpq +. (float_of_int t.dirty_l3_lines *. cache_line_retain_nj)
     | Config.Eadr ->
       let l3 = float_of_int t.dirty_l3_lines *. (nvm_line_write_nj +. dram_line_read_nj) in
       let pages =

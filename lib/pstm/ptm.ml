@@ -7,6 +7,32 @@ let algorithm_name = function Redo -> "redo" | Undo -> "undo" | Htm -> "htm"
 
 type flush_timing = At_commit | Incremental
 
+(* Deliberate ordering bugs, injectable for mutation-testing the crash
+   oracles (a checker that never fails is untested).  Each one models a
+   classic PTM implementation mistake:
+   - [Skip_fence]: every sfence is elided — write-backs race in the WPQ
+     with nothing ordering them (Table III's broken variant, but
+     injected into a correct build).
+   - [Reorder_log_apply]: the durable commit status is raised before
+     the log entries are persistent (redo), and undo entries are armed
+     without their own write-back/fence — recovery can apply a stale
+     log, or fail to roll back an in-place store that beat its entry to
+     media.
+   - [Tear_write]: the coalesced data write-back sweep drops its last
+     gathered line, leaving one committed line volatile. *)
+type inject = Skip_fence | Reorder_log_apply | Tear_write
+
+let inject_name = function
+  | Skip_fence -> "skip-fence"
+  | Reorder_log_apply -> "reorder-log-apply"
+  | Tear_write -> "tear-write"
+
+let inject_of_name = function
+  | "skip-fence" -> Some Skip_fence
+  | "reorder-log-apply" -> Some Reorder_log_apply
+  | "tear-write" -> Some Tear_write
+  | _ -> None
+
 exception Log_overflow
 
 (* Conflict signal; never escapes [atomic]. *)
@@ -88,7 +114,11 @@ and t = {
   mutable conflict_hook : (string -> int -> unit) option;
   (* Set by [recover]; [None] for a freshly created runtime. *)
   mutable last_recovery : Recovery_report.t option;
+  (* Injected ordering bug (mutation testing only); [None] in real use. *)
+  mutable inject : inject option;
 }
+
+let set_inject t i = t.inject <- i
 
 let set_conflict_hook t f = t.conflict_hook <- f
 
@@ -133,7 +163,7 @@ let clwb1 t addr =
 let flush t addr = if t.m.Machine.needs_flush then clwb1 t addr
 
 let fence t =
-  if t.m.Machine.needs_fence then
+  if t.m.Machine.needs_fence && t.inject <> Some Skip_fence then
     match t.profiler with
     | None -> t.m.Machine.sfence ()
     | Some p -> Profile.leaf_fence p (fun () -> t.m.Machine.sfence ())
@@ -188,8 +218,9 @@ let default_rng_seed = 0x5EED
 let build ~algorithm ~orec_bits ~flush_timing ~coalesce ~rng_seed m reg allocator =
   (* HTM is incompatible with explicit flushes: clwb of a speculative
      line aborts the hardware transaction (the paper's §II point about
-     TSX under ADR).  Only eADR-class domains may run it. *)
-  if algorithm = Htm && m.Machine.needs_flush then
+     TSX under ADR).  Only eADR-class domains — or an ADR machine whose
+     HTM commits are themselves durable (durable_publish) — may run it. *)
+  if algorithm = Htm && m.Machine.needs_flush && not m.Machine.durable_publish then
     invalid_arg "Ptm: the HTM algorithm requires an eADR-class durability domain";
   let nthreads = Pmem.Region.max_threads reg in
   let orec_count = 1 lsl orec_bits in
@@ -210,11 +241,12 @@ let build ~algorithm ~orec_bits ~flush_timing ~coalesce ~rng_seed m reg allocato
     profiler = None;
     conflict_hook = None;
     last_recovery = None;
+    inject = None;
   }
 
 let create ?(algorithm = Redo) ?(orec_bits = 20) ?(flush_timing = At_commit) ?(coalesce = true)
-    ?(max_threads = 32) ?(log_words_per_thread = 8192) ?(rng_seed = default_rng_seed) m =
-  if algorithm = Htm && m.Machine.needs_flush then
+    ?(max_threads = 32) ?(log_words_per_thread = 8192) ?(rng_seed = default_rng_seed) ?inject m =
+  if algorithm = Htm && m.Machine.needs_flush && not m.Machine.durable_publish then
     invalid_arg "Ptm: the HTM algorithm requires an eADR-class durability domain";
   let reg = Pmem.Region.create ~max_threads ~log_words_per_thread m in
   let allocator = Pmem.Alloc.create reg in
@@ -222,7 +254,9 @@ let create ?(algorithm = Redo) ?(orec_bits = 20) ?(flush_timing = At_commit) ?(c
   for tid = 0 to max_threads - 1 do
     m.Machine.raw_write (Pmem.Region.log_base reg ~tid) status_idle
   done;
-  build ~algorithm ~orec_bits ~flush_timing ~coalesce ~rng_seed m reg allocator
+  let t = build ~algorithm ~orec_bits ~flush_timing ~coalesce ~rng_seed m reg allocator in
+  (match inject with Some _ -> t.inject <- inject | None -> ());
+  t
 
 (* ---------- crash recovery ---------- *)
 
@@ -270,7 +304,7 @@ let recover_logs m reg =
   }
 
 let recover ?(algorithm = Redo) ?(orec_bits = 20) ?(flush_timing = At_commit) ?(coalesce = true)
-    ?(rng_seed = default_rng_seed) ?profiler m =
+    ?(rng_seed = default_rng_seed) ?profiler ?inject m =
   let reg = Pmem.Region.attach m in
   let report =
     match profiler with
@@ -281,6 +315,7 @@ let recover ?(algorithm = Redo) ?(orec_bits = 20) ?(flush_timing = At_commit) ?(
   let t = build ~algorithm ~orec_bits ~flush_timing ~coalesce ~rng_seed m reg allocator in
   t.profiler <- profiler;
   t.last_recovery <- Some report;
+  (match inject with Some _ -> t.inject <- inject | None -> ());
   t
 
 let region t = t.reg
@@ -451,6 +486,9 @@ let flush_written_lines tx iter_addrs =
   end
   else if t.coalesce then begin
     let k = gather_lines tx iter_addrs in
+    (* Injected torn write: the sweep silently drops its last gathered
+       line, leaving that committed line volatile in cache. *)
+    let k = match t.inject with Some Tear_write when k > 1 -> k - 1 | _ -> k in
     clwb_batch t tx.lscratch k;
     fence t;
     k
@@ -547,45 +585,57 @@ let redo_try_commit tx =
     | Some wv ->
       begin
         let base = log_base tx in
-        (* 1. Persist the redo log (entries before status). *)
         let log_flushes = ref 0 and log_fences = ref 0 in
-        if t.m.Machine.needs_flush then
-          if not t.coalesce then begin
-            (* Naive per-entry ordering: every entry's line is written
-               back and fenced on its own, then the sentinel. *)
-            for i = 0 to n - 1 do
-              clwb1 t (base + 2 + (2 * i));
-              fence t
-            done;
-            clwb1 t (base + 2 + (2 * n));
-            fence t;
-            log_flushes := n + 1;
-            log_fences := n + 1
-          end
-          else begin
-            (* Batched append: one vectored sweep over the log lines
-               (only the unflushed tail under Incremental timing), then
-               a single ordering fence. *)
-            let first =
-              match t.flush_timing with
-              | At_commit -> Layout.line_of_addr (base + 2)
-              | Incremental -> tx.log_flushed_upto
-            in
-            let last = Layout.line_of_addr (base + 2 + (2 * n)) in
-            if first <= last then begin
-              let k = last - first + 1 in
-              ensure_scratch tx k;
-              for i = 0 to k - 1 do
-                tx.lscratch.(i) <- Layout.addr_of_line (first + i)
+        (* 1. Persist the redo log (entries before status). *)
+        let persist_log () =
+          if t.m.Machine.needs_flush then
+            if not t.coalesce then begin
+              (* Naive per-entry ordering: every entry's line is written
+                 back and fenced on its own, then the sentinel. *)
+              for i = 0 to n - 1 do
+                clwb1 t (base + 2 + (2 * i));
+                fence t
               done;
-              clwb_batch t tx.lscratch k;
-              log_flushes := k
-            end;
-            fence t;
-            log_fences := 1
-          end;
-        (* 2. Durable commit point. *)
-        write_status tx status_redo_committed;
+              clwb1 t (base + 2 + (2 * n));
+              fence t;
+              log_flushes := n + 1;
+              log_fences := n + 1
+            end
+            else begin
+              (* Batched append: one vectored sweep over the log lines
+                 (only the unflushed tail under Incremental timing), then
+                 a single ordering fence. *)
+              let first =
+                match t.flush_timing with
+                | At_commit -> Layout.line_of_addr (base + 2)
+                | Incremental -> tx.log_flushed_upto
+              in
+              let last = Layout.line_of_addr (base + 2 + (2 * n)) in
+              if first <= last then begin
+                let k = last - first + 1 in
+                ensure_scratch tx k;
+                for i = 0 to k - 1 do
+                  tx.lscratch.(i) <- Layout.addr_of_line (first + i)
+                done;
+                clwb_batch t tx.lscratch k;
+                log_flushes := k
+              end;
+              fence t;
+              log_fences := 1
+            end
+        in
+        (match t.inject with
+        | Some Reorder_log_apply ->
+          (* Injected ordering bug: the durable commit point is raised
+             before the log entries are persistent.  A crash in between
+             makes recovery replay whatever stale entries the media
+             still holds past the status line. *)
+          write_status tx status_redo_committed;
+          persist_log ()
+        | _ ->
+          persist_log ();
+          (* 2. Durable commit point. *)
+          write_status tx status_redo_committed);
         (* 3. Write back to home locations; data durable before the
            orecs are released. *)
         prof_phase t Profile.Write_back (fun () ->
@@ -668,6 +718,11 @@ let undo_write tx addr value =
        the zero slot, so a crash amid these stores can never roll back
        with a stale [old] (the address slot may hold garbage reused
        from an earlier transaction). *)
+    (* Injected ordering bug (undo arm of reorder-log-apply): the entry
+       is armed without its own write-back and fence, so the in-place
+       store below can become durable before the undo entry that would
+       roll it back. *)
+    let reordered = t.inject = Some Reorder_log_apply in
     if Layout.line_of_addr (pos + 2) <> Layout.line_of_addr pos then begin
       (* The sentinel lives on the next cache line.  Its line must be
          durable before the armed entry's line: flushes to distinct
@@ -675,19 +730,25 @@ let undo_write tx addr value =
          next to a stale non-zero successor would let recovery scan on
          into a previous transaction's entries. *)
       t.m.Machine.store (pos + 2) 0;
-      flush t (pos + 2);
-      fence t;
+      if not reordered then begin
+        flush t (pos + 2);
+        fence t
+      end;
       t.m.Machine.store (pos + 1) old;
       t.m.Machine.store pos addr;
-      flush t pos;
-      fence t
+      if not reordered then begin
+        flush t pos;
+        fence t
+      end
     end
     else begin
       t.m.Machine.store (pos + 1) old;
       t.m.Machine.store (pos + 2) 0 (* sentinel *);
       t.m.Machine.store pos addr;
-      flush_range t pos (pos + 2);
-      fence t
+      if not reordered then begin
+        flush_range t pos (pos + 2);
+        fence t
+      end
     end
   end;
   t.m.Machine.store addr value

@@ -45,6 +45,25 @@ type flush_timing =
   | At_commit  (** flush all redo-log lines in a tight pre-commit loop *)
   | Incremental  (** flush each log line as it fills (§III-B ablation) *)
 
+(** Deliberate ordering bugs for mutation-testing the crash oracles
+    (never set in real use — a checker that never fails is untested). *)
+type inject =
+  | Skip_fence  (** every sfence elided: write-backs race in the WPQ *)
+  | Reorder_log_apply
+      (** redo: the durable commit status is raised {e before} the log
+          entries persist, so recovery can replay a stale log; undo:
+          entries are armed without their own write-back/fence, so an
+          in-place store can beat its undo entry to media *)
+  | Tear_write
+      (** the coalesced commit write-back sweep drops its last gathered
+          line, leaving one committed line volatile *)
+
+val inject_name : inject -> string
+(** Stable names: ["skip-fence"], ["reorder-log-apply"], ["tear-write"]
+    (used in crashtest replay specs and CRASHTEST_INJECT). *)
+
+val inject_of_name : string -> inject option
+
 type t
 (** A PTM runtime bound to one machine: region, allocator, orec table,
     clock, per-thread logs and statistics. *)
@@ -65,6 +84,7 @@ val create :
   ?max_threads:int ->
   ?log_words_per_thread:int ->
   ?rng_seed:int ->
+  ?inject:inject ->
   Machine.t ->
   t
 (** Format a fresh region on [machine] and initialize the runtime.
@@ -112,6 +132,7 @@ val recover :
   ?coalesce:bool ->
   ?rng_seed:int ->
   ?profiler:Profile.t ->
+  ?inject:inject ->
   Machine.t ->
   t
 (** Attach to an existing region after a reboot and run crash
@@ -207,3 +228,7 @@ val set_conflict_hook : t -> (string -> int -> unit) option -> unit
     failures).  For contention debugging; [None] disables.  Per
     instance, so concurrent simulations on other domains are never
     observed. *)
+
+val set_inject : t -> inject option -> unit
+(** Arm (or disarm) an injected ordering bug on this instance.  Strictly
+    for mutation tests of the crash oracles; see {!inject}. *)

@@ -403,6 +403,9 @@ let htm ?(quick = false) ?jobs () =
       ("eADR_htm", Config.optane_eadr, Ptm.Htm);
       ("PDRAM_redo", Config.pdram, Ptm.Redo);
       ("PDRAM_htm", Config.pdram, Ptm.Htm);
+      ("Transient_htm", Config.transient_cache, Ptm.Htm);
+      ("HTMcommit_htm", Config.htm_commit, Ptm.Htm);
+      ("HTMcommit_redo", Config.htm_commit, Ptm.Redo);
     ]
   in
   sweep ?jobs ~quick:(dur < 3_000_000) ~title:"Extension — HTM under eADR/PDRAM" ~series
@@ -436,7 +439,12 @@ let reserve_energy ?(quick = false) ?jobs () =
         [ "model"; "max WPQ lines"; "max dirty L3"; "max dirty pages"; "max log lines";
           "reserve energy (uJ)" ]
   in
-  let models = [ Config.optane_adr; Config.optane_eadr; Config.pdram_lite; Config.pdram ] in
+  let models =
+    [
+      Config.optane_adr; Config.optane_eadr; Config.transient_cache; Config.pdram_lite;
+      Config.pdram;
+    ]
+  in
   let cells =
     List.map
       (fun model () ->

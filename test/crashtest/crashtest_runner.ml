@@ -1,33 +1,61 @@
 (* Standalone crash-test sweep, wired to `dune build @crashtest`.
 
    Default: sampled sweep of every scenario across the
-   {Redo, Undo} x {ADR, eADR, PDRAM, PDRAM-Lite} matrix.
+   {Redo, Undo} x {ADR, eADR, PDRAM, PDRAM-Lite, transient-cache,
+   HTM-commit} matrix (Htm replaces Undo on the HTM-commit domain).
    CRASHTEST_EXHAUSTIVE=1 probes every candidate instant instead.
    CRASHTEST_SCENARIO / CRASHTEST_MODEL / CRASHTEST_ALG restrict the
    sweep to matching cells (exact scenario / model / algorithm names).
-   CRASHTEST_REPLAY='scenario:model:algorithm:seed:crash_at' re-runs a
-   single failing point printed by a previous sweep. *)
+   CRASHTEST_INJECT=skip-fence|reorder-log-apply|tear-write arms a
+   deliberate PTM ordering bug for the whole sweep (expect failures —
+   this is how the oracles themselves are exercised by hand).
+   CRASHTEST_REPLAY='scenario:model:algorithm:seed:crash_at[:inject]'
+   re-runs a single failing point printed by a previous sweep. *)
 
 module Config = Memsim.Config
 module Engine = Crashtest.Engine
 module Scenarios = Crashtest.Scenarios
 
-let models = [ Config.optane_adr; Config.optane_eadr; Config.pdram; Config.pdram_lite ]
-let algorithms = [ Pstm.Ptm.Redo; Pstm.Ptm.Undo ]
+let models =
+  [
+    Config.optane_adr;
+    Config.optane_eadr;
+    Config.pdram;
+    Config.pdram_lite;
+    Config.transient_cache;
+    Config.htm_commit;
+  ]
+
+(* Undo's eager in-place stores are pointless inside a hardware
+   transaction; the HTM-commit domain sweeps the Htm algorithm
+   instead. *)
+let algorithms_for model =
+  if model == Config.htm_commit then [ Pstm.Ptm.Redo; Pstm.Ptm.Htm ]
+  else [ Pstm.Ptm.Redo; Pstm.Ptm.Undo ]
+
+let inject_from_env () =
+  match Sys.getenv_opt "CRASHTEST_INJECT" with
+  | None | Some "" -> None
+  | Some name -> (
+    match Pstm.Ptm.inject_of_name name with
+    | Some _ as i -> i
+    | None ->
+      Printf.eprintf "CRASHTEST_INJECT: unknown inject %S\n%!" name;
+      exit 2)
 
 let replay spec =
   match Engine.parse_replay spec with
   | None ->
     Printf.eprintf "CRASHTEST_REPLAY: cannot parse %S\n%!" spec;
     exit 2
-  | Some (scenario_name, model_name, algorithm, seed, crash_at) ->
+  | Some (scenario_name, model_name, algorithm, seed, crash_at, inject) ->
     let scenario, model =
       try (Scenarios.find scenario_name, Config.model_of_name model_name)
       with Invalid_argument msg ->
         Printf.eprintf "CRASHTEST_REPLAY: %s\n%!" msg;
         exit 2
     in
-    (match Engine.run_point ~model ~algorithm ~seed ~crash_at scenario with
+    (match Engine.run_point ?inject ~model ~algorithm ~seed ~crash_at scenario with
     | Ok () ->
       Printf.printf "replay %s: ok (no violation at t=%d)\n%!" spec crash_at
     | Error reason ->
@@ -38,6 +66,7 @@ let wanted var name =
   match Sys.getenv_opt var with None | Some "" -> true | Some v -> v = name
 
 let sweep () =
+  let inject = inject_from_env () in
   let failed = ref 0 in
   let ran = ref 0 in
   List.iter
@@ -49,12 +78,12 @@ let sweep () =
               List.iter
                 (fun algorithm ->
                   if wanted "CRASHTEST_ALG" (Pstm.Ptm.algorithm_name algorithm) then begin
-                    let report = Engine.explore ~model ~algorithm scenario in
+                    let report = Engine.explore ?inject ~model ~algorithm scenario in
                     Format.printf "%a@." Engine.pp_report report;
                     incr ran;
                     if not (Engine.ok report) then incr failed
                   end)
-                algorithms)
+                (algorithms_for model))
           models)
     (Scenarios.all ());
   if !ran = 0 then begin

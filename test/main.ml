@@ -14,6 +14,7 @@ let () =
       ("native", Test_native.suite);
       ("extensions", Test_extensions.suite);
       ("kvserve", Test_kvserve.suite);
+      ("dlin", Test_dlin.suite);
       ("crashtest", Test_crashtest.suite);
       ("differential", Test_differential.suite);
       ("experiments", Test_experiments.suite);

@@ -84,6 +84,30 @@ let kvserve_cases =
       (test_cell (Scenarios.kv_xshard ()) Config.optane_eadr Ptm.Redo);
   ]
 
+(* ---------- the two extension durability domains ---------- *)
+
+(* transient-cache (whole-cache-persistence, arXiv 2210.17377): caches
+   survive the crash, so like eADR nothing needs flushing; HTM-commit
+   (arXiv 1806.01108): an ADR-class domain whose publish hardens a
+   hardware transaction's write set as one unit, making the Htm
+   algorithm legal under a flush-requiring domain.  Both get their own
+   crash sweeps, including the Htm algorithm itself on HTM-commit. *)
+let extension_domain_cases =
+  [
+    Alcotest.test_case "matrix bank/transient-cache/redo" `Slow
+      (test_cell (Scenarios.bank ()) Config.transient_cache Ptm.Redo);
+    Alcotest.test_case "matrix counters/transient-cache/undo" `Slow
+      (test_cell (Scenarios.counters ()) Config.transient_cache Ptm.Undo);
+    Alcotest.test_case "matrix bank/htm-commit/htm" `Slow
+      (test_cell (Scenarios.bank ()) Config.htm_commit Ptm.Htm);
+    Alcotest.test_case "matrix counters/htm-commit/redo" `Slow
+      (test_cell (Scenarios.counters ()) Config.htm_commit Ptm.Redo);
+    Alcotest.test_case "matrix kv-incr/optane-adr/redo" `Slow
+      (test_cell (Scenarios.kv_incr ()) Config.optane_adr Ptm.Redo);
+    Alcotest.test_case "matrix kv-incr/htm-commit/htm" `Slow
+      (test_cell (Scenarios.kv_incr ()) Config.htm_commit Ptm.Htm);
+  ]
+
 (* ---------- expected failure: ADR without fences ---------- *)
 
 (* Table III's broken variant: clwb without sfence leaves write-backs
@@ -110,8 +134,9 @@ let test_nofence algorithm () =
     in
     (match Engine.parse_replay spec with
     | None -> Alcotest.fail ("replay spec does not parse: " ^ spec)
-    | Some (scen_name, model_name, alg, replay_seed, crash_at) ->
+    | Some (scen_name, model_name, alg, replay_seed, crash_at, inject) ->
       Helpers.check_int "replay seed matches report" report.Engine.seed replay_seed;
+      Helpers.check_bool "clean run's replay carries no inject" true (inject = None);
       let result =
         Engine.run_point
           ~model:(Config.model_of_name model_name)
@@ -130,11 +155,75 @@ let test_nofence algorithm () =
             (Sys.file_exists (Filename.concat dir file)))
         [ "profile.jsonl"; "series.csv"; "trace.json"; "recovery.jsonl" ])
 
+(* ---------- mutation tests: injected ordering bugs must be caught ---------- *)
+
+(* Each case arms one deliberate PTM ordering bug (Ptm.inject) on a
+   (scenario, model, algorithm) cell where the bug's durability hole is
+   reachable, and requires the crash sweep to reject it — a checker
+   that never fails is untested.  The failure must round-trip: the
+   printed replay line carries the inject name, reproduces the
+   violation, and the telemetry dump includes the dlin counterexample
+   next to the other artifacts. *)
+let test_mutation ~inject ~scenario ~model ~algorithm () =
+  let report = Engine.explore ~points:80 ~seed ~inject ~model ~algorithm scenario in
+  Helpers.check_bool
+    (Printf.sprintf "checker rejects %s on %s/%s/%s" (Ptm.inject_name inject)
+       scenario.Engine.name model.Config.model_name
+       (Ptm.algorithm_name algorithm))
+    false (Engine.ok report);
+  match report.Engine.failures with
+  | [] -> Alcotest.fail "report not ok but carries no failure record"
+  | f :: _ ->
+    Helpers.check_bool "failure explains itself" true (String.length f.Engine.reason > 0);
+    let spec =
+      match String.split_on_char '\'' f.Engine.replay with
+      | _ :: spec :: _ -> spec
+      | _ -> Alcotest.fail ("unparseable replay line: " ^ f.Engine.replay)
+    in
+    (match Engine.parse_replay spec with
+    | Some (scen_name, model_name, alg, replay_seed, crash_at, Some inj) ->
+      Helpers.check_bool "replay line names the injected bug" true (inj = inject);
+      let result =
+        Engine.run_point ~inject:inj
+          ~model:(Config.model_of_name model_name)
+          ~algorithm:alg ~seed:replay_seed ~crash_at
+          (Scenarios.find scen_name)
+      in
+      Helpers.check_bool "replay reproduces the violation" true (Result.is_error result)
+    | Some (_, _, _, _, _, None) ->
+      Alcotest.fail ("replay spec lost the inject field: " ^ spec)
+    | None -> Alcotest.fail ("replay spec does not parse: " ^ spec));
+    (match f.Engine.telemetry_dir with
+    | None -> Alcotest.fail "failure carries no telemetry dump"
+    | Some dir ->
+      Helpers.check_bool "dlin counterexample rides the telemetry dump" true
+        (Sys.file_exists (Filename.concat dir "dlin.jsonl")))
+
+let mutation_cases =
+  [
+    (* Elided fences leave the redo log racing its status word in the
+       WPQ — the same hole as the nofence domain, now as a code bug. *)
+    Alcotest.test_case "inject skip-fence is caught (bank/adr/redo)" `Slow
+      (test_mutation ~inject:Ptm.Skip_fence ~scenario:(Scenarios.bank ())
+         ~model:Config.optane_adr ~algorithm:Ptm.Redo);
+    (* Status raised before the log persists: recovery replays stale
+       media log entries; counters' 8-slot write set spans three log
+       lines, so the stale tail diverges the slots. *)
+    Alcotest.test_case "inject reorder-log-apply is caught (counters/adr/redo)" `Slow
+      (test_mutation ~inject:Ptm.Reorder_log_apply ~scenario:(Scenarios.counters ())
+         ~model:Config.optane_adr ~algorithm:Ptm.Redo);
+    (* The coalesced write-back sweep drops its last gathered line —
+       bank's per-thread sequence cell — so a committed transfer's
+       sequence write never becomes durable. *)
+    Alcotest.test_case "inject tear-write is caught (bank/adr/undo)" `Slow
+      (test_mutation ~inject:Ptm.Tear_write ~scenario:(Scenarios.bank ())
+         ~model:Config.optane_adr ~algorithm:Ptm.Undo);
+  ]
+
 (* ---------- recovery idempotence ---------- *)
 
-let test_recovery_convergence algorithm () =
+let test_recovery_convergence ?(model = Config.optane_adr) algorithm () =
   let scenario = Scenarios.bank () in
-  let model = Config.optane_adr in
   let probe = Engine.explore ~points:1 ~seed ~model ~algorithm scenario in
   let t_final = probe.Engine.final_time in
   List.iter
@@ -218,7 +307,7 @@ let test_crash_leak_is_warning () =
   hunt 1
 
 let suite =
-  matrix_cases @ coalescing_cases @ kvserve_cases
+  matrix_cases @ coalescing_cases @ kvserve_cases @ extension_domain_cases @ mutation_cases
   @ [
       Alcotest.test_case "nofence-adr is caught (redo)" `Slow (test_nofence Ptm.Redo);
       Alcotest.test_case "nofence-adr is caught (undo)" `Slow (test_nofence Ptm.Undo);
@@ -226,6 +315,8 @@ let suite =
         (test_recovery_convergence Ptm.Redo);
       Alcotest.test_case "recovery converges under re-crash (undo)" `Slow
         (test_recovery_convergence Ptm.Undo);
+      Alcotest.test_case "recovery converges under re-crash (transient-cache)" `Slow
+        (test_recovery_convergence ~model:Config.transient_cache Ptm.Redo);
       Alcotest.test_case "same config+seed is bit-identical" `Quick test_determinism;
       Alcotest.test_case "crash-leaked arena is a warning" `Quick test_crash_leak_is_warning;
     ]

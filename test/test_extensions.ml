@@ -131,6 +131,100 @@ let test_memory_mode_fast_like_pdram () =
   in
   Helpers.check_int "identical runtime behaviour" (time Config.pdram) (time Config.memory_mode)
 
+(* ---------- transiently persistent cache ---------- *)
+
+let test_transient_cache_flags_and_survival () =
+  let sim, m = Helpers.sim_machine ~model:Config.transient_cache () in
+  Helpers.check_bool "no flushes needed" false m.Machine.needs_flush;
+  Helpers.check_bool "no fences needed" false m.Machine.needs_fence;
+  ignore
+    (Sim.spawn sim (fun () ->
+         m.Machine.store 100 7;
+         for _ = 1 to 50 do
+           m.Machine.pause 1000
+         done));
+  Sim.run ~crash_at:10_000 sim;
+  let sim' = Sim.reboot sim in
+  Helpers.check_int "unflushed store rides out the failure" 7
+    ((Sim.machine sim').Machine.raw_read 100)
+
+let test_transient_cache_flush_free_ptm () =
+  (* needs_flush = false: the PTM must skip clwb/sfence entirely, as
+     under eADR — the domains differ only in reserve-energy accounting. *)
+  let sim, _, ptm =
+    Helpers.ptm_fixture ~model:Config.transient_cache ~algorithm:Ptm.Redo ()
+  in
+  let addr = Ptm.atomic ptm (fun tx -> Ptm.alloc tx 1) in
+  Memsim.Sim.reset_timing sim;
+  ignore
+    (Sim.spawn sim (fun () ->
+         for _ = 1 to 50 do
+           Ptm.atomic ptm (fun tx -> Ptm.write tx addr (Ptm.read tx addr + 1))
+         done));
+  Sim.run sim;
+  let s = Sim.Stats.get sim in
+  Helpers.check_int "no clwb under transient cache" 0 s.Sim.Stats.clwbs;
+  Helpers.check_int "no sfence under transient cache" 0 s.Sim.Stats.sfences
+
+let test_transient_energy_between_adr_and_eadr () =
+  (* Same dirty working set under each persistence mode: ADR's reserve
+     covers only the WPQ, the transiently persistent cache pays mere
+     retention per dirty line, eADR pays a full read-out + NVM write. *)
+  let energy model =
+    let sim, m = Helpers.sim_machine ~model () in
+    ignore
+      (Sim.spawn sim (fun () ->
+           for i = 0 to 63 do
+             m.Machine.store (i * 8) 1
+           done));
+    Sim.run sim;
+    Sim.Debt.reserve_energy_nj sim (Sim.Debt.sample sim)
+  in
+  let adr = energy Config.optane_adr in
+  let transient = energy Config.transient_cache in
+  let eadr = energy Config.optane_eadr in
+  Helpers.check_bool
+    (Printf.sprintf "adr(%.0f) < transient(%.0f)" adr transient)
+    true (adr < transient);
+  Helpers.check_bool
+    (Printf.sprintf "transient(%.0f) < eadr(%.0f)" transient eadr)
+    true (transient < eadr)
+
+(* ---------- HTM-commit domain ---------- *)
+
+let test_htm_commit_publish_survives_crash () =
+  (* The controller hardens each published write set at retirement, so
+     a committed HTM transaction is durable with no explicit flush —
+     even though the domain is otherwise ADR-class. *)
+  let sim, _, ptm = Helpers.ptm_fixture ~model:Config.htm_commit ~algorithm:Ptm.Htm () in
+  let addr =
+    Ptm.atomic ptm (fun tx ->
+        let a = Ptm.alloc tx 1 in
+        Ptm.write tx a 41;
+        a)
+  in
+  Ptm.root_set ptm 0 addr;
+  Ptm.atomic ptm (fun tx -> Ptm.write tx addr 42);
+  (* No persist_all: the publish alone must have reached the media. *)
+  let sim' = Sim.reboot sim in
+  let m' = Sim.machine sim' in
+  ignore (Ptm.recover ~algorithm:Ptm.Htm m');
+  Helpers.check_int "published commit survives reboot" 42 (m'.Machine.raw_read addr)
+
+let test_htm_commit_plain_stores_still_volatile () =
+  (* durable_publish covers only published write sets; a raw store that
+     never reaches the WPQ is lost, exactly as under plain ADR. *)
+  let sim, m = Helpers.sim_machine ~model:Config.htm_commit () in
+  ignore
+    (Sim.spawn sim (fun () ->
+         m.Machine.store 100 7;
+         for _ = 1 to 50 do
+           m.Machine.pause 1000
+         done));
+  Sim.run ~crash_at:10_000 sim;
+  let sim' = Sim.reboot sim in
+  Helpers.check_int "unpublished store lost" 0 ((Sim.machine sim').Machine.raw_read 100)
+
 (* ---------- reserve-power model ---------- *)
 
 let test_debt_sampling () =
@@ -194,6 +288,16 @@ let suite =
     Alcotest.test_case "htm: flush-free" `Quick test_htm_no_flushes_issued;
     Alcotest.test_case "memory mode: volatile" `Quick test_memory_mode_loses_everything;
     Alcotest.test_case "memory mode: PDRAM speed" `Quick test_memory_mode_fast_like_pdram;
+    Alcotest.test_case "transient cache: survival without flushes" `Quick
+      test_transient_cache_flags_and_survival;
+    Alcotest.test_case "transient cache: flush-free PTM" `Quick
+      test_transient_cache_flush_free_ptm;
+    Alcotest.test_case "transient cache: energy between ADR and eADR" `Quick
+      test_transient_energy_between_adr_and_eadr;
+    Alcotest.test_case "htm-commit: publish is durable" `Quick
+      test_htm_commit_publish_survives_crash;
+    Alcotest.test_case "htm-commit: plain stores stay volatile" `Quick
+      test_htm_commit_plain_stores_still_volatile;
     Alcotest.test_case "energy: debt sampling" `Quick test_debt_sampling;
     Alcotest.test_case "energy: ADR = WPQ only" `Quick test_debt_adr_counts_only_wpq;
     Alcotest.test_case "energy: domain ordering" `Quick test_energy_ordering_across_domains;
