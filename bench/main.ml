@@ -118,12 +118,17 @@ let speedup () =
     ];
   Format.printf "%a" Table.print t;
   Format.printf "  parallel output byte-identical to serial: %b@." identical;
+  (* One-line human summary of the measurement, greppable from CI logs. *)
+  Format.printf "  speedup: %.2fx with %d jobs on %d cores — %.2fM events/s parallel vs %.2fM serial@."
+    sp par_jobs
+    (Domain.recommended_domain_count ())
+    (rate parallel par_wall /. 1e6)
+    (rate serial serial_wall /. 1e6);
   let saved_json = !json in
   json := true;
   write_json "speedup" ~jobs:par_jobs ~quick:true ~wall_s:par_wall
     ~extra:
       [
-        ("cores", Workloads.Bench_json.Int (Domain.recommended_domain_count ()));
         ("serial_wall_s", Workloads.Bench_json.Float serial_wall);
         ("parallel_wall_s", Workloads.Bench_json.Float par_wall);
         ("parallel_jobs", Workloads.Bench_json.Int par_jobs);
@@ -156,6 +161,25 @@ let kvserve_experiment () =
     outcome.Kvserve.Bench.tables;
   write_json "kvserve" ~wall_s ~extra:outcome.Kvserve.Bench.extra [];
   Format.printf "  [kvserve: %.1fs]@." wall_s
+
+(* ---------- trace: request tracing + tail-latency attribution ---------- *)
+
+(* Every durability domain served with request tracing on: end-to-end
+   latency percentiles measured from the request spans and a blame
+   table attributing exclusive time per span kind over the p95..p100
+   band.  With --json, the full blame vectors and the span digest land
+   in BENCH_trace.json — the regression sentinel's input. *)
+let trace_experiment () =
+  let t0 = Unix.gettimeofday () in
+  let outcome = Kvserve.Bench.run_trace ~quick:!quick ?jobs:!jobs () in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  List.iteri
+    (fun i table ->
+      Format.printf "%a" Table.print table;
+      write_csv (Printf.sprintf "trace-%d" i) table)
+    outcome.Kvserve.Bench.tables;
+  write_json "trace" ~wall_s ~extra:outcome.Kvserve.Bench.extra [];
+  Format.printf "  [trace: %.1fs]@." wall_s
 
 (* ---------- Telemetry: instrumented bank runs with phase profiles ---------- *)
 
@@ -321,7 +345,7 @@ let () =
   let selected = parse [] args in
   let selected =
     if selected = [] || selected = [ "all" ] then
-      List.map fst Experiments.all @ [ "kvserve"; "telemetry"; "microbench" ]
+      List.map fst Experiments.all @ [ "kvserve"; "trace"; "telemetry"; "microbench" ]
     else selected
   in
   List.iter
@@ -329,6 +353,7 @@ let () =
       match name with
       | "microbench" -> microbench ()
       | "kvserve" -> kvserve_experiment ()
+      | "trace" -> trace_experiment ()
       | "telemetry" -> telemetry_experiment ()
       | "speedup" -> speedup ()
       | _ -> run_experiment name)

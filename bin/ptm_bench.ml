@@ -272,6 +272,67 @@ let experiment_cmd =
        ~doc:"Regenerate one of the paper's tables/figures (fig3 fig4 table1 ... fig8).")
     Term.(const exp $ name_arg $ quick_arg $ jobs_arg $ json_arg)
 
+let regress_cmd =
+  let module J = Workloads.Bench_json in
+  let baseline_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "b"; "baseline" ] ~docv:"FILE" ~doc:"Committed baseline BENCH_*.json.")
+  in
+  let current_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "c"; "current" ] ~docv:"FILE" ~doc:"Freshly produced BENCH_*.json to check.")
+  in
+  let tolerance_arg =
+    Arg.(
+      value
+      & opt float 5.0
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:"Tolerance band, in percent: metric moves within it are ignored.")
+  in
+  let include_wall_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "include-wall" ]
+          ~doc:
+            "Also gate wall-clock / environment fields (wall_s, cores, jobs, events_per_sec, \
+             *_wall_ns).  Off by default: they move with the host machine, not the code.")
+  in
+  let regress baseline current tolerance_pct include_wall =
+    let parse_or_die path =
+      try J.parse_file path
+      with J.Parse_error msg ->
+        Format.eprintf "regress: %s: %s@." path msg;
+        exit 2
+    in
+    let b = parse_or_die baseline and c = parse_or_die current in
+    let findings = J.regress ~tolerance_pct ~include_wall ~baseline:b ~current:c () in
+    let tag = function
+      | J.Regression -> "REGRESSION"
+      | J.Improvement -> "improvement"
+      | J.Note -> "note"
+    in
+    List.iter
+      (fun f -> Format.printf "%-11s %s: %s@." (tag f.J.f_severity) f.J.f_path f.J.f_detail)
+      findings;
+    let count sev = List.length (List.filter (fun f -> f.J.f_severity = sev) findings) in
+    let regressions = count J.Regression in
+    Format.printf "regress    : %d regressions, %d improvements, %d notes (tolerance %.1f%%)@."
+      regressions (count J.Improvement) (count J.Note) tolerance_pct;
+    if regressions > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "regress"
+       ~doc:
+         "Diff a BENCH_*.json against a committed baseline with tolerance bands; exit non-zero \
+          when a gated metric regressed.  Direction comes from the metric name (throughput-like \
+          must not fall, cost-like must not rise).")
+    Term.(const regress $ baseline_arg $ current_arg $ tolerance_arg $ include_wall_arg)
+
 let list_cmd =
   let list () =
     Format.printf "workloads:@.";
@@ -291,4 +352,5 @@ let () =
     Cmd.info "ptm_bench" ~version:"1.0"
       ~doc:"Persistent transactional memory on (simulated) Optane DC — experiment driver."
   in
-  exit (Cmd.eval (Cmd.group ~default info [ run_cmd; sweep_cmd; experiment_cmd; list_cmd ]))
+  exit
+    (Cmd.eval (Cmd.group ~default info [ run_cmd; sweep_cmd; experiment_cmd; regress_cmd; list_cmd ]))

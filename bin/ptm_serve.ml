@@ -31,12 +31,15 @@ let crash_at = ref None
 let jobs = ref None
 let seed = ref 0x5EED
 let metrics = ref false
+let prometheus = ref false
+let trace_out = ref None
 let smoke = ref false
 
 let usage () =
   prerr_endline
     "usage: ptm_serve [--model NAME] [--shards N] [--conns N] [--requests N]\n\
-    \                 [--crash-at NS] [--jobs N] [--seed N] [--metrics] [--smoke]";
+    \                 [--crash-at NS] [--jobs N] [--seed N] [--metrics] [--prometheus]\n\
+    \                 [--trace FILE] [--smoke]";
   exit 2
 
 let rec parse = function
@@ -68,6 +71,12 @@ let rec parse = function
   | "--metrics" :: rest ->
     metrics := true;
     parse rest
+  | "--prometheus" :: rest ->
+    prometheus := true;
+    parse rest
+  | "--trace" :: path :: rest ->
+    trace_out := Some path;
+    parse rest
   | "--smoke" :: rest ->
     smoke := true;
     parse rest
@@ -78,13 +87,31 @@ let fleet ~conns ~requests_per_conn ~items =
     ~set_ratio:0.25 ~delete_ratio:0.03 ~incr_ratio:0.07 ~mean_gap_ns:2_000 ~theta:0.8 ()
 
 let serve () =
-  let cfg = { (Service.default_config !model) with Service.shards = !shards; seed = !seed } in
+  let cfg =
+    {
+      (Service.default_config !model) with
+      Service.shards = !shards;
+      seed = !seed;
+      trace = !trace_out <> None;
+    }
+  in
   let fl =
     fleet ~conns:!conns ~requests_per_conn:(!requests / max 1 !conns)
       ~items:cfg.Service.prepopulate_items
   in
   let r = Service.run ?jobs:!jobs ?crash_at:!crash_at cfg fl in
+  (match (!trace_out, r.Service.trace) with
+  | Some path, Some tr ->
+    let oc = open_out path in
+    output_string oc (Telemetry.Trace.chrome_trace tr);
+    close_out oc;
+    Printf.printf "request trace (%d spans) written to %s — open in ui.perfetto.dev\n"
+      (Telemetry.Trace.length tr) path
+  | Some _, None -> prerr_endline "no trace recorded"
+  | None, _ -> ());
   if !metrics then print_string (Service.metrics_jsonl cfg r)
+  else if !prometheus then
+    print_string (Telemetry.Registry.to_prometheus (Service.registry cfg r))
   else begin
     Printf.printf "model %s, %d shards, %d connections\n" r.Service.model cfg.Service.shards
       fl.Client.conns;
@@ -154,6 +181,7 @@ let smoke_service () =
         List.init n (fun i -> { Client.arrival_ns = 2_000 * (i + 1); conn = 0; bytes });
       conns = 1;
       requests = n;
+      trace_ids = [||];
     }
   in
   let r = Service.run ~crash_at:40_000 cfg incr_fleet in
@@ -162,7 +190,33 @@ let smoke_service () =
       (List.map String.trim (String.split_on_char '\n' r.Service.replies.(0)))
   in
   check "incr: all answered" (List.length numbers = n);
-  check "incr: exactly once" (List.fold_left (fun _ v -> v) 0 numbers = n)
+  check "incr: exactly once" (List.fold_left (fun _ v -> v) 0 numbers = n);
+  (* stats verb: a memcached `stats` line answered from the unified
+     metrics registry — a STAT block naming the request counter. *)
+  let stats_fleet =
+    {
+      Client.chunks =
+        [ { Client.arrival_ns = 1_000; conn = 0; bytes = Protocol.render_request Protocol.Stats } ];
+      conns = 1;
+      requests = 1;
+      trace_ids = [||];
+    }
+  in
+  let sr = Service.run cfg stats_fleet in
+  let reply = sr.Service.replies.(0) in
+  let has_substring hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let ends_with suffix s =
+    let ns = String.length s and nx = String.length suffix in
+    ns >= nx && String.sub s (ns - nx) nx = suffix
+  in
+  check "stats verb: STAT block with END terminator"
+    (has_substring reply "STAT kvserve_requests "
+    && has_substring reply "STAT ptm_commits"
+    && ends_with "END\r\n" reply)
 
 let smoke_image () =
   let sim_cfg = Config.make ~heap_words:(1 lsl 16) ~track_media:true Config.optane_adr in

@@ -1,6 +1,8 @@
 module Config = Memsim.Config
 module Table = Repro_util.Table
 module Json = Workloads.Bench_json
+module Trace = Telemetry.Trace
+module Histogram = Repro_util.Histogram
 
 type outcome = { tables : Table.t list; extra : (string * Json.json) list }
 
@@ -142,4 +144,99 @@ let run ?(quick = false) ?jobs () =
         ("kvserve_sweep", Json.List (List.rev !sweep_json));
         ("kvserve_recovery", Json.List (List.rev !recovery_json));
       ];
+  }
+
+(* -- trace experiment: tail-latency attribution per domain ---------- *)
+
+let blame_json (b : Trace.blame) =
+  Json.Obj
+    [
+      ("requests", Json.Int b.Trace.brequests);
+      ("band_lo_ns", Json.Int b.Trace.bband_lo_ns);
+      ("band_hi_ns", Json.Int b.Trace.bband_hi_ns);
+      ("total_latency_ns", Json.Int b.Trace.btotal_latency_ns);
+      ("attributed_ns", Json.Int b.Trace.battributed_ns);
+      ("slack_ns", Json.Int b.Trace.bslack_ns);
+      ( "rows",
+        Json.List
+          (List.map
+             (fun (row : Trace.blame_row) ->
+               Json.Obj
+                 [
+                   ("kind", Json.String row.Trace.bkind);
+                   ("spans", Json.Int row.Trace.bspans);
+                   ("exclusive_ns", Json.Int row.Trace.bexclusive_ns);
+                   ("share_pct", Json.Float row.Trace.bshare);
+                 ])
+             b.Trace.brows) );
+    ]
+
+let run_trace ?(quick = false) ?jobs () =
+  let seed = 0x5EED in
+  let items = (512 * 1024) / value_bytes in
+  let latency_tbl =
+    Table.create
+      ~title:"trace — end-to-end request latency by domain (us, from request spans)"
+      ~header:[ "domain"; "requests"; "p50"; "p95"; "p99"; "max"; "slack ns" ]
+  in
+  let blame_tbl =
+    Table.create
+      ~title:"trace — tail blame, p95..p100 band (exclusive time by span kind)"
+      ~header:[ "domain"; "kind"; "spans"; "exclusive us"; "share %" ]
+  in
+  let json = ref [] in
+  List.iter
+    (fun (label, model) ->
+      let cfg = { (config model ~items) with Service.trace = true } in
+      let r = Service.run ?jobs cfg (fleet ~quick ~seed ~items) in
+      let tr = match r.Service.trace with Some tr -> tr | None -> assert false in
+      let h = Trace.latency_hist tr in
+      let acct = Trace.accounting tr in
+      (* Accounting slack: |latency - attributed| summed over requests.
+         0 for this fleet (single-key gets), so any drift is a bug. *)
+      let slack = List.fold_left (fun acc (_, lat, att) -> acc + abs (lat - att)) 0 acct in
+      let whole = Trace.blame tr ~lo_pct:0.0 ~hi_pct:100.0 in
+      let tail = Trace.blame tr ~lo_pct:95.0 ~hi_pct:100.0 in
+      Table.add_row latency_tbl
+        [
+          label;
+          string_of_int (Histogram.count h);
+          Table.cell_f (Histogram.percentile h 50.0 /. 1e3);
+          Table.cell_f (Histogram.percentile h 95.0 /. 1e3);
+          Table.cell_f (Histogram.percentile h 99.0 /. 1e3);
+          Table.cell_f (float_of_int (Histogram.max_value h) /. 1e3);
+          string_of_int slack;
+        ];
+      List.iteri
+        (fun i (row : Trace.blame_row) ->
+          if i < 4 then
+            Table.add_row blame_tbl
+              [
+                label;
+                row.Trace.bkind;
+                string_of_int row.Trace.bspans;
+                Table.cell_f (float_of_int row.Trace.bexclusive_ns /. 1e3);
+                Table.cell_f row.Trace.bshare;
+              ])
+        tail.Trace.brows;
+      json :=
+        Json.Obj
+          [
+            ("domain", Json.String label);
+            ("requests", Json.Int (Histogram.count h));
+            ("p50_ns", Json.Float (Histogram.percentile h 50.0));
+            ("p95_ns", Json.Float (Histogram.percentile h 95.0));
+            ("p99_ns", Json.Float (Histogram.percentile h 99.0));
+            ("max_ns", Json.Int (Histogram.max_value h));
+            ("slack_ns", Json.Int slack);
+            ("spans", Json.Int (Trace.length tr));
+            ("digest", Json.String (Trace.digest tr));
+            ("blame", blame_json whole);
+            ("tail_blame", blame_json tail);
+          ]
+        :: !json)
+    series;
+  {
+    tables = [ latency_tbl; blame_tbl ];
+    extra = [ ("trace_domains", Json.List (List.rev !json)) ];
   }

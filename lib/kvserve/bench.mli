@@ -18,3 +18,11 @@ type outcome = {
 }
 
 val run : ?quick:bool -> ?jobs:int -> unit -> outcome
+
+val run_trace : ?quick:bool -> ?jobs:int -> unit -> outcome
+(** The [trace] experiment: every durability domain served with request
+    tracing on; emits end-to-end latency percentiles measured from the
+    request spans (with the per-request accounting slack, which is 0
+    for the generated fleet), a tail-band (p95..p100) blame table of
+    exclusive time per span kind, and — in the JSON extras — the whole
+    blame vectors plus the span-store digest. *)

@@ -2,7 +2,13 @@ module Rng = Repro_util.Rng
 module Zipf = Repro_util.Zipf
 
 type chunk = { arrival_ns : int; conn : int; bytes : string }
-type t = { chunks : chunk list; conns : int; requests : int }
+
+type t = {
+  chunks : chunk list;
+  conns : int;
+  requests : int;
+  trace_ids : int array array;
+}
 
 let key_of i = Printf.sprintf "k%06d" i
 
@@ -29,13 +35,21 @@ let generate ~seed ~conns ~requests_per_conn ~items ~value_bytes ~set_ratio ~del
   let root = Rng.create seed in
   let requests = ref 0 in
   let all = ref [] in
+  (* Trace context allocation: every request gets a globally unique
+     trace id at generation time (conn-major emission order), recorded
+     per connection so the service frontend can hand the id to the
+     n-th request it parses off that connection. *)
+  let trace_ids = Array.make conns [||] in
   for conn = 0 to conns - 1 do
     let rng = Rng.split root in
+    let conn_traces = Array.make requests_per_conn 0 in
+    trace_ids.(conn) <- conn_traces;
     (* Per-connection write-version counter: payloads are identifiable
        but never depend on what other connections did. *)
     let version = ref 0 in
     let clock = ref 0 in
-    for _ = 1 to requests_per_conn do
+    for o = 0 to requests_per_conn - 1 do
+      conn_traces.(o) <- !requests;
       clock := !clock + 1 + Rng.int rng (2 * mean_gap_ns);
       let rank = Zipf.sample zipf rng in
       let key = key_of rank in
@@ -74,4 +88,4 @@ let generate ~seed ~conns ~requests_per_conn ~items ~value_bytes ~set_ratio ~del
         match compare a.arrival_ns b.arrival_ns with 0 -> compare a.conn b.conn | c -> c)
       (List.rev !all)
   in
-  { chunks; conns; requests = !requests }
+  { chunks; conns; requests = !requests; trace_ids }

@@ -24,6 +24,11 @@ type t = {
           per-connection subsequences are in-order *)
   conns : int;
   requests : int;  (** total requests rendered into [chunks] *)
+  trace_ids : int array array;
+      (** [trace_ids.(conn).(o)] is the trace id for the [o]-th request
+          emitted on [conn] (in per-connection order).  [[||]] in
+          hand-built fleets is fine: the service falls back to a
+          synthesized id. *)
 }
 
 val key_of : int -> string

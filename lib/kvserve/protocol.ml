@@ -3,6 +3,7 @@ type request =
   | Set of { key : string; flags : int; data : string }
   | Delete of string
   | Incr of { key : string; delta : int }
+  | Stats
 
 type reply =
   | Stored
@@ -10,6 +11,7 @@ type reply =
   | Not_found
   | Values of (string * int * string) list
   | Number of int
+  | Stats_reply of (string * string) list
   | Error
   | Client_error of string
   | Server_error of string
@@ -91,6 +93,8 @@ let parse_line p line =
       | Some delta -> Request (Incr { key; delta })
       | None -> client_error "invalid numeric delta argument")
   | "incr" :: _ -> client_error "bad command line format"
+  | [ "stats" ] -> Request Stats
+  | "stats" :: _ -> client_error "bad command line format"
   | _ -> Protocol_error "ERROR\r\n"
 
 let rec next p =
@@ -137,6 +141,7 @@ let render_request = function
     Printf.sprintf "set %s %d 0 %d\r\n%s\r\n" key flags (String.length data) data
   | Delete key -> Printf.sprintf "delete %s\r\n" key
   | Incr { key; delta } -> Printf.sprintf "incr %s %d\r\n" key delta
+  | Stats -> "stats\r\n"
 
 let render_reply = function
   | Stored -> "STORED\r\n"
@@ -150,6 +155,9 @@ let render_reply = function
          hits)
     ^ "END\r\n"
   | Number n -> Printf.sprintf "%d\r\n" n
+  | Stats_reply pairs ->
+    String.concat "" (List.map (fun (k, v) -> Printf.sprintf "STAT %s %s\r\n" k v) pairs)
+    ^ "END\r\n"
   | Error -> "ERROR\r\n"
   | Client_error msg -> Printf.sprintf "CLIENT_ERROR %s\r\n" msg
   | Server_error msg -> Printf.sprintf "SERVER_ERROR %s\r\n" msg

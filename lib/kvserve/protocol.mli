@@ -16,6 +16,7 @@ type request =
   | Set of { key : string; flags : int; data : string }
   | Delete of string
   | Incr of { key : string; delta : int }
+  | Stats  (** [stats] — server statistics snapshot *)
 
 type reply =
   | Stored
@@ -25,6 +26,9 @@ type reply =
       (** (key, flags, data) hits of a [get], in request order;
           renders the [VALUE]/[END] block *)
   | Number of int  (** new value after [incr] *)
+  | Stats_reply of (string * string) list
+      (** (name, value) pairs; renders [STAT name value] lines followed
+          by [END] *)
   | Error  (** unknown command *)
   | Client_error of string
   | Server_error of string

@@ -1,8 +1,11 @@
 module Config = Memsim.Config
 module Sim = Memsim.Sim
 module Ptm = Pstm.Ptm
+module Profile = Pstm.Profile
 module Pool = Parallel.Pool
 module Histogram = Repro_util.Histogram
+module Trace = Telemetry.Trace
+module Registry = Telemetry.Registry
 
 type config = {
   shards : int;
@@ -16,6 +19,7 @@ type config = {
   prepopulate_items : int;
   value_bytes : int;
   profile : bool;
+  trace : bool;
   seed : int;
 }
 
@@ -32,6 +36,7 @@ let default_config model =
     prepopulate_items = 2048;
     value_bytes = 64;
     profile = false;
+    trace = false;
     seed = 0xCAFE;
   }
 
@@ -55,7 +60,7 @@ type sop =
   | Sdel of string
   | Sincr of string * int
 
-type sub = { seq : int; id : int; part : int; arrival : int; op : sop }
+type sub = { seq : int; id : int; part : int; arrival : int; op : sop; strace : int }
 
 let is_write = function Sget _ -> false | Sset _ | Sdel _ | Sincr _ -> true
 
@@ -64,12 +69,14 @@ type payload =
   | P_error of string
   | P_get of { keys : string array; hits : (int * string) option array }
   | P_write of { mutable reply : string }
+  | P_stats of { mutable reply : string }
 
 type item = {
   conn : int;
   arrival : int;
-  opcode : opcode option;  (* None for protocol errors *)
+  opcode : opcode option;  (* None for protocol errors and [stats] *)
   payload : payload;
+  trace : int;  (* trace id; -1 when tracing is off or untraced *)
   mutable unanswered : int;
   mutable done_at : int;
 }
@@ -82,31 +89,53 @@ let frontend cfg (fleet : Client.t) =
   let queues = Array.make cfg.shards [] in
   let wseq = Array.make cfg.shards 0 in
   let push shard sub = queues.(shard) <- sub :: queues.(shard) in
+  (* Trace-context allocation: the [o]-th parsed item on a connection
+     takes the generator-assigned id when the fleet carries one, and a
+     synthesized (conn, ordinal) id otherwise.  Ordinals advance on
+     protocol errors too, so a torn frame never shifts later ids. *)
+  let ord = Array.make fleet.Client.conns 0 in
+  let next_trace conn =
+    let o = ord.(conn) in
+    ord.(conn) <- o + 1;
+    if not cfg.trace then -1
+    else if
+      conn < Array.length fleet.Client.trace_ids
+      && o < Array.length fleet.Client.trace_ids.(conn)
+    then fleet.Client.trace_ids.(conn).(o)
+    else (conn lsl 20) + o
+  in
   let route ~arrival ~conn (request : Protocol.request) =
     let id = !n_items in
+    let trace = next_trace conn in
     let item, subs =
       match request with
       | Protocol.Get keys ->
         let keys = Array.of_list keys in
         let payload = P_get { keys; hits = Array.make (Array.length keys) None } in
-        ( { conn; arrival; opcode = Some Op_get; payload;
+        ( { conn; arrival; opcode = Some Op_get; payload; trace;
             unanswered = Array.length keys; done_at = -1 },
           Array.to_list
             (Array.mapi
                (fun part key -> (Router.shard_of_key ~shards:cfg.shards key, Sget key, part))
                keys) )
       | Protocol.Set { key; flags; data } ->
-        ( { conn; arrival; opcode = Some Op_set; payload = P_write { reply = "" };
+        ( { conn; arrival; opcode = Some Op_set; payload = P_write { reply = "" }; trace;
             unanswered = 1; done_at = -1 },
           [ (Router.shard_of_key ~shards:cfg.shards key, Sset { key; flags; data }, 0) ] )
       | Protocol.Delete key ->
-        ( { conn; arrival; opcode = Some Op_delete; payload = P_write { reply = "" };
+        ( { conn; arrival; opcode = Some Op_delete; payload = P_write { reply = "" }; trace;
             unanswered = 1; done_at = -1 },
           [ (Router.shard_of_key ~shards:cfg.shards key, Sdel key, 0) ] )
       | Protocol.Incr { key; delta } ->
-        ( { conn; arrival; opcode = Some Op_incr; payload = P_write { reply = "" };
+        ( { conn; arrival; opcode = Some Op_incr; payload = P_write { reply = "" }; trace;
             unanswered = 1; done_at = -1 },
           [ (Router.shard_of_key ~shards:cfg.shards key, Sincr (key, delta), 0) ] )
+      | Protocol.Stats ->
+        (* Answered at the frontend from the end-of-run registry
+           snapshot: no shard work, completes at its arrival instant. *)
+        ( { conn; arrival; opcode = None; payload = P_stats { reply = "" }; trace;
+            unanswered = 0; done_at = arrival },
+          [] )
     in
     items := item :: !items;
     incr n_items;
@@ -119,7 +148,7 @@ let frontend cfg (fleet : Client.t) =
           end
           else 0
         in
-        push shard { seq; id; part; arrival; op })
+        push shard { seq; id; part; arrival; op; strace = trace })
       subs
   in
   List.iter
@@ -129,9 +158,10 @@ let frontend cfg (fleet : Client.t) =
         (function
           | Protocol.Request r -> route ~arrival:arrival_ns ~conn r
           | Protocol.Protocol_error reply ->
+            ignore (next_trace conn);
             items :=
               { conn; arrival = arrival_ns; opcode = None; payload = P_error reply;
-                unanswered = 0; done_at = arrival_ns }
+                trace = -1; unanswered = 0; done_at = arrival_ns }
               :: !items;
             incr n_items)
         (Protocol.drain parsers.(conn)))
@@ -175,6 +205,8 @@ type shard_stats = {
   s_max_batch : int;
   s_throttled : int;
   s_elapsed_ns : int;
+  s_ptm : Ptm.Stats.t;
+  s_sim : (string * int) list;
 }
 
 type cell = {
@@ -183,6 +215,7 @@ type cell = {
   c_stats : shard_stats;
   c_recovery : recovery option;
   c_capture : (int * Telemetry.capture) option;
+  c_trace : Trace.t option;
 }
 
 (* Simulated recovery time, modeled from what the recovery pass did:
@@ -225,15 +258,56 @@ let apply_write tx store = function
 (* The executor: walk [positions] (indices into [subs], arrival order)
    inside a simulated thread, batching adjacent arrived writes into one
    transaction and running gets as individual read-only transactions.
-   [offset] converts this sim's clock to service-global time. *)
-let executor cfg ~sim ~m ~ptm ~store ~subs ~positions ~arrival ~offset ~events ~answered
-    ~batches ~batch_sizes ~max_batch_seen ~throttled () =
+   [offset] converts this sim's clock to service-global time.
+
+   [garrival] is a sub's arrival on the service-global clock (equal to
+   [arrival] in the primary pass; during replay [arrival] is rebased to
+   the restarted sim's clock while spans keep global instants).  When
+   [tracing] is on, each executed sub gets a wait span (queue-wait /
+   throttle-wait for a batch leader, batch-wait for followers) and an
+   execution span (commit / read) whose children are the PTM profile
+   slices bracketed by the transaction — pure observation, recorded
+   from clock values the executor already read. *)
+let executor cfg ~sim ~m ~ptm ~store ~subs ~positions ~arrival ~garrival ~offset ~events
+    ~answered ~batches ~batch_sizes ~max_batch_seen ~throttled ~tracing ~shard () =
   let n = Array.length positions in
   let now () = int_of_float (m.Machine.now_ns ()) in
   let record p done_t out =
     let s = subs.(p) in
     events := { e_id = s.id; e_part = s.part; e_done = done_t + offset; e_out = out } :: !events;
     answered.(p) <- true
+  in
+  let mark () =
+    match tracing with Some (_, prof) -> Profile.spans_recorded prof | None -> 0
+  in
+  let slices_since m0 =
+    match tracing with
+    | None -> []
+    | Some (_, prof) ->
+      List.filter
+        (fun (s : Profile.span) -> s.Profile.label <> "txn" && s.Profile.label <> "txn-failed")
+        (Profile.spans_since prof m0)
+  in
+  let trace_exec ~p ~wait_kind ~exec_kind ~pickup ~done_t ~slices =
+    match tracing with
+    | None -> ()
+    | Some (tr, _) ->
+      let strace = subs.(p).strace in
+      let pickup_g = pickup + offset and done_g = done_t + offset in
+      ignore
+        (Trace.span tr ~trace:strace ~parent:Trace.root_parent ~kind:wait_kind ~tid:shard
+           ~start_ns:(garrival p) ~stop_ns:pickup_g);
+      let exec =
+        Trace.span tr ~trace:strace ~parent:Trace.root_parent ~kind:exec_kind ~tid:shard
+          ~start_ns:pickup_g ~stop_ns:done_g
+      in
+      List.iter
+        (fun (sl : Profile.span) ->
+          ignore
+            (Trace.span tr ~trace:strace ~parent:exec ~kind:sl.Profile.label ~tid:shard
+               ~start_ns:(sl.Profile.start_ns + offset)
+               ~stop_ns:(sl.Profile.stop_ns + offset)))
+        slices
   in
   let i = ref 0 in
   while !i < n do
@@ -258,11 +332,22 @@ let executor cfg ~sim ~m ~ptm ~store ~subs ~positions ~arrival ~offset ~events ~
       done;
       let batch = Array.sub positions !i (!j - !i) in
       let outs = ref [] in
+      let m0 = mark () in
       Ptm.atomic ptm (fun tx ->
           outs := [];
           Array.iter (fun bp -> outs := apply_write tx store subs.(bp).op :: !outs) batch;
           Store.set_batch_marker tx store subs.(batch.(Array.length batch - 1)).seq);
       let done_t = now () in
+      let slices = slices_since m0 in
+      Array.iteri
+        (fun bi bp ->
+          let wait_kind =
+            if bi > 0 then "batch-wait"
+            else if clamped then "throttle-wait"
+            else "queue-wait"
+          in
+          trace_exec ~p:bp ~wait_kind ~exec_kind:"commit" ~pickup:t ~done_t ~slices)
+        batch;
       List.iteri
         (fun k out -> record batch.(Array.length batch - 1 - k) done_t out)
         !outs;
@@ -274,13 +359,17 @@ let executor cfg ~sim ~m ~ptm ~store ~subs ~positions ~arrival ~offset ~events ~
     end
     else begin
       let key = match subs.(p).op with Sget k -> k | _ -> assert false in
+      let m0 = mark () in
       let out =
         Ptm.atomic ptm (fun tx ->
             match Store.get tx store key with
             | Some (flags, data) -> O_hit (flags, data)
             | None -> O_miss)
       in
-      record p (now ()) out;
+      let done_t = now () in
+      trace_exec ~p ~wait_kind:"queue-wait" ~exec_kind:"read" ~pickup:t ~done_t
+        ~slices:(slices_since m0);
+      record p done_t out;
       incr i
     end
   done
@@ -350,6 +439,25 @@ let run_shard cfg ~crash_at ~shard (queue : sub list) =
       Some (shard, Telemetry.attach ~config:tcfg sim ptm)
     else None
   in
+  (* Request tracing rides on a phase profiler (observation-only, so
+     enabling it perturbs no virtual time).  When [profile] already
+     attached one via the capture, reuse it — the PTM has a single
+     profiler slot. *)
+  let tracing =
+    if not cfg.trace then None
+    else
+      let prof =
+        match capture with
+        | Some (_, cap) -> Telemetry.profile cap
+        | None ->
+          let p =
+            Profile.create ~wpq_stall_probe:(fun tid -> Sim.wpq_stall_ns_of sim ~tid) m
+          in
+          Ptm.set_profiler ptm (Some p);
+          p
+      in
+      Some (Trace.create (), prof)
+  in
   let events = ref [] in
   let answered = Array.make n false in
   let batches = ref 0 in
@@ -362,18 +470,33 @@ let run_shard cfg ~crash_at ~shard (queue : sub list) =
       (Sim.spawn sim
          (executor cfg ~sim ~m ~ptm ~store ~subs ~positions:all_positions
             ~arrival:(fun p -> subs.(p).arrival)
-            ~offset:0 ~events ~answered ~batches ~batch_sizes ~max_batch_seen ~throttled));
+            ~garrival:(fun p -> subs.(p).arrival)
+            ~offset:0 ~events ~answered ~batches ~batch_sizes ~max_batch_seen ~throttled
+            ~tracing ~shard));
   (match crash_at with None -> Sim.run sim | Some at -> Sim.run ~crash_at:at sim);
   let crashed = Sim.crashed sim in
-  let elapsed, recovery, commits2, aborts2 =
-    if not crashed then (Sim.now sim, None, 0, 0)
+  let elapsed, recovery, st2, sim2_fields =
+    if not crashed then (Sim.now sim, None, None, None)
     else begin
       (* Restart: reboot the machine image, recover the PTM, find the
          durable prefix, reconstruct lost replies, replay the rest. *)
       let sim2 = Sim.reboot sim in
       let m2 = Sim.machine sim2 in
+      (* The restarted PTM needs its own profiler (fresh machine), but
+         spans keep landing in the same per-shard trace store. *)
+      let tracing2 =
+        match tracing with
+        | None -> None
+        | Some (tr, _) ->
+          let p =
+            Profile.create ~wpq_stall_probe:(fun tid -> Sim.wpq_stall_ns_of sim2 ~tid) m2
+          in
+          Some (tr, p)
+      in
       let t0 = Unix.gettimeofday () in
-      let ptm2 = Ptm.recover ~rng_seed:(cfg.seed + shard) m2 in
+      let ptm2 =
+        Ptm.recover ?profiler:(Option.map snd tracing2) ~rng_seed:(cfg.seed + shard) m2
+      in
       let wall_ns = int_of_float (1e9 *. (Unix.gettimeofday () -. t0)) in
       let rr =
         match Ptm.last_recovery ptm2 with Some rr -> rr | None -> assert false
@@ -381,8 +504,19 @@ let run_shard cfg ~crash_at ~shard (queue : sub list) =
       let store2 = Store.attach ptm2 in
       let marker = Ptm.atomic ptm2 (fun tx -> Store.batch_marker tx store2) in
       let modeled = modeled_recovery_ns sim_cfg ~needs_flush:m2.Machine.needs_flush rr in
-      let offset = (match crash_at with Some at -> at | None -> 0) + modeled
-                   + cfg.restart_gap_ns in
+      let at = match crash_at with Some at -> at | None -> 0 in
+      let offset = at + modeled + cfg.restart_gap_ns in
+      (* Service-level downtime spans: trace -1 keeps them out of
+         per-request accounting but on the Perfetto service track. *)
+      (match tracing2 with
+      | None -> ()
+      | Some (tr, _) ->
+        ignore
+          (Trace.span tr ~trace:(-1) ~parent:Trace.root_parent ~kind:"recovery" ~tid:shard
+             ~start_ns:at ~stop_ns:(at + modeled));
+        ignore
+          (Trace.span tr ~trace:(-1) ~parent:Trace.root_parent ~kind:"restart-gap" ~tid:shard
+             ~start_ns:(at + modeled) ~stop_ns:offset));
       (* Durably-applied writes whose reply was lost: answer from the
          recovered state at the restart instant. *)
       for p = 0 to n - 1 do
@@ -390,6 +524,13 @@ let run_shard cfg ~crash_at ~shard (queue : sub list) =
           let out = reconstruct ptm2 store2 subs.(p).op in
           events := { e_id = subs.(p).id; e_part = subs.(p).part; e_done = offset; e_out = out }
                     :: !events;
+          (match tracing2 with
+          | None -> ()
+          | Some (tr, _) ->
+            ignore
+              (Trace.span tr ~trace:subs.(p).strace ~parent:Trace.root_parent
+                 ~kind:"lost-reply-recovery" ~tid:shard ~start_ns:subs.(p).arrival
+                 ~stop_ns:offset));
           answered.(p) <- true
         end
       done;
@@ -401,9 +542,10 @@ let run_shard cfg ~crash_at ~shard (queue : sub list) =
           (Sim.spawn sim2
              (executor cfg ~sim:sim2 ~m:m2 ~ptm:ptm2 ~store:store2 ~subs ~positions:replay
                 ~arrival:(fun p -> max (subs.(p).arrival - offset) 0)
-                ~offset ~events ~answered ~batches ~batch_sizes ~max_batch_seen ~throttled));
+                ~garrival:(fun p -> subs.(p).arrival)
+                ~offset ~events ~answered ~batches ~batch_sizes ~max_batch_seen ~throttled
+                ~tracing:tracing2 ~shard));
       if Array.length replay > 0 then Sim.run sim2;
-      let st2 = Ptm.Stats.get ptm2 in
       ( offset + Sim.now sim2,
         Some
           {
@@ -417,11 +559,29 @@ let run_shard cfg ~crash_at ~shard (queue : sub list) =
             r_modeled_ns = modeled;
             r_wall_ns = wall_ns;
           },
-        st2.Ptm.Stats.commits,
-        st2.Ptm.Stats.aborts )
+        Some (Ptm.Stats.get ptm2),
+        Some (Sim.Stats.fields (Sim.Stats.get sim2)) )
     end
   in
   let st = Ptm.Stats.get ptm in
+  let st =
+    match st2 with
+    | None -> st
+    | Some s2 ->
+      {
+        Ptm.Stats.commits = st.Ptm.Stats.commits + s2.Ptm.Stats.commits;
+        aborts = st.Ptm.Stats.aborts + s2.Ptm.Stats.aborts;
+        read_only_commits = st.Ptm.Stats.read_only_commits + s2.Ptm.Stats.read_only_commits;
+        max_write_set = max st.Ptm.Stats.max_write_set s2.Ptm.Stats.max_write_set;
+        max_log_lines = max st.Ptm.Stats.max_log_lines s2.Ptm.Stats.max_log_lines;
+      }
+  in
+  let sim_fields = Sim.Stats.fields (Sim.Stats.get sim) in
+  let sim_fields =
+    match sim2_fields with
+    | None -> sim_fields
+    | Some f2 -> List.map2 (fun (k, v) (_, v2) -> (k, v + v2)) sim_fields f2
+  in
   {
     c_events = List.rev !events;
     c_batch_sizes = !batch_sizes;
@@ -429,15 +589,18 @@ let run_shard cfg ~crash_at ~shard (queue : sub list) =
       {
         s_shard = shard;
         s_ops = n;
-        s_commits = st.Ptm.Stats.commits + commits2;
-        s_aborts = st.Ptm.Stats.aborts + aborts2;
+        s_commits = st.Ptm.Stats.commits;
+        s_aborts = st.Ptm.Stats.aborts;
         s_batches = !batches;
         s_max_batch = !max_batch_seen;
         s_throttled = !throttled;
         s_elapsed_ns = elapsed;
+        s_ptm = st;
+        s_sim = sim_fields;
       };
     c_recovery = recovery;
     c_capture = capture;
+    c_trace = Option.map fst tracing;
   }
 
 (* ---------- assembly ---------- *)
@@ -460,6 +623,7 @@ type result = {
   recoveries : recovery list;
   crashed : bool;
   captures : (int * Telemetry.capture) list;
+  trace : Trace.t option;
 }
 
 let render_out = function
@@ -471,6 +635,68 @@ let render_out = function
     Protocol.render_reply
       (Protocol.Client_error "cannot increment or decrement non-numeric value")
   | O_hit _ | O_miss -> assert false
+
+(* The unified metrics registry over a finished run: service-level
+   counters and latency histograms, per-shard PTM and simulated-machine
+   counters, and (when the run crashed) the recovery-report counters —
+   one definition behind the Prometheus text, the [stats] verb and the
+   JSONL export.  Purely a projection of [result]: building it twice
+   yields byte-identical exports. *)
+let registry (cfg : config) (r : result) =
+  let reg = Registry.create () in
+  let gauge ?(labels = []) name help v = Registry.set_int (Registry.gauge reg ~help ~labels name) v in
+  let count ?(labels = []) name help v = Registry.inc (Registry.counter reg ~help ~labels name) v in
+  count "kvserve_requests" "parsed requests answered (protocol errors included)" r.requests;
+  count "kvserve_kv_ops" "sub-operations executed against shards" r.kv_ops;
+  count "kvserve_protocol_errors" "malformed frames answered" r.protocol_errors;
+  count "kvserve_get_hits" "get sub-operations that hit" r.get_hits;
+  count "kvserve_get_misses" "get sub-operations that missed" r.get_misses;
+  gauge "kvserve_shards" "shard count" cfg.shards;
+  gauge "kvserve_elapsed_ns" "final virtual time, max over shards" r.elapsed_ns;
+  gauge "kvserve_crashed" "1 when the run crashed and recovered" (if r.crashed then 1 else 0);
+  List.iter
+    (fun (oc, h) ->
+      if Histogram.count h > 0 then
+        Registry.observe_hist
+          (Registry.histogram reg ~help:"request latency, arrival to completion (virtual ns)"
+             ~labels:[ ("op", opcode_name oc) ]
+             "kvserve_op_latency_ns")
+          h)
+    r.latency;
+  if Histogram.count r.batch_occupancy > 0 then
+    Registry.observe_hist
+      (Registry.histogram reg ~help:"writes coalesced per commit" "kvserve_batch_occupancy")
+      r.batch_occupancy;
+  List.iter
+    (fun s ->
+      let labels = [ ("shard", string_of_int s.s_shard) ] in
+      count ~labels "kvserve_shard_ops" "sub-operations executed by this shard" s.s_ops;
+      count ~labels "kvserve_shard_batches" "write batches committed" s.s_batches;
+      count ~labels "kvserve_shard_throttled" "batches clamped by the debt knob" s.s_throttled;
+      gauge ~labels "kvserve_shard_elapsed_ns" "this shard's final virtual time" s.s_elapsed_ns;
+      Registry.publish_ptm_stats reg ~labels s.s_ptm;
+      List.iter
+        (fun (field, v) ->
+          Registry.set_int
+            (Registry.gauge reg ~help:"simulated machine counter" ~labels ("sim_" ^ field))
+            v)
+        s.s_sim)
+    r.shards;
+  (* Recovery-time counters (wall time deliberately excluded: it is the
+     one nondeterministic field of the report). *)
+  List.iter
+    (fun rc ->
+      let labels = [ ("shard", string_of_int rc.r_shard) ] in
+      let g name help v = gauge ~labels ("kvserve_recovery_" ^ name) help v in
+      g "logs_scanned" "per-thread logs scanned at recovery" rc.r_logs_scanned;
+      g "words_scanned" "log words scanned at recovery" rc.r_words_scanned;
+      g "entries_replayed" "redo entries replayed" rc.r_entries_replayed;
+      g "entries_rolled_back" "undo entries rolled back" rc.r_entries_rolled_back;
+      g "durable_marker" "last write batch that survived the crash" rc.r_durable_marker;
+      g "replayed_ops" "sub-operations re-run after the marker" rc.r_replayed_ops;
+      g "modeled_ns" "modeled recovery time (virtual ns)" rc.r_modeled_ns)
+    r.recoveries;
+  reg
 
 let run ?jobs ?crash_at cfg (fleet : Client.t) =
   let fe = frontend cfg fleet in
@@ -499,7 +725,7 @@ let run ?jobs ?crash_at cfg (fleet : Client.t) =
             | O_miss -> incr get_misses
             | _ -> assert false)
           | P_write w -> w.reply <- render_out ev.e_out
-          | P_error _ -> assert false);
+          | P_error _ | P_stats _ -> assert false);
           item.done_at <- max item.done_at ev.e_done;
           item.unanswered <- item.unanswered - 1;
           if item.unanswered = 0 then
@@ -510,17 +736,98 @@ let run ?jobs ?crash_at cfg (fleet : Client.t) =
         cell.c_events;
       List.iter (Histogram.record batch_occupancy) (List.rev cell.c_batch_sizes))
     cells;
+  (* Assemble the service-global trace: one root ("request") span per
+     traced item, then every shard store merged with its local parents
+     rebased and root references resolved.  Roots come first in item
+     order and shards merge in shard order, so the store (and its
+     digest) is identical for any [jobs] value. *)
+  let trace =
+    if not cfg.trace then None
+    else begin
+      let tr = Trace.create () in
+      let root_of = Hashtbl.create 1024 in
+      Array.iter
+        (fun (item : item) ->
+          if item.trace >= 0 then begin
+            let idx =
+              Trace.span tr ~trace:item.trace ~parent:Trace.root_parent ~kind:"request"
+                ~tid:item.conn ~start_ns:item.arrival
+                ~stop_ns:(max item.arrival item.done_at)
+            in
+            Hashtbl.replace root_of item.trace idx
+          end)
+        fe.items;
+      let root_for t =
+        if t < 0 then Trace.root_parent
+        else Option.value (Hashtbl.find_opt root_of t) ~default:Trace.root_parent
+      in
+      List.iter
+        (fun cell ->
+          match cell.c_trace with
+          | Some src -> Trace.merge_into ~src ~dst:tr ~root_for
+          | None -> ())
+        cells;
+      Some tr
+    end
+  in
+  let protocol_errors =
+    Array.fold_left
+      (fun acc item -> match item.payload with P_error _ -> acc + 1 | _ -> acc)
+      0 fe.items
+  in
+  let shard_ops = Array.of_list (List.map (fun c -> c.c_stats.s_ops) cells) in
+  let kv_ops = Array.fold_left ( + ) 0 shard_ops in
+  let elapsed_ns = List.fold_left (fun acc c -> max acc c.c_stats.s_elapsed_ns) 1 cells in
+  let mean_load = float_of_int kv_ops /. float_of_int (max 1 cfg.shards) in
+  let imbalance =
+    if kv_ops = 0 then 1.0
+    else float_of_int (Array.fold_left max 0 shard_ops) /. mean_load
+  in
+  let result_of replies =
+    {
+      model = cfg.model.Config.model_name;
+      requests = Array.length fe.items;
+      kv_ops;
+      protocol_errors;
+      get_hits = !get_hits;
+      get_misses = !get_misses;
+      elapsed_ns;
+      ops_per_sec = float_of_int kv_ops /. (float_of_int elapsed_ns *. 1e-9);
+      replies;
+      latency;
+      batch_occupancy;
+      shard_ops;
+      imbalance;
+      shards = List.map (fun c -> c.c_stats) cells;
+      recoveries = List.filter_map (fun c -> c.c_recovery) cells;
+      crashed = List.exists (fun c -> c.c_recovery <> None) cells;
+      captures = List.filter_map (fun c -> c.c_capture) cells;
+      trace;
+    }
+  in
+  (* [stats] replies: every stats request answers with the same
+     end-of-run registry snapshot (the registry is a projection of the
+     result, which is complete before replies render). *)
+  if
+    Array.exists
+      (fun item -> match item.payload with P_stats _ -> true | _ -> false)
+      fe.items
+  then begin
+    let pairs = Registry.stats_pairs (registry cfg (result_of [||])) in
+    let rendered = Protocol.render_reply (Protocol.Stats_reply pairs) in
+    Array.iter
+      (fun item -> match item.payload with P_stats s -> s.reply <- rendered | _ -> ())
+      fe.items
+  end;
   (* Render per-connection reply streams in request order. *)
   let bufs = Array.init fleet.Client.conns (fun _ -> Buffer.create 256) in
-  let protocol_errors = ref 0 in
   Array.iter
     (fun item ->
       let reply =
         match item.payload with
-        | P_error e ->
-          incr protocol_errors;
-          e
+        | P_error e -> e
         | P_write w -> w.reply
+        | P_stats s -> s.reply
         | P_get g ->
           let hits = ref [] in
           for k = Array.length g.keys - 1 downto 0 do
@@ -532,33 +839,7 @@ let run ?jobs ?crash_at cfg (fleet : Client.t) =
       in
       Buffer.add_string bufs.(item.conn) reply)
     fe.items;
-  let shard_ops = Array.of_list (List.map (fun c -> c.c_stats.s_ops) cells) in
-  let kv_ops = Array.fold_left ( + ) 0 shard_ops in
-  let elapsed_ns = List.fold_left (fun acc c -> max acc c.c_stats.s_elapsed_ns) 1 cells in
-  let mean_load = float_of_int kv_ops /. float_of_int (max 1 cfg.shards) in
-  let imbalance =
-    if kv_ops = 0 then 1.0
-    else float_of_int (Array.fold_left max 0 shard_ops) /. mean_load
-  in
-  {
-    model = cfg.model.Config.model_name;
-    requests = Array.length fe.items;
-    kv_ops;
-    protocol_errors = !protocol_errors;
-    get_hits = !get_hits;
-    get_misses = !get_misses;
-    elapsed_ns;
-    ops_per_sec = float_of_int kv_ops /. (float_of_int elapsed_ns *. 1e-9);
-    replies = Array.map Buffer.contents bufs;
-    latency;
-    batch_occupancy;
-    shard_ops;
-    imbalance;
-    shards = List.map (fun c -> c.c_stats) cells;
-    recoveries = List.filter_map (fun c -> c.c_recovery) cells;
-    crashed = List.exists (fun c -> c.c_recovery <> None) cells;
-    captures = List.filter_map (fun c -> c.c_capture) cells;
-  }
+  result_of (Array.map Buffer.contents bufs)
 
 (* ---------- metrics export ---------- *)
 
@@ -601,4 +882,8 @@ let metrics_jsonl (cfg : config) (r : result) =
         rc.r_shard rc.r_logs_scanned rc.r_words_scanned rc.r_entries_replayed
         rc.r_entries_rolled_back rc.r_durable_marker rc.r_replayed_ops rc.r_modeled_ns)
     r.recoveries;
+  (* Unified-registry rows: the same metrics (steady-state and, after a
+     crash, the folded-in recovery counters) the Prometheus text and
+     the [stats] verb expose. *)
+  Buffer.add_string b (Registry.jsonl (registry cfg r));
   Buffer.contents b

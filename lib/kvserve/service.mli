@@ -55,6 +55,13 @@ type config = {
       (** item ranks preloaded untimed before the clock starts *)
   value_bytes : int;  (** payload size of preloaded values *)
   profile : bool;  (** attach a {!Telemetry.capture} to every shard *)
+  trace : bool;
+      (** record request spans ({!Telemetry.Trace}) end to end: trace
+          context per parsed request, queue/throttle/batch wait and
+          commit/read spans per shard with PTM phase slices nested
+          under them, and recovery/restart downtime spans after a
+          crash.  Observation-only: enabling it changes no simulated
+          timing, replies or metrics *)
   seed : int;
 }
 
@@ -87,6 +94,11 @@ type shard_stats = {
   s_max_batch : int;
   s_throttled : int;  (** batches clamped to 1 by the debt knob *)
   s_elapsed_ns : int;  (** this shard's final (global) virtual time *)
+  s_ptm : Pstm.Ptm.Stats.t;
+      (** full runtime counters (pre- and post-crash PTM combined) *)
+  s_sim : (string * int) list;
+      (** {!Memsim.Sim.Stats.fields} of this shard's machine (summed
+          across the reboot when the run crashed) *)
 }
 
 type result = {
@@ -109,6 +121,11 @@ type result = {
   crashed : bool;
   captures : (int * Telemetry.capture) list;
       (** per-shard telemetry when [config.profile] *)
+  trace : Telemetry.Trace.t option;
+      (** the service-global span store when [config.trace]: one
+          ["request"] root per traced request with wait / execution /
+          phase-slice children, assembled deterministically (equal for
+          any [jobs]) *)
 }
 
 val run : ?jobs:int -> ?crash_at:int -> config -> Client.t -> result
@@ -117,7 +134,17 @@ val run : ?jobs:int -> ?crash_at:int -> config -> Client.t -> result
     on every shard at that virtual instant and exercises the full
     restart-recovery path. *)
 
+val registry : config -> result -> Telemetry.Registry.t
+(** The unified metrics registry over a finished run: service counters
+    and latency histograms, per-shard PTM ([ptm_*]) and machine
+    ([sim_*]) counters, and — after a crash — the recovery-report
+    counters.  A pure projection of [result]: building it twice yields
+    byte-identical exports.  Render with
+    {!Telemetry.Registry.to_prometheus} / [stats_pairs] / [jsonl]; the
+    in-band [stats] verb answers with exactly [stats_pairs]. *)
+
 val metrics_jsonl : config -> result -> string
 (** Deterministic service-metrics export in the telemetry JSONL style
     (schema header; per-opcode latency rows; batch/shard/recovery
-    rows).  Wall-clock recovery times are deliberately excluded. *)
+    rows; the {!registry} rows).  Wall-clock recovery times are
+    deliberately excluded. *)

@@ -749,4 +749,23 @@ module Stats = struct
       pdram_page_hits = sim.c.pdram_page_hits;
       pdram_page_misses = sim.c.pdram_page_misses;
     }
+
+  (* Scalar fields by stable export name — the per-tid arrays are
+     deliberately excluded (their length depends on thread count). *)
+  let fields (t : t) =
+    [
+      ("loads", t.loads);
+      ("stores", t.stores);
+      ("l3_hits", t.l3_hits);
+      ("l3_misses", t.l3_misses);
+      ("writebacks", t.writebacks);
+      ("clwbs", t.clwbs);
+      ("sfences", t.sfences);
+      ("fence_wait_ns", t.fence_wait_ns);
+      ("wpq_stall_ns", t.wpq_stall_ns);
+      ("nvm_reads", t.nvm_reads);
+      ("dram_reads", t.dram_reads);
+      ("pdram_page_hits", t.pdram_page_hits);
+      ("pdram_page_misses", t.pdram_page_misses);
+    ]
 end

@@ -137,4 +137,9 @@ module Stats : sig
   }
 
   val get : sim -> t
+
+  val fields : t -> (string * int) list
+  (** Every scalar counter as a (stable export name, value) pair, in a
+      fixed order — the feed for a metrics registry.  The per-tid
+      arrays are excluded. *)
 end

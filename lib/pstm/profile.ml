@@ -335,8 +335,8 @@ let merged_phase_hist t phase =
 let spans_recorded t = t.sp_next
 let spans_dropped t = max 0 (t.sp_next - t.sp_capacity)
 
-let spans t =
-  let kept = min t.sp_next t.sp_capacity in
+let spans_from t mark =
+  let kept = min (min t.sp_next t.sp_capacity) (max 0 (t.sp_next - mark)) in
   let first = t.sp_next - kept in
   List.init kept (fun i ->
       let j = (first + i) mod t.sp_capacity in
@@ -346,3 +346,6 @@ let spans t =
         start_ns = t.sp_start.(j);
         stop_ns = t.sp_stop.(j);
       })
+
+let spans t = spans_from t 0
+let spans_since t mark = spans_from t mark

@@ -112,3 +112,11 @@ val spans : t -> span list
 
 val spans_recorded : t -> int
 val spans_dropped : t -> int
+
+val spans_since : t -> int -> span list
+(** [spans_since t mark] returns the retained spans recorded at or
+    after [mark] (a value previously read from {!spans_recorded}),
+    oldest first.  Lets a caller bracket an operation — sample
+    {!spans_recorded}, run it, read back exactly the slices it
+    produced — without copying the whole ring.  Spans that have been
+    overwritten since [mark] are silently gone. *)

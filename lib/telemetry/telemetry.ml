@@ -4,6 +4,8 @@
 
 module Series = Series
 module Export = Export
+module Trace = Trace
+module Registry = Registry
 module Sim = Memsim.Sim
 
 type config = {

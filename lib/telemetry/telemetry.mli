@@ -16,6 +16,12 @@
 module Series = Series
 module Export = Export
 
+module Trace = Trace
+(** Span-based request tracing (see {!Trace}). *)
+
+module Registry = Registry
+(** Unified metrics registry (see {!Registry}). *)
+
 type config = {
   sample_interval_ns : int;
       (** virtual-time cadence for {!sample}; [0] disables the series

@@ -53,3 +53,43 @@ val write :
 (** Serialise {!outcome_json} to [<dir>/BENCH_<experiment>.json]
     ([dir] defaults to the current directory, and is created if
     missing); returns the path written. *)
+
+(** {1 Parsing} *)
+
+exception Parse_error of string
+(** Raised by {!parse} with a message and byte offset. *)
+
+val parse : string -> json
+(** Parse one JSON document (the grammar {!to_string} emits, plus
+    whitespace).  Numbers without [./e] parse as [Int], others as
+    [Float]; [\u]-escapes re-encode as UTF-8. *)
+
+val parse_file : string -> json
+(** {!parse} the entire contents of a file. *)
+
+(** {1 Regression sentinel} *)
+
+type severity =
+  | Regression  (** a gated metric moved in the bad direction *)
+  | Improvement  (** a gated metric moved in the good direction *)
+  | Note  (** structure changed, or a direction-less metric moved *)
+
+type finding = { f_path : string; f_severity : severity; f_detail : string }
+
+val regress :
+  ?tolerance_pct:float ->
+  ?include_wall:bool ->
+  baseline:json ->
+  current:json ->
+  unit ->
+  finding list
+(** Structurally diff two [BENCH_*.json] trees (objects by key, lists
+    by index), comparing numeric leaves against a tolerance band
+    ([tolerance_pct], default 5%).  A leaf's direction comes from its
+    name: throughput-like names ([*_per_sec], [commits], [*hit*], ...)
+    must not fall, cost-like names ([*_ns], [aborts], [*miss*],
+    [*stall*], ...) must not rise; anything else beyond tolerance is a
+    {!Note}.  Wall-clock / environment fields ([wall_s], [jobs],
+    [cores], [events_per_sec], [*wall_ns*]) are skipped unless
+    [include_wall] — they move with the host, not the code.  Findings
+    come back in walk order; an empty list means within tolerance. *)

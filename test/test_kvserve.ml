@@ -246,6 +246,9 @@ let count_reply_frames s =
           match String.split_on_char ' ' line with
           | [ _; _; _; bytes ] -> go (nl + 1 + int_of_string bytes + 2) acc
           | _ -> Alcotest.fail ("bad VALUE line: " ^ line)
+        else if String.length line >= 5 && String.sub line 0 5 = "STAT " then
+          (* stats body line — the frame is counted at its END *)
+          go (nl + 1) acc
         else go (nl + 1) (acc + 1)
   in
   go 0 0
@@ -326,6 +329,7 @@ let test_incr_exactly_once () =
         List.init n (fun i -> { Client.arrival_ns = 2_000 * (i + 1); conn = 0; bytes });
       conns = 1;
       requests = n;
+      trace_ids = [||];
     }
   in
   let cfg = small_config () in
@@ -348,6 +352,121 @@ let test_incr_exactly_once () =
   check "clean" (Service.run ~jobs:1 cfg fleet);
   check "crashed" (Service.run ~jobs:1 ~crash_at:40_000 cfg fleet)
 
+(* ---------- service: stats verb ---------- *)
+
+module Trace = Telemetry.Trace
+
+let has_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_stats_verb () =
+  let cfg = small_config () in
+  let fleet =
+    {
+      Client.chunks =
+        [
+          { Client.arrival_ns = 1_000; conn = 0; bytes = P.render_request (P.Get [ "k0" ]) };
+          { Client.arrival_ns = 2_000; conn = 0; bytes = P.render_request P.Stats };
+        ];
+      conns = 1;
+      requests = 2;
+      trace_ids = [||];
+    }
+  in
+  let r = Service.run ~jobs:1 cfg fleet in
+  let stream = r.Service.replies.(0) in
+  (* The STAT block is fed from the same registry the JSONL metrics
+     use, so the pair values must agree with the result record. *)
+  Helpers.check_bool "STAT requests pair" true
+    (has_substring stream (Printf.sprintf "STAT kvserve_requests %d\r\n" r.Service.requests));
+  Helpers.check_bool "per-shard ptm commits exposed" true
+    (has_substring stream "STAT ptm_commits.");
+  Helpers.check_bool "END terminator" true (has_substring stream "END\r\n");
+  (* Round-trip: the reply must itself survive the codec's framing. *)
+  Helpers.check_int "stats + get frames" 2 (count_reply_frames stream)
+
+(* ---------- service: tracing is observation-only ---------- *)
+
+let test_trace_zero_cost () =
+  (* Turning tracing on must not move virtual time or change a single
+     reply byte: same fleet, same schedule, same metrics. *)
+  let fleet = small_fleet () in
+  let off = small_config () in
+  let on = { off with Service.trace = true } in
+  let check_same label a b =
+    Alcotest.(check string) label (fingerprint off a) (fingerprint on b)
+  in
+  check_same "clean run identical" (Service.run ~jobs:1 off fleet)
+    (Service.run ~jobs:1 on fleet);
+  check_same "crash run identical"
+    (Service.run ~jobs:1 ~crash_at:15_000 off fleet)
+    (Service.run ~jobs:1 ~crash_at:15_000 on fleet);
+  Helpers.check_bool "trace store absent when disabled" true
+    ((Service.run ~jobs:1 off fleet).Service.trace = None)
+
+let test_trace_accounting () =
+  (* With tracing on, every request's span set must account for its
+     whole latency window — exactly, for the single-key generated
+     fleet — on every durability domain, clean and crashed. *)
+  let fleet = small_fleet () in
+  List.iter
+    (fun (model, crash_at) ->
+      let cfg = { (small_config ~model ()) with Service.trace = true } in
+      let r = Service.run ~jobs:1 ?crash_at cfg fleet in
+      let tr =
+        match r.Service.trace with
+        | Some tr -> tr
+        | None -> Alcotest.fail "tracing enabled but result carries no trace"
+      in
+      let rows = Trace.accounting tr in
+      Helpers.check_int
+        (Printf.sprintf "%s: one accounting row per request" r.Service.model)
+        fleet.Client.requests (List.length rows);
+      List.iter
+        (fun (trace, latency, attributed) ->
+          if latency <> attributed then
+            Alcotest.failf "%s: trace %d attributed %dns of %dns latency" r.Service.model
+              trace attributed latency)
+        rows;
+      (* Digests are stable across reruns and pool sizes. *)
+      let again = Service.run ~jobs:2 ?crash_at cfg fleet in
+      match again.Service.trace with
+      | Some tr2 ->
+        Alcotest.(check string)
+          (Printf.sprintf "%s: digest stable across jobs" r.Service.model)
+          (Trace.digest tr) (Trace.digest tr2)
+      | None -> Alcotest.fail "rerun lost its trace")
+    [
+      (Config.optane_adr, None); (Config.optane_eadr, None); (Config.dram_adr, None);
+      (Config.pdram_lite, None); (Config.optane_adr, Some 15_000);
+    ]
+
+let test_trace_multiget_overlap () =
+  (* A multi-key get fans out to several shards whose spans overlap in
+     time, so attributed time may exceed — and never undercuts —
+     end-to-end latency. *)
+  let cfg = { (small_config ()) with Service.trace = true } in
+  let bytes = P.render_request (P.Get [ Client.key_of 1; Client.key_of 2; Client.key_of 3 ]) in
+  let fleet =
+    {
+      Client.chunks = [ { Client.arrival_ns = 1_000; conn = 0; bytes } ];
+      conns = 1;
+      requests = 1;
+      trace_ids = [||];
+    }
+  in
+  let r = Service.run ~jobs:1 cfg fleet in
+  match r.Service.trace with
+  | None -> Alcotest.fail "no trace"
+  | Some tr ->
+    (match Trace.accounting tr with
+    | [ (_, latency, attributed) ] ->
+      Helpers.check_bool "attributed covers latency" true (attributed >= latency);
+      Helpers.check_bool "positive latency" true (latency > 0)
+    | rows -> Alcotest.failf "expected one row, got %d" (List.length rows))
+
 let suite =
   [
     Alcotest.test_case "codec: render/parse round-trip" `Quick test_roundtrip;
@@ -362,4 +481,9 @@ let suite =
       test_service_crash;
     Alcotest.test_case "service: incr exactly-once across crash" `Slow
       test_incr_exactly_once;
+    Alcotest.test_case "service: stats verb from the registry" `Quick test_stats_verb;
+    Alcotest.test_case "service: tracing is observation-only" `Slow test_trace_zero_cost;
+    Alcotest.test_case "service: trace accounting covers latency" `Slow test_trace_accounting;
+    Alcotest.test_case "service: multi-get overlap accounting" `Quick
+      test_trace_multiget_overlap;
   ]

@@ -207,6 +207,138 @@ let test_series_sampling () =
     (fun line -> Helpers.check_int "csv columns" (cols Telemetry.Series.csv_header) (cols line))
     lines
 
+(* ---------- request tracing ---------- *)
+
+module Trace = Telemetry.Trace
+module Registry = Telemetry.Registry
+
+(* One request (trace 7, 100..400ns) whose shard spans partition its
+   window: wait 100..150, commit 150..400 with one txn slice under it.
+   Built the way the service does it — root in the global store, the
+   rest in a shard store merged in afterwards. *)
+let build_request_trace () =
+  let g = Trace.create () in
+  let root =
+    Trace.span g ~trace:7 ~parent:Trace.root_parent ~kind:"request" ~tid:0 ~start_ns:100
+      ~stop_ns:400
+  in
+  let sh = Trace.create () in
+  ignore
+    (Trace.span sh ~trace:7 ~parent:Trace.root_parent ~kind:"queue-wait" ~tid:0 ~start_ns:100
+       ~stop_ns:150);
+  let commit =
+    Trace.span sh ~trace:7 ~parent:Trace.root_parent ~kind:"commit" ~tid:0 ~start_ns:150
+      ~stop_ns:400
+  in
+  ignore (Trace.span sh ~trace:7 ~parent:commit ~kind:"txn" ~tid:0 ~start_ns:160 ~stop_ns:200);
+  Trace.merge_into ~src:sh ~dst:g ~root_for:(fun t ->
+      if t = 7 then root else Trace.root_parent);
+  (g, root)
+
+let test_trace_merge_rebases_parents () =
+  let g, root = build_request_trace () in
+  Helpers.check_int "span count" 4 (Trace.length g);
+  (* root_parent spans from the shard store now hang off the root ... *)
+  let wait = Trace.get g (root + 1) in
+  Helpers.check_int "wait reparented to root" root wait.Trace.s_parent;
+  Alcotest.(check string) "wait kind" "queue-wait" wait.Trace.s_kind;
+  (* ... and in-store parent ids were offset into the merged id space. *)
+  let slice = Trace.get g (root + 3) in
+  Helpers.check_int "slice parent rebased" (root + 2) slice.Trace.s_parent;
+  let r = Trace.get g root in
+  Helpers.check_int "root keeps root_parent" Trace.root_parent r.Trace.s_parent
+
+let test_trace_accounting_partitions () =
+  (* Spans partition the request window, so exclusive times must sum
+     exactly to end-to-end latency: root 0 + wait 50 + commit (250-40)
+     + txn 40 = 300. *)
+  let g, _ = build_request_trace () in
+  (match Trace.accounting g with
+  | [ (trace, latency, attributed) ] ->
+    Helpers.check_int "trace id" 7 trace;
+    Helpers.check_int "latency" 300 latency;
+    Helpers.check_int "attributed = latency" latency attributed
+  | rows -> Alcotest.failf "expected one accounting row, got %d" (List.length rows));
+  let h = Trace.latency_hist g in
+  Helpers.check_int "one root latency" 1 (Repro_util.Histogram.count h);
+  Helpers.check_int "latency max" 300 (Repro_util.Histogram.max_value h)
+
+let test_trace_blame_ranks_exclusive_time () =
+  let g, _ = build_request_trace () in
+  let b = Trace.blame g ~lo_pct:0.0 ~hi_pct:100.0 in
+  Helpers.check_int "band requests" 1 b.Trace.brequests;
+  Helpers.check_int "band latency total" 300 b.Trace.btotal_latency_ns;
+  Helpers.check_int "no slack on a partition" 0 b.Trace.bslack_ns;
+  (match b.Trace.brows with
+  | top :: _ ->
+    Alcotest.(check string) "commit dominates the band" "commit" top.Trace.bkind;
+    Helpers.check_int "commit exclusive ns" 210 top.Trace.bexclusive_ns
+  | [] -> Alcotest.fail "blame rows empty");
+  let total_excl = List.fold_left (fun a r -> a + r.Trace.bexclusive_ns) 0 b.Trace.brows in
+  Helpers.check_int "rows sum to attributed" b.Trace.battributed_ns total_excl
+
+let test_trace_digest_discriminates () =
+  let a, _ = build_request_trace () in
+  let b, _ = build_request_trace () in
+  Alcotest.(check string) "identical builds, identical digests" (Trace.digest a) (Trace.digest b);
+  ignore (Trace.span b ~trace:8 ~parent:Trace.root_parent ~kind:"request" ~tid:1 ~start_ns:0 ~stop_ns:1);
+  Helpers.check_bool "extra span changes the digest" true (Trace.digest a <> Trace.digest b);
+  (* Perfetto export is well-formed enough to parse as JSON. *)
+  match Workloads.Bench_json.parse (Trace.chrome_trace a) with
+  | Workloads.Bench_json.Obj _ -> ()
+  | _ -> Alcotest.fail "chrome_trace is not a JSON object"
+
+(* ---------- metrics registry ---------- *)
+
+let build_registry () =
+  let r = Registry.create () in
+  let c = Registry.counter r ~help:"requests served" "kvserve_requests" in
+  Registry.inc c 3;
+  Registry.inc c 2;
+  let g = Registry.gauge r ~labels:[ ("shard", "1") ] "ptm_commits" in
+  Registry.set_int g 42;
+  let h = Registry.histogram r ~labels:[ ("op", "get") ] "kv_latency_ns" in
+  List.iter (Registry.observe h) [ 10; 20; 30 ];
+  r
+
+let test_registry_find_or_create () =
+  let r = build_registry () in
+  (* Same (name, labels) comes back as the same cell. *)
+  let c = Registry.counter r "kvserve_requests" in
+  Registry.inc c 5;
+  Alcotest.(check (float 0.0)) "shared cell" 10.0 (Registry.value c);
+  (* Different labels are a different cell. *)
+  let g2 = Registry.gauge r ~labels:[ ("shard", "2") ] "ptm_commits" in
+  Registry.set_int g2 7;
+  Helpers.check_int "metric count" 4 (List.length (Registry.metrics r))
+
+let test_registry_exports_deterministic () =
+  let a = build_registry () and b = build_registry () in
+  Alcotest.(check string) "prometheus" (Registry.to_prometheus a) (Registry.to_prometheus b);
+  Alcotest.(check string) "jsonl" (Registry.jsonl a) (Registry.jsonl b);
+  let pairs = Registry.stats_pairs a in
+  Alcotest.(check (list (pair string string))) "stats pairs" pairs (Registry.stats_pairs b);
+  (* Label values join into the flat stats name; histograms expose
+     their summary statistics. *)
+  Helpers.check_bool "labeled gauge name" true (List.mem_assoc "ptm_commits.1" pairs);
+  Alcotest.(check string) "gauge value" "42" (List.assoc "ptm_commits.1" pairs);
+  Helpers.check_bool "hist count pair" true (List.mem_assoc "kv_latency_ns.get.count" pairs);
+  Alcotest.(check string) "hist count" "3" (List.assoc "kv_latency_ns.get.count" pairs)
+
+let test_registry_prometheus_shape () =
+  let text = Registry.to_prometheus (build_registry ()) in
+  let has needle =
+    let nh = String.length text and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub text i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Helpers.check_bool "HELP line" true (has "# HELP kvserve_requests requests served");
+  Helpers.check_bool "counter TYPE" true (has "# TYPE kvserve_requests counter");
+  Helpers.check_bool "counter sample" true (has "kvserve_requests 5");
+  Helpers.check_bool "labeled gauge sample" true (has "ptm_commits{shard=\"1\"} 42");
+  Helpers.check_bool "summary quantile" true (has "quantile=\"0.99\"");
+  Helpers.check_bool "summary count" true (has "kv_latency_ns_count{op=\"get\"} 3")
+
 let suite =
   [
     Alcotest.test_case "telemetry off-path identical" `Quick test_disabled_identical;
@@ -218,4 +350,13 @@ let suite =
     Alcotest.test_case "coalescing is a no-op under eADR" `Quick test_coalescing_noop_under_eadr;
     Alcotest.test_case "coalesce phase attribution" `Quick test_coalesce_phase_attribution;
     Alcotest.test_case "series sampling monotone" `Quick test_series_sampling;
+    Alcotest.test_case "trace: merge rebases parents" `Quick test_trace_merge_rebases_parents;
+    Alcotest.test_case "trace: accounting partitions" `Quick test_trace_accounting_partitions;
+    Alcotest.test_case "trace: blame ranks exclusive time" `Quick
+      test_trace_blame_ranks_exclusive_time;
+    Alcotest.test_case "trace: digest discriminates" `Quick test_trace_digest_discriminates;
+    Alcotest.test_case "registry: find-or-create" `Quick test_registry_find_or_create;
+    Alcotest.test_case "registry: exports deterministic" `Quick
+      test_registry_exports_deterministic;
+    Alcotest.test_case "registry: prometheus shape" `Quick test_registry_prometheus_shape;
   ]

@@ -309,6 +309,63 @@ let test_histogram_empty () =
   Helpers.check_bool "empty percentile nan" true (Float.is_nan (Histogram.percentile h 50.0));
   Helpers.check_bool "empty mean nan" true (Float.is_nan (Histogram.mean h))
 
+let test_histogram_single_sample () =
+  (* One sample: every percentile must report that sample (within the
+     bucket's relative error), and mean == max == the sample. *)
+  let h = Histogram.create () in
+  Histogram.record h 12_345;
+  List.iter
+    (fun p ->
+      let v = Histogram.percentile h p in
+      Helpers.check_bool
+        (Printf.sprintf "p%.0f close to sample" p)
+        true
+        (Float.abs (v -. 12_345.0) /. 12_345.0 < 0.05))
+    [ 0.0; 50.0; 95.0; 99.0; 100.0 ];
+  Helpers.check_int "single max" 12_345 (Histogram.max_value h);
+  Alcotest.(check (float 1e-9)) "single mean" 12_345.0 (Histogram.mean h)
+
+let test_histogram_saturates () =
+  (* Values at the top of the int range must land in the last bucket,
+     not trap or wrap; max_int is 2^62 - 1, the largest OCaml int. *)
+  let h = Histogram.create () in
+  Histogram.record h max_int;
+  Histogram.record h (max_int - 1);
+  Histogram.record h 1;
+  Helpers.check_int "count" 3 (Histogram.count h);
+  Helpers.check_int "max saturates" max_int (Histogram.max_value h);
+  Helpers.check_bool "p99 is huge" true (Histogram.percentile h 99.0 > 1e18);
+  Helpers.check_bool "p0 is small" true (Histogram.percentile h 0.0 < 2.0)
+
+let test_histogram_merge_list_identity () =
+  (* merge_list [h] reproduces h exactly: same count, max and
+     percentile curve. *)
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 3; 33; 333; 3_333 ];
+  let m = Histogram.merge_list [ h ] in
+  Helpers.check_int "identity count" (Histogram.count h) (Histogram.count m);
+  Helpers.check_int "identity max" (Histogram.max_value h) (Histogram.max_value m);
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "identity p%.0f" p)
+        (Histogram.percentile h p) (Histogram.percentile m p))
+    [ 25.0; 50.0; 95.0; 99.0 ]
+
+let test_histogram_percentile_monotone () =
+  (* p50 <= p95 <= p99 <= max on an adversarial skewed sample. *)
+  let h = Histogram.create () in
+  for i = 1 to 500 do
+    Histogram.record h i;
+    Histogram.record h (i * i)
+  done;
+  let p50 = Histogram.percentile h 50.0 in
+  let p95 = Histogram.percentile h 95.0 in
+  let p99 = Histogram.percentile h 99.0 in
+  Helpers.check_bool "p50 <= p95" true (p50 <= p95);
+  Helpers.check_bool "p95 <= p99" true (p95 <= p99);
+  Helpers.check_bool "p99 <= max" true (p99 <= float_of_int (Histogram.max_value h) *. 1.05)
+
 let test_table_render_and_csv () =
   let t = Table.create ~title:"demo" ~header:[ "a"; "b" ] in
   Table.add_row t [ "1"; "2" ];
@@ -346,6 +403,10 @@ let suite =
     Alcotest.test_case "histogram: merge fresh/identity" `Quick test_histogram_merge_fresh;
     Alcotest.test_case "histogram: merge disjoint buckets" `Quick test_histogram_merge_disjoint;
     Alcotest.test_case "histogram: merge_list" `Quick test_histogram_merge_list;
+    Alcotest.test_case "histogram: single sample" `Quick test_histogram_single_sample;
+    Alcotest.test_case "histogram: saturating values" `Quick test_histogram_saturates;
+    Alcotest.test_case "histogram: merge_list identity" `Quick test_histogram_merge_list_identity;
+    Alcotest.test_case "histogram: percentile monotone" `Quick test_histogram_percentile_monotone;
     Alcotest.test_case "stats: counter merge" `Quick test_stats_counter_merge;
     Alcotest.test_case "table: cell_f non-finite" `Quick test_table_cell_f_nonfinite;
     Alcotest.test_case "histogram: empty" `Quick test_histogram_empty;

@@ -1,0 +1,151 @@
+(* Trace gate: the observability promises behind `--trace`.
+
+   1. Off-path cost is zero: a run with tracing enabled must leave the
+      service's observable output (metrics JSONL + every reply byte)
+      identical to a run with tracing disabled — recording spans reads
+      the virtual clock, it never advances it.
+   2. Spans are deterministic: the span-store digest is identical
+      across repeat runs and across worker-pool sizes, clean and
+      crashed.
+   3. Accounting closes: on every durability domain, each request's
+      exclusive span times sum exactly to its end-to-end latency
+      (the generated fleet is single-key, so there is no overlap
+      slack).
+   4. The regression sentinel bites: `ptm_bench regress` must exit 0
+      on an identical BENCH_trace.json and non-zero once a synthetic
+      p99 regression is injected into the current copy.
+
+   Usage: trace_gate.exe <path-to-ptm_bench.exe>  *)
+
+module Service = Kvserve.Service
+module Client = Kvserve.Client
+module Config = Memsim.Config
+module Trace = Telemetry.Trace
+module J = Workloads.Bench_json
+
+let failures = ref 0
+
+let check label ok =
+  if ok then Printf.printf "trace: %s ok\n%!" label
+  else begin
+    incr failures;
+    Printf.printf "trace: %s FAILED\n%!" label
+  end
+
+let config model =
+  {
+    (Service.default_config model) with
+    Service.shards = 2;
+    prepopulate_items = 64;
+    buckets_per_shard = 256;
+    heap_words_per_shard = 1 lsl 17;
+  }
+
+let fleet =
+  Client.generate ~seed:0x7ACE ~conns:3 ~requests_per_conn:20 ~items:64 ~value_bytes:32
+    ~set_ratio:0.3 ~delete_ratio:0.05 ~incr_ratio:0.1 ~mean_gap_ns:1_500 ~theta:0.9 ()
+
+let fingerprint cfg (r : Service.result) =
+  Service.metrics_jsonl cfg r ^ String.concat "\x00" (Array.to_list r.Service.replies)
+
+let digest_of (r : Service.result) =
+  match r.Service.trace with
+  | Some tr -> Trace.digest tr
+  | None ->
+    incr failures;
+    Printf.printf "trace: enabled run returned no trace store\n%!";
+    "<missing>"
+
+let () =
+  let bench_exe = if Array.length Sys.argv > 1 then Sys.argv.(1) else "ptm_bench" in
+
+  (* 1 — zero perturbation, clean and crashed. *)
+  let off = config Config.optane_adr in
+  let on = { off with Service.trace = true } in
+  check "disabled vs enabled byte-identical (clean)"
+    (String.equal
+       (fingerprint off (Service.run ~jobs:1 off fleet))
+       (fingerprint on (Service.run ~jobs:1 on fleet)));
+  check "disabled vs enabled byte-identical (crash)"
+    (String.equal
+       (fingerprint off (Service.run ~jobs:1 ~crash_at:15_000 off fleet))
+       (fingerprint on (Service.run ~jobs:1 ~crash_at:15_000 on fleet)));
+
+  (* 2 — digest determinism across runs and pool sizes. *)
+  let d1 = digest_of (Service.run ~jobs:1 on fleet) in
+  let d2 = digest_of (Service.run ~jobs:1 on fleet) in
+  let d3 = digest_of (Service.run ~jobs:2 on fleet) in
+  check "digest stable across runs" (String.equal d1 d2);
+  check "digest stable across jobs" (String.equal d1 d3);
+  let c1 = digest_of (Service.run ~jobs:1 ~crash_at:15_000 on fleet) in
+  let c2 = digest_of (Service.run ~jobs:2 ~crash_at:15_000 on fleet) in
+  check "crash digest stable across jobs" (String.equal c1 c2);
+  check "crash changes the span story" (not (String.equal d1 c1));
+
+  (* 3 — accounting closes on every domain. *)
+  List.iter
+    (fun model ->
+      let cfg = { (config model) with Service.trace = true } in
+      let r = Service.run ~jobs:1 cfg fleet in
+      match r.Service.trace with
+      | None -> check (Printf.sprintf "%s: trace present" r.Service.model) false
+      | Some tr ->
+        let rows = Trace.accounting tr in
+        let bad =
+          List.filter (fun (_, latency, attributed) -> latency <> attributed) rows
+        in
+        check
+          (Printf.sprintf "%s: %d requests, exclusive spans sum to latency" r.Service.model
+             (List.length rows))
+          (List.length rows = fleet.Client.requests && bad = []);
+        let b = Trace.blame tr ~lo_pct:95.0 ~hi_pct:100.0 in
+        check
+          (Printf.sprintf "%s: tail blame attributes its band" r.Service.model)
+          (b.Trace.brequests > 0 && b.Trace.battributed_ns = b.Trace.btotal_latency_ns))
+    [ Config.dram_adr; Config.optane_adr; Config.optane_eadr; Config.pdram_lite ];
+
+  (* 4 — the sentinel bites on an injected regression.  Build a real
+     BENCH_trace.json record, then double every p99_ns in the copy. *)
+  let outcome = Kvserve.Bench.run_trace ~quick:true ~jobs:1 () in
+  let bench_json =
+    J.outcome_json ~experiment:"trace" ~quick:true ~jobs:1 ~wall_s:1.0
+      ~extra:outcome.Kvserve.Bench.extra []
+  in
+  let rec inflate = function
+    | J.Obj kvs ->
+      J.Obj
+        (List.map
+           (fun (k, v) ->
+             match v with
+             | J.Int n when k = "p99_ns" -> (k, J.Int (n * 2))
+             | J.Float n when k = "p99_ns" -> (k, J.Float (n *. 2.0))
+             | v -> (k, inflate v))
+           kvs)
+    | J.List vs -> J.List (List.map inflate vs)
+    | leaf -> leaf
+  in
+  let write_tmp suffix json =
+    let path = Filename.temp_file "trace_gate" suffix in
+    let oc = open_out path in
+    output_string oc (J.to_string json);
+    close_out oc;
+    path
+  in
+  let baseline = write_tmp "_base.json" bench_json in
+  let same = write_tmp "_same.json" bench_json in
+  let worse = write_tmp "_worse.json" (inflate bench_json) in
+  let run_regress current =
+    Sys.command
+      (Filename.quote_command bench_exe
+         [ "regress"; "-b"; baseline; "-c"; current ]
+         ~stdout:Filename.null ~stderr:Filename.null)
+  in
+  check "regress: identical record passes" (run_regress same = 0);
+  check "regress: injected p99 regression fails" (run_regress worse = 1);
+  List.iter Sys.remove [ baseline; same; worse ];
+
+  if !failures > 0 then begin
+    Printf.printf "trace gate: %d failure(s)\n%!" !failures;
+    exit 1
+  end;
+  print_endline "trace gate: all checks passed"
