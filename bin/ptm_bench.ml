@@ -28,6 +28,8 @@ let workloads () =
     ("ycsb-d", Workloads.Ycsb.spec Workloads.Ycsb.D);
     ("ycsb-e", Workloads.Ycsb.spec Workloads.Ycsb.E);
     ("ycsb-f", Workloads.Ycsb.spec Workloads.Ycsb.F);
+    ("mod-btree", Workloads.Mod_bench.btree);
+    ("mod-hash", Workloads.Mod_bench.hash);
   ]
 
 let workload_conv =
@@ -51,7 +53,8 @@ let algorithm_conv =
     | "redo" -> Ok Pstm.Ptm.Redo
     | "undo" -> Ok Pstm.Ptm.Undo
     | "htm" -> Ok Pstm.Ptm.Htm
-    | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S (redo|undo|htm)" s))
+    | "mod" -> Ok Pstm.Ptm.Mod
+    | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S (redo|undo|htm|mod)" s))
   in
   Arg.conv (parse, fun ppf a -> Format.fprintf ppf "%s" (Pstm.Ptm.algorithm_name a))
 
@@ -73,7 +76,10 @@ let algorithm_arg =
   Arg.(
     value
     & opt algorithm_conv Pstm.Ptm.Redo
-    & info [ "a"; "algorithm" ] ~docv:"ALG" ~doc:"Algorithm: redo, undo, or htm (eADR-class models only).")
+    & info [ "a"; "algorithm" ] ~docv:"ALG"
+        ~doc:
+          "Algorithm: redo, undo, htm (eADR-class models only), or mod (minimally-ordered \
+           durability; pair with the mod-* workloads to run the shadow structures).")
 
 let threads_arg =
   Arg.(value & opt int 8 & info [ "t"; "threads" ] ~docv:"N" ~doc:"Simulated threads.")

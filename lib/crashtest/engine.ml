@@ -454,6 +454,7 @@ let parse_replay spec =
       | "redo" -> Some Ptm.Redo
       | "undo" -> Some Ptm.Undo
       | "htm" -> Some Ptm.Htm
+      | "mod" -> Some Ptm.Mod
       | _ -> None
     in
     match (alg, int_of_string_opt seed, int_of_string_opt crash_at, inject) with

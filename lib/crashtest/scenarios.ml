@@ -21,8 +21,8 @@ let mode_name name ~coalesce = if coalesce then name else name ^ "-naive"
 
 let vclock ptm = (Ptm.machine ptm).Machine.now_ns
 
-let run_dlin ?max_nodes spec h ~recovered =
-  match Dlin.check ?max_nodes spec h ~recovered with
+let run_dlin ?max_nodes ?durability spec h ~recovered =
+  match Dlin.check ?max_nodes ?durability spec h ~recovered with
   | Ok (_ : Dlin.stats) -> Ok ()
   | Error c ->
     Error
@@ -380,6 +380,239 @@ let btree ?(threads = 4) ?(ops = 8) ?(coalesce = true) () =
     prepare;
     fresh;
   }
+
+(* ---------- MOD structures: buffered durability under the crash matrix ---------- *)
+
+(* One scenario body shared by the MOD B+tree and the MOD hash table.
+   Each thread works a private key range with a deterministic script —
+   inserts of fresh keys, every fourth op removing the key inserted just
+   before it — so the abstract state after any per-thread prefix is
+   computable without replaying the run.
+
+   Durability is the interesting part: under algorithm [Mod] the root
+   swap is published with an {e unfenced} flush, so a crash may lose a
+   committed suffix of the serialized history.  The oracle therefore
+   runs {!Dlin.check} with [`Buffered] durability when the recovered PTM
+   runs MOD (strict otherwise — the same structures are legal
+   strict-durable under redo/undo logging), and the validate replaces
+   the usual "every committed key is present" rule with:
+
+   - each thread's recovered bindings must equal its state after {e
+     some} prefix of its script (snapshot consistency);
+   - without a crash, that prefix covers every attempted op;
+   - under strict algorithms, it covers every committed op;
+   - under MOD with a crash, the committed-but-lost total across
+     threads is bounded by the write-pending-queue lag — the commits
+     after the durable snapshot all raced their root flush against the
+     crash, one unfenced flush deep per thread;
+   - nothing outside any thread's key range exists (no phantoms). *)
+
+type mod_op = { mtid : int; mseq : int; mkey : int; minsert : bool; mvalue : int }
+
+type 'h mod_struct = {
+  ms_prepare : Ptm.t -> unit;
+  ms_attach : Ptm.t -> int -> 'h;
+  ms_insert : Ptm.tx -> 'h -> key:int -> value:int -> bool;
+  ms_remove : Ptm.tx -> 'h -> int -> bool;
+  ms_invariants : 'h -> unit;
+  ms_alist : 'h -> (int * int) list;
+}
+
+let mod_value_of key = (key * 5) + 3
+
+let mod_op_of ~tid ~i =
+  let base = (tid + 1) * 1000 in
+  if i mod 4 = 0 then
+    { mtid = tid; mseq = i; mkey = base + i - 1; minsert = false; mvalue = 0 }
+  else
+    {
+      mtid = tid;
+      mseq = i;
+      mkey = base + i;
+      minsert = true;
+      mvalue = mod_value_of (base + i);
+    }
+
+(* Abstract per-thread states after each script prefix. *)
+let mod_prefix_states ~tid ~ops =
+  let states = Array.make (ops + 1) IntMap.empty in
+  for i = 1 to ops do
+    let o = mod_op_of ~tid ~i in
+    states.(i) <-
+      (if o.minsert then IntMap.add o.mkey o.mvalue states.(i - 1)
+       else IntMap.remove o.mkey states.(i - 1))
+  done;
+  states
+
+let mod_scenario (ms : _ mod_struct) ~name ?(threads = 3) ?(ops = 8) ?(coalesce = true) () =
+  let spec =
+    {
+      Dlin.init = IntMap.empty;
+      apply =
+        (fun st o ->
+          if o.minsert then (IntMap.add o.mkey o.mvalue st, not (IntMap.mem o.mkey st))
+          else (IntMap.remove o.mkey st, IntMap.mem o.mkey st));
+      equal_state = IntMap.equal Int.equal;
+      hash_state = (fun st -> IntMap.fold (fun k v h -> (h * 31) + (k lxor (v * 7))) st 17);
+      equal_res = Bool.equal;
+      commutes = (fun a b -> a.mkey <> b.mkey);
+      pp_op =
+        (fun ppf o ->
+          if o.minsert then
+            Format.fprintf ppf "t%d#%d: insert %d=%d" o.mtid o.mseq o.mkey o.mvalue
+          else Format.fprintf ppf "t%d#%d: remove %d" o.mtid o.mseq o.mkey);
+      pp_res = Format.pp_print_bool;
+      pp_state =
+        (fun ppf st ->
+          Format.fprintf ppf "{%s}"
+            (String.concat ";"
+               (List.map
+                  (fun (k, v) -> Printf.sprintf "%d=%d" k v)
+                  (IntMap.bindings st))));
+    }
+  in
+  let fresh ~seed:_ =
+    let committed = Array.make threads 0 in
+    let attempted = Array.make threads 0 in
+    let h = Dlin.History.create ~threads in
+    let worker ~tid ptm =
+      let t = ms.ms_attach ptm (Ptm.root_get ptm root_slot) in
+      let now = vclock ptm in
+      for i = 1 to ops do
+        let o = mod_op_of ~tid ~i in
+        attempted.(tid) <- i;
+        ignore
+          (Dlin.History.run h ~tid ~now o (fun () ->
+               let res = ref false in
+               Ptm.atomic ptm (fun tx ->
+                   res :=
+                     (if o.minsert then ms.ms_insert tx t ~key:o.mkey ~value:o.mvalue
+                      else ms.ms_remove tx t o.mkey);
+                   Ptm.on_commit tx (fun () -> committed.(tid) <- i));
+               !res)
+            : bool)
+      done
+    in
+    let extract ptm =
+      let t = ms.ms_attach ptm (Ptm.root_get ptm root_slot) in
+      match ms.ms_invariants t with
+      | exception Failure e -> Error (name ^ ": structural violation: " ^ e)
+      | () -> Ok (ms.ms_alist t)
+    in
+    let oracle ~crashed:_ _sim ptm =
+      match extract ptm with
+      | Error reason -> extraction_fail spec h reason
+      | Ok alist ->
+        let recovered =
+          List.fold_left (fun m (k, v) -> IntMap.add k v m) IntMap.empty alist
+        in
+        let durability = if Ptm.algorithm ptm = Ptm.Mod then `Buffered else `Strict in
+        run_dlin ~durability spec h ~recovered
+    in
+    let validate ~crashed _sim ptm =
+      match extract ptm with
+      | Error e -> Error e
+      | Ok alist -> (
+        let buffered = Ptm.algorithm ptm = Ptm.Mod in
+        let per_tid = Array.make threads IntMap.empty in
+        let phantom = ref None in
+        List.iter
+          (fun (k, v) ->
+            let tid = (k / 1000) - 1 in
+            if tid < 0 || tid >= threads || k mod 1000 > ops then (
+              if !phantom = None then
+                phantom := Some (Printf.sprintf "%s: phantom key %d" name k))
+            else per_tid.(tid) <- IntMap.add k v per_tid.(tid))
+          alist;
+        match !phantom with
+        | Some e -> Error e
+        | None -> (
+          let err = ref None and lost = ref 0 in
+          for tid = 0 to threads - 1 do
+            if !err = None then begin
+              let states = mod_prefix_states ~tid ~ops in
+              (* Most charitable consistent prefix: states can repeat
+                 (insert x; remove x), so scan from the deepest. *)
+              let j = ref (-1) in
+              for cand = ops downto 0 do
+                if !j < 0 && IntMap.equal Int.equal states.(cand) per_tid.(tid) then
+                  j := cand
+              done;
+              if !j < 0 then
+                err :=
+                  Some
+                    (Printf.sprintf "%s: thread %d's recovered keys match no script prefix"
+                       name tid)
+              else if (not crashed) && !j < attempted.(tid) then
+                err :=
+                  Some
+                    (Printf.sprintf "%s: no crash, but thread %d stopped at prefix %d of %d"
+                       name tid !j attempted.(tid))
+              else if crashed && (not buffered) && !j < committed.(tid) then
+                err :=
+                  Some
+                    (Printf.sprintf
+                       "%s: committed op %d of thread %d lost under strict durability \
+                        (deepest prefix %d)"
+                       name committed.(tid) tid !j)
+              else if crashed && buffered then lost := !lost + max 0 (committed.(tid) - !j)
+            end
+          done;
+          match !err with
+          | Some e -> Error e
+          | None ->
+            (* Buffered durability may lose commits whose root flush was
+               still in the write-pending queue at the crash — a race
+               one unfenced flush deep per thread plus scheduling slack,
+               nowhere near "everything". *)
+            let budget = threads + 2 in
+            if !lost > budget then
+              Error
+                (Printf.sprintf "%s: %d committed ops lost (buffered lag budget %d)" name
+                   !lost budget)
+            else Ok ()))
+    in
+    { Engine.worker; validate; oracle = Some oracle }
+  in
+  {
+    Engine.name = mode_name name ~coalesce;
+    threads;
+    heap_words = 1 lsl 18;
+    log_words_per_thread = 2048;
+    coalesce;
+    prepare = ms.ms_prepare;
+    fresh;
+  }
+
+let mod_btree ?threads ?ops ?coalesce () =
+  mod_scenario
+    {
+      ms_prepare =
+        (fun ptm ->
+          let t = Pstructs.Mod_bptree.create ptm in
+          Ptm.root_set ptm root_slot (Pstructs.Mod_bptree.descriptor t));
+      ms_attach = Pstructs.Mod_bptree.attach;
+      ms_insert = Pstructs.Mod_bptree.insert;
+      ms_remove = Pstructs.Mod_bptree.remove;
+      ms_invariants = Pstructs.Mod_bptree.check_invariants;
+      ms_alist = Pstructs.Mod_bptree.to_alist;
+    }
+    ~name:"mod-btree" ?threads ?ops ?coalesce ()
+
+let mod_hash ?threads ?ops ?coalesce () =
+  mod_scenario
+    {
+      ms_prepare =
+        (fun ptm ->
+          let t = Pstructs.Mod_phashtable.create ptm ~buckets:64 in
+          Ptm.root_set ptm root_slot (Pstructs.Mod_phashtable.descriptor t));
+      ms_attach = Pstructs.Mod_phashtable.attach;
+      ms_insert = Pstructs.Mod_phashtable.put;
+      ms_remove = Pstructs.Mod_phashtable.remove;
+      ms_invariants = Pstructs.Mod_phashtable.check_invariants;
+      ms_alist = Pstructs.Mod_phashtable.to_alist;
+    }
+    ~name:"mod-hash" ?threads ?ops ?coalesce ()
 
 (* ---------- alloc churn: allocator accounting under a slot directory ---------- *)
 
@@ -1008,6 +1241,8 @@ let all () =
     bank ();
     counters ();
     btree ();
+    mod_btree ();
+    mod_hash ();
     alloc_churn ();
     kv_batch ();
     kv_xshard ();

@@ -56,6 +56,20 @@ val counters : ?slots:int -> ?threads:int -> ?ops:int -> ?coalesce:bool -> unit 
 
 val btree : ?threads:int -> ?ops:int -> ?coalesce:bool -> unit -> Engine.scenario
 
+val mod_btree : ?threads:int -> ?ops:int -> ?coalesce:bool -> unit -> Engine.scenario
+(** {!Pstructs.Mod_bptree} under a deterministic per-thread
+    insert/remove script.  The oracle runs {!Dlin.check} with
+    [`Buffered] durability when the recovered PTM uses the [Mod]
+    algorithm (the root swap's flush is unfenced, so a committed suffix
+    may be lost) and strict durability otherwise; the validate checks
+    snapshot consistency (each thread's recovered bindings are a script
+    prefix), a WPQ-lag bound on committed-but-lost ops, and phantom
+    freedom. *)
+
+val mod_hash : ?threads:int -> ?ops:int -> ?coalesce:bool -> unit -> Engine.scenario
+(** {!Pstructs.Mod_phashtable} under the same script, oracle and
+    validates as {!mod_btree}. *)
+
 val alloc_churn : ?threads:int -> ?ops:int -> ?coalesce:bool -> unit -> Engine.scenario
 
 val kv_batch :

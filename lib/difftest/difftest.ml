@@ -201,6 +201,14 @@ let matrix =
     ("redo/htm-commit/coalesced", Config.htm_commit, Ptm.Redo, true);
     ("redo/htm-commit/naive", Config.htm_commit, Ptm.Redo, false);
     ("htm/htm-commit", Config.htm_commit, Ptm.Htm, true);
+    (* MOD buffers writes volatile and publishes through a root swap;
+       traces that update several directory slots in one transaction
+       exercise its redo fallback, so these rows cover both paths. *)
+    ("mod/ADR/coalesced", Config.optane_adr, Ptm.Mod, true);
+    ("mod/ADR/naive", Config.optane_adr, Ptm.Mod, false);
+    ("mod/eADR/coalesced", Config.optane_eadr, Ptm.Mod, true);
+    ("mod/transient/coalesced", Config.transient_cache, Ptm.Mod, true);
+    ("mod/htm-commit/coalesced", Config.htm_commit, Ptm.Mod, true);
   ]
 
 let check_seed ?slots ?txns seed =
@@ -244,5 +252,6 @@ let check_seed ?slots ?txns seed =
       "redo/transient";
       "undo/transient";
       "redo/htm-commit";
+      "mod/ADR";
     ];
   match !errors with [] -> Ok () | es -> Error (String.concat "\n" (List.rev es))

@@ -131,7 +131,7 @@ exception Budget
 
 let default_max_nodes = 200_000
 
-let check ?(max_nodes = default_max_nodes) spec h ~recovered =
+let check ?(max_nodes = default_max_nodes) ?(durability = `Strict) spec h ~recovered =
   let ops = History.to_arrays h in
   let nthreads = Array.length ops in
   let total = Array.map Array.length ops in
@@ -200,14 +200,28 @@ let check ?(max_nodes = default_max_nodes) spec h ~recovered =
   let rec dfs st =
     incr nodes;
     if !nodes > max_nodes then raise Budget;
-    if goal () && spec.equal_state st recovered then raise Found;
+    (* Strict: the recovered state must be explained by a linearization
+       containing every completed operation — test only at the goal.
+       Buffered: the recovered state may be any real-time-closed cut of
+       a linearization (unflushed committed suffixes are lost at a
+       crash) — test at every node, and skip the leader rule: a
+       completed operation need not be in the cut, so forcing it first
+       could step over the matching prefix. *)
+    (match durability with
+    | `Strict -> if goal () && spec.equal_state st recovered then raise Found
+    | `Buffered -> if spec.equal_state st recovered then raise Found);
     let key = key_of st in
     let bucket = Option.value (Hashtbl.find_opt memo key) ~default:[] in
     if List.exists (fun s -> spec.equal_state st s) bucket then incr memo_hits
     else begin
       Hashtbl.replace memo key (st :: bucket);
       let avail = List.filter available all_tids in
-      let cands = match List.find_opt leader avail with Some t -> [ t ] | None -> avail in
+      let cands =
+        match durability with
+        | `Buffered -> avail
+        | `Strict ->
+          (match List.find_opt leader avail with Some t -> [ t ] | None -> avail)
+      in
       List.iter
         (fun t ->
           let e = ops.(t).(pos.(t)) in
@@ -227,7 +241,12 @@ let check ?(max_nodes = default_max_nodes) spec h ~recovered =
   match dfs spec.init with
   | () ->
     let reason =
-      "no durable linearization of the recorded history explains the recovered state"
+      match durability with
+      | `Strict ->
+        "no durable linearization of the recorded history explains the recovered state"
+      | `Buffered ->
+        "no real-time-closed prefix of any linearization explains the recovered state \
+         (buffered durability)"
     in
     Error { reason; jsonl = dump spec h ~recovered:(Some recovered) ~reason ~nodes:!nodes }
   | exception Found -> Ok { nodes = !nodes; memo_hits = !memo_hits }

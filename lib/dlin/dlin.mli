@@ -105,6 +105,7 @@ val dump :
 
 val check :
   ?max_nodes:int ->
+  ?durability:[ `Strict | `Buffered ] ->
   ('st, 'op, 'res) spec ->
   ('op, 'res) History.t ->
   recovered:'st ->
@@ -112,4 +113,23 @@ val check :
 (** Search for a legal durable linearization explaining [recovered].
     [Ok] carries search statistics; [Error] carries the reason — either
     "no linearization ..." or the distinct budget-exceeded message —
-    and the JSONL dump.  [max_nodes] defaults to 200_000. *)
+    and the JSONL dump.  [max_nodes] defaults to 200_000.
+
+    [durability] (default [`Strict]) selects the legality criterion:
+
+    - [`Strict] — durable linearizability proper: the linearization must
+      contain {e every} completed operation (commit became durable
+      before the response returned).  Right for redo/undo, whose commit
+      fence precedes the return.
+    - [`Buffered] — buffered durable linearizability: the recovered
+      state may be any real-time-closed cut (per-thread prefixes,
+      closed under returned-before-invoked precedence, with each
+      included completed operation's replayed response matching the
+      recorded one).  Right for MOD structures, whose root swap is
+      published with an unfenced flush, so a committed suffix of the
+      serialized history can be lost at a crash.  The match is tested
+      at every search node and the commuting-leader rule is disabled —
+      a completed operation need not be in the cut, so bubbling it
+      first is unsound for prefix cuts.  Responses of operations
+      {e outside} the cut are not revalidated here; scenario validates
+      cover them. *)

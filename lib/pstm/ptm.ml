@@ -1,9 +1,9 @@
 module Layout = Machine.Layout
 module Meta = Machine.Meta_layout
 
-type algorithm = Redo | Undo | Htm
+type algorithm = Redo | Undo | Htm | Mod
 
-let algorithm_name = function Redo -> "redo" | Undo -> "undo" | Htm -> "htm"
+let algorithm_name = function Redo -> "redo" | Undo -> "undo" | Htm -> "htm" | Mod -> "mod"
 
 type flush_timing = At_commit | Incremental
 
@@ -94,6 +94,11 @@ type tx = {
   mutable log_flushed_upto : int; (* Incremental policy: first unflushed line *)
   mutable mode : algorithm; (* effective algorithm for this attempt (HTM falls back) *)
   wlines : (int, unit) Hashtbl.t; (* HTM: distinct written lines (capacity model) *)
+  (* MOD: [lo, hi) word ranges allocated by this transaction — writes
+     inside them are shadow-class (unreachable until the root swap). *)
+  fresh : Repro_util.Int_vec.t;
+  mutable pub_addr : int; (* MOD: the single home-location word, -1 = none *)
+  mutable in_alloc : bool; (* MOD: inside the allocator (header writes are shadow) *)
 }
 
 and t = {
@@ -208,6 +213,9 @@ let fresh_tx t tid =
     log_flushed_upto = 0;
     mode = t.alg;
     wlines = Hashtbl.create 64;
+    fresh = Repro_util.Int_vec.create ();
+    pub_addr = -1;
+    in_alloc = false;
   }
 
 let fresh_stats () =
@@ -330,6 +338,20 @@ let last_recovery t = t.last_recovery
 let root_get t i = Pmem.Region.root_get t.reg i
 let root_set t i v = Pmem.Region.root_set t.reg i v
 
+let clock t = clock_read t
+
+(* Smallest read-version among transactions currently executing — the
+   reclamation horizon for MOD's epoch free-lists.  A node retired when
+   the clock read [wv] can only be referenced by a transaction whose
+   snapshot predates the root swap, i.e. one with [rv < wv]; once every
+   in-flight transaction has [rv >= wv] the node is unreachable. *)
+let min_active_rv t =
+  let m = ref max_int in
+  Array.iter
+    (function Some tx when tx.depth > 0 -> if tx.rv < !m then m := tx.rv | _ -> ())
+    t.txs;
+  !m
+
 (* ---------- shared transaction machinery ---------- *)
 
 let tx_for t =
@@ -356,7 +378,10 @@ let reset_tx tx =
   tx.abort_hooks <- [];
   tx.undo_status_written <- false;
   tx.log_flushed_upto <- Layout.line_of_addr (log_base tx + 2);
-  Hashtbl.reset tx.wlines
+  Hashtbl.reset tx.wlines;
+  Repro_util.Int_vec.clear tx.fresh;
+  tx.pub_addr <- -1;
+  tx.in_alloc <- false
 
 (* Release every orec I hold, restoring pre-lock versions. *)
 let release_acquired_to_previous tx =
@@ -893,6 +918,224 @@ let htm_try_commit tx =
       false
   end
 
+(* ---------- MOD (minimally ordered durable structures) ----------
+
+   The MOD protocol (Haria et al., "MOD: Minimally Ordered Durable
+   Datastructures"): updates are expressed as purely-functional shadow
+   copies — every written word is either freshly allocated this
+   transaction (shadow-class, unreachable from the published structure)
+   or the one home-location word that atomically swings the structure's
+   root to the new version (publish-class).  Commit then needs exactly
+   one ordering point: write the shadow nodes in place, sweep their
+   lines with vectored clwb, fence once, and store the 8-byte root.
+   The trailing clwb of the root line is deliberately unfenced —
+   recovery reads whichever root made it to media, giving {e buffered}
+   durable linearizability (a WPQ-bounded committed suffix per
+   structure can be lost; everything behind the durable root
+   survives).
+
+   Writes are buffered volatile until commit (like HTM).  A transaction
+   that writes a {e second} distinct home-location word is not a MOD
+   shape (bank transfers, multi-index TPC-C transactions): the buffer
+   is materialized into the persistent redo log and the attempt
+   continues on the redo path — correctness never depends on the
+   workload fitting the pattern.  Shadow nodes need no ownership
+   records: they are private until the root swap and immutable after
+   it; conflict detection rides entirely on the root word's orec. *)
+
+let mod_is_fresh tx addr =
+  tx.in_alloc
+  ||
+  let n = Repro_util.Int_vec.length tx.fresh in
+  let rec go i =
+    i < n
+    && ((addr >= Repro_util.Int_vec.get tx.fresh i
+         && addr < Repro_util.Int_vec.get tx.fresh (i + 1))
+       || go (i + 2))
+  in
+  go 0
+
+let mod_read tx addr =
+  match Hashtbl.find_opt tx.wmap addr with
+  | Some idx -> Repro_util.Int_vec.get tx.vvals idx
+  | None -> read_shared tx addr
+
+(* Materialize the volatile write buffer into the persistent redo log
+   and continue this attempt as a redo transaction.  The volatile index
+   (wmap/vaddrs/vvals) is already in redo's shape, so only the log
+   entries themselves need to be emitted. *)
+let mod_fallback tx =
+  let t = tx.ptm in
+  let n = Repro_util.Int_vec.length tx.vaddrs in
+  (* The volatile buffer is unbounded (shadow writes never touch the
+     log); only a fallback must fit the persistent redo log. *)
+  if n >= t.log_capacity then raise Log_overflow;
+  let base = log_base tx in
+  prof_phase t Profile.Log_append (fun () ->
+      for i = 0 to n - 1 do
+        let pos = base + 2 + (2 * i) in
+        t.m.Machine.store pos (Repro_util.Int_vec.get tx.vaddrs i);
+        t.m.Machine.store (pos + 1) (Repro_util.Int_vec.get tx.vvals i)
+      done;
+      t.m.Machine.store (base + 2 + (2 * n)) 0 (* sentinel *));
+  tx.mode <- Redo
+
+let mod_write tx addr value =
+  assert (addr > 0);
+  match Hashtbl.find_opt tx.wmap addr with
+  | Some idx -> Repro_util.Int_vec.set tx.vvals idx value
+  | None ->
+    let fresh = mod_is_fresh tx addr in
+    if (not fresh) && tx.pub_addr >= 0 && tx.pub_addr <> addr then begin
+      (* Second distinct home-location word: not a single-root-swap
+         shape.  Hand the whole attempt to the redo path. *)
+      mod_fallback tx;
+      redo_write tx addr value
+    end
+    else begin
+      if not fresh then tx.pub_addr <- addr;
+      let idx = Repro_util.Int_vec.length tx.vaddrs in
+      Hashtbl.add tx.wmap addr idx;
+      Repro_util.Int_vec.push tx.vaddrs addr;
+      Repro_util.Int_vec.push tx.vvals value
+    end
+
+let mod_try_commit tx =
+  let t = tx.ptm in
+  let s = t.stats.(tx.tid) in
+  let n = Repro_util.Int_vec.length tx.vaddrs in
+  if n = 0 then begin
+    s.commits <- s.commits + 1;
+    s.read_only_commits <- s.read_only_commits + 1;
+    true
+  end
+  else begin
+    match
+      prof_phase t Profile.Validate (fun () ->
+          (* Only the publish word needs an ownership record: shadow
+             nodes are private until the swap and immutable after. *)
+          if tx.pub_addr >= 0 then begin
+            let addr = tx.pub_addr in
+            let oidx = orec_of t addr in
+            let v = orec_get t oidx in
+            if locked v then conflict tx "acquire-locked" addr;
+            if version_of v > tx.rv && not (extend tx) then conflict tx "acquire-stale" addr;
+            if not (orec_cas t oidx v (lock_word tx.tid)) then conflict tx "acquire-cas" addr;
+            Hashtbl.add tx.amap oidx v;
+            Repro_util.Int_vec.push tx.acquired oidx
+          end;
+          let wv = clock_next t in
+          if (wv > tx.rv + 1 || Repro_util.Int_vec.length tx.reads > 0)
+             && not (validate_reads tx)
+          then None
+          else Some wv)
+    with
+    | None ->
+      (match t.conflict_hook with Some f -> f "commit-validate" 0 | None -> ());
+      release_acquired_to_previous tx;
+      false
+    | exception Conflict ->
+      release_acquired_to_previous tx;
+      false
+    | Some wv ->
+      begin
+        (* 1. Shadow stores: every buffered word except the root. *)
+        prof_phase t Profile.Write_back (fun () ->
+            for i = 0 to n - 1 do
+              let a = Repro_util.Int_vec.get tx.vaddrs i in
+              if a <> tx.pub_addr then
+                t.m.Machine.store a (Repro_util.Int_vec.get tx.vvals i)
+            done);
+        (* 2. One clwb sweep over the shadow lines, then THE fence. *)
+        let sweep () =
+          if not t.m.Machine.needs_flush then 0
+          else if t.inject = Some Skip_fence then
+            (* Injected missing ordering point: publish with no shadow
+               sweep at all — neither clwbs nor the fence.  (Eliding
+               only the sfence is unobservable in this machine model:
+               clwb issue slots outpace the bounded WPQ drain, so the
+               issued sweep is media-ordered before the root swap with
+               or without the wait.  The reachable form of the classic
+               "no flush epoch before the root swap" MOD bug is to skip
+               the sweep wholesale; shadow nodes then reach media only
+               by cache eviction.) *)
+            0
+          else begin
+            let iter f =
+              Repro_util.Int_vec.iter (fun a -> if a <> tx.pub_addr then f a) tx.vaddrs
+            in
+            let k =
+              if t.coalesce then begin
+                let k = gather_lines tx iter in
+                clwb_batch t tx.lscratch k;
+                k
+              end
+              else begin
+                (* Naive A/B mode: no line dedup, but MOD's protocol is
+                   still one fence — per-word ordering is not MOD. *)
+                let issued = ref 0 in
+                iter (fun a ->
+                    incr issued;
+                    clwb1 t a);
+                !issued
+              end
+            in
+            fence t;
+            k
+          end
+        in
+        (* 3. The 8-byte atomic root swap; its trailing clwb is
+           unfenced — buffered durability, recovery reads the root. *)
+        let publish () =
+          if tx.pub_addr >= 0 then begin
+            let a = tx.pub_addr in
+            let pv = Repro_util.Int_vec.get tx.vvals (Hashtbl.find tx.wmap a) in
+            match t.inject with
+            | Some Tear_write ->
+              (* Injected torn root swap: a byte-granular root write
+                 (memcpy-style) where only the low byte landed before
+                 the line was written back.  The corrective store fixes
+                 the cache-visible word but is never flushed, so the
+                 media keeps the torn pointer until an eviction. *)
+              let old = t.m.Machine.raw_read a in
+              let torn = old land lnot 0xFF lor (pv land 0xFF) in
+              prof_phase t Profile.Write_back (fun () -> t.m.Machine.store a torn);
+              flush t a;
+              prof_phase t Profile.Write_back (fun () -> t.m.Machine.store a pv)
+            | _ ->
+              prof_phase t Profile.Write_back (fun () -> t.m.Machine.store a pv);
+              flush t a
+          end
+        in
+        let data_flushes =
+          match t.inject with
+          | Some Reorder_log_apply ->
+            (* Injected ordering bug: the root swings before the shadow
+               nodes are durable — a crash in between recovers a root
+               pointing at unswept garbage. *)
+            publish ();
+            sweep ()
+          | _ ->
+            let k = sweep () in
+            publish ();
+            k
+        in
+        (* 4. Make the swap visible to other threads. *)
+        release_acquired_to tx (version_word wv);
+        (* Savings ledger vs a per-word discipline (clwb + fence per
+           written word, root included). *)
+        (match t.profiler with
+        | Some p when t.coalesce && t.m.Machine.needs_flush ->
+          Profile.note_saved p
+            ~fences:(if t.m.Machine.needs_fence then max 0 (n - 1) else 0)
+            ~flushes:(max 0 (n - data_flushes - 1))
+        | _ -> ());
+        s.commits <- s.commits + 1;
+        s.max_write_set <- max s.max_write_set n;
+        true
+      end
+  end
+
 (* ---------- public transactional API ---------- *)
 
 let dispatch_read tx addr =
@@ -900,6 +1143,7 @@ let dispatch_read tx addr =
   | Redo -> redo_read tx addr
   | Undo -> undo_read tx addr
   | Htm -> htm_read tx addr
+  | Mod -> mod_read tx addr
 
 let read tx addr =
   match tx.ptm.profiler with
@@ -911,6 +1155,7 @@ let dispatch_write tx addr value =
   | Redo -> redo_write tx addr value
   | Undo -> undo_write tx addr value
   | Htm -> htm_write tx addr value
+  | Mod -> mod_write tx addr value
 
 let write tx addr value =
   match tx.ptm.profiler with
@@ -929,7 +1174,26 @@ let tx_ops tx =
     on_abort = (fun hook -> on_abort tx hook);
   }
 
-let alloc tx words = Pmem.Alloc.alloc tx.ptm.allocator (tx_ops tx) ~words
+let alloc tx words =
+  match tx.mode with
+  | Mod ->
+    (* Allocator metadata writes (block header, free-list links) are
+       shadow-class for MOD: the block is unreachable until the root
+       swap, and recovery's allocator scan only trusts swept memory. *)
+    tx.in_alloc <- true;
+    let payload =
+      match Pmem.Alloc.alloc tx.ptm.allocator (tx_ops tx) ~words with
+      | payload ->
+        tx.in_alloc <- false;
+        payload
+      | exception e ->
+        tx.in_alloc <- false;
+        raise e
+    in
+    Repro_util.Int_vec.push tx.fresh (payload - 1);
+    Repro_util.Int_vec.push tx.fresh (payload + words);
+    payload
+  | Redo | Undo | Htm -> Pmem.Alloc.alloc tx.ptm.allocator (tx_ops tx) ~words
 
 let free tx payload = Pmem.Alloc.free tx.ptm.allocator (tx_ops tx) payload
 
@@ -946,7 +1210,7 @@ let backoff tx =
    raised from read/write) or a user exception. *)
 let abort_cleanup tx =
   (match tx.mode with
-  | Redo | Htm -> release_acquired_to_previous tx (* only locked during commit *)
+  | Redo | Htm | Mod -> release_acquired_to_previous tx (* only locked during commit *)
   | Undo -> undo_rollback tx);
   List.iter (fun hook -> hook ()) tx.abort_hooks;
   tx.ptm.stats.(tx.tid).aborts <- tx.ptm.stats.(tx.tid).aborts + 1
@@ -985,6 +1249,7 @@ let atomic t f =
           | Redo -> redo_try_commit tx
           | Undo -> undo_try_commit tx
           | Htm -> htm_try_commit tx
+          | Mod -> mod_try_commit tx
         in
         if committed then finish value
         else begin

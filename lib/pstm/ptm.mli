@@ -38,6 +38,25 @@ type algorithm =
           transactions fall back to the redo STM path.  Rejected at
           {!create} time under flush-requiring (ADR) domains, where
           clwb would abort the hardware transaction. *)
+  | Mod
+      (** MOD, minimally ordered durable structures (Haria et al.,
+          arXiv 1908.11850): the paper's "fences are the cost" thesis
+          pushed to its endpoint.  Writes are buffered volatile; the
+          transaction must fit the functional shadow-update shape —
+          every written word is either freshly allocated this
+          transaction (a shadow node, unreachable until publication)
+          or the {e one} home-location word that swings the
+          structure's root.  Commit then orders exactly once: shadow
+          stores, one vectored clwb sweep, {e one fence}, then the
+          8-byte atomic root swap whose own write-back is left
+          unfenced — recovery reads whichever root reached media, so
+          durability is {e buffered} (at most the final operation per
+          structure is lost; everything behind a swept root survives).
+          A transaction that writes a second distinct non-fresh word
+          transparently falls back to the redo path for that attempt,
+          so arbitrary workloads stay correct — only MOD-shaped ones
+          get the single-fence bill.  Conflict detection rides the
+          root word's orec; shadow nodes need none. *)
 
 val algorithm_name : algorithm -> string
 
@@ -48,15 +67,26 @@ type flush_timing =
 (** Deliberate ordering bugs for mutation-testing the crash oracles
     (never set in real use — a checker that never fails is untested). *)
 type inject =
-  | Skip_fence  (** every sfence elided: write-backs race in the WPQ *)
+  | Skip_fence
+      (** every sfence elided: write-backs race in the WPQ; for MOD
+          the whole pre-publish ordering point is skipped — no shadow
+          sweep (clwbs or fence) before the root swap, so the root can
+          reach media while the nodes it points at are still
+          cache-only (the lone sfence is timing-redundant in this
+          machine model; see the commit pipeline comment) *)
   | Reorder_log_apply
       (** redo: the durable commit status is raised {e before} the log
           entries persist, so recovery can replay a stale log; undo:
           entries are armed without their own write-back/fence, so an
-          in-place store can beat its undo entry to media *)
+          in-place store can beat its undo entry to media; MOD: the
+          root swap is issued {e before} the shadow sweep, so a crash
+          in between recovers a root pointing at unswept garbage *)
   | Tear_write
-      (** the coalesced commit write-back sweep drops its last gathered
-          line, leaving one committed line volatile *)
+      (** redo/undo: the coalesced commit write-back sweep drops its
+          last gathered line, leaving one committed line volatile;
+          MOD: the root swap tears — only the low byte of the new root
+          reaches media (a memcpy-style non-atomic pointer store), the
+          corrective full store stays cache-only *)
 
 val inject_name : inject -> string
 (** Stable names: ["skip-fence"], ["reorder-log-apply"], ["tear-write"]
@@ -186,6 +216,20 @@ val abort_and_retry : tx -> 'a
 
 val root_get : t -> int -> int
 val root_set : t -> int -> int -> unit
+
+(** {1 Epoch reclamation support (MOD structures)} *)
+
+val clock : t -> int
+(** Current value of the global version clock (a read, not a tick). *)
+
+val min_active_rv : t -> int
+(** Smallest read-version among transactions currently executing
+    ([max_int] when none are).  A shadow node unlinked by a root swap
+    that read clock value [wv] can only still be referenced by a
+    transaction whose snapshot predates the swap ([rv < wv]); once
+    [min_active_rv t >= wv] the node is provably unreachable and its
+    block may be recycled.  This is the reclamation horizon for the
+    MOD structures' epoch free-lists. *)
 
 (** {1 Statistics} *)
 

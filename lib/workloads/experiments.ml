@@ -690,6 +690,99 @@ let scaling ?(quick = false) ?jobs () =
     series;
   { tables = [ tput; economy ]; results = List.rev !all_results }
 
+(* Extension: the MOD algorithm column.  The same mixed btree/hash op
+   stream runs under redo, undo and MOD across every durability domain
+   (Mod_bench routes to the shadow structures under [Mod]), with
+   passive telemetry summing the profiler's fence/flush counters per
+   commit.  The economy table is the paper-style argument in numbers:
+   on ADR, MOD commits with at most one fence per op where the logged
+   algorithms pay several, and on eADR / transient-cache every
+   algorithm's fence count collapses to zero — the crossover where
+   MOD keeps paying its path-copying tax but its ordering advantage
+   is gone. *)
+let algorithms ?(quick = false) ?jobs () =
+  let dur = duration quick in
+  let threads = if quick then 2 else 4 in
+  let passive = { Telemetry.default_config with Telemetry.sample_interval_ns = 0 } in
+  let models =
+    [
+      ("ADR", Config.optane_adr);
+      ("eADR", Config.optane_eadr);
+      ("transient", Config.transient_cache);
+      ("PDRAM", Config.pdram);
+      ("PDRAM-Lite", Config.pdram_lite);
+    ]
+  in
+  let algs = [ ("redo", Ptm.Redo); ("undo", Ptm.Undo); ("mod", Ptm.Mod) ] in
+  let specs = [ Mod_bench.btree; Mod_bench.hash ] in
+  let tput =
+    Table.create
+      ~title:
+        (Printf.sprintf "Algorithms — mixed btree/hash throughput, %d threads (M tx/s)" threads)
+      ~header:("workload/algorithm" :: List.map fst models)
+  in
+  let economy =
+    Table.create ~title:"Algorithms — ordering economy per commit (profiler counters)"
+      ~header:
+        [
+          "workload"; "algorithm"; "model"; "fences/commit"; "clwbs/commit"; "fences saved";
+          "clwbs saved";
+        ]
+  in
+  let cells =
+    List.concat_map
+      (fun spec ->
+        List.concat_map
+          (fun (_, algorithm) ->
+            List.map
+              (fun (_, model) () ->
+                Driver.run ~duration_ns:dur ~telemetry:passive ~model ~algorithm ~threads spec)
+              models)
+          algs)
+      specs
+  in
+  let next = dispatch ?jobs cells in
+  let all_results = ref [] in
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun (alg_name, _) ->
+          let row =
+            List.map
+              (fun (model_name, _) ->
+                let r = next () in
+                all_results := r :: !all_results;
+                (match r.Driver.telemetry with
+                | None -> ()
+                | Some cap ->
+                  let p = Telemetry.profile cap in
+                  let sum f =
+                    List.fold_left (fun acc tid -> acc + f ~tid) 0 (Pstm.Profile.tids p)
+                  in
+                  let over_phases f =
+                    sum (fun ~tid ->
+                        List.fold_left (fun acc ph -> acc + f ~tid ph) 0 Pstm.Profile.all_phases)
+                  in
+                  let commits = max 1 (sum (Pstm.Profile.commits p)) in
+                  let per x = Table.cell_f (float_of_int x /. float_of_int commits) in
+                  Table.add_row economy
+                    [
+                      spec.Driver.name;
+                      alg_name;
+                      model_name;
+                      per (over_phases (fun ~tid ph -> Pstm.Profile.phase_fences p ~tid ph));
+                      per (over_phases (fun ~tid ph -> Pstm.Profile.phase_flushes p ~tid ph));
+                      per (sum (Pstm.Profile.fences_saved p));
+                      per (sum (Pstm.Profile.flushes_saved p));
+                    ]);
+                Table.cell_f (r.Driver.txs_per_sec /. 1e6))
+              models
+          in
+          Table.add_row tput ((spec.Driver.name ^ "/" ^ alg_name) :: row))
+        algs)
+    specs;
+  { tables = [ tput; economy ]; results = List.rev !all_results }
+
 (* Extension: recovery cost.  Crash a run mid-flight and measure the
    real time Ptm.recover takes as the heap gets fuller.  Stays serial
    regardless of [jobs]: the metric is wall-clock, and concurrent cells
@@ -751,5 +844,6 @@ let all =
     ("dimm-interleave", dimm_interleave);
     ("memory-mode", memory_mode);
     ("reserve-energy", reserve_energy);
+    ("algorithms", algorithms);
     ("recovery-time", recovery_time);
   ]

@@ -94,6 +94,13 @@ val reserve_energy : ?quick:bool -> ?jobs:int -> unit -> outcome
 (** §V future work: sampled persistence debt and the reserve energy
     each durability domain would need on a power failure. *)
 
+val algorithms : ?quick:bool -> ?jobs:int -> unit -> outcome
+(** The MOD algorithm column: {!Mod_bench} btree/hash mixed streams
+    under redo vs undo vs MOD across every durability domain, with a
+    per-commit fence/flush economy table from the profiler.  Shows
+    MOD's one-fence commit on ADR and the eADR / transient-cache
+    crossover where its ordering advantage collapses. *)
+
 val recovery_time : ?quick:bool -> ?jobs:int -> unit -> outcome
 (** Wall-clock cost of [Ptm.recover] as the heap gets fuller.  Always
     serial: the metric is real time, which concurrent cells would

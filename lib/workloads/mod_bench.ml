@@ -1,0 +1,111 @@
+(* MOD-aware microbenchmarks: one mixed key/value op stream, routed to
+   the structure family that matches the PTM's algorithm.  Under [Mod]
+   the ops run on the minimally-ordered shadow structures (Mod_bptree /
+   Mod_phashtable: path-copied immutable nodes, one fence, unfenced
+   root swap); under redo/undo/HTM the same stream runs on the in-place
+   logged structures.  A single spec therefore yields an
+   apples-to-apples algorithm column — same key distribution, same
+   op mix, different commit discipline — for the `algorithms`
+   experiment and the BENCH_algorithms.json record. *)
+
+module Ptm = Pstm.Ptm
+module Rng = Repro_util.Rng
+
+let key_range_bits = 14
+let key_range = 1 lsl key_range_bits
+let root_slot = 0
+
+(* Structure-blind op table so setup and the op loop are written once.
+   The branch on [Ptm.algorithm] happens only here. *)
+type ops = {
+  put : Ptm.tx -> key:int -> value:int -> bool;
+  get : Ptm.tx -> int -> int option;
+  del : Ptm.tx -> int -> bool;
+}
+
+let btree_create ptm =
+  if Ptm.algorithm ptm = Ptm.Mod then
+    let t = Pstructs.Mod_bptree.create ptm in
+    Ptm.root_set ptm root_slot (Pstructs.Mod_bptree.descriptor t)
+  else
+    let t = Pstructs.Bptree.create ptm in
+    Ptm.root_set ptm root_slot (Pstructs.Bptree.descriptor t)
+
+let btree_ops ptm =
+  if Ptm.algorithm ptm = Ptm.Mod then (
+    let t = Pstructs.Mod_bptree.attach ptm (Ptm.root_get ptm root_slot) in
+    {
+      put = (fun tx ~key ~value -> Pstructs.Mod_bptree.insert tx t ~key ~value);
+      get = (fun tx key -> Pstructs.Mod_bptree.lookup tx t key);
+      del = (fun tx key -> Pstructs.Mod_bptree.remove tx t key);
+    })
+  else
+    let t = Pstructs.Bptree.attach ptm (Ptm.root_get ptm root_slot) in
+    {
+      put = (fun tx ~key ~value -> Pstructs.Bptree.insert tx t ~key ~value);
+      get = (fun tx key -> Pstructs.Bptree.lookup tx t key);
+      del = (fun tx key -> Pstructs.Bptree.remove tx t key);
+    }
+
+(* Mod_phashtable wants a power of 16; Phashtable rounds to a multiple
+   of 512.  256 buckets gives both a comparable load factor over the
+   2^14 key range. *)
+let hash_create ptm =
+  if Ptm.algorithm ptm = Ptm.Mod then
+    let t = Pstructs.Mod_phashtable.create ptm ~buckets:256 in
+    Ptm.root_set ptm root_slot (Pstructs.Mod_phashtable.descriptor t)
+  else
+    let t = Pstructs.Phashtable.create ptm ~buckets:256 in
+    Ptm.root_set ptm root_slot (Pstructs.Phashtable.descriptor t)
+
+let hash_ops ptm =
+  if Ptm.algorithm ptm = Ptm.Mod then (
+    let t = Pstructs.Mod_phashtable.attach ptm (Ptm.root_get ptm root_slot) in
+    {
+      put = (fun tx ~key ~value -> Pstructs.Mod_phashtable.put tx t ~key ~value);
+      get = (fun tx key -> Pstructs.Mod_phashtable.get tx t key);
+      del = (fun tx key -> Pstructs.Mod_phashtable.remove tx t key);
+    })
+  else
+    let t = Pstructs.Phashtable.attach ptm (Ptm.root_get ptm root_slot) in
+    {
+      put = (fun tx ~key ~value -> Pstructs.Phashtable.put tx t ~key ~value);
+      get = (fun tx key -> Pstructs.Phashtable.get tx t key);
+      del = (fun tx key -> Pstructs.Phashtable.remove tx t key);
+    }
+
+(* Pre-fill half the key range so gets and removes hit live keys about
+   half the time from the first measured op. *)
+let prefill ptm ops =
+  let rng = Rng.create 0x30D in
+  for _ = 1 to key_range / 2 do
+    let key = 1 + Rng.int rng key_range in
+    Ptm.atomic ptm (fun tx -> ignore (ops.put tx ~key ~value:key : bool))
+  done
+
+let mixed name create ops_of =
+  {
+    Driver.name;
+    (* MOD path-copies a spine per update; retired nodes are recycled
+       by the epoch sweep, but the transient float (retire lists, the
+       pre-fill handle's leaked tail) needs headroom over the logged
+       structures' in-place footprint. *)
+    heap_words = 1 lsl 21;
+    setup =
+      (fun ptm ->
+        create ptm;
+        prefill ptm (ops_of ptm));
+    make_op =
+      (fun ptm ~tid ~rng ->
+        ignore tid;
+        let ops = ops_of ptm in
+        fun () ->
+          let key = 1 + Rng.int rng key_range in
+          match Rng.int rng 3 with
+          | 0 -> Ptm.atomic ptm (fun tx -> ignore (ops.put tx ~key ~value:key : bool))
+          | 1 -> Ptm.atomic ptm (fun tx -> ignore (ops.get tx key : int option))
+          | _ -> Ptm.atomic ptm (fun tx -> ignore (ops.del tx key : bool)));
+  }
+
+let btree = mixed "mod-btree" btree_create btree_ops
+let hash = mixed "mod-hash" hash_create hash_ops

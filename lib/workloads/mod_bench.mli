@@ -1,0 +1,19 @@
+(** Algorithm-routed microbenchmarks for the MOD column.
+
+    Each spec runs one mixed put/get/remove stream (uniform keys over
+    [2^{key_range_bits}], pre-filled to half) and picks the structure
+    family by the PTM's algorithm at setup/attach time: under
+    {!Pstm.Ptm.algorithm} [Mod] the minimally-ordered shadow
+    structures ({!Pstructs.Mod_bptree} / {!Pstructs.Mod_phashtable}),
+    under redo/undo/HTM the in-place logged ones ({!Pstructs.Bptree} /
+    {!Pstructs.Phashtable}).  Same op stream, different commit
+    discipline — the workload axis of the [algorithms] experiment. *)
+
+val btree : Driver.spec
+(** [mod-btree]: ordered-map mixed workload. *)
+
+val hash : Driver.spec
+(** [mod-hash]: hash-map mixed workload. *)
+
+val key_range_bits : int
+(** Key range of both workloads (2^14). *)

@@ -28,9 +28,17 @@ let models =
 
 (* Undo's eager in-place stores are pointless inside a hardware
    transaction; the HTM-commit domain sweeps the Htm algorithm
-   instead. *)
-let algorithms_for model =
-  if model == Config.htm_commit then [ Pstm.Ptm.Redo; Pstm.Ptm.Htm ]
+   instead.  The MOD structure scenarios sweep the Mod algorithm
+   (their buffered single-fence discipline) plus Redo as the
+   strict-durability differential — Undo/Htm would add nothing the
+   other scenarios don't already cover. *)
+let algorithms_for model scenario =
+  let is_mod =
+    let n = scenario.Engine.name in
+    String.length n >= 4 && String.sub n 0 4 = "mod-"
+  in
+  if is_mod then [ Pstm.Ptm.Mod; Pstm.Ptm.Redo ]
+  else if model == Config.htm_commit then [ Pstm.Ptm.Redo; Pstm.Ptm.Htm ]
   else [ Pstm.Ptm.Redo; Pstm.Ptm.Undo ]
 
 let inject_from_env () =
@@ -83,7 +91,7 @@ let sweep () =
                     incr ran;
                     if not (Engine.ok report) then incr failed
                   end)
-                (algorithms_for model))
+                (algorithms_for model scenario))
           models)
     (Scenarios.all ());
   if !ran = 0 then begin

@@ -43,8 +43,15 @@ let models =
     Config.htm_commit;
   ]
 
-let algorithms_for model =
-  if model == Config.htm_commit then [ Ptm.Redo; Ptm.Htm ]
+(* MOD structure scenarios run the Mod algorithm (checked under the
+   buffered dlin criterion) plus Redo as the strict differential. *)
+let algorithms_for model scenario =
+  let is_mod =
+    let n = scenario.Engine.name in
+    String.length n >= 4 && String.sub n 0 4 = "mod-"
+  in
+  if is_mod then [ Ptm.Mod; Ptm.Redo ]
+  else if model == Config.htm_commit then [ Ptm.Redo; Ptm.Htm ]
   else [ Ptm.Redo; Ptm.Undo ]
 
 (* One cell per durability domain of interest, spread across scenarios
@@ -56,6 +63,7 @@ let fast_cells =
     ("counters", Config.transient_cache, Ptm.Undo);
     ("kv-incr", Config.htm_commit, Ptm.Htm);
     ("btree", Config.optane_eadr, Ptm.Redo);
+    ("mod-btree", Config.optane_adr, Ptm.Mod);
   ]
 
 (* The three armed ordering bugs, each on a cell where the weakened
@@ -65,6 +73,8 @@ let mutations =
     (Ptm.Skip_fence, "bank", Config.optane_adr, Ptm.Redo);
     (Ptm.Reorder_log_apply, "counters", Config.optane_adr, Ptm.Redo);
     (Ptm.Tear_write, "bank", Config.optane_adr, Ptm.Undo);
+    (Ptm.Skip_fence, "mod-btree", Config.optane_adr, Ptm.Mod);
+    (Ptm.Tear_write, "mod-hash", Config.optane_adr, Ptm.Mod);
   ]
 
 let failed = ref 0
@@ -105,7 +115,7 @@ let () =
           (fun model ->
             List.iter
               (fun algorithm -> positive scenario model algorithm)
-              (algorithms_for model))
+              (algorithms_for model scenario))
           models)
       (Scenarios.all ());
     List.iter

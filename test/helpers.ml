@@ -21,6 +21,13 @@ let ptm_fixture ?model ?algorithm ?flush_timing ?(heap_words = 1 lsl 16)
   let ptm = Pstm.Ptm.create ?algorithm ?flush_timing ~max_threads ~log_words_per_thread m in
   (sim, m, ptm)
 
+(* The persistent-structure suites' variant: a bigger heap (splitting
+   trees and towers churn allocation) and a bigger per-thread log,
+   shared by test_pstructs, test_pstructs2 and test_mod so the sizing
+   lives in one place. *)
+let pstructs_fixture ?model ?algorithm ?(heap_words = 1 lsl 18) () =
+  ptm_fixture ?model ?algorithm ~heap_words ~log_words_per_thread:2048 ()
+
 (* Reboot a crashed (or finished) sim and recover the PTM on it. *)
 let reboot_and_recover ?algorithm sim =
   let sim' = Memsim.Sim.reboot sim in
@@ -34,3 +41,12 @@ let check_bool = Alcotest.(check bool)
 (* qcheck bridge: register a property as an alcotest case. *)
 let qtest ?(count = 200) name gen prop =
   QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+(* Key/op traces for the structure-vs-oracle differential properties:
+   (key, op-code) pairs with keys in [1, key_range] and op codes in
+   [0, ops - 1].  [size] bounds the trace length; without it the list
+   uses qcheck's default size distribution. *)
+let kv_ops_gen ?size ~key_range ~ops () =
+  let open QCheck2.Gen in
+  let step = pair (int_range 1 key_range) (int_range 0 (ops - 1)) in
+  match size with None -> list step | Some (lo, hi) -> list_size (int_range lo hi) step

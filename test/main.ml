@@ -9,6 +9,7 @@ let () =
       ("pstm2", Test_pstm2.suite);
       ("pstructs", Test_pstructs.suite);
       ("pstructs2", Test_pstructs2.suite);
+      ("mod", Test_mod.suite);
       ("workloads", Test_workloads.suite);
       ("telemetry", Test_telemetry.suite);
       ("native", Test_native.suite);

@@ -1,0 +1,155 @@
+(* MOD algorithm-column gate, wired into tier-1 `dune runtest` and, in
+   full-measurement form, `dune build @mod`.
+
+   Fast mode (default) reruns the `algorithms` experiment at quick
+   size and holds it to three promises:
+
+   1. Shape: every (workload x algorithm x model) cell is present —
+      in particular the ten `mod` rows next to redo and undo.
+   2. Crossover: from the profiler telemetry, MOD commits with fewer
+      fences per commit than redo on ADR (the one-fence discipline),
+      and with exactly zero fences on the eADR-class domains where its
+      ordering advantage collapses.
+   3. Regression: the freshly produced record must pass
+      `Bench_json.regress` against the committed BENCH_algorithms.json
+      baseline (simulation is deterministic, so any drift is a code
+      change that must re-bless the baseline deliberately).
+
+   MOD_FULL=1 (set by the @mod alias) reruns at full measurement size;
+   the committed baseline is quick-sized, so full mode keeps the shape
+   and crossover checks but skips the byte-level regress.  Both modes
+   are held to a wall-clock budget (MOD_BUDGET_S overrides: 120 s
+   fast, 900 s full). *)
+
+module Driver = Workloads.Driver
+module Experiments = Workloads.Experiments
+module J = Workloads.Bench_json
+module Profile = Pstm.Profile
+
+let full =
+  match Sys.getenv_opt "MOD_FULL" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let budget_s =
+  match Sys.getenv_opt "MOD_BUDGET_S" with
+  | Some s when String.trim s <> "" -> (
+    match float_of_string_opt (String.trim s) with
+    | Some b when b > 0.0 -> b
+    | _ ->
+      Printf.eprintf "MOD_BUDGET_S: not a positive number: %S\n%!" s;
+      exit 2)
+  | _ -> if full then 900.0 else 120.0
+
+let failed = ref 0
+
+let check name ok =
+  if not ok then begin
+    incr failed;
+    Printf.printf "FAIL %s\n%!" name
+  end
+
+let fences_per_commit r =
+  match r.Driver.telemetry with
+  | None -> nan
+  | Some cap ->
+    let p = Telemetry.profile cap in
+    let sum f = List.fold_left (fun acc tid -> acc + f ~tid) 0 (Profile.tids p) in
+    let fences =
+      sum (fun ~tid ->
+          List.fold_left (fun acc ph -> acc + Profile.phase_fences p ~tid ph) 0
+            Profile.all_phases)
+    in
+    float_of_int fences /. float_of_int (max 1 (sum (Profile.commits p)))
+
+let () =
+  let baseline_path = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
+  let t0 = Unix.gettimeofday () in
+  let quick = not full in
+  let outcome = (List.assoc "algorithms" Experiments.all) ~quick () in
+  let results = outcome.Experiments.results in
+  let find workload algorithm model =
+    List.find_opt
+      (fun r ->
+        r.Driver.workload = workload && r.Driver.algorithm = algorithm
+        && r.Driver.model = model)
+      results
+  in
+  (* 1 — shape: the full grid, mod rows included. *)
+  check "grid: 30 cells" (List.length results = 30);
+  List.iter
+    (fun workload ->
+      List.iter
+        (fun algorithm ->
+          List.iter
+            (fun model ->
+              match find workload algorithm model with
+              | None ->
+                check (Printf.sprintf "cell %s/%s/%s present" workload algorithm model) false
+              | Some r ->
+                check
+                  (Printf.sprintf "cell %s/%s/%s committed work" workload algorithm model)
+                  (r.Driver.commits > 0))
+            [ "optane-adr"; "optane-eadr"; "transient-cache"; "pdram"; "pdram-lite" ])
+        [ "redo"; "undo"; "mod" ])
+    [ "mod-btree"; "mod-hash" ];
+  (* 2 — the ordering-economy crossover. *)
+  List.iter
+    (fun workload ->
+      let fpc alg model =
+        match find workload alg model with Some r -> fences_per_commit r | None -> nan
+      in
+      let mod_adr = fpc "mod" "optane-adr" and redo_adr = fpc "redo" "optane-adr" in
+      check
+        (Printf.sprintf "%s: mod fences/commit <= 1 on ADR (got %.2f)" workload mod_adr)
+        (Float.is_finite mod_adr && mod_adr <= 1.0 +. 1e-9);
+      check
+        (Printf.sprintf "%s: mod beats redo's fence count on ADR (%.2f vs %.2f)" workload
+           mod_adr redo_adr)
+        (Float.is_finite redo_adr && mod_adr < redo_adr);
+      List.iter
+        (fun model ->
+          let f = fpc "mod" model in
+          check
+            (Printf.sprintf "%s: mod fences collapse to 0 on %s (got %.2f)" workload model f)
+            (f = 0.0))
+        [ "optane-eadr"; "transient-cache" ])
+    [ "mod-btree"; "mod-hash" ];
+  (* 3 — regression sentinel against the committed baseline. *)
+  (match (baseline_path, quick) with
+  | Some path, true ->
+    let tmp = Filename.temp_file "mod_gate" ".d" in
+    Sys.remove tmp;
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let fresh =
+      J.write ~dir:tmp ~experiment:"algorithms" ~quick:true ~jobs:1 ~wall_s results
+    in
+    (match
+       J.regress ~baseline:(J.parse_file path) ~current:(J.parse_file fresh) ()
+     with
+    | findings ->
+      let regressions =
+        List.filter (fun f -> f.J.f_severity = J.Regression) findings
+      in
+      List.iter
+        (fun f -> Printf.printf "  regress %s: %s\n" f.J.f_path f.J.f_detail)
+        regressions;
+      check "regress vs committed BENCH_algorithms.json" (regressions = [])
+    | exception J.Parse_error msg ->
+      check (Printf.sprintf "regress: parse (%s)" msg) false);
+    Sys.remove fresh;
+    (try Unix.rmdir tmp with Unix.Unix_error _ -> ())
+  | Some _, false -> () (* full-size run; the committed baseline is quick-sized *)
+  | None, _ -> check "baseline path given" false);
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let mode = if full then "full" else "fast" in
+  if !failed > 0 then begin
+    Printf.printf "mod(%s): %d check(s) FAILED in %.1fs\n%!" mode !failed elapsed;
+    exit 1
+  end
+  else if elapsed > budget_s then begin
+    Printf.printf "mod(%s): all checks passed but %.1fs exceeds the %.0fs budget\n%!" mode
+      elapsed budget_s;
+    exit 1
+  end
+  else Printf.printf "mod(%s): all checks passed in %.1fs (budget %.0fs)\n%!" mode elapsed budget_s

@@ -65,6 +65,31 @@ let coalescing_cases =
         [ Ptm.Redo; Ptm.Undo ])
     [ Scenarios.bank ~coalesce:false (); Scenarios.btree ~coalesce:false () ]
 
+(* ---------- MOD structures: buffered durability cells ---------- *)
+
+(* The MOD scenarios crash inside the shadow-copy sweep and at the
+   root-swap instant (every instant between the first shadow store and
+   the publish flush is a candidate), under the `Buffered dlin
+   criterion.  ADR is where the single-fence protocol actually orders
+   anything; eADR is the crossover domain (no flushes at all); the
+   Redo cell runs the same structures as a strict-durability
+   differential. *)
+let mod_cases =
+  [
+    Alcotest.test_case "matrix mod-btree/optane-adr/mod" `Slow
+      (test_cell (Scenarios.mod_btree ()) Config.optane_adr Ptm.Mod);
+    Alcotest.test_case "matrix mod-btree/optane-eadr/mod" `Slow
+      (test_cell (Scenarios.mod_btree ()) Config.optane_eadr Ptm.Mod);
+    Alcotest.test_case "matrix mod-hash/optane-adr/mod" `Slow
+      (test_cell (Scenarios.mod_hash ()) Config.optane_adr Ptm.Mod);
+    Alcotest.test_case "matrix mod-hash/pdram-lite/mod" `Slow
+      (test_cell (Scenarios.mod_hash ()) Config.pdram_lite Ptm.Mod);
+    Alcotest.test_case "matrix mod-btree/transient-cache/mod" `Slow
+      (test_cell (Scenarios.mod_btree ()) Config.transient_cache Ptm.Mod);
+    Alcotest.test_case "matrix mod-btree/optane-adr/redo" `Slow
+      (test_cell (Scenarios.mod_btree ()) Config.optane_adr Ptm.Redo);
+  ]
+
 (* ---------- the KV service's crash contracts ---------- *)
 
 (* kv-batch sweeps the coalesced multi-set commit (all-or-nothing plus
@@ -218,6 +243,23 @@ let mutation_cases =
     Alcotest.test_case "inject tear-write is caught (bank/adr/undo)" `Slow
       (test_mutation ~inject:Ptm.Tear_write ~scenario:(Scenarios.bank ())
          ~model:Config.optane_adr ~algorithm:Ptm.Undo);
+    (* MOD's one fence stands between the shadow sweep and the root
+       swap; eliding it publishes a root whose shadow nodes are still
+       racing the WPQ, so recovery walks into unswept memory. *)
+    Alcotest.test_case "inject skip-fence is caught (mod-btree/adr/mod)" `Slow
+      (test_mutation ~inject:Ptm.Skip_fence ~scenario:(Scenarios.mod_btree ())
+         ~model:Config.optane_adr ~algorithm:Ptm.Mod);
+    (* A torn root swap lands only the low byte of the new root on
+       media (the cache keeps the full pointer, so only recovery can
+       see it) — the recovered root points into garbage. *)
+    Alcotest.test_case "inject tear-write is caught (mod-hash/adr/mod)" `Slow
+      (test_mutation ~inject:Ptm.Tear_write ~scenario:(Scenarios.mod_hash ())
+         ~model:Config.optane_adr ~algorithm:Ptm.Mod);
+    (* Root swap issued before the shadow sweep: the published root
+       races every shadow line instead of following them. *)
+    Alcotest.test_case "inject reorder-log-apply is caught (mod-btree/adr/mod)" `Slow
+      (test_mutation ~inject:Ptm.Reorder_log_apply ~scenario:(Scenarios.mod_btree ())
+         ~model:Config.optane_adr ~algorithm:Ptm.Mod);
   ]
 
 (* ---------- recovery idempotence ---------- *)
@@ -307,7 +349,8 @@ let test_crash_leak_is_warning () =
   hunt 1
 
 let suite =
-  matrix_cases @ coalescing_cases @ kvserve_cases @ extension_domain_cases @ mutation_cases
+  matrix_cases @ coalescing_cases @ mod_cases @ kvserve_cases @ extension_domain_cases
+  @ mutation_cases
   @ [
       Alcotest.test_case "nofence-adr is caught (redo)" `Slow (test_nofence Ptm.Redo);
       Alcotest.test_case "nofence-adr is caught (undo)" `Slow (test_nofence Ptm.Undo);

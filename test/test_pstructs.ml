@@ -3,8 +3,7 @@ module Ptm = Pstm.Ptm
 module Sim = Memsim.Sim
 module Config = Memsim.Config
 
-let fixture ?(algorithm = Ptm.Redo) ?(heap_words = 1 lsl 18) () =
-  Helpers.ptm_fixture ~algorithm ~heap_words ~log_words_per_thread:2048 ()
+let fixture ?algorithm ?heap_words () = Helpers.pstructs_fixture ?algorithm ?heap_words ()
 
 (* ---------- B+Tree ---------- *)
 
@@ -79,7 +78,7 @@ let test_btree_min_binding () =
 
 let prop_btree_matches_map =
   Helpers.qtest ~count:30 "btree behaves like Map"
-    QCheck2.Gen.(list (pair (int_range 1 500) (int_range 0 2)))
+    (Helpers.kv_ops_gen ~key_range:500 ~ops:3 ())
     (fun ops ->
       let module M = Map.Make (Int) in
       let _, _, ptm = fixture () in
@@ -174,7 +173,7 @@ let test_hash_chains_cover_collisions () =
 
 let prop_hash_matches_hashtbl =
   Helpers.qtest ~count:30 "hash table behaves like Hashtbl"
-    QCheck2.Gen.(list (pair (int_range 1 300) (int_range 0 2)))
+    (Helpers.kv_ops_gen ~key_range:300 ~ops:3 ())
     (fun ops ->
       let _, _, ptm = fixture () in
       let h = Phashtable.create ptm ~buckets:512 in
@@ -225,7 +224,7 @@ let test_list_sorted_semantics () =
 
 let prop_list_matches_map =
   Helpers.qtest ~count:30 "sorted list behaves like Map"
-    QCheck2.Gen.(list (pair (int_range 1 100) (int_range 0 2)))
+    (Helpers.kv_ops_gen ~key_range:100 ~ops:3 ())
     (fun ops ->
       let module M = Map.Make (Int) in
       let _, _, ptm = fixture () in

@@ -4,8 +4,7 @@ open Pstructs
 module Ptm = Pstm.Ptm
 module Sim = Memsim.Sim
 
-let fixture ?(heap_words = 1 lsl 18) () =
-  Helpers.ptm_fixture ~heap_words ~log_words_per_thread:2048 ()
+let fixture ?heap_words () = Helpers.pstructs_fixture ?heap_words ()
 
 (* ---------- skiplist ---------- *)
 
@@ -52,7 +51,7 @@ let test_skiplist_towers_exist () =
 
 let prop_skiplist_matches_map =
   Helpers.qtest ~count:25 "skiplist behaves like Map"
-    QCheck2.Gen.(list (pair (int_range 1 200) (int_range 0 2)))
+    (Helpers.kv_ops_gen ~key_range:200 ~ops:3 ())
     (fun ops ->
       let module M = Map.Make (Int) in
       let _, _, ptm = fixture () in
