@@ -81,8 +81,69 @@ let access t ~line ~write =
     Miss ev
   end
 
+(* Way index of a resident [line], or -1.  Early-exit scan: the victim
+   bookkeeping [find] also carries is only needed on a miss. *)
+let find_hit t line =
+  let base = set_of t line * t.ways in
+  let limit = base + t.ways in
+  let tags = t.tags in
+  let i = ref base in
+  while !i < limit && Array.unsafe_get tags !i <> line do incr i done;
+  if !i < limit then !i else -1
+
+let hit = -1
+let miss_clean = -2
+
+(* Allocation-free twin of [access] for the simulator hot path: same
+   state transitions and counters, but the result is a packed int
+   ([hit] / [miss_clean] / the dirty victim's line number) instead of a
+   [Miss (Some {line; dirty})] record chain.  Clean victims need no
+   action from the caller (data lives in the heap), so only dirty
+   evictions are distinguished.  Any edit here must mirror [access]. *)
+let access_fast t ~line ~write =
+  t.tick <- t.tick + 1;
+  let f = find_hit t line in
+  if f >= 0 then begin
+    t.hits <- t.hits + 1;
+    t.stamp.(f) <- t.tick;
+    if write then t.dirty.(f) <- true;
+    hit
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* Victim choice exactly as [find]: first invalid way, else least
+       recent stamp (first minimum). *)
+    let base = set_of t line * t.ways in
+    let victim = ref base in
+    let oldest = ref max_int in
+    for i = base to base + t.ways - 1 do
+      if !oldest >= 0 then
+        if Array.unsafe_get t.tags i = -1 then begin
+          victim := i;
+          oldest := -1
+        end
+        else if Array.unsafe_get t.stamp i < !oldest then begin
+          victim := i;
+          oldest := Array.unsafe_get t.stamp i
+        end
+    done;
+    let v = !victim in
+    let old_tag = t.tags.(v) in
+    let result =
+      if old_tag >= 0 && t.dirty.(v) then begin
+        t.writebacks <- t.writebacks + 1;
+        old_tag
+      end
+      else miss_clean
+    in
+    t.tags.(v) <- line;
+    t.dirty.(v) <- write;
+    t.stamp.(v) <- t.tick;
+    result
+  end
+
 let clean t ~line =
-  let found, _ = find t line in
+  let found = find_hit t line in
   if found >= 0 && t.dirty.(found) then begin
     t.dirty.(found) <- false;
     true
@@ -90,7 +151,7 @@ let clean t ~line =
   else false
 
 let resident_dirty t ~line =
-  let found, _ = find t line in
+  let found = find_hit t line in
   found >= 0 && t.dirty.(found)
 
 let dirty_lines (t : t) =

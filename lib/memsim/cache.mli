@@ -19,6 +19,14 @@ val create : ?line_bytes:int -> bytes:int -> ways:int -> unit -> t
 val access : t -> line:int -> write:bool -> access
 (** Look up [line]; install on miss; set the dirty bit when [write]. *)
 
+val hit : int
+val miss_clean : int
+
+val access_fast : t -> line:int -> write:bool -> int
+(** Allocation-free [access]: returns [hit] (-1), [miss_clean] (-2:
+    miss with no dirty victim), or the evicted dirty line's number
+    (>= 0, write-back required).  Identical state/counter updates. *)
+
 val clean : t -> line:int -> bool
 (** [clwb] behaviour: clear the line's dirty bit, keeping it resident
     (clwb, unlike clflush, retains the line).  Returns whether it was

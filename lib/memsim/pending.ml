@@ -1,0 +1,135 @@
+(* Flat arena for deferred ADR media writes.
+
+   Each in-flight WPQ line ride is one slot across three parallel int
+   arrays (service time, line number, word count) plus a fixed-stride
+   slab holding the captured line content.  Slots are filled in
+   insertion order — the slot index doubles as the sequence number the
+   old list representation carried explicitly — and [settle] compacts
+   survivors in place, so the steady state allocates nothing: the cons
+   cell and fresh [Array.sub] per clwb of the previous representation
+   are gone.  Capacity doubles on overflow (amortized O(1), and the
+   arrays are retained for the life of the simulation). *)
+
+type t = {
+  stride : int; (* slab words per slot = Layout.words_per_line *)
+  mutable apply_at : int array;
+  mutable line : int array;
+  mutable len : int array; (* words captured; < stride only at heap end *)
+  mutable data : int array; (* capacity * stride slab *)
+  mutable count : int;
+  mutable order : int array; (* scratch for the settle/apply index sort *)
+}
+
+let create ~stride () =
+  let cap = 64 in
+  {
+    stride;
+    apply_at = Array.make cap 0;
+    line = Array.make cap 0;
+    len = Array.make cap 0;
+    data = Array.make (cap * stride) 0;
+    count = 0;
+    order = Array.make cap 0;
+  }
+
+let count t = t.count
+let clear t = t.count <- 0
+
+let capacity t = Array.length t.apply_at
+
+let grow t =
+  let cap = Array.length t.apply_at in
+  let bigger = 2 * cap in
+  let extend src pad = Array.append src (Array.make pad 0) in
+  t.apply_at <- extend t.apply_at cap;
+  t.line <- extend t.line cap;
+  t.len <- extend t.len cap;
+  t.data <- extend t.data (cap * t.stride);
+  t.order <- Array.make bigger 0
+
+(* Capture [len] words of [src] starting at [base] for [line], to be
+   applied to the media image once the controller services the entry at
+   [apply_at]. *)
+let add t ~apply_at ~line ~src ~base ~len =
+  if t.count = capacity t then grow t;
+  let i = t.count in
+  t.apply_at.(i) <- apply_at;
+  t.line.(i) <- line;
+  t.len.(i) <- len;
+  Array.blit src base t.data (i * t.stride) len;
+  t.count <- i + 1
+
+(* Sort slot indices [0, count) by (apply_at, insertion order) — the
+   controller's write order, identical to the old list's
+   (apply_at, seq) sort. *)
+let sorted_order t =
+  let ord = t.order in
+  for i = 0 to t.count - 1 do
+    ord.(i) <- i
+  done;
+  let sub = Array.sub ord 0 t.count in
+  Array.sort
+    (fun i j -> if t.apply_at.(i) <> t.apply_at.(j) then compare t.apply_at.(i) t.apply_at.(j) else compare i j)
+    sub;
+  Array.blit sub 0 ord 0 t.count;
+  ord
+
+let apply_slot t image i =
+  Array.blit t.data (i * t.stride) image (t.line.(i) * t.stride) t.len.(i)
+
+(* Apply every entry serviced strictly before [cutoff] to [image],
+   oldest first, leaving the arena untouched (crash-image
+   materialization replays it several times). *)
+let apply ~cutoff t image =
+  let ord = sorted_order t in
+  for k = 0 to t.count - 1 do
+    let i = ord.(k) in
+    if t.apply_at.(i) < cutoff then apply_slot t image i
+  done
+
+(* Apply entries already serviced at [now] and compact the still
+   in-flight suffix in place, preserving insertion order (so slot index
+   keeps acting as the sequence number). *)
+let settle t ~now image =
+  let ord = sorted_order t in
+  for k = 0 to t.count - 1 do
+    let i = ord.(k) in
+    if t.apply_at.(i) <= now then apply_slot t image i
+  done;
+  let kept = ref 0 in
+  for i = 0 to t.count - 1 do
+    if t.apply_at.(i) > now then begin
+      let j = !kept in
+      if j <> i then begin
+        t.apply_at.(j) <- t.apply_at.(i);
+        t.line.(j) <- t.line.(i);
+        t.len.(j) <- t.len.(i);
+        Array.blit t.data (i * t.stride) t.data (j * t.stride) t.len.(i)
+      end;
+      incr kept
+    end
+  done;
+  t.count <- !kept
+
+(* Drop every entry whose line satisfies [touched] — durable-publish
+   hardening supersedes whatever an earlier eviction captured. *)
+let remove_lines t touched =
+  let kept = ref 0 in
+  for i = 0 to t.count - 1 do
+    if not (touched t.line.(i)) then begin
+      let j = !kept in
+      if j <> i then begin
+        t.apply_at.(j) <- t.apply_at.(i);
+        t.line.(j) <- t.line.(i);
+        t.len.(j) <- t.len.(i);
+        Array.blit t.data (i * t.stride) t.data (j * t.stride) t.len.(i)
+      end;
+      incr kept
+    end
+  done;
+  t.count <- !kept
+
+(* Test-facing view, insertion order; allocates freely. *)
+let to_list t =
+  List.init t.count (fun i ->
+      (t.apply_at.(i), t.line.(i), Array.sub t.data (i * t.stride) t.len.(i)))

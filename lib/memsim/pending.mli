@@ -1,0 +1,41 @@
+(** Flat arena of deferred ADR media writes.
+
+    Replaces the cons-cell-plus-fresh-array list of in-flight WPQ
+    lines: slot-indexed parallel int arrays plus a fixed-stride data
+    slab, filled in insertion order (the slot index is the sequence
+    number), compacted in place, doubled on overflow.  The store/clwb
+    fast path allocates nothing once the arena has reached its working
+    size. *)
+
+type t
+
+val create : stride:int -> unit -> t
+(** [stride] is the slab width per slot (words per cache line). *)
+
+val count : t -> int
+
+val capacity : t -> int
+(** Current slot capacity (doubles on overflow); exposed for boundary
+    tests. *)
+
+val clear : t -> unit
+
+val add : t -> apply_at:int -> line:int -> src:int array -> base:int -> len:int -> unit
+(** Capture [len] words of [src] at [base]: line content travelling to
+    the controller, power-safe once serviced at [apply_at]. *)
+
+val apply : cutoff:int -> t -> int array -> unit
+(** Write every entry serviced strictly before [cutoff] into the image,
+    in (apply_at, insertion) order — the controller's write order.
+    Leaves the arena untouched. *)
+
+val settle : t -> now:int -> int array -> unit
+(** Apply entries with [apply_at <= now] to the image and compact the
+    in-flight remainder in place, preserving insertion order. *)
+
+val remove_lines : t -> (int -> bool) -> unit
+(** Drop entries whose line satisfies the predicate (durable publish
+    supersedes in-flight captures of the same lines). *)
+
+val to_list : t -> (int * int * int array) list
+(** (apply_at, line, data) in insertion order — test oracle view. *)

@@ -1,6 +1,11 @@
 exception Crashed = Machine.Crashed
 
-type _ Effect.t += Wait : int -> unit Effect.t
+(* The effect carries no payload: the requested delay travels through
+   [pending_ns] on the scheduler instead, so performing a wait
+   allocates nothing beyond the continuation capture itself.  (A
+   [Wait : int -> _ Effect.t] payload would cons a fresh two-word block
+   on every suspension — measurable on the DES hot loop.) *)
+type _ Effect.t += Wait : unit Effect.t
 
 type state =
   | Not_started of (unit -> unit)
@@ -8,20 +13,26 @@ type state =
   | Running
   | Finished
 
-type thread = { thread_id : int; mutable time : int; mutable state : state }
+type thread = {
+  thread_id : int;
+  mutable time : int;
+  mutable state : state;
+  self : thread option; (* pre-allocated [Some this] for [current] *)
+}
 
 type t = {
   mutable table : thread array; (* index = thread_id; padded with [dummy] *)
   mutable count : int;
   ready : Repro_util.Int_heap.t; (* key = wake time, payload = thread id *)
   mutable current : thread option;
+  mutable pending_ns : int; (* delay of the in-flight Wait perform *)
   mutable crash_limit : int; (* armed crash time; [max_int] = none *)
   mutable crashed : bool;
   mutable max_time : int;
   mutable started : bool;
 }
 
-let dummy = { thread_id = -1; time = 0; state = Finished }
+let rec dummy = { thread_id = -1; time = 0; state = Finished; self = Some dummy }
 
 let create () =
   {
@@ -29,6 +40,7 @@ let create () =
     count = 0;
     ready = Repro_util.Int_heap.create ();
     current = None;
+    pending_ns = 0;
     crash_limit = max_int;
     crashed = false;
     max_time = 0;
@@ -37,7 +49,7 @@ let create () =
 
 let spawn t f =
   if t.started then invalid_arg "Sched.spawn: scheduler already running";
-  let th = { thread_id = t.count; time = 0; state = Not_started f } in
+  let rec th = { thread_id = t.count; time = 0; state = Not_started f; self = Some th } in
   if t.count = Array.length t.table then begin
     let bigger = Array.make (max 8 (2 * (t.count + 1))) dummy in
     Array.blit t.table 0 bigger 0 t.count;
@@ -74,7 +86,10 @@ let wait t ns =
       th.time <- nt;
       if nt > t.max_time then t.max_time <- nt
     end
-    else Effect.perform (Wait ns)
+    else begin
+      t.pending_ns <- ns;
+      Effect.perform Wait
+    end
 
 let wait_until t target =
   match t.current with
@@ -91,7 +106,7 @@ let kill t th =
   match th.state with
   | Suspended k ->
     th.state <- Finished;
-    t.current <- Some th;
+    t.current <- th.self;
     (* The handler's exnc re-raises, so an uncaught Crashed surfaces
        here; a thread that swallows it instead terminates via retc. *)
     (try Effect.Deep.discontinue k Crashed with Crashed -> ());
@@ -102,6 +117,17 @@ let run ?crash_at t =
   if t.started then invalid_arg "Sched.run: scheduler already ran";
   t.started <- true;
   (match crash_at with Some c -> t.crash_limit <- c | None -> ());
+  (* The Wait arm of the handler is allocated once here, not per
+     perform: [effc] returns the same [Some on_wait] every time.  The
+     cast is safe because [Wait : unit Effect.t] fixes [a = unit]. *)
+  let on_wait (k : (unit, unit) Effect.Deep.continuation) =
+    let th = match t.current with Some th -> th | None -> assert false in
+    th.time <- th.time + t.pending_ns;
+    th.state <- Suspended k;
+    t.max_time <- max t.max_time th.time;
+    Repro_util.Int_heap.push t.ready ~key:th.time th.thread_id
+  in
+  let some_on_wait = Some on_wait in
   let handler =
     {
       Effect.Deep.retc =
@@ -115,14 +141,7 @@ let run ?crash_at t =
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
-          | Wait ns ->
-            Some
-              (fun (k : (a, unit) Effect.Deep.continuation) ->
-                let th = match t.current with Some th -> th | None -> assert false in
-                th.time <- th.time + ns;
-                th.state <- Suspended k;
-                t.max_time <- max t.max_time th.time;
-                Repro_util.Int_heap.push t.ready ~key:th.time th.thread_id)
+          | Wait -> (some_on_wait : ((a, unit) Effect.Deep.continuation -> unit) option)
           | _ -> None);
     }
   in
@@ -149,7 +168,7 @@ let run ?crash_at t =
           continue_loop := false
         end
         else begin
-          t.current <- Some th;
+          t.current <- th.self;
           (match th.state with
           | Not_started f ->
             th.state <- Running;

@@ -25,6 +25,15 @@ val enqueue_async : t -> now:int -> async
     queue was full — backpressure); [completion] is when the line has
     drained to media. *)
 
+val enqueue_fast : t -> now:int -> unit
+(** [enqueue_async] without the result record: the outcome is read back
+    through [last_ready]/[last_completion].  Valid until the next
+    enqueue on this server — the simulator hot path consumes both
+    immediately. *)
+
+val last_ready : t -> int
+val last_completion : t -> int
+
 val reset : t -> unit
 
 (** Counters for experiment reports. *)

@@ -10,12 +10,6 @@ type counters = {
   mutable pdram_page_misses : int;
 }
 
-(* A line whose content is travelling towards the NVM controller: it
-   was captured at clwb/eviction issue but becomes power-safe only when
-   the WPQ entry is serviced at [apply_at].  A crash before then loses
-   it — the loss window sfence exists to close. *)
-type pending = { apply_at : int; seq : int; line : int; data : int array }
-
 type t = {
   cfg : Config.t;
   sched : Sched.t;
@@ -28,13 +22,20 @@ type t = {
   rd_dram : Server.t;
   page_cache : Repro_util.Lru.t option; (* PDRAM directory *)
   mutable log_ranges : (int * int) list; (* [lo, hi) word ranges of PTM logs *)
+  (* Sorted, merged interval index over [log_ranges] for the hot-path
+     membership test (rebuilt on [mark_log_range], rare). *)
+  mutable log_lo : int array;
+  mutable log_hi : int array;
+  mutable log_n : int;
   mutable fence_target : int array; (* per-tid max completion of own WPQ entries *)
   mutable fence_wait_by_tid : int array; (* per-tid share of fence_wait_ns *)
   mutable wpq_stall_by_tid : int array; (* per-tid WPQ backpressure stalls *)
   mutable trace : Trace.t option;
-  mutable pending : pending list; (* deferred ADR media writes, newest first *)
-  mutable pending_count : int;
-  mutable pending_seq : int;
+  (* Lines whose content is travelling towards the NVM controller:
+     captured at clwb/eviction issue, power-safe only once the WPQ
+     entry is serviced.  A crash before then loses them — the loss
+     window sfence exists to close. *)
+  pending : Pending.t;
   c : counters;
 }
 
@@ -60,13 +61,14 @@ let create (cfg : Config.t) =
          Some (Repro_util.Lru.create ~capacity:(max 1 (cfg.pdram_cache_bytes / 4096)))
        else None);
     log_ranges = [];
+    log_lo = [||];
+    log_hi = [||];
+    log_n = 0;
     fence_target = Array.make 64 0;
     fence_wait_by_tid = Array.make 64 0;
     wpq_stall_by_tid = Array.make 64 0;
     trace = None;
-    pending = [];
-    pending_count = 0;
-    pending_seq = 0;
+    pending = Pending.create ~stride:Layout.words_per_line ();
     c =
       {
         loads = 0;
@@ -86,12 +88,42 @@ let enable_trace ?capacity t =
   t.trace <- Some tr;
   tr
 
-let trace_event t kind =
-  match t.trace with
-  | None -> ()
-  | Some tr -> Trace.record tr ~at_ns:(Sched.now t.sched) ~tid:(Sched.tid t.sched) kind
+(* Call sites must only build the [Trace.event] under a [Some] match on
+   [t.trace] — constructing the variant before checking would put one
+   allocation on every load/store even with tracing off. *)
+let trace_record t tr kind = Trace.record tr ~at_ns:(Sched.now t.sched) ~tid:(Sched.tid t.sched) kind
 
-let in_log_range t addr = List.exists (fun (lo, hi) -> addr >= lo && addr < hi) t.log_ranges
+(* Rebuild the sorted interval index: sort by [lo] and merge overlaps,
+   so membership in the union reduces to one binary search. *)
+let rebuild_log_index t =
+  let n = List.length t.log_ranges in
+  let lo = Array.make (max 1 n) 0 in
+  let hi = Array.make (max 1 n) 0 in
+  let k = ref 0 in
+  List.iter
+    (fun (l, h) ->
+      if !k > 0 && l <= hi.(!k - 1) then begin
+        if h > hi.(!k - 1) then hi.(!k - 1) <- h
+      end
+      else begin
+        lo.(!k) <- l;
+        hi.(!k) <- h;
+        incr k
+      end)
+    (List.sort compare t.log_ranges);
+  t.log_lo <- lo;
+  t.log_hi <- hi;
+  t.log_n <- !k
+
+let in_log_range t addr =
+  (* Greatest [lo <= addr]; ranges are merged, so it alone can cover. *)
+  let a = ref 0 in
+  let b = ref t.log_n in
+  while !b > !a do
+    let m = (!a + !b) / 2 in
+    if Array.unsafe_get t.log_lo m <= addr then a := m + 1 else b := m
+  done;
+  !a > 0 && addr < Array.unsafe_get t.log_hi (!a - 1)
 
 (* Media backing a word under the current placement model. *)
 let media_of t addr : Config.media =
@@ -123,35 +155,18 @@ let adr_defers t =
   | Config.Adr _ -> true
   | Config.Eadr | Config.Transient_cache -> false
 
-(* Apply entries serviced strictly before [cutoff] to [image], oldest
-   first — the same order the controller wrote them. *)
-let apply_pending ~cutoff pending image =
-  List.filter (fun p -> p.apply_at < cutoff) pending
-  |> List.sort (fun a b ->
-         if a.apply_at <> b.apply_at then compare a.apply_at b.apply_at
-         else compare a.seq b.seq)
-  |> List.iter (fun p ->
-         Array.blit p.data 0 image (Layout.addr_of_line p.line) (Array.length p.data))
-
 let defer_line t ~now line ~apply_at =
   match t.media with
   | None -> ()
   | Some media ->
     let base = Layout.addr_of_line line in
     let len = min Layout.words_per_line (t.cfg.heap_words - base) in
-    t.pending <-
-      { apply_at; seq = t.pending_seq; line; data = Array.sub t.heap base len } :: t.pending;
-    t.pending_seq <- t.pending_seq + 1;
-    t.pending_count <- t.pending_count + 1;
-    if t.pending_count > 4096 then begin
+    Pending.add t.pending ~apply_at ~line ~src:t.heap ~base ~len;
+    if Pending.count t.pending > 4096 then
       (* Settle entries already past the current virtual time: a crash
          can only be armed at some instant > [now] (this thread is
          still executing), so their loss window is closed. *)
-      let settled, inflight = List.partition (fun p -> p.apply_at <= now) t.pending in
-      apply_pending ~cutoff:max_int settled media;
-      t.pending <- inflight;
-      t.pending_count <- List.length inflight
-    end
+      Pending.settle t.pending ~now media
 
 (* Interleaving: consecutive cache lines rotate across channels. *)
 let nvm_wpq_of t line = t.wpq_nvm.(line mod Array.length t.wpq_nvm)
@@ -198,7 +213,7 @@ let pdram_access t ~now ~page ~write =
         let lines = Layout.words_per_page / Layout.words_per_line in
         let first_line = victim_page * lines in
         for l = 0 to lines - 1 do
-          ignore (Server.enqueue_async (nvm_wpq_of t (first_line + l)) ~now)
+          Server.enqueue_fast (nvm_wpq_of t (first_line + l)) ~now
         done
       | Some { dirty = false; _ } | None -> ());
       `Dram_miss)
@@ -215,8 +230,8 @@ let writeback_line t ~now line =
     match media_of t addr with
     | Config.Dram ->
       line_to_media t line;
-      let a = Server.enqueue_async t.wpq_dram ~now in
-      a.Server.ready - now
+      Server.enqueue_fast t.wpq_dram ~now;
+      Server.last_ready t.wpq_dram - now
     | Config.Nvm ->
       if t.cfg.model.pdram_cache then begin
         (* Line lands in the DRAM page cache; page marked dirty. *)
@@ -225,14 +240,16 @@ let writeback_line t ~now line =
         (match pdram_access t ~now ~page ~write:true with
         | `Dram_hit | `Not_pdram -> ()
         | `Dram_miss -> ());
-        let a = Server.enqueue_async t.wpq_dram ~now in
-        a.Server.ready - now
+        Server.enqueue_fast t.wpq_dram ~now;
+        Server.last_ready t.wpq_dram - now
       end
       else begin
-        let a = Server.enqueue_async (nvm_wpq_of t line) ~now in
-        if adr_defers t then defer_line t ~now line ~apply_at:a.Server.completion
+        let server = nvm_wpq_of t line in
+        Server.enqueue_fast server ~now;
+        if adr_defers t then
+          defer_line t ~now line ~apply_at:(Server.last_completion server)
         else line_to_media t line;
-        a.Server.ready - now
+        Server.last_ready server - now
       end
   in
   note_wpq_stall t (Sched.tid t.sched) stall;
@@ -267,36 +284,38 @@ let miss_latency t ~now ~addr ~write =
       in
       done_at - now)
 
-let access t ~addr ~write =
+let[@inline] check_addr t addr =
   if addr < 0 || addr >= t.cfg.heap_words then
-    invalid_arg (Printf.sprintf "Sim: heap address %d out of bounds" addr);
+    invalid_arg (Printf.sprintf "Sim: heap address %d out of bounds" addr)
+
+(* [addr] already validated by the caller. *)
+let access_unchecked t ~addr ~write =
   let now = Sched.now t.sched in
   let line = Layout.line_of_addr addr in
+  let r = Cache.access_fast t.l3 ~line ~write in
   let cost =
-    match Cache.access t.l3 ~line ~write with
-    | Cache.Hit -> t.cfg.lat.cache_hit_ns
-    | Cache.Miss evicted ->
-      let stall =
-        match evicted with
-        | Some { Cache.line = victim; dirty = true } -> writeback_line t ~now victim
-        | Some { Cache.dirty = false; _ } | None -> 0
-      in
+    if r = Cache.hit then t.cfg.lat.cache_hit_ns
+    else begin
+      let stall = if r >= 0 then writeback_line t ~now r else 0 in
       stall + miss_latency t ~now:(now + stall) ~addr ~write
+    end
   in
   Sched.wait t.sched cost
 
 let load t addr =
+  check_addr t addr;
   t.c.loads <- t.c.loads + 1;
-  trace_event t (Trace.Load addr);
-  access t ~addr ~write:false;
-  t.heap.(addr)
+  (match t.trace with None -> () | Some tr -> trace_record t tr (Trace.Load addr));
+  access_unchecked t ~addr ~write:false;
+  Array.unsafe_get t.heap addr
 
 let store t addr v =
+  check_addr t addr;
   t.c.stores <- t.c.stores + 1;
-  trace_event t (Trace.Store addr);
+  (match t.trace with None -> () | Some tr -> trace_record t tr (Trace.Store addr));
   (* Architectural value changes at issue; latency paid after. *)
-  t.heap.(addr) <- v;
-  access t ~addr ~write:true
+  Array.unsafe_set t.heap addr v;
+  access_unchecked t ~addr ~write:true
 
 (* One write-back's controller-side work, shared by [clwb] and
    [clwb_many]: hand the line to its WPQ if it is dirty in L3, account
@@ -311,17 +330,18 @@ let clwb_issue t ~now ~tid addr =
       | Config.Nvm -> not t.cfg.model.pdram_cache
     in
     let server = if nvm_path then nvm_wpq_of t line else t.wpq_dram in
-    let a = Server.enqueue_async server ~now in
-    if nvm_path && adr_defers t then defer_line t ~now line ~apply_at:a.Server.completion
+    Server.enqueue_fast server ~now;
+    let completion = Server.last_completion server in
+    if nvm_path && adr_defers t then defer_line t ~now line ~apply_at:completion
     else line_to_media t line;
-    t.fence_target.(tid) <- max t.fence_target.(tid) a.Server.completion;
-    a.Server.ready - now
+    if completion > t.fence_target.(tid) then t.fence_target.(tid) <- completion;
+    Server.last_ready server - now
   end
   else 0
 
 let clwb t addr =
   t.c.clwbs <- t.c.clwbs + 1;
-  trace_event t (Trace.Clwb addr);
+  (match t.trace with None -> () | Some tr -> trace_record t tr (Trace.Clwb addr));
   let now = Sched.now t.sched in
   let tid = Sched.tid t.sched in
   ensure_fence_slot t tid;
@@ -342,7 +362,7 @@ let clwb_many t addrs n =
     for i = 0 to n - 1 do
       let addr = addrs.(i) in
       t.c.clwbs <- t.c.clwbs + 1;
-      trace_event t (Trace.Clwb addr);
+      (match t.trace with None -> () | Some tr -> trace_record t tr (Trace.Clwb addr));
       stalls := !stalls + clwb_issue t ~now ~tid addr
     done;
     note_wpq_stall t tid !stalls;
@@ -351,7 +371,7 @@ let clwb_many t addrs n =
 
 let sfence t =
   t.c.sfences <- t.c.sfences + 1;
-  trace_event t Trace.Sfence;
+  (match t.trace with None -> () | Some tr -> trace_record t tr Trace.Sfence);
   let now = Sched.now t.sched in
   let tid = Sched.tid t.sched in
   ensure_fence_slot t tid;
@@ -390,10 +410,9 @@ let reset_timing t =
   (* Settle deferred media writes first: server clocks restart below,
      so stale future [apply_at] stamps must not survive the epoch. *)
   (match t.media with
-  | Some media -> apply_pending ~cutoff:max_int t.pending media
+  | Some media -> Pending.apply ~cutoff:max_int t.pending media
   | None -> ());
-  t.pending <- [];
-  t.pending_count <- 0;
+  Pending.clear t.pending;
   Array.iter Server.reset t.wpq_nvm;
   Server.reset t.wpq_dram;
   Array.iter Server.reset t.rd_nvm;
@@ -414,8 +433,7 @@ let persist_all t =
   match t.media with
   | None -> ()
   | Some media ->
-    t.pending <- [];
-    t.pending_count <- 0;
+    Pending.clear t.pending;
     Array.blit t.heap 0 media 0 t.cfg.heap_words
 
 (* Apply the durability domain's survival rule after a power failure
@@ -442,7 +460,7 @@ let surviving_media t =
           | None -> Sched.now t.sched
         else max_int
       in
-      apply_pending ~cutoff t.pending image
+      Pending.apply ~cutoff t.pending image
     | Config.Eadr | Config.Transient_cache ->
       (* Reserve power flushes resident dirty lines (eADR), or the
          cache arrays themselves ride out the failure and drain lazily
@@ -527,6 +545,7 @@ let reboot t =
   | Some media -> Array.blit image 0 media 0 t.cfg.heap_words
   | None -> ());
   fresh.log_ranges <- t.log_ranges;
+  rebuild_log_index fresh;
   fresh
 
 (* HTM commit: one indivisible event.  Values land in the heap and
@@ -535,7 +554,7 @@ let reboot t =
    lines.  Timing: a flat commit cost plus a small per-line charge;
    capacity evictions bill the usual write-back paths. *)
 let publish t addrs values n =
-  trace_event t (Trace.Publish n);
+  (match t.trace with None -> () | Some tr -> trace_record t tr (Trace.Publish n));
   let now = Sched.now t.sched in
   let lines = ref 0 in
   for i = 0 to n - 1 do
@@ -543,13 +562,11 @@ let publish t addrs values n =
     t.heap.(addr) <- values.(i);
     t.c.stores <- t.c.stores + 1;
     let line = Layout.line_of_addr addr in
-    match Cache.access t.l3 ~line ~write:true with
-    | Cache.Hit -> ()
-    | Cache.Miss evicted ->
+    let r = Cache.access_fast t.l3 ~line ~write:true in
+    if r <> Cache.hit then begin
       incr lines;
-      (match evicted with
-      | Some { Cache.line = victim; dirty = true } -> ignore (writeback_line t ~now victim)
-      | Some { Cache.dirty = false; _ } | None -> ())
+      if r >= 0 then ignore (writeback_line t ~now r)
+    end
   done;
   (* HTM-commit domain: the controller hardens the write set as one
      unit at retirement, so each distinct line lands in the media image
@@ -564,8 +581,7 @@ let publish t addrs values n =
     done;
     (match t.media with
     | Some _ ->
-      t.pending <- List.filter (fun p -> not (Hashtbl.mem touched p.line)) t.pending;
-      t.pending_count <- List.length t.pending;
+      Pending.remove_lines t.pending (fun line -> Hashtbl.mem touched line);
       Hashtbl.iter (fun line () -> line_to_media t line) touched
     | None -> ());
     Sched.wait t.sched (Hashtbl.length touched * t.cfg.lat.nvm_wpq_service_ns)
@@ -628,7 +644,10 @@ let machine t : Machine.t =
     pause = (fun ns -> Sched.wait t.sched ns);
     raw_read = (fun addr -> t.heap.(addr));
     raw_write = (fun addr v -> t.heap.(addr) <- v);
-    mark_log_range = (fun lo hi -> t.log_ranges <- (lo, hi) :: t.log_ranges);
+    mark_log_range =
+      (fun lo hi ->
+        t.log_ranges <- (lo, hi) :: t.log_ranges;
+        rebuild_log_index t);
     publish = (fun addrs values n -> publish t addrs values n);
   }
 

@@ -153,10 +153,9 @@ let locked_by v tid = v = lock_word tid
 
 (* ---------- flush/fence helpers (durability-domain aware) ---------- *)
 
-(* Profiling wrapper for runtime phases.  The disabled path costs one
-   closure allocation and no simulated time. *)
-let prof_phase t phase f =
-  match t.profiler with None -> f () | Some p -> Profile.with_phase p phase f
+(* Profiling never wraps hot-path work in a shared closure-taking
+   helper: every site matches on [t.profiler] explicitly, so the
+   disabled case is one branch with no closure or option allocation. *)
 
 (* A single clwb, with its slice split into issue cost vs WPQ stall
    when profiling.  Callers have already checked [needs_flush]. *)
@@ -178,14 +177,16 @@ let flush_range t lo hi =
   if t.m.Machine.needs_flush then begin
     let first = Layout.line_of_addr lo in
     let last = Layout.line_of_addr hi in
-    let issue () =
+    match t.profiler with
+    | None ->
       for line = first to last do
         t.m.Machine.clwb (Layout.addr_of_line line)
       done
-    in
-    match t.profiler with
-    | None -> issue ()
-    | Some p -> Profile.leaf_flush p ~flushes:(last - first + 1) issue
+    | Some p ->
+      Profile.leaf_flush p ~flushes:(last - first + 1) (fun () ->
+          for line = first to last do
+            t.m.Machine.clwb (Layout.addr_of_line line)
+          done)
   end
 
 (* ---------- construction ---------- *)
@@ -405,9 +406,9 @@ let validate_reads tx =
       let cur = orec_get t oidx in
       if cur = seen then go (i + 2)
       else if locked_by cur tx.tid then
-        match Hashtbl.find_opt tx.amap oidx with
-        | Some prev when prev = seen -> go (i + 2)
-        | Some _ | None -> false
+        match Hashtbl.find tx.amap oidx with
+        | prev -> prev = seen && go (i + 2)
+        | exception Not_found -> false
       else false
     end
   in
@@ -530,30 +531,35 @@ let flush_written_lines tx iter_addrs =
 let write_status tx status =
   let t = tx.ptm in
   let base = log_base tx in
-  prof_phase t Profile.Log_append (fun () -> t.m.Machine.store base status);
+  (match t.profiler with
+  | None -> t.m.Machine.store base status
+  | Some p -> Profile.with_phase p Profile.Log_append (fun () -> t.m.Machine.store base status));
   flush t base;
   fence t
 
 (* ---------- redo (orec-lazy) ---------- *)
 
+(* Write-set lookups run on every transactional op: the
+   [match ... with exception Not_found] form keeps the hit path free of
+   the [Some] cell [Hashtbl.find_opt] would box per call. *)
 let redo_read tx addr =
-  match Hashtbl.find_opt tx.wmap addr with
-  | Some idx ->
+  match Hashtbl.find tx.wmap addr with
+  | idx ->
     (* Read-own-write: the index lives in DRAM, the value in the
        persistent log — model the log lookup as a real load. *)
     ignore (tx.ptm.m.Machine.load (log_base tx + 2 + (2 * idx) + 1));
     Repro_util.Int_vec.get tx.vvals idx
-  | None -> read_shared tx addr
+  | exception Not_found -> read_shared tx addr
 
 let redo_write tx addr value =
   assert (addr > 0);
   let t = tx.ptm in
-  match Hashtbl.find_opt tx.wmap addr with
-  | Some idx ->
+  match Hashtbl.find tx.wmap addr with
+  | idx ->
     (* Update the log entry in place (hash-table log, §I). *)
     Repro_util.Int_vec.set tx.vvals idx value;
     t.m.Machine.store (log_base tx + 2 + (2 * idx) + 1) value
-  | None ->
+  | exception Not_found ->
     let idx = Repro_util.Int_vec.length tx.vaddrs in
     if idx >= t.log_capacity then raise Log_overflow;
     Hashtbl.add tx.wmap addr idx;
@@ -572,6 +578,34 @@ let redo_write tx addr value =
       done
     end
 
+(* Commit-time acquisition of every orec covering the write set, then
+   read-set validation.  Returns the write version, or -1 when
+   validation failed (conflicts raise). *)
+let redo_acquire_validate tx =
+  let t = tx.ptm in
+  Repro_util.Int_vec.iter
+    (fun addr ->
+      let oidx = orec_of t addr in
+      if not (Hashtbl.mem tx.amap oidx) then begin
+        let v = orec_get t oidx in
+        if locked v then conflict tx "acquire-locked" addr;
+        if version_of v > tx.rv && not (extend tx) then conflict tx "acquire-stale" addr;
+        if not (orec_cas t oidx v (lock_word tx.tid)) then conflict tx "acquire-cas" addr;
+        Hashtbl.add tx.amap oidx v;
+        Repro_util.Int_vec.push tx.acquired oidx
+      end)
+    tx.vaddrs;
+  let wv = clock_next t in
+  if (wv > tx.rv + 1 || Repro_util.Int_vec.length tx.reads > 0) && not (validate_reads tx)
+  then -1
+  else wv
+
+let redo_write_back tx n =
+  let t = tx.ptm in
+  for i = 0 to n - 1 do
+    t.m.Machine.store (Repro_util.Int_vec.get tx.vaddrs i) (Repro_util.Int_vec.get tx.vvals i)
+  done
+
 let redo_try_commit tx =
   let t = tx.ptm in
   let n = Repro_util.Int_vec.length tx.vaddrs in
@@ -583,31 +617,15 @@ let redo_try_commit tx =
   end
   else begin
     match
-      prof_phase t Profile.Validate (fun () ->
-          (* Commit-time acquisition of every orec covering the write set. *)
-          Repro_util.Int_vec.iter
-            (fun addr ->
-              let oidx = orec_of t addr in
-              if not (Hashtbl.mem tx.amap oidx) then begin
-                let v = orec_get t oidx in
-                if locked v then conflict tx "acquire-locked" addr;
-                if version_of v > tx.rv && not (extend tx) then conflict tx "acquire-stale" addr;
-                if not (orec_cas t oidx v (lock_word tx.tid)) then conflict tx "acquire-cas" addr;
-                Hashtbl.add tx.amap oidx v;
-                Repro_util.Int_vec.push tx.acquired oidx
-              end)
-            tx.vaddrs;
-          let wv = clock_next t in
-          if (wv > tx.rv + 1 || Repro_util.Int_vec.length tx.reads > 0)
-             && not (validate_reads tx)
-          then None
-          else Some wv)
+      (match t.profiler with
+      | None -> redo_acquire_validate tx
+      | Some p -> Profile.with_phase p Profile.Validate (fun () -> redo_acquire_validate tx))
     with
-    | None ->
+    | -1 ->
       (match t.conflict_hook with Some f -> f "commit-validate" 0 | None -> ());
       release_acquired_to_previous tx;
       false
-    | Some wv ->
+    | wv ->
       begin
         let base = log_base tx in
         let log_flushes = ref 0 and log_fences = ref 0 in
@@ -663,12 +681,9 @@ let redo_try_commit tx =
           write_status tx status_redo_committed);
         (* 3. Write back to home locations; data durable before the
            orecs are released. *)
-        prof_phase t Profile.Write_back (fun () ->
-            for i = 0 to n - 1 do
-              t.m.Machine.store
-                (Repro_util.Int_vec.get tx.vaddrs i)
-                (Repro_util.Int_vec.get tx.vvals i)
-            done);
+        (match t.profiler with
+        | None -> redo_write_back tx n
+        | Some p -> Profile.with_phase p Profile.Write_back (fun () -> redo_write_back tx n));
         let data_flushes =
           flush_written_lines tx (fun f -> Repro_util.Int_vec.iter f tx.vaddrs)
         in
@@ -780,8 +795,11 @@ let undo_write tx addr value =
 
 let undo_rollback tx =
   let t = tx.ptm in
-  prof_phase t Profile.Write_back (fun () ->
-      Repro_util.Int_vec.iter_rev_pairs (fun addr old -> t.m.Machine.store addr old) tx.uvec);
+  (match t.profiler with
+  | None -> Repro_util.Int_vec.iter_rev_pairs (fun addr old -> t.m.Machine.store addr old) tx.uvec
+  | Some p ->
+    Profile.with_phase p Profile.Write_back (fun () ->
+        Repro_util.Int_vec.iter_rev_pairs (fun addr old -> t.m.Machine.store addr old) tx.uvec));
   if Repro_util.Int_vec.length tx.uvec > 0 then begin
     ignore
       (flush_written_lines tx (fun f ->
@@ -803,7 +821,12 @@ let undo_try_commit tx =
   else begin
     let wv = clock_next t in
     ignore wv;
-    if not (prof_phase t Profile.Validate (fun () -> validate_reads tx)) then begin
+    let valid =
+      match t.profiler with
+      | None -> validate_reads tx
+      | Some p -> Profile.with_phase p Profile.Validate (fun () -> validate_reads tx)
+    in
+    if not valid then begin
       (match t.conflict_hook with Some f -> f "commit-validate" 0 | None -> ());
       undo_rollback tx;
       false
@@ -845,17 +868,17 @@ let htm_read_cap = 1024
 let htm_fallback_attempts = 4
 
 let htm_read tx addr =
-  match Hashtbl.find_opt tx.wmap addr with
-  | Some idx -> Repro_util.Int_vec.get tx.vvals idx
-  | None ->
+  match Hashtbl.find tx.wmap addr with
+  | idx -> Repro_util.Int_vec.get tx.vvals idx
+  | exception Not_found ->
     if Repro_util.Int_vec.length tx.reads >= 2 * htm_read_cap then conflict tx "htm-read-cap" addr;
     read_shared tx addr
 
 let htm_write tx addr value =
   assert (addr > 0);
-  match Hashtbl.find_opt tx.wmap addr with
-  | Some idx -> Repro_util.Int_vec.set tx.vvals idx value
-  | None ->
+  match Hashtbl.find tx.wmap addr with
+  | idx -> Repro_util.Int_vec.set tx.vvals idx value
+  | exception Not_found ->
     let line = Layout.line_of_addr addr in
     if not (Hashtbl.mem tx.wlines line) then begin
       if Hashtbl.length tx.wlines >= htm_write_line_cap then conflict tx "htm-write-cap" addr;
@@ -865,6 +888,27 @@ let htm_write tx addr value =
     Hashtbl.add tx.wmap addr idx;
     Repro_util.Int_vec.push tx.vaddrs addr;
     Repro_util.Int_vec.push tx.vvals value
+
+(* As [redo_acquire_validate], but conflicts abort the hardware
+   transaction directly (no named-site hook). *)
+let htm_acquire_validate tx =
+  let t = tx.ptm in
+  Repro_util.Int_vec.iter
+    (fun addr ->
+      let oidx = orec_of t addr in
+      if not (Hashtbl.mem tx.amap oidx) then begin
+        let v = orec_get t oidx in
+        if locked v then raise Conflict;
+        if version_of v > tx.rv && not (extend tx) then raise Conflict;
+        if not (orec_cas t oidx v (lock_word tx.tid)) then raise Conflict;
+        Hashtbl.add tx.amap oidx v;
+        Repro_util.Int_vec.push tx.acquired oidx
+      end)
+    tx.vaddrs;
+  let wv = clock_next t in
+  if (wv > tx.rv + 1 || Repro_util.Int_vec.length tx.reads > 0) && not (validate_reads tx)
+  then -1
+  else wv
 
 let htm_try_commit tx =
   let t = tx.ptm in
@@ -877,29 +921,14 @@ let htm_try_commit tx =
   end
   else begin
     match
-      prof_phase t Profile.Validate (fun () ->
-          Repro_util.Int_vec.iter
-            (fun addr ->
-              let oidx = orec_of t addr in
-              if not (Hashtbl.mem tx.amap oidx) then begin
-                let v = orec_get t oidx in
-                if locked v then raise Conflict;
-                if version_of v > tx.rv && not (extend tx) then raise Conflict;
-                if not (orec_cas t oidx v (lock_word tx.tid)) then raise Conflict;
-                Hashtbl.add tx.amap oidx v;
-                Repro_util.Int_vec.push tx.acquired oidx
-              end)
-            tx.vaddrs;
-          let wv = clock_next t in
-          if (wv > tx.rv + 1 || Repro_util.Int_vec.length tx.reads > 0)
-             && not (validate_reads tx)
-          then None
-          else Some wv)
+      (match t.profiler with
+      | None -> htm_acquire_validate tx
+      | Some p -> Profile.with_phase p Profile.Validate (fun () -> htm_acquire_validate tx))
     with
-    | None ->
+    | -1 ->
       release_acquired_to_previous tx;
       false
-    | Some wv ->
+    | wv ->
       begin
         (* The indivisible hardware commit. *)
         let addrs = Array.make n 0 and values = Array.make n 0 in
@@ -907,7 +936,10 @@ let htm_try_commit tx =
           addrs.(i) <- Repro_util.Int_vec.get tx.vaddrs i;
           values.(i) <- Repro_util.Int_vec.get tx.vvals i
         done;
-        prof_phase t Profile.Write_back (fun () -> t.m.Machine.publish addrs values n);
+        (match t.profiler with
+        | None -> t.m.Machine.publish addrs values n
+        | Some p ->
+          Profile.with_phase p Profile.Write_back (fun () -> t.m.Machine.publish addrs values n));
         release_acquired_to tx (version_word wv);
         s.commits <- s.commits + 1;
         s.max_write_set <- max s.max_write_set n;
@@ -956,9 +988,9 @@ let mod_is_fresh tx addr =
   go 0
 
 let mod_read tx addr =
-  match Hashtbl.find_opt tx.wmap addr with
-  | Some idx -> Repro_util.Int_vec.get tx.vvals idx
-  | None -> read_shared tx addr
+  match Hashtbl.find tx.wmap addr with
+  | idx -> Repro_util.Int_vec.get tx.vvals idx
+  | exception Not_found -> read_shared tx addr
 
 (* Materialize the volatile write buffer into the persistent redo log
    and continue this attempt as a redo transaction.  The volatile index
@@ -971,20 +1003,24 @@ let mod_fallback tx =
      log); only a fallback must fit the persistent redo log. *)
   if n >= t.log_capacity then raise Log_overflow;
   let base = log_base tx in
-  prof_phase t Profile.Log_append (fun () ->
-      for i = 0 to n - 1 do
-        let pos = base + 2 + (2 * i) in
-        t.m.Machine.store pos (Repro_util.Int_vec.get tx.vaddrs i);
-        t.m.Machine.store (pos + 1) (Repro_util.Int_vec.get tx.vvals i)
-      done;
-      t.m.Machine.store (base + 2 + (2 * n)) 0 (* sentinel *));
+  let emit () =
+    for i = 0 to n - 1 do
+      let pos = base + 2 + (2 * i) in
+      t.m.Machine.store pos (Repro_util.Int_vec.get tx.vaddrs i);
+      t.m.Machine.store (pos + 1) (Repro_util.Int_vec.get tx.vvals i)
+    done;
+    t.m.Machine.store (base + 2 + (2 * n)) 0 (* sentinel *)
+  in
+  (match t.profiler with
+  | None -> emit ()
+  | Some p -> Profile.with_phase p Profile.Log_append emit);
   tx.mode <- Redo
 
 let mod_write tx addr value =
   assert (addr > 0);
-  match Hashtbl.find_opt tx.wmap addr with
-  | Some idx -> Repro_util.Int_vec.set tx.vvals idx value
-  | None ->
+  match Hashtbl.find tx.wmap addr with
+  | idx -> Repro_util.Int_vec.set tx.vvals idx value
+  | exception Not_found ->
     let fresh = mod_is_fresh tx addr in
     if (not fresh) && tx.pub_addr >= 0 && tx.pub_addr <> addr then begin
       (* Second distinct home-location word: not a single-root-swap
@@ -1000,6 +1036,39 @@ let mod_write tx addr value =
       Repro_util.Int_vec.push tx.vvals value
     end
 
+(* Only the publish word needs an ownership record: shadow nodes are
+   private until the swap and immutable after.  Returns the write
+   version, or -1 when validation failed (conflicts raise). *)
+let mod_acquire_validate tx =
+  let t = tx.ptm in
+  if tx.pub_addr >= 0 then begin
+    let addr = tx.pub_addr in
+    let oidx = orec_of t addr in
+    let v = orec_get t oidx in
+    if locked v then conflict tx "acquire-locked" addr;
+    if version_of v > tx.rv && not (extend tx) then conflict tx "acquire-stale" addr;
+    if not (orec_cas t oidx v (lock_word tx.tid)) then conflict tx "acquire-cas" addr;
+    Hashtbl.add tx.amap oidx v;
+    Repro_util.Int_vec.push tx.acquired oidx
+  end;
+  let wv = clock_next t in
+  if (wv > tx.rv + 1 || Repro_util.Int_vec.length tx.reads > 0) && not (validate_reads tx)
+  then -1
+  else wv
+
+(* A single store charged to [Write_back] when profiling. *)
+let prof_store t a v =
+  match t.profiler with
+  | None -> t.m.Machine.store a v
+  | Some p -> Profile.with_phase p Profile.Write_back (fun () -> t.m.Machine.store a v)
+
+let mod_shadow_stores tx n =
+  let t = tx.ptm in
+  for i = 0 to n - 1 do
+    let a = Repro_util.Int_vec.get tx.vaddrs i in
+    if a <> tx.pub_addr then t.m.Machine.store a (Repro_util.Int_vec.get tx.vvals i)
+  done
+
 let mod_try_commit tx =
   let t = tx.ptm in
   let s = t.stats.(tx.tid) in
@@ -1011,41 +1080,23 @@ let mod_try_commit tx =
   end
   else begin
     match
-      prof_phase t Profile.Validate (fun () ->
-          (* Only the publish word needs an ownership record: shadow
-             nodes are private until the swap and immutable after. *)
-          if tx.pub_addr >= 0 then begin
-            let addr = tx.pub_addr in
-            let oidx = orec_of t addr in
-            let v = orec_get t oidx in
-            if locked v then conflict tx "acquire-locked" addr;
-            if version_of v > tx.rv && not (extend tx) then conflict tx "acquire-stale" addr;
-            if not (orec_cas t oidx v (lock_word tx.tid)) then conflict tx "acquire-cas" addr;
-            Hashtbl.add tx.amap oidx v;
-            Repro_util.Int_vec.push tx.acquired oidx
-          end;
-          let wv = clock_next t in
-          if (wv > tx.rv + 1 || Repro_util.Int_vec.length tx.reads > 0)
-             && not (validate_reads tx)
-          then None
-          else Some wv)
+      (match t.profiler with
+      | None -> mod_acquire_validate tx
+      | Some p -> Profile.with_phase p Profile.Validate (fun () -> mod_acquire_validate tx))
     with
-    | None ->
+    | -1 ->
       (match t.conflict_hook with Some f -> f "commit-validate" 0 | None -> ());
       release_acquired_to_previous tx;
       false
     | exception Conflict ->
       release_acquired_to_previous tx;
       false
-    | Some wv ->
+    | wv ->
       begin
         (* 1. Shadow stores: every buffered word except the root. *)
-        prof_phase t Profile.Write_back (fun () ->
-            for i = 0 to n - 1 do
-              let a = Repro_util.Int_vec.get tx.vaddrs i in
-              if a <> tx.pub_addr then
-                t.m.Machine.store a (Repro_util.Int_vec.get tx.vvals i)
-            done);
+        (match t.profiler with
+        | None -> mod_shadow_stores tx n
+        | Some p -> Profile.with_phase p Profile.Write_back (fun () -> mod_shadow_stores tx n));
         (* 2. One clwb sweep over the shadow lines, then THE fence. *)
         let sweep () =
           if not t.m.Machine.needs_flush then 0
@@ -1099,11 +1150,11 @@ let mod_try_commit tx =
                  media keeps the torn pointer until an eviction. *)
               let old = t.m.Machine.raw_read a in
               let torn = old land lnot 0xFF lor (pv land 0xFF) in
-              prof_phase t Profile.Write_back (fun () -> t.m.Machine.store a torn);
+              prof_store t a torn;
               flush t a;
-              prof_phase t Profile.Write_back (fun () -> t.m.Machine.store a pv)
+              prof_store t a pv
             | _ ->
-              prof_phase t Profile.Write_back (fun () -> t.m.Machine.store a pv);
+              prof_store t a pv;
               flush t a
           end
         in
@@ -1201,10 +1252,11 @@ let abort_and_retry _tx = raise Conflict
 
 let backoff tx =
   let cap = min (1 lsl (6 + min tx.attempts 8)) 32768 in
-  let pause () = tx.ptm.m.Machine.pause (64 + Repro_util.Rng.int tx.rng cap) in
   match tx.ptm.profiler with
-  | None -> pause ()
-  | Some p -> Profile.with_phase p Profile.Backoff pause
+  | None -> tx.ptm.m.Machine.pause (64 + Repro_util.Rng.int tx.rng cap)
+  | Some p ->
+    Profile.with_phase p Profile.Backoff (fun () ->
+        tx.ptm.m.Machine.pause (64 + Repro_util.Rng.int tx.rng cap))
 
 (* Abort cleanup for a conflict discovered mid-execution (Conflict
    raised from read/write) or a user exception. *)
@@ -1215,14 +1267,40 @@ let abort_cleanup tx =
   List.iter (fun hook -> hook ()) tx.abort_hooks;
   tx.ptm.stats.(tx.tid).aborts <- tx.ptm.stats.(tx.tid).aborts + 1
 
-let atomic t f =
+let rec atomic : 'a. t -> (tx -> 'a) -> 'a =
+ fun t f ->
   let tx = tx_for t in
   if tx.depth > 0 then f tx
   else begin
     (match t.profiler with Some p -> Profile.txn_begin p | None -> ());
     tx.depth <- 1;
     tx.attempts <- 0;
-    let finish value =
+    attempt t tx f
+  end
+
+(* Top-level rather than nested in [atomic]: the retry loop, finish and
+   abort paths would otherwise be three closures allocated per
+   transaction even on the conflict-free fast path. *)
+and attempt : 'a. t -> tx -> (tx -> 'a) -> 'a =
+ fun t tx f ->
+  reset_tx tx;
+  (* HTM gives up after a few hardware attempts and falls back to the
+     (flush-free, under eADR) redo STM path. *)
+  tx.mode <-
+    (match t.alg with
+    | Htm when tx.attempts >= htm_fallback_attempts -> Redo
+    | a -> a);
+  tx.rv <- clock_read t;
+  match f tx with
+  | value ->
+    let committed =
+      match tx.mode with
+      | Redo -> redo_try_commit tx
+      | Undo -> undo_try_commit tx
+      | Htm -> htm_try_commit tx
+      | Mod -> mod_try_commit tx
+    in
+    if committed then begin
       tx.depth <- 0;
       (* Close the profile envelope before commit hooks run: a hook may
          start a fresh transaction on this thread. *)
@@ -1231,53 +1309,30 @@ let atomic t f =
       tx.commit_hooks <- [];
       List.iter (fun hook -> hook ()) hooks;
       value
-    in
-    let note_abort () = match t.profiler with Some p -> Profile.note_abort p | None -> () in
-    let rec attempt () =
-      reset_tx tx;
-      (* HTM gives up after a few hardware attempts and falls back to
-         the (flush-free, under eADR) redo STM path. *)
-      tx.mode <-
-        (match t.alg with
-        | Htm when tx.attempts >= htm_fallback_attempts -> Redo
-        | a -> a);
-      tx.rv <- clock_read t;
-      match f tx with
-      | value ->
-        let committed =
-          match tx.mode with
-          | Redo -> redo_try_commit tx
-          | Undo -> undo_try_commit tx
-          | Htm -> htm_try_commit tx
-          | Mod -> mod_try_commit tx
-        in
-        if committed then finish value
-        else begin
-          (* Commit-time conflict: orecs already released by try_commit. *)
-          List.iter (fun hook -> hook ()) tx.abort_hooks;
-          t.stats.(tx.tid).aborts <- t.stats.(tx.tid).aborts + 1;
-          note_abort ();
-          tx.attempts <- tx.attempts + 1;
-          backoff tx;
-          attempt ()
-        end
-      | exception Conflict ->
-        abort_cleanup tx;
-        note_abort ();
-        tx.attempts <- tx.attempts + 1;
-        backoff tx;
-        attempt ()
-      | exception Machine.Crashed ->
-        (* Power failure: no cleanup — that is the point. *)
-        raise Machine.Crashed
-      | exception e ->
-        abort_cleanup tx;
-        tx.depth <- 0;
-        (match t.profiler with Some p -> Profile.txn_end p ~committed:false | None -> ());
-        raise e
-    in
-    attempt ()
-  end
+    end
+    else begin
+      (* Commit-time conflict: orecs already released by try_commit. *)
+      List.iter (fun hook -> hook ()) tx.abort_hooks;
+      t.stats.(tx.tid).aborts <- t.stats.(tx.tid).aborts + 1;
+      (match t.profiler with Some p -> Profile.note_abort p | None -> ());
+      tx.attempts <- tx.attempts + 1;
+      backoff tx;
+      attempt t tx f
+    end
+  | exception Conflict ->
+    abort_cleanup tx;
+    (match t.profiler with Some p -> Profile.note_abort p | None -> ());
+    tx.attempts <- tx.attempts + 1;
+    backoff tx;
+    attempt t tx f
+  | exception Machine.Crashed ->
+    (* Power failure: no cleanup — that is the point. *)
+    raise Machine.Crashed
+  | exception e ->
+    abort_cleanup tx;
+    tx.depth <- 0;
+    (match t.profiler with Some p -> Profile.txn_end p ~committed:false | None -> ());
+    raise e
 
 (* ---------- statistics ---------- *)
 

@@ -6,14 +6,17 @@ let sub_count = 1 lsl sub_bits
 let exponents = 62
 let total = exponents * sub_count
 
+(* [sum] is an int: virtual-ns samples stay far under 2^62 in
+   aggregate, and a float field in this mixed record would be boxed —
+   one heap allocation per [record] on the driver's per-op path. *)
 type t = {
   counts : int array;
   mutable n : int;
-  mutable sum : float;
+  mutable sum : int;
   mutable max_value : int;
 }
 
-let create () = { counts = Array.make total 0; n = 0; sum = 0.0; max_value = 0 }
+let create () = { counts = Array.make total 0; n = 0; sum = 0; max_value = 0 }
 
 let index_of value =
   let value = max 1 value in
@@ -35,9 +38,10 @@ let value_of index =
 
 let record t value =
   let value = max 1 value in
-  t.counts.(index_of value) <- t.counts.(index_of value) + 1;
+  let i = index_of value in
+  t.counts.(i) <- t.counts.(i) + 1;
   t.n <- t.n + 1;
-  t.sum <- t.sum +. float_of_int value;
+  t.sum <- t.sum + value;
   if value > t.max_value then t.max_value <- value
 
 let count t = t.n
@@ -61,14 +65,14 @@ let percentile t p =
     !result
   end
 
-let mean t = if t.n = 0 then nan else t.sum /. float_of_int t.n
+let mean t = if t.n = 0 then nan else float_of_int t.sum /. float_of_int t.n
 
 let max_value t = t.max_value
 
 let merge_into ~src ~dst =
   Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
   dst.n <- dst.n + src.n;
-  dst.sum <- dst.sum +. src.sum;
+  dst.sum <- dst.sum + src.sum;
   if src.max_value > dst.max_value then dst.max_value <- src.max_value
 
 let merge a b =
@@ -82,5 +86,5 @@ let merge_list ts = List.fold_left (fun acc h -> merge_into ~src:h ~dst:acc; acc
 let clear t =
   Array.fill t.counts 0 total 0;
   t.n <- 0;
-  t.sum <- 0.0;
+  t.sum <- 0;
   t.max_value <- 0

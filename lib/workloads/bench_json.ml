@@ -313,6 +313,7 @@ let lower_better name =
   || String.ends_with ~suffix:"_us" name
   || name = "aborts" || contains name "miss" || contains name "stall"
   || contains name "slack" || contains name "latency" || contains name "imbalance"
+  || contains name "words_per_event"
 
 let regress ?(tolerance_pct = 5.0) ?(include_wall = false) ~baseline ~current () =
   let findings = ref [] in

@@ -56,12 +56,14 @@ let run ?(duration_ns = 3_000_000) ?(flush_timing = Pstm.Ptm.At_commit) ?(coales
     ignore
       (Memsim.Sim.spawn sim (fun () ->
            let op = spec.make_op ptm ~tid ~rng in
+           (* [Sim.now] reads the virtual clock as an int; the machine's
+              [now_ns] facade returns a float and would box two of them
+              per operation. *)
            let rec loop () =
-             let start = int_of_float (m.Machine.now_ns ()) in
+             let start = Memsim.Sim.now sim in
              if start < duration_ns then begin
                op ();
-               Repro_util.Histogram.record latency
-                 (int_of_float (m.Machine.now_ns ()) - start);
+               Repro_util.Histogram.record latency (Memsim.Sim.now sim - start);
                loop ()
              end
            in
@@ -76,7 +78,7 @@ let run ?(duration_ns = 3_000_000) ?(flush_timing = Pstm.Ptm.At_commit) ?(coales
   | Some (interval_ns, sample) ->
     ignore
       (Memsim.Sim.spawn sim (fun () ->
-           while int_of_float (m.Machine.now_ns ()) < duration_ns do
+           while Memsim.Sim.now sim < duration_ns do
              m.Machine.pause interval_ns;
              sample sim
            done)));
@@ -87,7 +89,7 @@ let run ?(duration_ns = 3_000_000) ?(flush_timing = Pstm.Ptm.At_commit) ?(coales
     let interval_ns = (Telemetry.config cap).Telemetry.sample_interval_ns in
     ignore
       (Memsim.Sim.spawn sim (fun () ->
-           while int_of_float (m.Machine.now_ns ()) < duration_ns do
+           while Memsim.Sim.now sim < duration_ns do
              m.Machine.pause interval_ns;
              Telemetry.sample cap
            done))

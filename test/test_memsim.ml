@@ -540,6 +540,134 @@ let test_trace_marks_crash () =
   | Some _ -> ()
   | None -> Alcotest.fail "crash event recorded"
 
+(* ---------- pending arena vs the old list semantics ---------- *)
+
+(* Reference model: the pre-arena representation — a list of
+   (apply_at, line, captured words) in insertion order, position
+   standing in for the explicit sequence number the old record
+   carried.  [apply] replays entries in (apply_at, seq) order, exactly
+   the old [List.sort] on the partitioned list. *)
+module Pending_ref = struct
+  type entry = { r_apply_at : int; r_line : int; r_data : int array }
+
+  let ordered entries =
+    List.stable_sort (fun a b -> compare a.r_apply_at b.r_apply_at) entries
+
+  let blit image ~stride e = Array.blit e.r_data 0 image (e.r_line * stride) (Array.length e.r_data)
+
+  let apply ~cutoff ~stride entries image =
+    List.iter
+      (fun e -> if e.r_apply_at < cutoff then blit image ~stride e)
+      (ordered entries)
+
+  let settle ~now ~stride entries image =
+    let done_, inflight = List.partition (fun e -> e.r_apply_at <= now) entries in
+    List.iter (blit image ~stride) (ordered done_);
+    inflight
+end
+
+let pending_stride = 4
+let pending_lines = 8
+
+(* One differential step: 0 = add, 1 = settle, 2 = apply (compare crash
+   images), 3 = remove_lines.  After every step the arena's insertion-
+   order view must equal the reference list, and the two media images
+   must agree word for word. *)
+let pending_ops_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 120)
+      (pair (int_range 0 3) (pair (int_range 0 100) (int_range 0 (pending_lines - 1)))))
+
+let test_pending_differential =
+  Helpers.qtest ~count:300 "pending: differential vs list model" pending_ops_gen (fun ops ->
+      let t = Pending.create ~stride:pending_stride () in
+      let model = ref [] in
+      let image = Array.make (pending_lines * pending_stride) 0 in
+      let image' = Array.make (pending_lines * pending_stride) 0 in
+      let stamp = ref 0 in
+      let agree () =
+        let view = Pending.to_list t in
+        let ref_view =
+          List.map (fun e -> (e.Pending_ref.r_apply_at, e.Pending_ref.r_line, e.Pending_ref.r_data)) !model
+        in
+        if view <> ref_view then QCheck2.Test.fail_report "arena view diverged from list model";
+        if image <> image' then QCheck2.Test.fail_report "media image diverged";
+        true
+      in
+      List.for_all
+        (fun (tag, (time, line)) ->
+          (match tag with
+          | 0 ->
+            incr stamp;
+            let len = 1 + (!stamp mod pending_stride) in
+            let src = Array.init pending_stride (fun k -> (!stamp * 16) + k) in
+            Pending.add t ~apply_at:time ~line ~src ~base:0 ~len;
+            model :=
+              !model
+              @ [ { Pending_ref.r_apply_at = time; r_line = line; r_data = Array.sub src 0 len } ]
+          | 1 ->
+            Pending.settle t ~now:time image;
+            model := Pending_ref.settle ~now:time ~stride:pending_stride !model image'
+          | 2 ->
+            (* Non-destructive crash-cut materialisation: replay onto
+               copies, compare, leave both states untouched. *)
+            let cut = Array.copy image and cut' = Array.copy image' in
+            Pending.apply ~cutoff:time t cut;
+            Pending_ref.apply ~cutoff:time ~stride:pending_stride !model cut';
+            if cut <> cut' then QCheck2.Test.fail_report "crash-cut image diverged"
+          | _ ->
+            let keep = time mod pending_lines in
+            Pending.remove_lines t (fun l -> l <> keep);
+            model := List.filter (fun e -> e.Pending_ref.r_line = keep) !model);
+          agree ())
+        ops
+      &&
+      (* Drain completely: nothing may leak past a settle that covers
+         every service time. *)
+      (Pending.settle t ~now:max_int image;
+       model := Pending_ref.settle ~now:max_int ~stride:pending_stride !model image';
+       Pending.count t = 0 && !model = [] && agree ()))
+
+(* Capacity boundary: filling to the initial capacity must not grow;
+   one past it doubles, preserving order and payload across the copy;
+   a full drain recycles slots without shrinking. *)
+let test_pending_overflow_recycle () =
+  let t = Pending.create ~stride:pending_stride () in
+  let cap0 = Pending.capacity t in
+  let entry i = (i, i mod pending_lines, Array.init pending_stride (fun k -> (i * 100) + k)) in
+  for i = 0 to cap0 - 1 do
+    let at, line, src = entry i in
+    Pending.add t ~apply_at:at ~line ~src ~base:0 ~len:pending_stride
+  done;
+  Helpers.check_int "full at initial capacity" cap0 (Pending.count t);
+  Helpers.check_int "no premature growth" cap0 (Pending.capacity t);
+  let at, line, src = entry cap0 in
+  Pending.add t ~apply_at:at ~line ~src ~base:0 ~len:pending_stride;
+  Helpers.check_int "doubled on overflow" (2 * cap0) (Pending.capacity t);
+  Helpers.check_int "all entries retained" (cap0 + 1) (Pending.count t);
+  List.iteri
+    (fun i (at, line, data) ->
+      let at', line', data' = entry i in
+      Helpers.check_int "apply_at preserved across grow" at' at;
+      Helpers.check_int "line preserved across grow" line' line;
+      Helpers.check_bool "payload preserved across grow" true (data = data'))
+    (Pending.to_list t);
+  let image = Array.make (pending_lines * pending_stride) 0 in
+  Pending.settle t ~now:max_int image;
+  Helpers.check_int "drained" 0 (Pending.count t);
+  Helpers.check_bool "drain leaves no residue" true (Pending.to_list t = []);
+  Helpers.check_int "capacity retained after drain" (2 * cap0) (Pending.capacity t);
+  (* Latest service time per line wins: entries replay in apply_at
+     order, so line 0's image words come from its last capture. *)
+  let last_for_line0 = cap0 - (cap0 mod pending_lines) in
+  Helpers.check_int "image holds the final capture"
+    (last_for_line0 * 100)
+    image.(0);
+  let at, line, src = entry 7777 in
+  Pending.add t ~apply_at:at ~line ~src ~base:0 ~len:pending_stride;
+  Helpers.check_int "slots recycle after drain" 1 (Pending.count t);
+  Helpers.check_int "recycling does not grow" (2 * cap0) (Pending.capacity t)
+
 let suite =
   [
     Alcotest.test_case "sched: virtual-time order" `Quick test_sched_virtual_time_order;
@@ -579,4 +707,6 @@ let suite =
     Alcotest.test_case "trace: records events" `Quick test_trace_records_events;
     Alcotest.test_case "trace: ring bounded" `Quick test_trace_ring_bounded;
     Alcotest.test_case "trace: crash marker" `Quick test_trace_marks_crash;
+    test_pending_differential;
+    Alcotest.test_case "pending: overflow + recycle" `Quick test_pending_overflow_recycle;
   ]

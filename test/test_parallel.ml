@@ -86,6 +86,32 @@ let test_invalid_jobs () =
   Alcotest.check_raises "jobs=0 rejected" (Invalid_argument "Pool.run: jobs must be >= 1")
     (fun () -> ignore (Pool.run ~jobs:0 [ (fun () -> ()) ]))
 
+let test_chunking () =
+  (* Batched claiming changes only which worker runs a task, never the
+     reassembled order — including chunks that don't divide the batch,
+     exceed it, or degenerate to the old one-at-a-time claiming. *)
+  let n = 23 in
+  let tasks = List.init n (fun i () -> i * 3) in
+  let expect = List.init n (fun i -> i * 3) in
+  List.iter
+    (fun chunk ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "order with chunk=%d" chunk)
+        expect
+        (Pool.run ~jobs:3 ~chunk tasks))
+    [ 1; 2; 5; n; n + 40 ];
+  Alcotest.check_raises "chunk=0 rejected" (Invalid_argument "Pool.run: chunk must be >= 1")
+    (fun () -> ignore (Pool.run ~jobs:2 ~chunk:0 [ (fun () -> ()) ]));
+  (* The lowest-indexed recorded failure still wins under batching. *)
+  (match Pool.run ~jobs:2 ~chunk:4 (List.init 12 (fun i () -> if i >= 6 then raise (Boom i)))
+   with
+  | _ -> Alcotest.fail "expected Boom to propagate through chunked run"
+  | exception Boom i ->
+    Alcotest.(check bool) (Printf.sprintf "lowest recorded failure (Boom %d)" i) true (i >= 6));
+  Alcotest.(check bool) "default_chunk >= 1" true (Pool.default_chunk ~n:0 ~jobs:4 >= 1);
+  Alcotest.(check int) "default_chunk spreads four claims per worker" 4
+    (Pool.default_chunk ~n:32 ~jobs:2)
+
 let test_edges () =
   Alcotest.(check (list int)) "empty batch" [] (Pool.run ~jobs:4 []);
   Alcotest.(check (list int)) "empty batch, serial" [] (Pool.run ~jobs:1 []);
@@ -103,5 +129,6 @@ let suite =
     Alcotest.test_case "bounded concurrency" `Quick test_bounded_concurrency;
     Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
     Alcotest.test_case "invalid jobs" `Quick test_invalid_jobs;
+    Alcotest.test_case "chunked claiming" `Quick test_chunking;
     Alcotest.test_case "edge shapes" `Quick test_edges;
   ]
