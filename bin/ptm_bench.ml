@@ -268,7 +268,7 @@ let experiment_cmd =
       let jobs = match jobs with Some j -> j | None -> Parallel.Pool.default_jobs () in
       let path =
         Workloads.Bench_json.write ~experiment:name ~quick ~jobs ~wall_s
-          outcome.Workloads.Experiments.results
+          ~extra:outcome.Workloads.Experiments.extra outcome.Workloads.Experiments.results
       in
       Format.printf "json       : wrote %s@." path
     end

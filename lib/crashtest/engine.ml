@@ -445,6 +445,299 @@ let recovery_convergence ?(nvm_channels = 4) ?budgets ~model ~algorithm ~seed ~c
           (Ok ()) budgets
       end)
 
+(* ---------- FAMS: crash-testing the snapshot API ---------- *)
+
+(* The msync subsystem rides the same explorer: prepared image, traced
+   reference run, candidate instants, probe + greedy shrink, replayable
+   failure line.  The differences are structural — a single mutator
+   instead of a thread team, [Fams.recover] instead of [Ptm.recover],
+   and the algorithm column is the granularity series ("fams-line" /
+   "fams-page"). *)
+
+type fams_instance = {
+  f_worker : Sim.t -> Fams.t -> unit;  (** the single mutator *)
+  f_validate : crashed:bool -> Sim.t -> Fams.t -> (unit, string) result;
+  f_oracle : (crashed:bool -> Sim.t -> Fams.t -> (unit, oracle_failure) result) option;
+}
+
+type fams_scenario = {
+  f_name : string;
+  f_words : int;  (** working-area size *)
+  f_prepare : Fams.t -> unit;  (** raw populate; the engine checkpoints after *)
+  f_fresh : seed:int -> fams_instance;
+}
+
+let fams_algorithm_name granularity = "fams-" ^ Fams.granularity_name granularity
+
+let fams_granularity_of_algorithm = function
+  | "fams-line" -> Some Fams.Line
+  | "fams-page" -> Some Fams.Page
+  | _ -> None
+
+let make_fams_config ~nvm_channels scenario model =
+  Config.make ~nvm_channels
+    ~heap_words:(Fams.required_heap_words ~words:scenario.f_words)
+    ~track_media:true model
+
+let prepare_fams_image cfg scenario ~granularity =
+  let sim = Sim.create cfg in
+  let fams = Fams.create ~granularity ~words:scenario.f_words sim in
+  scenario.f_prepare fams;
+  Fams.checkpoint_raw fams;
+  Sim.persist_all sim;
+  let path = Filename.temp_file "crashtest-fams" ".img" in
+  Sim.save_image sim path;
+  path
+
+let check_fams_instance inst ~crashed sim fams =
+  let first = match inst.f_oracle with None -> Ok () | Some o -> o ~crashed sim fams in
+  match first with
+  | Error _ as e -> e
+  | Ok () -> (
+    match inst.f_validate ~crashed sim fams with
+    | Ok () -> Ok ()
+    | Error reason -> Error { fail_reason = reason; counterexample = None })
+
+let run_fams_from_image ?(trace_capacity = 0) ?inject cfg scenario ~seed ~image ?crash_at ()
+    =
+  let sim = Sim.load_image cfg image in
+  let fams = Fams.recover ?inject sim in
+  let tr =
+    if trace_capacity > 0 then Some (Sim.enable_trace ~capacity:trace_capacity sim) else None
+  in
+  let inst = scenario.f_fresh ~seed in
+  ignore (Sim.spawn sim (fun () -> inst.f_worker sim fams));
+  Sim.run ?crash_at sim;
+  let final = Sim.now sim in
+  let verdict =
+    if not (Sim.crashed sim) then check_fams_instance inst ~crashed:false sim fams
+    else begin
+      let sim2 = Sim.reboot sim in
+      let m2 = Sim.machine sim2 in
+      (* Pre-recovery integrity: region metadata must survive the crash
+         even before the snapshot journal is replayed or discarded. *)
+      let pre = Pmem.Check.run (Pmem.Region.attach m2) in
+      if not (Pmem.Check.is_clean pre) then
+        Error
+          {
+            fail_reason = Format.asprintf "pre-recovery corruption:@ %a" Pmem.Check.pp pre;
+            counterexample = None;
+          }
+      else begin
+        match Fams.recover ?inject sim2 with
+        | exception Machine.Corrupt_image msg ->
+          Error { fail_reason = "recovery rejected the image: " ^ msg; counterexample = None }
+        | fams2 ->
+          let post = Pmem.Check.run (Fams.region fams2) in
+          if not (Pmem.Check.is_clean post) then
+            Error
+              {
+                fail_reason =
+                  Format.asprintf "post-recovery corruption:@ %a" Pmem.Check.pp post;
+                counterexample = None;
+              }
+          else check_fams_instance inst ~crashed:true sim2 fams2
+      end
+    end
+  in
+  (verdict, final, tr)
+
+(* Failure telemetry for a FAMS point: the phase profiler (sweep /
+   publish / apply spans) plus the machine trace, dumped as
+   profile.jsonl + trace.json next to the replay line.  [Telemetry
+   .attach] is PTM-shaped, so the dump is assembled from the exporters
+   directly. *)
+let dump_fams_failure_telemetry ?inject cfg scenario ~model ~granularity ~seed ~image
+    ~crash_at =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "crashtest-%s-%s-%s-s%d-t%d%s" scenario.f_name model.Config.model_name
+         (fams_algorithm_name granularity) seed crash_at
+         (match inject with None -> "" | Some i -> "-" ^ Fams.inject_name i))
+  in
+  let sim = Sim.load_image cfg image in
+  let profiler =
+    Pstm.Profile.create
+      ~wpq_stall_probe:(fun tid -> Sim.wpq_stall_ns_of sim ~tid)
+      (Sim.machine sim)
+  in
+  let fams = Fams.recover ?inject ~profiler sim in
+  let tr = Sim.enable_trace ~capacity:(1 lsl 14) sim in
+  let inst = scenario.f_fresh ~seed in
+  ignore (Sim.spawn sim (fun () -> inst.f_worker sim fams));
+  Sim.run ~crash_at sim;
+  let meta =
+    {
+      Telemetry.Export.workload = scenario.f_name;
+      model = model.Config.model_name;
+      algorithm = fams_algorithm_name granularity;
+      threads = 1;
+      seed;
+      duration_ns = crash_at;
+    }
+  in
+  (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  let emit name body =
+    let oc = open_out_bin (Filename.concat dir name) in
+    output_string oc body;
+    close_out oc
+  in
+  emit "profile.jsonl" (Telemetry.Export.profile_jsonl meta profiler);
+  emit "trace.json" (Telemetry.Export.chrome_trace ~machine_trace:tr meta profiler);
+  dir
+
+let fams_replay_command ?inject scenario_name model_name granularity seed crash_at =
+  Printf.sprintf "CRASHTEST_REPLAY='%s:%s:%s:%d:%d%s' dune build @crashtest" scenario_name
+    model_name
+    (fams_algorithm_name granularity)
+    seed crash_at
+    (match inject with None -> "" | Some i -> ":" ^ Fams.inject_name i)
+
+let explore_fams ?points ?seed ?exhaustive ?(shrink_budget = 24) ?(nvm_channels = 4) ?inject
+    ~model ~granularity scenario =
+  let exhaustive = match exhaustive with Some b -> b | None -> exhaustive_from_env () in
+  let points = match points with Some p -> p | None -> getenv_int "CRASHTEST_POINTS" 64 in
+  let seed = match seed with Some s -> s | None -> getenv_int "CRASHTEST_SEED" 1 in
+  let cfg = make_fams_config ~nvm_channels scenario model in
+  let image = prepare_fams_image cfg scenario ~granularity in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove image with Sys_error _ -> ())
+    (fun () ->
+      let verdict, final_time, tr =
+        run_fams_from_image ~trace_capacity:(1 lsl 17) ?inject cfg scenario ~seed ~image ()
+      in
+      (match verdict with
+      | Ok () -> ()
+      | Error e ->
+        failwith
+          (Printf.sprintf "crashtest %s/%s: reference run violates the model (harness bug): %s"
+             scenario.f_name model.Config.model_name e.fail_reason));
+      let candidates =
+        let traced = match tr with Some tr -> Trace.crash_points tr | None -> [] in
+        (* WPQ drains happen inside the mutator's quiet intervals —
+           fence waits, a coalesced clwb batch paying its issue slots,
+           admission stalls — and the trace records no events there.
+           Those intervals are exactly where unfenced write-backs lose
+           races, so span every gap wider than a microsecond with
+           evenly spaced interior probes. *)
+        let drained =
+          match tr with
+          | None -> []
+          | Some tr ->
+            let service = cfg.Config.lat.Config.nvm_wpq_service_ns in
+            let channels = max 1 cfg.Config.nvm_channels in
+            let rec walk acc run = function
+              | a :: (b :: _ as rest) ->
+                let run = match a.Trace.kind with Trace.Clwb _ -> run + 1 | _ -> 0 in
+                let t0 = a.Trace.at_ns and t1 = b.Trace.at_ns in
+                let acc =
+                  if t1 - t0 > 1024 then begin
+                    let even = List.init 16 (fun k -> t0 + ((k + 1) * (t1 - t0) / 17)) in
+                    (* A batch of [run] clwbs drains within about
+                       run/channels service slots of its issue instant;
+                       the loss window sits at the head of the gap, so
+                       walk the completion boundaries densely. *)
+                    let head =
+                      if run = 0 then []
+                      else
+                        let slots = min (((run + channels - 1) / channels) + channels) 64 in
+                        List.init slots (fun j -> t0 + ((j + 1) * service))
+                    in
+                    head @ even @ acc
+                  end
+                  else acc
+                in
+                walk acc run rest
+              | _ -> acc
+            in
+            walk [] 0 (Trace.tail tr)
+        in
+        let grid = List.init 64 (fun i -> (i + 1) * final_time / 65) in
+        let keep l =
+          List.sort_uniq compare l |> List.filter (fun t -> t > 0 && t <= final_time)
+        in
+        (keep (traced @ drained @ grid), keep drained)
+      in
+      let all_candidates, drained = candidates in
+      let candidates = all_candidates in
+      let chosen =
+        if exhaustive || List.length candidates <= points then candidates
+        else begin
+          (* Drain-window instants are a few hundred among tens of
+             thousands of issue instants, but they are where ordering
+             bugs bite: probe every one, and sample only the bulk. *)
+          let rng = Rng.create (seed lxor 0x5ca1ab1e) in
+          let arr = Array.of_list candidates in
+          Rng.shuffle rng arr;
+          let sampled = Array.to_list (Array.sub arr 0 (min points (Array.length arr))) in
+          List.sort_uniq compare (drained @ sampled)
+        end
+      in
+      let probe t =
+        let v, _, _ = run_fams_from_image ?inject cfg scenario ~seed ~image ~crash_at:t () in
+        v
+      in
+      let tested = ref 0 in
+      let failure = ref None in
+      (try
+         List.iter
+           (fun t ->
+             incr tested;
+             match probe t with
+             | Ok () -> ()
+             | Error first_fail ->
+               let min_t = shrink ~probe ~budget:shrink_budget t in
+               let fail = match probe min_t with Error f -> f | Ok () -> first_fail in
+               let telemetry_dir =
+                 try
+                   Some
+                     (dump_fams_failure_telemetry ?inject cfg scenario ~model ~granularity
+                        ~seed ~image ~crash_at:min_t)
+                 with Sys_error _ -> None
+               in
+               (match (telemetry_dir, fail.counterexample) with
+               | Some dir, Some jsonl -> (
+                 try
+                   let oc = open_out_bin (Filename.concat dir "dlin.jsonl") in
+                   output_string oc jsonl;
+                   close_out oc
+                 with Sys_error _ -> ())
+               | _ -> ());
+               failure :=
+                 Some
+                   {
+                     crash_at = t;
+                     min_crash_at = min_t;
+                     reason = fail.fail_reason;
+                     replay =
+                       fams_replay_command ?inject scenario.f_name model.Config.model_name
+                         granularity seed min_t;
+                     telemetry_dir;
+                   };
+               raise Exit)
+           chosen
+       with Exit -> ());
+      {
+        scenario = scenario.f_name;
+        model = model.Config.model_name;
+        algorithm = fams_algorithm_name granularity;
+        seed;
+        final_time;
+        candidates = List.length candidates;
+        tested = !tested;
+        failures = (match !failure with None -> [] | Some f -> [ f ]);
+      })
+
+let run_fams_point ?(nvm_channels = 4) ?inject ~model ~granularity ~seed ~crash_at scenario =
+  let cfg = make_fams_config ~nvm_channels scenario model in
+  let image = prepare_fams_image cfg scenario ~granularity in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove image with Sys_error _ -> ())
+    (fun () ->
+      let v, _, _ = run_fams_from_image ?inject cfg scenario ~seed ~image ~crash_at () in
+      Result.map_error (fun f -> f.fail_reason) v)
+
 (* ---------- replay parsing ---------- *)
 
 let parse_replay spec =
@@ -466,6 +759,28 @@ let parse_replay spec =
       match Ptm.inject_of_name name with
       | Some i -> Some (scen, model, alg, seed, crash_at, Some i)
       | None -> None)
+    | _ -> None
+  in
+  match String.split_on_char ':' (String.trim spec) with
+  | [ scen; model; alg; seed; crash_at ] -> parse scen model alg seed crash_at None
+  | [ scen; model; alg; seed; crash_at; inject ] ->
+    parse scen model alg seed crash_at (Some inject)
+  | _ -> None
+
+(* FAMS replay lines use the granularity series as the algorithm column
+   and FAMS inject names; everything else matches [parse_replay]. *)
+let parse_fams_replay spec =
+  let parse scen model alg seed crash_at inject =
+    match
+      (fams_granularity_of_algorithm alg, int_of_string_opt seed, int_of_string_opt crash_at)
+    with
+    | Some g, Some seed, Some crash_at -> (
+      match inject with
+      | None -> Some (scen, model, g, seed, crash_at, None)
+      | Some name -> (
+        match Fams.inject_of_name name with
+        | Some i -> Some (scen, model, g, seed, crash_at, Some i)
+        | None -> None))
     | _ -> None
   in
   match String.split_on_char ':' (String.trim spec) with

@@ -152,6 +152,77 @@ val recovery_convergence :
     validate.  [Ok ()] when the workload ran to completion before
     [crash_at]. *)
 
+(** {1 FAMS: crash-testing the snapshot API}
+
+    The msync subsystem rides the same explorer — prepared image,
+    traced reference run, candidate instants, probe + greedy shrink,
+    replayable failure line — with a single mutator instead of a
+    thread team, {!Fams.recover} instead of [Ptm.recover], and the
+    granularity series ("fams-line" / "fams-page") in the algorithm
+    column. *)
+
+type fams_instance = {
+  f_worker : Memsim.Sim.t -> Fams.t -> unit;
+      (** body of the single mutator (FAMS is single-writer); the [Sim]
+          is passed for the virtual clock *)
+  f_validate : crashed:bool -> Memsim.Sim.t -> Fams.t -> (unit, string) result;
+  f_oracle :
+    (crashed:bool -> Memsim.Sim.t -> Fams.t -> (unit, oracle_failure) result) option;
+      (** durable-linearizability oracle; FAMS scenarios check with
+          [`Buffered] durability — recovery restores the last completed
+          sync, so any real-time-closed cut is legal *)
+}
+
+type fams_scenario = {
+  f_name : string;
+  f_words : int;  (** working-area size *)
+  f_prepare : Fams.t -> unit;
+      (** raw (untimed) population of the working area; the engine
+          checkpoints afterwards, so the prepared image starts fully
+          synced *)
+  f_fresh : seed:int -> fams_instance;
+}
+
+val fams_algorithm_name : Fams.granularity -> string
+(** ["fams-line"] / ["fams-page"] — the report's algorithm column. *)
+
+val explore_fams :
+  ?points:int ->
+  ?seed:int ->
+  ?exhaustive:bool ->
+  ?shrink_budget:int ->
+  ?nvm_channels:int ->
+  ?inject:Fams.inject ->
+  model:Memsim.Config.model ->
+  granularity:Fams.granularity ->
+  fams_scenario ->
+  report
+(** {!explore} for a FAMS matrix cell.  The crash sweep hits instants
+    inside the journal sweep, inside the apply phase, and in the window
+    between sync publication and journal durability.  [inject] arms a
+    deliberate FAMS protocol bug ({!Fams.inject}) for mutation-testing
+    the oracle.
+    @raise Failure if the crash-free reference run already violates the
+    scenario's model. *)
+
+val run_fams_point :
+  ?nvm_channels:int ->
+  ?inject:Fams.inject ->
+  model:Memsim.Config.model ->
+  granularity:Fams.granularity ->
+  seed:int ->
+  crash_at:int ->
+  fams_scenario ->
+  (unit, string) result
+(** Probe a single FAMS crash instant — the replay path for a failure
+    printed by {!explore_fams}. *)
+
+val parse_fams_replay :
+  string -> (string * string * Fams.granularity * int * int * Fams.inject option) option
+(** Parse a FAMS replay spec
+    ["scenario:model:fams-line|fams-page:seed:crash_at[:inject]"].
+    Unknown granularity or inject names fail the parse. *)
+
 val parse_replay :
   string ->
   (string * string * Pstm.Ptm.algorithm * int * int * Pstm.Ptm.inject option) option

@@ -1236,6 +1236,127 @@ let of_spec ?(threads = 2) ?(ops = 50) ?(coalesce = true) (spec : Workloads.Driv
     fresh;
   }
 
+(* ---------- FAMS: bank over the snapshot API ---------- *)
+
+type fams_bank_op = { fop : int; fsrc : int; fdst : int; famount : int }
+type fams_bank_state = { fbal : int array; fseq : int }
+
+(* The msync twin of {!bank}: one mutator transfers between scattered
+   one-word accounts in the FAMS working area and calls [msync_atomic]
+   every [sync_every] operations.  The dlin oracle runs with [`Buffered]
+   durability — recovery restores the last completed sync, so any
+   per-thread prefix cut is legal — and the validate closes the gap
+   buffered cuts leave open: a sync that {e completed} before the crash
+   is FAMS's durability point, so the recovered op counter must reach
+   it. *)
+let fams_bank ?(accounts = 256) ?(ops = 80) ?(sync_every = 8) () =
+  let initial = 100 in
+  let spread = 4 in
+  (* accounts * spread = 1024 words: the working area spans two pages,
+     so line- and page-granularity sweeps journal different unit sets. *)
+  let seq_addr = accounts * spread in
+  let words = seq_addr + 1 in
+  let spec =
+    {
+      Dlin.init = { fbal = Array.make accounts initial; fseq = 0 };
+      apply =
+        (fun st o ->
+          let fbal = Array.copy st.fbal in
+          let s = fbal.(o.fsrc) and d = fbal.(o.fdst) in
+          fbal.(o.fsrc) <- s - o.famount;
+          fbal.(o.fdst) <- d + o.famount;
+          ({ fbal; fseq = o.fop }, (s, d)));
+      equal_state = (fun a b -> a.fbal = b.fbal && a.fseq = b.fseq);
+      hash_state = (fun st -> (hash_int_array st.fbal * 31) + st.fseq);
+      equal_res = ( = );
+      (* Single mutator: the checker never asks about same-thread
+         pairs, so commutativity is moot. *)
+      commutes = (fun _ _ -> false);
+      pp_op =
+        (fun ppf o ->
+          Format.fprintf ppf "#%d: transfer %d %d->%d" o.fop o.famount o.fsrc o.fdst);
+      pp_res = (fun ppf (s, d) -> Format.fprintf ppf "read (%d, %d)" s d);
+      pp_state =
+        (fun ppf st ->
+          Format.fprintf ppf "seq=%d bal=[%s]" st.fseq
+            (String.concat ";" (Array.to_list (Array.map string_of_int st.fbal))));
+    }
+  in
+  let f_prepare fams =
+    for i = 0 to accounts - 1 do
+      Fams.raw_write fams (i * spread) initial
+    done;
+    Fams.raw_write fams seq_addr 0
+  in
+  let f_fresh ~seed =
+    let attempted = ref 0 in
+    let synced = ref 0 in
+    let h = Dlin.History.create ~threads:1 in
+    let f_worker sim fams =
+      let rng = Rng.create (seed + 7919) in
+      let now = (Memsim.Sim.machine sim).Machine.now_ns in
+      for op = 1 to ops do
+        let src = Rng.int rng accounts in
+        (* Never [src = dst]: both reads precede both writes. *)
+        let dst = (src + 1 + Rng.int rng (accounts - 1)) mod accounts in
+        let amount = 1 + Rng.int rng 5 in
+        attempted := op;
+        let o = { fop = op; fsrc = src; fdst = dst; famount = amount } in
+        ignore
+          (Dlin.History.run h ~tid:0 ~now o (fun () ->
+               let s = Fams.read fams (src * spread) in
+               let d = Fams.read fams (dst * spread) in
+               Fams.write fams (src * spread) (s - amount);
+               Fams.write fams (dst * spread) (d + amount);
+               Fams.write fams seq_addr op;
+               if op mod sync_every = 0 then begin
+                 Fams.msync_atomic fams;
+                 synced := op
+               end;
+               (s, d))
+            : int * int)
+      done
+    in
+    let f_oracle ~crashed:_ _sim fams =
+      let recovered =
+        {
+          fbal = Array.init accounts (fun i -> Fams.raw_read fams (i * spread));
+          fseq = Fams.raw_read fams seq_addr;
+        }
+      in
+      run_dlin ~durability:`Buffered spec h ~recovered
+    in
+    let f_validate ~crashed _sim fams =
+      let sum = ref 0 in
+      for i = 0 to accounts - 1 do
+        sum := !sum + Fams.raw_read fams (i * spread)
+      done;
+      let seqv = Fams.raw_read fams seq_addr in
+      if !sum <> accounts * initial then
+        Error (Printf.sprintf "fams-bank: balance sum %d, expected %d" !sum (accounts * initial))
+      else if seqv < !synced then
+        Error
+          (Printf.sprintf "fams-bank: lost completed sync (op counter %d, last synced op %d)"
+             seqv !synced)
+      else if seqv > !attempted then
+        Error
+          (Printf.sprintf "fams-bank: op counter %d beyond last attempted op %d" seqv
+             !attempted)
+      else if (not crashed) && seqv <> ops then
+        Error (Printf.sprintf "fams-bank: clean run retained %d/%d ops" seqv ops)
+      else Ok ()
+    in
+    { Engine.f_worker; f_validate; f_oracle = Some f_oracle }
+  in
+  { Engine.f_name = "fams-bank"; f_words = words; f_prepare; f_fresh }
+
+let fams_all () = [ fams_bank () ]
+
+let fams_find name =
+  match List.find_opt (fun s -> s.Engine.f_name = name) (fams_all ()) with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Scenarios.fams_find: unknown FAMS scenario %S" name)
+
 let all () =
   [
     bank ();

@@ -82,6 +82,23 @@ val kv_incr : ?threads:int -> ?ops:int -> ?coalesce:bool -> unit -> Engine.scena
 val of_spec :
   ?threads:int -> ?ops:int -> ?coalesce:bool -> Workloads.Driver.spec -> Engine.scenario
 
+val fams_bank :
+  ?accounts:int -> ?ops:int -> ?sync_every:int -> unit -> Engine.fams_scenario
+(** The msync twin of {!bank}: a single mutator transfers between
+    scattered one-word accounts in the FAMS working area (two pages, so
+    line and page sweeps journal different unit sets) and calls
+    [msync_atomic] every [sync_every] operations.  The dlin oracle runs
+    with [`Buffered] durability; the validate additionally requires
+    conservation, and that the recovered op counter reaches the last
+    {e completed} sync (FAMS's durability point) and never exceeds the
+    last attempted op. *)
+
+val fams_all : unit -> Engine.fams_scenario list
+
+val fams_find : string -> Engine.fams_scenario
+(** Look up one of {!fams_all} by name.
+    @raise Invalid_argument on unknown name. *)
+
 val all : unit -> Engine.scenario list
 (** The seven application scenarios with default sizes (coalescing on),
     plus naive-flush bank and btree variants — the two flush schedules

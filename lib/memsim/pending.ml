@@ -56,7 +56,7 @@ let add t ~apply_at ~line ~src ~base ~len =
   t.apply_at.(i) <- apply_at;
   t.line.(i) <- line;
   t.len.(i) <- len;
-  Array.blit src base t.data (i * t.stride) len;
+  Pheap.blit_to_array src base t.data (i * t.stride) len;
   t.count <- i + 1
 
 (* Sort slot indices [0, count) by (apply_at, insertion order) — the
@@ -75,7 +75,7 @@ let sorted_order t =
   ord
 
 let apply_slot t image i =
-  Array.blit t.data (i * t.stride) image (t.line.(i) * t.stride) t.len.(i)
+  Pheap.blit_of_array image (t.line.(i) * t.stride) t.data (i * t.stride) t.len.(i)
 
 (* Apply every entry serviced strictly before [cutoff] to [image],
    oldest first, leaving the arena untouched (crash-image

@@ -20,16 +20,16 @@ val capacity : t -> int
 
 val clear : t -> unit
 
-val add : t -> apply_at:int -> line:int -> src:int array -> base:int -> len:int -> unit
+val add : t -> apply_at:int -> line:int -> src:Pheap.t -> base:int -> len:int -> unit
 (** Capture [len] words of [src] at [base]: line content travelling to
     the controller, power-safe once serviced at [apply_at]. *)
 
-val apply : cutoff:int -> t -> int array -> unit
+val apply : cutoff:int -> t -> Pheap.t -> unit
 (** Write every entry serviced strictly before [cutoff] into the image,
     in (apply_at, insertion) order — the controller's write order.
     Leaves the arena untouched. *)
 
-val settle : t -> now:int -> int array -> unit
+val settle : t -> now:int -> Pheap.t -> unit
 (** Apply entries with [apply_at <= now] to the image and compact the
     in-flight remainder in place, preserving insertion order. *)
 

@@ -13,8 +13,8 @@ type counters = {
 type t = {
   cfg : Config.t;
   sched : Sched.t;
-  heap : int array;
-  media : int array option; (* persisted image; None when not tracked *)
+  heap : Pheap.t;
+  media : Pheap.t option; (* persisted image; None when not tracked *)
   l3 : Cache.t;
   wpq_nvm : Server.t array; (* one per interleaved channel; line mod N *)
   wpq_dram : Server.t;
@@ -36,6 +36,10 @@ type t = {
      entry is serviced.  A crash before then loses them — the loss
      window sfence exists to close. *)
   pending : Pending.t;
+  (* Optional dirty-tracking window over the heap (page table + line
+     bitmap), fed from [store]/[publish] — the FAMS substrate.  [None]
+     costs one branch per store. *)
+  mutable dirty : Dirty.t option;
   c : counters;
 }
 
@@ -43,8 +47,8 @@ let create (cfg : Config.t) =
   {
     cfg;
     sched = Sched.create ();
-    heap = Array.make cfg.heap_words 0;
-    media = (if cfg.track_media then Some (Array.make cfg.heap_words 0) else None);
+    heap = Pheap.create ~words:cfg.heap_words;
+    media = (if cfg.track_media then Some (Pheap.create ~words:cfg.heap_words) else None);
     l3 = Cache.create ~bytes:cfg.l3_bytes ~ways:cfg.l3_ways ();
     wpq_nvm =
       Array.init cfg.nvm_channels (fun _ ->
@@ -69,6 +73,7 @@ let create (cfg : Config.t) =
     wpq_stall_by_tid = Array.make 64 0;
     trace = None;
     pending = Pending.create ~stride:Layout.words_per_line ();
+    dirty = None;
     c =
       {
         loads = 0;
@@ -138,7 +143,7 @@ let line_to_media t line =
   | Some media ->
     let base = Layout.addr_of_line line in
     let len = min Layout.words_per_line (t.cfg.heap_words - base) in
-    Array.blit t.heap base media base len
+    Pheap.copy_range ~src:t.heap ~dst:media base len
 
 (* ADR persists a line only once the controller has serviced its WPQ
    entry; until then the content rides in [pending].  eADR-family
@@ -307,14 +312,15 @@ let load t addr =
   t.c.loads <- t.c.loads + 1;
   (match t.trace with None -> () | Some tr -> trace_record t tr (Trace.Load addr));
   access_unchecked t ~addr ~write:false;
-  Array.unsafe_get t.heap addr
+  Pheap.get t.heap addr
 
 let store t addr v =
   check_addr t addr;
   t.c.stores <- t.c.stores + 1;
   (match t.trace with None -> () | Some tr -> trace_record t tr (Trace.Store addr));
   (* Architectural value changes at issue; latency paid after. *)
-  Array.unsafe_set t.heap addr v;
+  Pheap.set t.heap addr v;
+  (match t.dirty with None -> () | Some d -> Dirty.note d addr);
   access_unchecked t ~addr ~write:true
 
 (* One write-back's controller-side work, shared by [clwb] and
@@ -396,6 +402,19 @@ let now t = Sched.now t.sched
 
 let crashed t = Sched.crashed t.sched
 
+(* Arm dirty tracking over [lo, hi): subsequent [store]/[publish]
+   writes inside the window mark their line and page.  Untimed
+   [raw_write]s are never tracked (recovery must not re-dirty the
+   window it restores).  Replaces any previous tracker; a [reboot]ed
+   machine starts untracked. *)
+let track_dirty t ~lo ~hi =
+  if lo < 0 || hi > t.cfg.heap_words || hi <= lo then invalid_arg "Sim.track_dirty: bad window";
+  let d = Dirty.create ~lo ~hi in
+  t.dirty <- Some d;
+  d
+
+let dirty_tracker t = t.dirty
+
 let fence_wait_ns_of t ~tid =
   if tid >= 0 && tid < Array.length t.fence_wait_by_tid then t.fence_wait_by_tid.(tid) else 0
 
@@ -434,7 +453,7 @@ let persist_all t =
   | None -> ()
   | Some media ->
     Pending.clear t.pending;
-    Array.blit t.heap 0 media 0 t.cfg.heap_words
+    Pheap.assign ~src:t.heap ~dst:media
 
 (* Apply the durability domain's survival rule after a power failure
    (or a clean shutdown, which is strictly weaker than eADR flush). *)
@@ -442,7 +461,7 @@ let surviving_media t =
   match t.media with
   | None -> invalid_arg "Sim.reboot: track_media is off"
   | Some media ->
-    let image = Array.copy media in
+    let image = Pheap.copy media in
     (* Whether heap words persist at all (battery-backed DRAM log pages
        count as persistent; the DRAM-ramdisk baseline does not). *)
     let persistent =
@@ -471,33 +490,42 @@ let surviving_media t =
           let base = Layout.addr_of_line line in
           if base < t.cfg.heap_words && persistent then begin
             let len = min Layout.words_per_line (t.cfg.heap_words - base) in
-            Array.blit t.heap base image base len
+            Pheap.copy_range ~src:t.heap ~dst:image base len
           end)
         (Cache.dirty_lines t.l3));
     (* Full PDRAM: the battery-backed DRAM cache covers everything.
        Memory Mode has the same cache but no battery — and worse, its
        encryption key is lost on reboot, so nothing survives. *)
     if t.cfg.model.pdram_cache then begin
-      if t.cfg.model.battery then Array.blit t.heap 0 image 0 t.cfg.heap_words
-      else Array.fill image 0 t.cfg.heap_words 0
+      if t.cfg.model.battery then Pheap.assign ~src:t.heap ~dst:image
+      else Pheap.fill_zero image
     end;
     (* Non-persistent DRAM data: contents reset on reboot. *)
-    if t.cfg.model.data_media = Config.Dram then Array.fill image 0 t.cfg.heap_words 0;
+    if t.cfg.model.data_media = Config.Dram then Pheap.fill_zero image;
     image
 
-let image_magic = 0x50444D47 (* "PDMG" *)
+(* Sparse image format: only touched chunks are written, so crash
+   images of mostly-cold heaps stay small and fast.  Touched pages
+   round-trip byte-identically (untouched pages are all-zero by
+   construction on both sides). *)
+let image_magic = 0x50444D53 (* "PDMS" *)
 
 let save_image t path =
   let image = surviving_media t in
+  let pairs = ref [] in
+  Pheap.iter_touched image (fun ci c -> pairs := (ci, c) :: !pairs);
+  let pairs = List.rev !pairs in
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
       output_binary_int oc image_magic;
-      output_binary_int oc (Array.length image);
+      output_binary_int oc (Pheap.words image);
+      output_binary_int oc Pheap.chunk_words;
+      output_binary_int oc (List.length pairs);
       (* Marshal the payload; the header guards against size/format
          mismatches across runs. *)
-      Marshal.to_channel oc image [])
+      Marshal.to_channel oc pairs [])
 
 let load_image cfg path =
   let ic = open_in_bin path in
@@ -520,29 +548,35 @@ let load_image cfg path =
           if words <> cfg.Config.heap_words then
             corrupt (Printf.sprintf "image has %d words, config expects %d" words
                        cfg.Config.heap_words);
-          (Marshal.from_channel ic : int array)
+          let chunk_words = input_binary_int ic in
+          if chunk_words <> Pheap.chunk_words then
+            corrupt (Printf.sprintf "image chunk size %d, expected %d" chunk_words
+                       Pheap.chunk_words);
+          let promised = input_binary_int ic in
+          (promised, (Marshal.from_channel ic : (int * int array) list))
         with
-        | image ->
-          if Array.length image <> cfg.Config.heap_words then
-            corrupt (Printf.sprintf "payload holds %d words, header promised %d"
-                       (Array.length image) cfg.Config.heap_words);
-          image
+        | promised, pairs ->
+          if List.length pairs <> promised then
+            corrupt (Printf.sprintf "payload holds %d chunks, header promised %d"
+                       (List.length pairs) promised);
+          (try Pheap.of_touched ~words:cfg.Config.heap_words pairs
+           with Invalid_argument msg -> corrupt ("malformed chunk: " ^ msg))
         | exception End_of_file -> corrupt "truncated image"
         | exception Failure msg -> corrupt ("unreadable payload: " ^ msg))
   in
   let fresh = create cfg in
-  Array.blit image 0 fresh.heap 0 (Array.length image);
+  Pheap.assign ~src:image ~dst:fresh.heap;
   (match fresh.media with
-  | Some media -> Array.blit image 0 media 0 (Array.length image)
+  | Some media -> Pheap.assign ~src:image ~dst:media
   | None -> ());
   fresh
 
 let reboot t =
   let image = surviving_media t in
   let fresh = create t.cfg in
-  Array.blit image 0 fresh.heap 0 t.cfg.heap_words;
+  Pheap.assign ~src:image ~dst:fresh.heap;
   (match fresh.media with
-  | Some media -> Array.blit image 0 media 0 t.cfg.heap_words
+  | Some media -> Pheap.assign ~src:image ~dst:media
   | None -> ());
   fresh.log_ranges <- t.log_ranges;
   rebuild_log_index fresh;
@@ -559,7 +593,9 @@ let publish t addrs values n =
   let lines = ref 0 in
   for i = 0 to n - 1 do
     let addr = addrs.(i) in
-    t.heap.(addr) <- values.(i);
+    check_addr t addr;
+    Pheap.set t.heap addr values.(i);
+    (match t.dirty with None -> () | Some d -> Dirty.note d addr);
     t.c.stores <- t.c.stores + 1;
     let line = Layout.line_of_addr addr in
     let r = Cache.access_fast t.l3 ~line ~write:true in
@@ -642,8 +678,16 @@ let machine t : Machine.t =
     tid = (fun () -> Sched.tid t.sched);
     now_ns = (fun () -> float_of_int (Sched.now t.sched));
     pause = (fun ns -> Sched.wait t.sched ns);
-    raw_read = (fun addr -> t.heap.(addr));
-    raw_write = (fun addr v -> t.heap.(addr) <- v);
+    raw_read =
+      (fun addr ->
+        check_addr t addr;
+        Pheap.get t.heap addr);
+    (* Untimed recovery/setup writes deliberately bypass dirty tracking:
+       recovery replay must not re-mark the window it just restored. *)
+    raw_write =
+      (fun addr v ->
+        check_addr t addr;
+        Pheap.set t.heap addr v);
     mark_log_range =
       (fun lo hi ->
         t.log_ranges <- (lo, hi) :: t.log_ranges;
@@ -679,7 +723,7 @@ module Debt = struct
           (fun acc (lo, hi) ->
             let lines = ref 0 in
             let pos = ref lo in
-            while !pos < hi && sim.heap.(!pos) <> 0 do
+            while !pos < hi && Pheap.get sim.heap !pos <> 0 do
               incr lines;
               pos := !pos + Layout.words_per_line
             done;

@@ -51,6 +51,17 @@ val now : t -> int
 
 val crashed : t -> bool
 
+val track_dirty : t -> lo:int -> hi:int -> Dirty.t
+(** Arm dirty tracking (per-page bits + per-line bitmap, see {!Dirty})
+    over word addresses [\[lo, hi)], fed from the timed store path at
+    one branch per store.  Untimed [raw_write]s are never tracked, so
+    recovery replay cannot re-dirty the window it restores.  Replaces
+    any previous tracker; {!reboot} returns an untracked machine.
+    [lo] must be page-aligned. *)
+
+val dirty_tracker : t -> Dirty.t option
+(** The currently armed tracker, if any. *)
+
 val fence_wait_ns_of : t -> tid:int -> int
 (** Cumulative sfence drain wait paid by one thread (0 for unknown
     tids).  The per-tid values sum to {!Stats.t.fence_wait_ns}. *)

@@ -3,13 +3,17 @@
     Lays out the machine's persistent heap as
 
     {v
-    [ header | roots | per-thread PTM log area | data area ]
+    [ header | roots | per-thread PTM log area | snapshot log | data area ]
     v}
 
     and records enough in the header to re-attach after a crash.  The
     log area is page-aligned and registered with the machine through
     [mark_log_range], so the PDRAM-Lite backend can map it to
-    battery-backed DRAM.
+    battery-backed DRAM.  The optional snapshot-log area (sized by
+    [snapshot_words], 0 by default) backs the FAMS failure-atomic
+    msync journal; it is deliberately {e not} part of the marked log
+    range — its commit record is the subsystem's only durability
+    story, so it must stay on NVM under every domain.
 
     Root slots are named persistent pointers (like [pmemobj_root]):
     applications store the address of their top-level structure in a
@@ -18,10 +22,16 @@
 type t
 
 val create :
-  ?roots:int -> ?log_words_per_thread:int -> ?max_threads:int -> Machine.t -> t
+  ?roots:int ->
+  ?log_words_per_thread:int ->
+  ?max_threads:int ->
+  ?snapshot_words:int ->
+  Machine.t ->
+  t
 (** Format a fresh region on the machine (destroys existing content).
-    Defaults: 16 root slots, 8192 log words per thread, 32 threads.
-    Header and layout are written and flushed durably. *)
+    Defaults: 16 root slots, 8192 log words per thread, 32 threads, no
+    snapshot-log area.  Header and layout are written and flushed
+    durably. *)
 
 val attach : Machine.t -> t
 (** Re-open an existing region after a reboot; validates the header
@@ -43,6 +53,13 @@ val log_base : t -> tid:int -> int
 (** Base address of thread [tid]'s log area. *)
 
 val log_words_per_thread : t -> int
+
+val snapshot_base : t -> int
+(** Base address of the snapshot-log area (= [data_start] when the
+    region was created without one). *)
+
+val snapshot_words : t -> int
+(** Size of the snapshot-log area (0 when absent). *)
 
 val data_start : t -> int
 val data_end : t -> int

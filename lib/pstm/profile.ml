@@ -26,6 +26,11 @@ type phase =
   | Validate
   | Backoff
   | Recovery
+  (* FAMS msync phases: dirty-set journaling sweep, commit-record
+     publish, journal-to-home apply. *)
+  | Snap_sweep
+  | Snap_publish
+  | Snap_apply
   | Other
 
 let phase_index = function
@@ -39,14 +44,17 @@ let phase_index = function
   | Validate -> 7
   | Backoff -> 8
   | Recovery -> 9
-  | Other -> 10
+  | Snap_sweep -> 10
+  | Snap_publish -> 11
+  | Snap_apply -> 12
+  | Other -> 13
 
-let nphases = 11
+let nphases = 14
 
 let all_phases =
   [
     Read_set; Log_append; Clwb_issue; Fence_wait; Wpq_stall; Coalesce; Write_back; Validate;
-    Backoff; Recovery; Other;
+    Backoff; Recovery; Snap_sweep; Snap_publish; Snap_apply; Other;
   ]
 
 let phase_name = function
@@ -60,6 +68,9 @@ let phase_name = function
   | Validate -> "validate"
   | Backoff -> "backoff"
   | Recovery -> "recovery"
+  | Snap_sweep -> "snap-sweep"
+  | Snap_publish -> "snap-publish"
+  | Snap_apply -> "snap-apply"
   | Other -> "other"
 
 (* Span ring labels: phase indices, then the two transaction outcomes. *)
@@ -267,11 +278,12 @@ let leaf_flush_into t issue_phase ~flushes f =
 
 let leaf_flush t ~flushes f = leaf_flush_into t Clwb_issue ~flushes f
 let leaf_coalesce t ~flushes f = leaf_flush_into t Coalesce ~flushes f
+let leaf_flush_in t phase ~flushes f = leaf_flush_into t phase ~flushes f
 
-let leaf_fence t f =
+let leaf_fence_in t phase f =
   let tid = t.cur_tid () in
   let pt = slot t tid in
-  let fi = phase_index Fence_wait in
+  let fi = phase_index phase in
   let start = now t in
   settle pt start;
   let finish () =
@@ -290,6 +302,8 @@ let leaf_fence t f =
   | exception e ->
     finish ();
     raise e
+
+let leaf_fence t f = leaf_fence_in t Fence_wait f
 
 (* ---------- read-out ---------- *)
 

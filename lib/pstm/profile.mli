@@ -27,6 +27,9 @@ type phase =
   | Validate  (** commit-time orec acquisition + read-set validation *)
   | Backoff  (** randomized backoff between attempts *)
   | Recovery  (** crash recovery (untimed; counted, 0 ns) *)
+  | Snap_sweep  (** FAMS msync: journaling the dirty set into the snapshot log *)
+  | Snap_publish  (** FAMS msync: durable commit-record publish *)
+  | Snap_apply  (** FAMS msync: applying journaled units to the home image *)
   | Other  (** in-transaction time not claimed by any phase above *)
 
 val all_phases : phase list
@@ -72,6 +75,15 @@ val leaf_coalesce : t -> flushes:int -> (unit -> 'a) -> 'a
 
 val leaf_fence : t -> (unit -> 'a) -> 'a
 (** Run [f] (one sfence), charging the slice to {!Fence_wait}. *)
+
+val leaf_flush_in : t -> phase -> flushes:int -> (unit -> 'a) -> 'a
+(** Like {!leaf_flush} with an explicit issue phase — the FAMS sweep
+    and apply flushes charge {!Snap_sweep} / {!Snap_apply} while the
+    backpressure share still lands in {!Wpq_stall}. *)
+
+val leaf_fence_in : t -> phase -> (unit -> 'a) -> 'a
+(** Like {!leaf_fence} with an explicit phase (fence count and drain
+    wait are attributed to it). *)
 
 (** {1 Read-out} *)
 

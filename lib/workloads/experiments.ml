@@ -3,7 +3,11 @@ module Config = Memsim.Config
 module Ptm = Pstm.Ptm
 module Pool = Parallel.Pool
 
-type outcome = { tables : Table.t list; results : Driver.result list }
+type outcome = {
+  tables : Table.t list;
+  results : Driver.result list;
+  extra : (string * Bench_json.json) list;  (* experiment-specific JSON spliced into BENCH_*.json *)
+}
 
 let threads_axis = [ 1; 2; 4; 8; 16; 32 ]
 
@@ -97,7 +101,7 @@ let sweep ?jobs ~quick ~title ~series specs =
         t)
       specs
   in
-  { tables; results = List.rev !all_results }
+  { tables; results = List.rev !all_results; extra = [] }
 
 let fig3 ?(quick = false) ?jobs () =
   sweep ?jobs ~quick ~title:"Fig 3" ~series:fig3_series (main_panels ())
@@ -153,7 +157,7 @@ let ratio_table ?jobs ~quick ~title algorithm =
       in
       Table.add_row t (label :: cells))
     rows;
-  { tables = [ t ]; results = List.rev !all_results }
+  { tables = [ t ]; results = List.rev !all_results; extra = [] }
 
 let table1 ?(quick = false) ?jobs () = ratio_table ?jobs ~quick ~title:"Table I" Ptm.Redo
 
@@ -204,7 +208,7 @@ let table3 ?(quick = false) ?jobs () =
       in
       Table.add_row t (Ptm.algorithm_name algorithm :: cells))
     [ Ptm.Undo; Ptm.Redo ];
-  { tables = [ t ]; results = List.rev !all_results }
+  { tables = [ t ]; results = List.rev !all_results; extra = [] }
 
 let fig6 ?(quick = false) ?jobs () =
   sweep ?jobs ~quick ~title:"Fig 6" ~series:fig6_series (main_panels ())
@@ -281,7 +285,7 @@ let fig8 ?(quick = false) ?jobs () =
       in
       Table.add_row t (label :: cells))
     fig8_series;
-  { tables = [ t ]; results = List.rev !all_results }
+  { tables = [ t ]; results = List.rev !all_results; extra = [] }
 
 (* §IV-B: the compactness of redo logs that motivates PDRAM-Lite. *)
 let log_footprint ?(quick = false) ?jobs () =
@@ -312,7 +316,7 @@ let log_footprint ?(quick = false) ?jobs () =
       all_results := r :: !all_results;
       Table.add_row t [ spec.Driver.name; string_of_int r.Driver.max_log_lines; paper ])
     rows;
-  { tables = [ t ]; results = List.rev !all_results }
+  { tables = [ t ]; results = List.rev !all_results; extra = [] }
 
 (* §III-B: incremental vs commit-time flushing of the redo log. *)
 let flush_timing_ablation ?(quick = false) ?jobs () =
@@ -356,7 +360,7 @@ let flush_timing_ablation ?(quick = false) ?jobs () =
             ])
         thread_points)
     specs;
-  { tables = [ t ]; results = List.rev !all_results }
+  { tables = [ t ]; results = List.rev !all_results; extra = [] }
 
 (* Design-choice ablation: orec-table size vs false conflicts. *)
 let orec_ablation ?(quick = false) ?jobs () =
@@ -387,7 +391,7 @@ let orec_ablation ?(quick = false) ?jobs () =
            else Table.cell_f r.Driver.commits_per_abort);
         ])
     sizes;
-  { tables = [ t ]; results = List.rev !all_results }
+  { tables = [ t ]; results = List.rev !all_results; extra = [] }
 
 (* ---------- extensions beyond the paper's evaluation ---------- *)
 
@@ -482,7 +486,7 @@ let reserve_energy ?(quick = false) ?jobs () =
           Repro_util.Table.cell_f (max_energy /. 1e3);
         ])
     models;
-  { tables = [ t ]; results = List.rev !all_results }
+  { tables = [ t ]; results = List.rev !all_results; extra = [] }
 
 (* Extension: DIMM interleaving (§III-A: "the Optane memory was split
    across 12 DIMMs, and interleaving was enabled.  This is the
@@ -531,7 +535,7 @@ let dimm_interleave ?(quick = false) ?jobs () =
       in
       Table.add_row t (string_of_int channels :: cells))
     channel_axis;
-  { tables = [ t ]; results = List.rev !all_results }
+  { tables = [ t ]; results = List.rev !all_results; extra = [] }
 
 (* Extension: transaction latency distributions (the paper reports
    only throughput; tail latency is where fences actually hurt). *)
@@ -572,7 +576,7 @@ let latency ?(quick = false) ?jobs () =
             ])
         models)
     specs;
-  { tables = [ t ]; results = List.rev !all_results }
+  { tables = [ t ]; results = List.rev !all_results; extra = [] }
 
 (* Extension: the YCSB core mixes across the durability models. *)
 let ycsb ?(quick = false) ?jobs () =
@@ -613,7 +617,7 @@ let ycsb ?(quick = false) ?jobs () =
       in
       Table.add_row t (label :: cells))
     series;
-  { tables = [ t ]; results = List.rev !all_results }
+  { tables = [ t ]; results = List.rev !all_results; extra = [] }
 
 (* Tentpole extension: what software flush coalescing buys.  The bank
    workload's 2-write transfers under ADR pay the full per-entry
@@ -688,7 +692,7 @@ let scaling ?(quick = false) ?jobs () =
       in
       Table.add_row tput (label :: cells))
     series;
-  { tables = [ tput; economy ]; results = List.rev !all_results }
+  { tables = [ tput; economy ]; results = List.rev !all_results; extra = [] }
 
 (* Extension: the MOD algorithm column.  The same mixed btree/hash op
    stream runs under redo, undo and MOD across every durability domain
@@ -781,7 +785,7 @@ let algorithms ?(quick = false) ?jobs () =
           Table.add_row tput ((spec.Driver.name ^ "/" ^ alg_name) :: row))
         algs)
     specs;
-  { tables = [ tput; economy ]; results = List.rev !all_results }
+  { tables = [ tput; economy ]; results = List.rev !all_results; extra = [] }
 
 (* Extension: recovery cost.  Crash a run mid-flight and measure the
    real time Ptm.recover takes as the heap gets fuller.  Stays serial
@@ -822,7 +826,161 @@ let recovery_time ?(quick = false) ?jobs:_ () =
       Repro_util.Table.add_row t
         [ string_of_int inserts; string_of_int live; Repro_util.Table.cell_f elapsed_ms ])
     sizes;
-  { tables = [ t ]; results = [] }
+  { tables = [ t ]; results = []; extra = [] }
+
+(* FAMS: the second crash-consistency API.  Each workload shape runs
+   through the PTM (redo, one thread — the honest comparison for
+   FAMS's single-writer contract) and through failure-atomic msync at
+   line and page granularity, across all five durability domains.  The
+   economy table carries the subsystem's headline metric: write
+   amplification (bytes journaled per byte logically dirtied), plus
+   FAMS-issued fences and flushes per sync. *)
+
+type fams_cell = {
+  fc_workload : string;
+  fc_model : string;
+  fc_series : string;
+  fc_tx_per_sec : float;
+  fc_write_amp : float;
+  fc_fences_per_sync : float;
+  fc_flushes_per_sync : float;
+  fc_bytes_journaled : int;
+  fc_bytes_dirtied : int;
+  fc_syncs : int;
+}
+
+let fams_cell_json c =
+  let f x = if Float.is_finite x then Bench_json.Float x else Bench_json.Null in
+  Bench_json.Obj
+    [
+      ("workload", Bench_json.String c.fc_workload);
+      ("model", Bench_json.String c.fc_model);
+      ("series", Bench_json.String c.fc_series);
+      ("tx_per_sec", f c.fc_tx_per_sec);
+      ("write_amp", f c.fc_write_amp);
+      ("fences_per_sync", f c.fc_fences_per_sync);
+      ("flushes_per_sync", f c.fc_flushes_per_sync);
+      ("bytes_journaled", Bench_json.Int c.fc_bytes_journaled);
+      ("bytes_dirtied", Bench_json.Int c.fc_bytes_dirtied);
+      ("syncs", Bench_json.Int c.fc_syncs);
+    ]
+
+let fams_run ?(quick = false) ?jobs () =
+  let dur = duration quick in
+  let models =
+    [
+      ("ADR", Config.optane_adr);
+      ("eADR", Config.optane_eadr);
+      ("transient", Config.transient_cache);
+      ("PDRAM", Config.pdram);
+      ("PDRAM-Lite", Config.pdram_lite);
+    ]
+  in
+  let series =
+    [
+      ("ptm-redo", None);
+      (Fams_bench.series_name Fams.Line, Some Fams.Line);
+      (Fams_bench.series_name Fams.Page, Some Fams.Page);
+    ]
+  in
+  (* Each FAMS shape next to its PTM twin. *)
+  let pairs =
+    [
+      (Fams_bench.bank, Bank.spec);
+      (Fams_bench.kv, Mod_bench.hash);
+      (Fams_bench.btree, Btree_bench.insert_only);
+    ]
+  in
+  let tput =
+    Table.create ~title:"FAMS — PTM redo vs failure-atomic msync, 1 thread (M ops/s)"
+      ~header:("workload/series" :: List.map fst models)
+  in
+  let economy =
+    Table.create ~title:"FAMS — snapshot economy per sync (line vs page granularity)"
+      ~header:
+        [
+          "workload"; "series"; "model"; "write amp"; "fences/sync"; "flushes/sync";
+          "KiB journaled"; "KiB dirtied";
+        ]
+  in
+  let cells =
+    List.concat_map
+      (fun (fspec, ptm_spec) ->
+        List.concat_map
+          (fun (_, g) ->
+            List.map
+              (fun (_, model) () ->
+                match g with
+                | None ->
+                  ( Driver.run ~duration_ns:dur ~model ~algorithm:Ptm.Redo ~threads:1 ptm_spec,
+                    None )
+                | Some granularity ->
+                  let r = Fams_bench.run ~duration_ns:dur ~model ~granularity fspec in
+                  (r.Fams_bench.driver, Some r.Fams_bench.fams))
+              models)
+          series)
+      pairs
+  in
+  let next = dispatch ?jobs cells in
+  let all_results = ref [] in
+  let fams_cells = ref [] in
+  List.iter
+    (fun ((fspec : Fams_bench.spec), _) ->
+      List.iter
+        (fun (series_name, _) ->
+          let row =
+            List.map
+              (fun (model_name, _) ->
+                let r, st = next () in
+                all_results := r :: !all_results;
+                (match st with
+                | None -> ()
+                | Some st ->
+                  let syncs = max 1 st.Fams.Stats.syncs in
+                  let per x = float_of_int x /. float_of_int syncs in
+                  let cell =
+                    {
+                      fc_workload = fspec.Fams_bench.name;
+                      fc_model = model_name;
+                      fc_series = series_name;
+                      fc_tx_per_sec = r.Driver.txs_per_sec;
+                      fc_write_amp = Fams.Stats.write_amp st;
+                      fc_fences_per_sync = per st.Fams.Stats.fences;
+                      fc_flushes_per_sync = per st.Fams.Stats.flushes;
+                      fc_bytes_journaled = st.Fams.Stats.bytes_journaled;
+                      fc_bytes_dirtied = st.Fams.Stats.bytes_dirtied;
+                      fc_syncs = st.Fams.Stats.syncs;
+                    }
+                  in
+                  fams_cells := cell :: !fams_cells;
+                  Table.add_row economy
+                    [
+                      cell.fc_workload;
+                      cell.fc_series;
+                      cell.fc_model;
+                      Table.cell_f cell.fc_write_amp;
+                      Table.cell_f cell.fc_fences_per_sync;
+                      Table.cell_f cell.fc_flushes_per_sync;
+                      Table.cell_f (float_of_int cell.fc_bytes_journaled /. 1024.);
+                      Table.cell_f (float_of_int cell.fc_bytes_dirtied /. 1024.);
+                    ]);
+                Table.cell_f (r.Driver.txs_per_sec /. 1e6))
+              models
+          in
+          Table.add_row tput ((fspec.Fams_bench.name ^ "/" ^ series_name) :: row))
+        series)
+    pairs;
+  let cells = List.rev !fams_cells in
+  let outcome =
+    {
+      tables = [ tput; economy ];
+      results = List.rev !all_results;
+      extra = [ ("fams_cells", Bench_json.List (List.map fams_cell_json cells)) ];
+    }
+  in
+  (outcome, cells)
+
+let fams ?quick ?jobs () = fst (fams_run ?quick ?jobs ())
 
 let all =
   [
@@ -845,5 +1003,6 @@ let all =
     ("memory-mode", memory_mode);
     ("reserve-energy", reserve_energy);
     ("algorithms", algorithms);
+    ("fams", fams);
     ("recovery-time", recovery_time);
   ]

@@ -18,6 +18,8 @@
 type outcome = {
   tables : Repro_util.Table.t list;
   results : Driver.result list;  (** every underlying data point *)
+  extra : (string * Bench_json.json) list;
+      (** experiment-specific JSON spliced into the BENCH_*.json root *)
 }
 
 val threads_axis : int list
@@ -100,6 +102,31 @@ val algorithms : ?quick:bool -> ?jobs:int -> unit -> outcome
     per-commit fence/flush economy table from the profiler.  Shows
     MOD's one-fence commit on ADR and the eADR / transient-cache
     crossover where its ordering advantage collapses. *)
+
+(** One FAMS grid point's exported metrics (also serialised under the
+    ["fams_cells"] key of [BENCH_fams.json]). *)
+type fams_cell = {
+  fc_workload : string;
+  fc_model : string;
+  fc_series : string;  (** ["fams-line"] / ["fams-page"] *)
+  fc_tx_per_sec : float;
+  fc_write_amp : float;  (** bytes journaled / bytes logically dirtied *)
+  fc_fences_per_sync : float;
+  fc_flushes_per_sync : float;
+  fc_bytes_journaled : int;
+  fc_bytes_dirtied : int;
+  fc_syncs : int;
+}
+
+val fams_run : ?quick:bool -> ?jobs:int -> unit -> outcome * fams_cell list
+(** The FAMS grid: three workload shapes (scattered bank, hash puts,
+    clustered appends) x {ptm-redo, fams-line, fams-page} x all five
+    durability domains, single-writer.  Returns the outcome plus the
+    typed per-cell metrics for the FAMS rows (the [@fams] gate asserts
+    write-amplification direction on these). *)
+
+val fams : ?quick:bool -> ?jobs:int -> unit -> outcome
+(** {!fams_run}, outcome only — the CLI entry point. *)
 
 val recovery_time : ?quick:bool -> ?jobs:int -> unit -> outcome
 (** Wall-clock cost of [Ptm.recover] as the heap gets fuller.  Always

@@ -1,0 +1,174 @@
+(* FAMS subsystem gate, wired into tier-1 `dune runtest` and, in
+   full-measurement form, `dune build @fams`.
+
+   Fast mode (default) reruns the `fams` experiment at quick size and
+   holds it to four promises:
+
+   1. Shape: the full grid is present — 3 workloads x {ptm-redo,
+      fams-line, fams-page} x 5 durability domains — and every FAMS
+      cell actually synced work.
+   2. Granularity economy: line-granularity dirty tracking journals
+      strictly fewer bytes per byte dirtied than page granularity, on
+      every workload under every domain.  This is the subsystem's
+      headline claim (sparse stores touch a few lines of each page).
+   3. Domain economy: FAMS issues fences only where the domain needs
+      them (ADR / PDRAM families) and none on eADR-class machines;
+      flushes vanish wherever the cache itself is persistent.
+   4. Regression: the freshly produced record must pass
+      `Bench_json.regress` against the committed BENCH_fams.json
+      baseline (simulation is deterministic, so drift means a code
+      change that must re-bless the baseline deliberately).
+
+   FAMS_FULL=1 (set by the @fams alias) reruns at full measurement
+   size; the committed baseline is quick-sized, so full mode keeps the
+   shape and economy checks but skips the byte-level regress.  Both
+   modes are held to a wall-clock budget (FAMS_BUDGET_S overrides:
+   120 s fast, 900 s full). *)
+
+module Experiments = Workloads.Experiments
+module J = Workloads.Bench_json
+
+let full =
+  match Sys.getenv_opt "FAMS_FULL" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let budget_s =
+  match Sys.getenv_opt "FAMS_BUDGET_S" with
+  | Some s when String.trim s <> "" -> (
+    match float_of_string_opt (String.trim s) with
+    | Some b when b > 0.0 -> b
+    | _ ->
+      Printf.eprintf "FAMS_BUDGET_S: not a positive number: %S\n%!" s;
+      exit 2)
+  | _ -> if full then 900.0 else 120.0
+
+let failed = ref 0
+
+let check name ok =
+  if not ok then begin
+    incr failed;
+    Printf.printf "FAIL %s\n%!" name
+  end
+
+let workloads = [ "fams-bank"; "fams-kv"; "fams-btree" ]
+let models = [ "ADR"; "eADR"; "transient"; "PDRAM"; "PDRAM-Lite" ]
+let fams_series = [ "fams-line"; "fams-page" ]
+
+let () =
+  let baseline_path = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
+  let t0 = Unix.gettimeofday () in
+  let quick = not full in
+  let outcome, cells = Experiments.fams_run ~quick () in
+  let find workload series model =
+    List.find_opt
+      (fun c ->
+        c.Experiments.fc_workload = workload
+        && c.Experiments.fc_series = series
+        && c.Experiments.fc_model = model)
+      cells
+  in
+  (* 1 — shape: every cell of the grid, with real work behind it. *)
+  check "grid: 45 driver rows"
+    (List.length outcome.Experiments.results = 45);
+  check "grid: 30 fams cells" (List.length cells = 30);
+  List.iter
+    (fun workload ->
+      List.iter
+        (fun series ->
+          List.iter
+            (fun model ->
+              match find workload series model with
+              | None ->
+                check (Printf.sprintf "cell %s/%s/%s present" workload series model) false
+              | Some c ->
+                check
+                  (Printf.sprintf "cell %s/%s/%s synced work" workload series model)
+                  (c.Experiments.fc_syncs > 0 && c.Experiments.fc_bytes_dirtied > 0))
+            models)
+        fams_series)
+    workloads;
+  (* 2 — line tracking strictly beats page tracking on write amp. *)
+  List.iter
+    (fun workload ->
+      List.iter
+        (fun model ->
+          match (find workload "fams-line" model, find workload "fams-page" model) with
+          | Some l, Some p ->
+            let la = l.Experiments.fc_write_amp and pa = p.Experiments.fc_write_amp in
+            check
+              (Printf.sprintf "%s/%s: line write amp %.2f < page %.2f" workload model la pa)
+              (Float.is_finite la && Float.is_finite pa && la < pa);
+            check
+              (Printf.sprintf "%s/%s: write amp >= 1 (got %.2f)" workload model la)
+              (la >= 1.0)
+          | _ -> () (* absence already reported by the shape pass *))
+        models)
+    workloads;
+  (* 3 — fences and flushes follow the durability domain. *)
+  List.iter
+    (fun workload ->
+      List.iter
+        (fun series ->
+          let per f model =
+            match find workload series model with Some c -> f c | None -> nan
+          in
+          let fences = per (fun c -> c.Experiments.fc_fences_per_sync) in
+          let flushes = per (fun c -> c.Experiments.fc_flushes_per_sync) in
+          check
+            (Printf.sprintf "%s/%s: fences on ADR (got %.2f)" workload series (fences "ADR"))
+            (fences "ADR" > 0.0);
+          List.iter
+            (fun model ->
+              check
+                (Printf.sprintf "%s/%s: 0 fences on %s (got %.2f)" workload series model
+                   (fences model))
+                (fences model = 0.0);
+              check
+                (Printf.sprintf "%s/%s: 0 flushes on %s (got %.2f)" workload series model
+                   (flushes model))
+                (flushes model = 0.0))
+            [ "eADR"; "transient" ])
+        fams_series)
+    workloads;
+  (* 4 — regression sentinel against the committed baseline. *)
+  (match (baseline_path, quick) with
+  | Some path, true ->
+    let tmp = Filename.temp_file "fams_gate" ".d" in
+    Sys.remove tmp;
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let fresh =
+      J.write ~dir:tmp ~experiment:"fams" ~quick:true ~jobs:1 ~wall_s
+        ~extra:outcome.Experiments.extra outcome.Experiments.results
+    in
+    (match
+       J.regress ~baseline:(J.parse_file path) ~current:(J.parse_file fresh) ()
+     with
+    | findings ->
+      let regressions =
+        List.filter (fun f -> f.J.f_severity = J.Regression) findings
+      in
+      List.iter
+        (fun f -> Printf.printf "  regress %s: %s\n" f.J.f_path f.J.f_detail)
+        regressions;
+      check "regress vs committed BENCH_fams.json" (regressions = [])
+    | exception J.Parse_error msg ->
+      check (Printf.sprintf "regress: parse (%s)" msg) false);
+    Sys.remove fresh;
+    (try Unix.rmdir tmp with Unix.Unix_error _ -> ())
+  | Some _, false -> () (* full-size run; the committed baseline is quick-sized *)
+  | None, _ -> check "baseline path given" false);
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let mode = if full then "full" else "fast" in
+  if !failed > 0 then begin
+    Printf.printf "fams(%s): %d check(s) FAILED in %.1fs\n%!" mode !failed elapsed;
+    exit 1
+  end
+  else if elapsed > budget_s then begin
+    Printf.printf "fams(%s): all checks passed but %.1fs exceeds the %.0fs budget\n%!" mode
+      elapsed budget_s;
+    exit 1
+  end
+  else
+    Printf.printf "fams(%s): all checks passed in %.1fs (budget %.0fs)\n%!" mode elapsed
+      budget_s

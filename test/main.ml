@@ -16,6 +16,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("kvserve", Test_kvserve.suite);
       ("dlin", Test_dlin.suite);
+      ("fams", Test_fams.suite);
       ("crashtest", Test_crashtest.suite);
       ("differential", Test_differential.suite);
       ("experiments", Test_experiments.suite);

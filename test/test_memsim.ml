@@ -569,6 +569,12 @@ end
 let pending_stride = 4
 let pending_lines = 8
 
+(* The arena now captures from and applies to demand-paged images. *)
+let pheap_of_array a =
+  let p = Pheap.create ~words:(Array.length a) in
+  Pheap.blit_of_array p 0 a 0 (Array.length a);
+  p
+
 (* One differential step: 0 = add, 1 = settle, 2 = apply (compare crash
    images), 3 = remove_lines.  After every step the arena's insertion-
    order view must equal the reference list, and the two media images
@@ -582,7 +588,7 @@ let test_pending_differential =
   Helpers.qtest ~count:300 "pending: differential vs list model" pending_ops_gen (fun ops ->
       let t = Pending.create ~stride:pending_stride () in
       let model = ref [] in
-      let image = Array.make (pending_lines * pending_stride) 0 in
+      let image = Pheap.create ~words:(pending_lines * pending_stride) in
       let image' = Array.make (pending_lines * pending_stride) 0 in
       let stamp = ref 0 in
       let agree () =
@@ -591,7 +597,7 @@ let test_pending_differential =
           List.map (fun e -> (e.Pending_ref.r_apply_at, e.Pending_ref.r_line, e.Pending_ref.r_data)) !model
         in
         if view <> ref_view then QCheck2.Test.fail_report "arena view diverged from list model";
-        if image <> image' then QCheck2.Test.fail_report "media image diverged";
+        if Pheap.to_flat image <> image' then QCheck2.Test.fail_report "media image diverged";
         true
       in
       List.for_all
@@ -601,7 +607,7 @@ let test_pending_differential =
             incr stamp;
             let len = 1 + (!stamp mod pending_stride) in
             let src = Array.init pending_stride (fun k -> (!stamp * 16) + k) in
-            Pending.add t ~apply_at:time ~line ~src ~base:0 ~len;
+            Pending.add t ~apply_at:time ~line ~src:(pheap_of_array src) ~base:0 ~len;
             model :=
               !model
               @ [ { Pending_ref.r_apply_at = time; r_line = line; r_data = Array.sub src 0 len } ]
@@ -611,10 +617,10 @@ let test_pending_differential =
           | 2 ->
             (* Non-destructive crash-cut materialisation: replay onto
                copies, compare, leave both states untouched. *)
-            let cut = Array.copy image and cut' = Array.copy image' in
+            let cut = Pheap.copy image and cut' = Array.copy image' in
             Pending.apply ~cutoff:time t cut;
             Pending_ref.apply ~cutoff:time ~stride:pending_stride !model cut';
-            if cut <> cut' then QCheck2.Test.fail_report "crash-cut image diverged"
+            if Pheap.to_flat cut <> cut' then QCheck2.Test.fail_report "crash-cut image diverged"
           | _ ->
             let keep = time mod pending_lines in
             Pending.remove_lines t (fun l -> l <> keep);
@@ -637,12 +643,12 @@ let test_pending_overflow_recycle () =
   let entry i = (i, i mod pending_lines, Array.init pending_stride (fun k -> (i * 100) + k)) in
   for i = 0 to cap0 - 1 do
     let at, line, src = entry i in
-    Pending.add t ~apply_at:at ~line ~src ~base:0 ~len:pending_stride
+    Pending.add t ~apply_at:at ~line ~src:(pheap_of_array src) ~base:0 ~len:pending_stride
   done;
   Helpers.check_int "full at initial capacity" cap0 (Pending.count t);
   Helpers.check_int "no premature growth" cap0 (Pending.capacity t);
   let at, line, src = entry cap0 in
-  Pending.add t ~apply_at:at ~line ~src ~base:0 ~len:pending_stride;
+  Pending.add t ~apply_at:at ~line ~src:(pheap_of_array src) ~base:0 ~len:pending_stride;
   Helpers.check_int "doubled on overflow" (2 * cap0) (Pending.capacity t);
   Helpers.check_int "all entries retained" (cap0 + 1) (Pending.count t);
   List.iteri
@@ -652,7 +658,7 @@ let test_pending_overflow_recycle () =
       Helpers.check_int "line preserved across grow" line' line;
       Helpers.check_bool "payload preserved across grow" true (data = data'))
     (Pending.to_list t);
-  let image = Array.make (pending_lines * pending_stride) 0 in
+  let image = Pheap.create ~words:(pending_lines * pending_stride) in
   Pending.settle t ~now:max_int image;
   Helpers.check_int "drained" 0 (Pending.count t);
   Helpers.check_bool "drain leaves no residue" true (Pending.to_list t = []);
@@ -662,9 +668,9 @@ let test_pending_overflow_recycle () =
   let last_for_line0 = cap0 - (cap0 mod pending_lines) in
   Helpers.check_int "image holds the final capture"
     (last_for_line0 * 100)
-    image.(0);
+    (Pheap.get image 0);
   let at, line, src = entry 7777 in
-  Pending.add t ~apply_at:at ~line ~src ~base:0 ~len:pending_stride;
+  Pending.add t ~apply_at:at ~line ~src:(pheap_of_array src) ~base:0 ~len:pending_stride;
   Helpers.check_int "slots recycle after drain" 1 (Pending.count t);
   Helpers.check_int "recycling does not grow" (2 * cap0) (Pending.capacity t)
 
